@@ -1,0 +1,82 @@
+// Ablation: recommendation-threshold sensitivity (paper §4.4: "The
+// optimization recommendation techniques ... include configurable
+// thresholds"; §9 notes the defaults depend on the deployment). Runs the
+// default synthetic workload once and re-evaluates the recommender under
+// swept thresholds, showing exactly when each rule starts/stops firing —
+// and what the auto-tuner picks.
+#include "bench_util.h"
+
+#include "blockopt/recommend/autotune.h"
+
+using namespace blockoptr;
+using namespace blockoptr::bench;
+
+namespace {
+
+const char* Fired(const std::vector<Recommendation>& recs,
+                  RecommendationType t) {
+  return HasRecommendation(recs, t) ? "fires" : "-";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: recommendation thresholds ==\n\n");
+  SyntheticConfig wl;
+  wl.num_txs = kPaperTxCount;
+  ExperimentConfig cfg =
+      MakeSyntheticExperiment(wl, NetworkConfig::Defaults());
+  AnalyzedRun run = RunAndAnalyze(cfg);
+  const LogMetrics& m = run.metrics;
+  std::printf("workload: default synthetic (Tr=%.0f TPS, success %.1f%%, "
+              "reorderable %llu / %llu read conflicts)\n\n",
+              m.tr, 100 * m.SuccessRate(),
+              static_cast<unsigned long long>(m.reorderable_conflicts),
+              static_cast<unsigned long long>(m.mvcc_failures +
+                                              m.phantom_failures));
+
+  std::printf("-- Rt1 (rate-control 'high traffic' bar, paper default 300) "
+              "--\n");
+  for (double rt1 : {100.0, 200.0, 300.0, 400.0, 600.0}) {
+    RecommenderOptions options;
+    options.rt1 = rt1;
+    auto recs = Recommend(m, options);
+    std::printf("  Rt1=%4.0f  rate control %s\n", rt1,
+                Fired(recs, RecommendationType::kTransactionRateControl));
+  }
+
+  std::printf("\n-- reorderable fraction (paper default 0.4; repo default "
+              "0.3) --\n");
+  for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    RecommenderOptions options;
+    options.reorderable_mvcc_fraction = frac;
+    auto recs = Recommend(m, options);
+    std::printf("  frac=%.1f  activity reordering %s\n", frac,
+                Fired(recs, RecommendationType::kActivityReordering));
+  }
+
+  std::printf("\n-- Bt (block-size deviation tolerance, default 0.6) --\n");
+  for (double bt : {0.01, 0.05, 0.2, 0.6, 0.9}) {
+    RecommenderOptions options;
+    options.bt = bt;
+    auto recs = Recommend(m, options);
+    std::printf("  Bt=%.2f  block size adaptation %s\n", bt,
+                Fired(recs, RecommendationType::kBlockSizeAdaptation));
+  }
+
+  std::printf("\n-- It (invoker significance, default 0.5) --\n");
+  for (double it : {0.3, 0.45, 0.5, 0.7}) {
+    RecommenderOptions options;
+    options.it = it;
+    auto recs = Recommend(m, options);
+    std::printf("  It=%.2f  client resource boost %s\n", it,
+                Fired(recs, RecommendationType::kClientResourceBoost));
+  }
+
+  RecommenderOptions tuned = AutoTuneThresholds(m);
+  std::printf("\nauto-tuned (paper §9 future work): Rt1=%.0f Et=%.2f "
+              "It=%.2f -> %s\n",
+              tuned.rt1, tuned.et, tuned.it,
+              RecommendationNames(Recommend(m, tuned)).c_str());
+  return 0;
+}

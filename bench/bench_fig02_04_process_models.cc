@@ -1,0 +1,97 @@
+// Reproduces Figures 2 and 4: the SCM process model mined from the
+// blockchain log before and after activity reordering. Before: the model
+// contains illogical branches (Ship observed before its PushASN effect,
+// UpdateAuditInfo interleaved between pipeline stages). After: the
+// redesign pushes the audit/query activities behind the pipeline, and the
+// newly mined model confirms adherence (token-replay conformance).
+#include "bench_util.h"
+
+#include "blockopt/eventlog/event_log.h"
+#include "mining/alpha_miner.h"
+#include "mining/conformance.h"
+#include "mining/dfg.h"
+
+using namespace blockoptr;
+using namespace blockoptr::bench;
+
+namespace {
+
+Result<EventLog> Mine(const ExperimentConfig& cfg, PerformanceReport* report) {
+  auto out = RunExperiment(cfg);
+  if (!out.ok()) return out.status();
+  *report = out->report;
+  BlockchainLog log = ExtractBlockchainLog(out->ledger);
+  return EventLog::FromBlockchainLog(log, EventLogOptions{});
+}
+
+void DescribeModel(const char* title, const EventLog& event_log) {
+  std::printf("%s\n", title);
+  auto traces = event_log.Traces();
+  DirectlyFollowsGraph dfg(traces);
+  // The tell-tale edges of Figure 2: audit/query activities interleaved
+  // inside the pipeline vs pushed behind it (Figure 4).
+  const char* probes[][2] = {{"PushASN", "UpdateAuditInfo"},
+                             {"UpdateAuditInfo", "Ship"},
+                             {"PushASN", "Ship"},
+                             {"Ship", "Unload"},
+                             {"Unload", "UpdateAuditInfo"}};
+  for (const auto& probe : probes) {
+    std::printf("  %-18s -> %-18s : %llu\n", probe[0], probe[1],
+                static_cast<unsigned long long>(
+                    dfg.EdgeCount(probe[0], probe[1])));
+  }
+  auto variants = event_log.Variants();
+  std::printf("  %zu cases, %zu trace variants; top variant %zux\n",
+              event_log.num_cases(), variants.size(),
+              variants.empty() ? 0 : variants[0].second);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figures 2 & 4: SCM process models before/after ==\n\n");
+  UseCaseConfig uc;
+  uc.num_txs = kPaperTxCount;
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"scm"};
+  cfg.schedule = GenerateScmWorkload(uc);
+
+  PerformanceReport before_report;
+  auto before = Mine(cfg, &before_report);
+  if (!before.ok()) {
+    std::fprintf(stderr, "%s\n", before.status().ToString().c_str());
+    return 1;
+  }
+  DescribeModel("-- Figure 2 view: derived model, original design --",
+                *before);
+
+  // Redesign: reorder the audit/query activities behind the pipeline.
+  ExperimentConfig redesigned = cfg;
+  redesigned.client_manager.activities_last = {"UpdateAuditInfo",
+                                               "QueryProducts"};
+  PerformanceReport after_report;
+  auto after = Mine(redesigned, &after_report);
+  if (!after.ok()) {
+    std::fprintf(stderr, "%s\n", after.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n");
+  DescribeModel("-- Figure 4 view: derived model after reordering --",
+                *after);
+
+  // Compliance verification: the redesigned traces fit a model mined from
+  // the redesigned run; the original behaviour does not.
+  PetriNet redesigned_model = AlphaMiner::Mine(after->Traces());
+  double new_fit = ReplayTraces(redesigned_model, after->Traces()).Fitness();
+  double old_fit = ReplayTraces(redesigned_model, before->Traces()).Fitness();
+  std::printf("\nconformance vs redesigned model: new traces %.3f, original "
+              "traces %.3f\n",
+              new_fit, old_fit);
+
+  std::printf("\nperformance: ");
+  PrintDelta("redesign", before_report, after_report);
+  std::printf("paper reference: +24%% throughput / +15%% success for the "
+              "reordering redesign (§3).\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Figure 10: transaction rate control on the experiments where
+// it is recommended. The client send rate is capped at 100 TPS (Table 4).
+// Paper shape: up to -87% latency and +36% success (send rate 1000);
+// throughput intentionally drops toward the sustainable rate (§6 note).
+#include "bench_experiments.h"
+
+using namespace blockoptr;
+using namespace blockoptr::bench;
+
+int main() {
+  std::printf("== Figure 10: transaction rate control ==\n\n");
+  PrintRowHeader();
+  for (const auto& def : Table3Experiments(kPaperTxCount)) {
+    ExperimentConfig cfg = MakeSyntheticExperiment(def.workload, def.network);
+    AnalyzedRun baseline = RunAndAnalyze(cfg);
+    if (!HasRecommendation(baseline.recommendations,
+                           RecommendationType::kTransactionRateControl)) {
+      continue;
+    }
+    PerformanceReport optimized =
+        RunWithOptimizations(cfg, baseline.recommendations,
+                             {RecommendationType::kTransactionRateControl});
+    PrintRow(def.label + " [base]", baseline.report);
+    PrintRow(def.label + " [100tps]", optimized);
+    PrintDelta(def.label, baseline.report, optimized);
+  }
+  std::printf("\npaper reference: up to -87%% latency / +36%% success; "
+              "throughput moves toward the sustainable rate.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces the paper's headline claim (§1 / §9): "After implementing
+// the recommended optimizations, we observe an average of 20% improvement
+// in the success rate of transactions and an average of 40% improvement
+// in latency." Averages the baseline-vs-all-recommendations deltas over
+// the 15 synthetic experiments and the 5 use-case workloads.
+#include "bench_experiments.h"
+
+#include "workload/lap_log.h"
+
+using namespace blockoptr;
+using namespace blockoptr::bench;
+
+namespace {
+
+struct Deltas {
+  double success = 0;         // relative improvement
+  double success_points = 0;  // absolute percentage points gained
+  double latency = 0;
+  double throughput = 0;
+};
+
+Deltas RunPair(const ExperimentConfig& cfg, const std::string& label) {
+  AnalyzedRun baseline = RunAndAnalyze(cfg);
+  auto optimized_cfg = ApplyOptimizations(cfg, baseline.recommendations);
+  if (!optimized_cfg.ok()) {
+    std::fprintf(stderr, "%s apply: %s\n", label.c_str(),
+                 optimized_cfg.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto out = RunExperiment(*optimized_cfg);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s run: %s\n", label.c_str(),
+                 out.status().ToString().c_str());
+    std::exit(1);
+  }
+  Deltas d;
+  d.success = RelativeImprovement(baseline.report.SuccessRate(),
+                                  out->report.SuccessRate());
+  d.success_points =
+      out->report.SuccessRate() - baseline.report.SuccessRate();
+  d.latency = RelativeImprovement(baseline.report.AvgLatency(),
+                                  out->report.AvgLatency(), true);
+  d.throughput = RelativeImprovement(baseline.report.Throughput(),
+                                     out->report.Throughput());
+  std::printf("%-28s success %+6.1f%%  latency %+6.1f%%  tput %+6.1f%%\n",
+              label.c_str(), 100 * d.success, 100 * d.latency,
+              100 * d.throughput);
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Headline summary: average improvement across all "
+              "workloads ==\n\n");
+  std::vector<Deltas> all;
+
+  for (const auto& def : Table3Experiments(kPaperTxCount)) {
+    all.push_back(RunPair(MakeSyntheticExperiment(def.workload, def.network),
+                          def.label));
+  }
+
+  UseCaseConfig uc;
+  uc.num_txs = kPaperTxCount;
+  {
+    ExperimentConfig cfg;
+    cfg.network = NetworkConfig::Defaults();
+    cfg.chaincodes = {"scm"};
+    cfg.schedule = GenerateScmWorkload(uc);
+    all.push_back(RunPair(cfg, "SCM"));
+  }
+  {
+    ExperimentConfig cfg;
+    cfg.network = NetworkConfig::Defaults();
+    cfg.chaincodes = {"drm"};
+    for (auto& [k, v] : DrmSeedState()) {
+      cfg.seeds.push_back(SeedEntry{"drm", k, v});
+    }
+    cfg.schedule = GenerateDrmWorkload(uc);
+    all.push_back(RunPair(cfg, "DRM"));
+  }
+  {
+    ExperimentConfig cfg;
+    cfg.network = NetworkConfig::Defaults();
+    cfg.chaincodes = {"ehr"};
+    for (auto& [k, v] : EhrSeedState()) {
+      cfg.seeds.push_back(SeedEntry{"ehr", k, v});
+    }
+    cfg.schedule = GenerateEhrWorkload(uc);
+    all.push_back(RunPair(cfg, "EHR"));
+  }
+  {
+    ExperimentConfig cfg;
+    cfg.network = NetworkConfig::Defaults();
+    cfg.chaincodes = {"dv"};
+    for (auto& [k, v] : DvSeedState()) {
+      cfg.seeds.push_back(SeedEntry{"dv", k, v});
+    }
+    cfg.schedule = GenerateDvWorkload(uc);
+    all.push_back(RunPair(cfg, "DV"));
+  }
+  {
+    LapLogConfig lc;
+    auto events = GenerateLapEventLog(lc);
+    ExperimentConfig cfg;
+    cfg.network = NetworkConfig::Defaults();
+    cfg.chaincodes = {"lap"};
+    cfg.schedule = LapScheduleFromLog(events, 300.0);
+    all.push_back(RunPair(cfg, "LAP (300 TPS)"));
+  }
+
+  Deltas avg;
+  for (const auto& d : all) {
+    avg.success += d.success;
+    avg.success_points += d.success_points;
+    avg.latency += d.latency;
+    avg.throughput += d.throughput;
+  }
+  const double n = static_cast<double>(all.size());
+  std::printf("\n%-28s success %+6.1f%%  latency %+6.1f%%  tput %+6.1f%%\n",
+              "AVERAGE (relative)", 100 * avg.success / n,
+              100 * avg.latency / n, 100 * avg.throughput / n);
+  std::printf("%-28s success %+6.1f pp\n", "AVERAGE (abs. points)",
+              100 * avg.success_points / n);
+  std::printf("\npaper reference: ~+20%% average success-rate improvement "
+              "and ~+40%% average latency improvement.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Table 3: the recommendations BlockOptR emits for each of the
+// 15 synthetic experiments. Compare the rightmost column against the
+// paper's "Optimizations recommended" column (see EXPERIMENTS.md).
+#include "bench_experiments.h"
+
+using namespace blockoptr;
+using namespace blockoptr::bench;
+
+int main() {
+  std::printf("== Table 3: synthetic experiments -> recommendations ==\n\n");
+  std::printf("%-4s %-28s %-9s %s\n", "#", "control variable", "success",
+              "recommendations");
+  std::printf("%-4s %-28s %-9s %s\n", "--", "----------------", "-------",
+              "---------------");
+  for (const auto& def : Table3Experiments(kPaperTxCount)) {
+    ExperimentConfig cfg = MakeSyntheticExperiment(def.workload, def.network);
+    AnalyzedRun run = RunAndAnalyze(cfg);
+    std::printf("%-4d %-28s %7.1f%%  %s\n", def.number, def.label.c_str(),
+                100 * run.report.SuccessRate(),
+                RecommendationNames(run.recommendations).c_str());
+  }
+  std::printf(
+      "\npaper reference (Table 3): 1 Endorser restructuring+Reordering; "
+      "2 Endorser restructuring+Reordering; 3 Rate control; 4 Reordering; "
+      "5 Rate control; 6 Reordering; 7 Reordering+Rate control; "
+      "8 Reordering+Partitioning+Block size; 9/10 Reordering+Rate control; "
+      "11 Reordering; 12 Reordering; 13 Reordering+Block size+Rate control; "
+      "14 Reordering+Rate control; 15 Reordering+Client boost\n");
+  return 0;
+}

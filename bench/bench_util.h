@@ -1,0 +1,123 @@
+#ifndef BLOCKOPTR_BENCH_BENCH_UTIL_H_
+#define BLOCKOPTR_BENCH_BENCH_UTIL_H_
+
+// Shared harness for the figure/table reproduction benches. Each bench
+// binary prints paper-style rows: baseline vs optimized with relative
+// changes, so the *shape* of every figure can be compared against the
+// paper (absolute numbers come from the simulator, see DESIGN.md).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "blockopt/apply/optimizer.h"
+#include "blockopt/log/preprocess.h"
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/recommend/report.h"
+#include "driver/experiment.h"
+#include "workload/lap_log.h"
+#include "workload/synthetic.h"
+#include "workload/usecase.h"
+
+namespace blockoptr::bench {
+
+/// One finished run plus its BlockOptR analysis.
+struct AnalyzedRun {
+  PerformanceReport report;
+  LogMetrics metrics;
+  std::vector<Recommendation> recommendations;
+  std::map<std::string, uint64_t> endorsement_counts;
+};
+
+inline AnalyzedRun RunAndAnalyze(const ExperimentConfig& cfg) {
+  auto out = RunExperiment(cfg);
+  if (!out.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 out.status().ToString().c_str());
+    std::exit(1);
+  }
+  AnalyzedRun run;
+  run.report = out->report;
+  BlockchainLog log = ExtractBlockchainLog(out->ledger);
+  run.metrics = ComputeMetrics(log, MetricsOptions{});
+  run.recommendations = Recommend(run.metrics, RecommenderOptions{});
+  run.endorsement_counts = out->endorsement_counts;
+  return run;
+}
+
+/// Re-runs `cfg` with only the recommendations of the given types applied
+/// (the per-optimization bars of the paper's figures). Types not present
+/// among the detected recommendations are ignored.
+inline PerformanceReport RunWithOptimizations(
+    const ExperimentConfig& cfg, const std::vector<Recommendation>& recs,
+    const std::vector<RecommendationType>& only_types) {
+  std::vector<Recommendation> selected;
+  for (const auto& r : recs) {
+    for (auto t : only_types) {
+      if (r.type == t) selected.push_back(r);
+    }
+  }
+  auto optimized_cfg = ApplyOptimizations(cfg, selected);
+  if (!optimized_cfg.ok()) {
+    std::fprintf(stderr, "apply failed: %s\n",
+                 optimized_cfg.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto out = RunExperiment(*optimized_cfg);
+  if (!out.ok()) {
+    std::fprintf(stderr, "optimized run failed: %s\n",
+                 out.status().ToString().c_str());
+    std::exit(1);
+  }
+  return out->report;
+}
+
+inline ExperimentConfig MakeSyntheticExperiment(const SyntheticConfig& wl,
+                                                const NetworkConfig& net) {
+  ExperimentConfig cfg;
+  cfg.network = net;
+  cfg.chaincodes = {"genchain"};
+  for (auto& [k, v] : SyntheticSeedState(wl)) {
+    cfg.seeds.push_back(SeedEntry{"genchain", k, v});
+  }
+  cfg.schedule = GenerateSynthetic(wl);
+  return cfg;
+}
+
+inline void PrintRowHeader() {
+  std::printf("%-28s %10s %10s %10s %10s %9s\n", "experiment", "tput(tps)",
+              "success", "latency(s)", "mvcc+phm", "endorse");
+  std::printf("%-28s %10s %10s %10s %10s %9s\n", "----------", "---------",
+              "-------", "----------", "--------", "-------");
+}
+
+inline void PrintRow(const std::string& label, const PerformanceReport& r) {
+  std::printf("%-28s %10.1f %9.1f%% %10.3f %10llu %9llu\n", label.c_str(),
+              r.Throughput(), 100 * r.SuccessRate(), r.AvgLatency(),
+              static_cast<unsigned long long>(r.mvcc_failures() +
+                                              r.phantom_failures()),
+              static_cast<unsigned long long>(r.endorsement_failures()));
+}
+
+inline void PrintDelta(const std::string& label,
+                       const PerformanceReport& baseline,
+                       const PerformanceReport& optimized) {
+  std::printf("%-28s %+9.0f%% %+9.0f%% %+9.0f%%   (tput / success / latency "
+              "improvement)\n",
+              label.c_str(),
+              100 * RelativeImprovement(baseline.Throughput(),
+                                        optimized.Throughput()),
+              100 * RelativeImprovement(baseline.SuccessRate(),
+                                        optimized.SuccessRate()),
+              100 * RelativeImprovement(baseline.AvgLatency(),
+                                        optimized.AvgLatency(),
+                                        /*lower_is_better=*/true));
+}
+
+/// The paper's default experiment scale.
+inline constexpr int kPaperTxCount = 10000;
+
+}  // namespace blockoptr::bench
+
+#endif  // BLOCKOPTR_BENCH_BENCH_UTIL_H_

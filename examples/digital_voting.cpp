@@ -1,0 +1,68 @@
+// Digital-voting scenario (paper §6.2 / Figure 16): the base contract
+// tallies votes per party, so every Vote read-modify-writes one of four
+// party keys and most votes fail during the election rush. BlockOptR
+// detects the hotkeys and recommends a data-model alteration (key by
+// voter); with the altered contract every voter writes a unique key and
+// the success rate reaches 100%.
+//
+//   $ ./example_digital_voting
+#include <cstdio>
+
+#include "blockopt/apply/optimizer.h"
+#include "blockopt/log/preprocess.h"
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/recommend/report.h"
+#include "driver/experiment.h"
+#include "workload/usecase.h"
+
+using namespace blockoptr;
+
+int main() {
+  ExperimentConfig experiment;
+  experiment.network = NetworkConfig::Defaults();
+  experiment.chaincodes = {"dv"};
+  for (auto& [k, v] : DvSeedState()) {
+    experiment.seeds.push_back(SeedEntry{"dv", k, v});
+  }
+  UseCaseConfig uc;
+  experiment.schedule = GenerateDvWorkload(uc);
+
+  std::printf("== Digital voting: party-keyed contract ==\n");
+  auto baseline = RunExperiment(experiment);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("baseline : %s\n\n", baseline->report.Summary().c_str());
+
+  BlockchainLog log = ExtractBlockchainLog(baseline->ledger);
+  LogMetrics metrics = ComputeMetrics(log, MetricsOptions{});
+  auto recs = Recommend(metrics, RecommenderOptions{});
+  std::printf("%s\n", FormatRecommendationReport(metrics, recs).c_str());
+
+  // The failure-rate distribution pinpoints the voting phase (paper §7:
+  // rate control can then target just those clients/periods).
+  std::printf("failure-rate timeline (failures per second):\n  ");
+  for (size_t i = 0; i < metrics.frd.size(); i += 5) {
+    std::printf("%4.0f ", metrics.frd[i]);
+  }
+  std::printf("\n\n");
+
+  auto optimized_cfg = ApplyOptimizations(experiment, recs);
+  if (!optimized_cfg.ok()) {
+    std::fprintf(stderr, "%s\n", optimized_cfg.status().ToString().c_str());
+    return 1;
+  }
+  auto optimized = RunExperiment(*optimized_cfg);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "%s\n", optimized.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Voter-keyed contract (data model altered) ==\n");
+  std::printf("optimized: %s\n", optimized->report.Summary().c_str());
+  std::printf("\nsuccess rate %.1f%% -> %.1f%%\n",
+              100 * baseline->report.SuccessRate(),
+              100 * optimized->report.SuccessRate());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: run a workload on the simulated Fabric network, extract the
+// blockchain log, and let BlockOptR recommend optimizations — the full
+// paper §4 workflow in ~60 lines.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "blockopt/apply/optimizer.h"
+#include "blockopt/log/preprocess.h"
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/recommend/report.h"
+#include "driver/experiment.h"
+#include "workload/synthetic.h"
+
+using namespace blockoptr;
+
+int main() {
+  // 1. Describe the workload (paper Table 2 control variables) and the
+  //    network (2 orgs, Majority endorsement, block count 300).
+  SyntheticConfig workload;
+  workload.type = SyntheticWorkloadType::kUniform;
+  workload.num_txs = 5000;
+  workload.send_rate = 300;
+
+  ExperimentConfig experiment;
+  experiment.network = NetworkConfig::Defaults();
+  experiment.chaincodes = {"genchain"};
+  for (auto& [key, value] : SyntheticSeedState(workload)) {
+    experiment.seeds.push_back(SeedEntry{"genchain", key, value});
+  }
+  experiment.schedule = GenerateSynthetic(workload);
+
+  // 2. Run it.
+  auto baseline = RunExperiment(experiment);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("baseline : %s\n", baseline->report.Summary().c_str());
+
+  // 3. BlockOptR: preprocess the ledger into the blockchain log, derive
+  //    the metrics, and emit multi-level recommendations.
+  BlockchainLog log = ExtractBlockchainLog(baseline->ledger);
+  LogMetrics metrics = ComputeMetrics(log, MetricsOptions{});
+  std::vector<Recommendation> recs = Recommend(metrics, RecommenderOptions{});
+  std::printf("\n%s\n", FormatRecommendationReport(metrics, recs).c_str());
+
+  // 4. Apply the recommendations (Table 4) and re-run.
+  auto optimized_cfg = ApplyOptimizations(experiment, recs);
+  if (!optimized_cfg.ok()) {
+    std::fprintf(stderr, "apply failed: %s\n",
+                 optimized_cfg.status().ToString().c_str());
+    return 1;
+  }
+  auto optimized = RunExperiment(*optimized_cfg);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "optimized run failed: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("optimized: %s\n", optimized->report.Summary().c_str());
+  std::printf(
+      "success rate %+.1f%%, latency %+.1f%%\n",
+      100 * RelativeImprovement(baseline->report.SuccessRate(),
+                                optimized->report.SuccessRate()),
+      100 * RelativeImprovement(baseline->report.AvgLatency(),
+                                optimized->report.AvgLatency(),
+                                /*lower_is_better=*/true));
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef BLOCKOPTR_BLOCKOPT_APPLY_OPTIMIZER_H_
+#define BLOCKOPTR_BLOCKOPT_APPLY_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blockopt/recommend/recommender.h"
+#include "driver/experiment.h"
+
+namespace blockoptr {
+
+/// How the optimizer realizes contract-level recommendations: which
+/// optimized contract variant replaces the original, and how the schedule
+/// is rewritten. These correspond to the "update smart contract" rows of
+/// the paper's Table 4 and require the use-case knowledge the paper notes
+/// a user must supply (§7 Limitations).
+struct ContractVariants {
+  /// Pruned variant per contract (process model pruning).
+  std::map<std::string, std::string> pruned;
+  /// Delta-write variant per contract.
+  std::map<std::string, std::string> delta;
+  /// Data-model-altered variant per contract.
+  std::map<std::string, std::string> altered;
+  /// Partitioning: contract -> (function -> partition contract). All
+  /// partitions are installed; the schedule routes per function.
+  std::map<std::string, std::map<std::string, std::string>> partitions;
+
+  /// The built-in mapping covering every contract shipped in
+  /// src/contracts (scm->scm_pruned, drm->drm_delta/drmplay+drmmeta,
+  /// ehr->ehr_pruned, dv->dv_voter, lap->lap_app).
+  static const ContractVariants& Builtin();
+};
+
+/// Settings for applying recommendations (Table 4).
+struct ApplySettings {
+  ContractVariants variants = ContractVariants::Builtin();
+  /// Endorsement-policy preset used for endorser restructuring (P4).
+  int restructure_policy_preset = 4;
+  /// Client multiplication factor for the boost (paper: double).
+  int client_boost_factor = 2;
+};
+
+/// Applies the given recommendations to an experiment configuration and
+/// returns the optimized configuration, per the paper's Table 4:
+///
+///   Activity reordering          -> client manager reorders the workload
+///   Transaction rate control     -> send rate capped (default 100 TPS)
+///   Process model pruning        -> pruned contract variant
+///   Delta writes                 -> delta contract variant
+///   Smart contract partitioning  -> split contracts + schedule rerouting
+///   Data model alteration        -> re-keyed contract variant
+///   Block size adaptation        -> block count := derived rate
+///   Endorser restructuring       -> policy := P4, even distribution
+///   Client resource boost        -> double the flagged orgs' clients
+Result<ExperimentConfig> ApplyOptimizations(
+    const ExperimentConfig& base, const std::vector<Recommendation>& recs,
+    const ApplySettings& settings = ApplySettings());
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_APPLY_OPTIMIZER_H_

@@ -1,0 +1,53 @@
+#include "blockopt/eventlog/case_id.h"
+
+#include <set>
+
+namespace blockoptr {
+
+Result<CaseIdDerivation> DeriveCaseIdColumn(const BlockchainLog& log,
+                                            double min_coverage) {
+  if (log.empty()) {
+    return Status::FailedPrecondition("cannot derive CaseID of an empty log");
+  }
+  size_t max_args = 0;
+  for (const auto& e : log.entries()) {
+    max_args = std::max(max_args, e.args.size());
+  }
+  if (max_args == 0) {
+    return Status::FailedPrecondition(
+        "log has no function arguments to derive a CaseID from");
+  }
+
+  CaseIdDerivation best;
+  bool found = false;
+  for (size_t col = 0; col < max_args; ++col) {
+    size_t covered = 0;
+    std::set<std::string> values;
+    for (const auto& e : log.entries()) {
+      if (e.args.size() > col) {
+        ++covered;
+        values.insert(e.args[col]);
+      }
+    }
+    double coverage =
+        static_cast<double>(covered) / static_cast<double>(log.size());
+    if (coverage < min_coverage) continue;
+    // Higher cardinality partitions the log into more, finer cases; a
+    // column that is constant across the log still qualifies (one case)
+    // but loses against any finer column.
+    if (!found || values.size() > best.cardinality) {
+      best.arg_index = static_cast<int>(col);
+      best.coverage = coverage;
+      best.cardinality = values.size();
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound(
+        "no argument column is common to all activities; supply the CaseID "
+        "column from domain knowledge");
+  }
+  return best;
+}
+
+}  // namespace blockoptr

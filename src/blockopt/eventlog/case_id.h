@@ -1,0 +1,34 @@
+#ifndef BLOCKOPTR_BLOCKOPT_EVENTLOG_CASE_ID_H_
+#define BLOCKOPTR_BLOCKOPT_EVENTLOG_CASE_ID_H_
+
+#include "blockopt/log/blockchain_log.h"
+#include "common/result.h"
+
+namespace blockoptr {
+
+/// Result of the automated common-element (CaseID) derivation of paper
+/// §4.2: which argument column identifies process instances.
+struct CaseIdDerivation {
+  /// Argument index used as the common element.
+  int arg_index = 0;
+  /// Fraction of log entries that have this argument.
+  double coverage = 0;
+  /// Number of distinct values — the number of cases.
+  size_t cardinality = 0;
+};
+
+/// Derives the common-element column from the function arguments, as the
+/// paper does per use case: the argument present in (almost) every
+/// activity whose values best partition the log into process instances.
+/// Among full-coverage columns the highest-cardinality one wins (e.g. for
+/// the loan process the applicationID beats the employeeID), matching the
+/// domain-knowledge choices in the paper.
+///
+/// Fails when the log is empty or no argument column covers at least
+/// `min_coverage` of the entries.
+Result<CaseIdDerivation> DeriveCaseIdColumn(const BlockchainLog& log,
+                                            double min_coverage = 0.999);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_EVENTLOG_CASE_ID_H_

@@ -1,0 +1,82 @@
+#include "blockopt/eventlog/event_log.h"
+
+#include <algorithm>
+
+#include "blockopt/eventlog/case_id.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+Result<EventLog> EventLog::FromBlockchainLog(const BlockchainLog& log,
+                                             const EventLogOptions& options) {
+  int col = options.case_arg_index;
+  if (col < 0) {
+    auto derived = DeriveCaseIdColumn(log);
+    if (!derived.ok()) return derived.status();
+    col = derived->arg_index;
+  }
+
+  EventLog out;
+  out.case_arg_index_ = col;
+  for (const auto& e : log.entries()) {
+    if (e.is_config) continue;
+    if (!options.include_failed && e.failed()) continue;
+    if (e.args.size() <= static_cast<size_t>(col)) continue;
+    Event ev;
+    ev.case_id = e.args[static_cast<size_t>(col)];
+    ev.activity = e.activity;
+    ev.commit_order = e.commit_order;
+    ev.commit_timestamp = e.commit_timestamp;
+    ev.status = e.status;
+    ev.tx_type = e.tx_type;
+    out.events_.push_back(std::move(ev));
+  }
+  std::sort(out.events_.begin(), out.events_.end(),
+            [](const Event& a, const Event& b) {
+              return a.commit_order < b.commit_order;
+            });
+  for (size_t i = 0; i < out.events_.size(); ++i) {
+    out.cases_[out.events_[i].case_id].push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> EventLog::Traces() const {
+  std::vector<std::vector<std::string>> traces;
+  traces.reserve(cases_.size());
+  for (const auto& [case_id, indices] : cases_) {
+    (void)case_id;
+    std::vector<std::string> trace;
+    trace.reserve(indices.size());
+    for (size_t i : indices) trace.push_back(events_[i].activity);
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<std::pair<std::vector<std::string>, size_t>> EventLog::Variants()
+    const {
+  std::map<std::vector<std::string>, size_t> counts;
+  for (auto& trace : Traces()) ++counts[trace];
+  std::vector<std::pair<std::vector<std::string>, size_t>> out(counts.begin(),
+                                                               counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void EventLog::WriteCsv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.WriteRow(
+      {"case_id", "activity", "commit_order", "commit_timestamp", "status"});
+  for (const auto& ev : events_) {
+    writer.WriteRow({ev.case_id, ev.activity, std::to_string(ev.commit_order),
+                     FormatDouble(ev.commit_timestamp, 6),
+                     std::string(TxStatusName(ev.status))});
+  }
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,20 @@
+#ifndef BLOCKOPTR_BLOCKOPT_EVENTLOG_XES_EXPORT_H_
+#define BLOCKOPTR_BLOCKOPT_EVENTLOG_XES_EXPORT_H_
+
+#include <ostream>
+
+#include "blockopt/eventlog/event_log.h"
+
+namespace blockoptr {
+
+/// Exports an event log as XES (IEEE 1849-2016), the interchange format
+/// consumed by ProM, Disco, and Celonis — the tools the paper's §2.2
+/// surveys and the ProM plugin its §9 future work targets. Traces are
+/// grouped by case; each event carries concept:name (the activity),
+/// the commit order, a synthetic timestamp derived from the commit
+/// timestamp, and the transaction status as a custom attribute.
+void WriteXes(const EventLog& log, std::ostream& out);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_EVENTLOG_XES_EXPORT_H_

@@ -1,0 +1,174 @@
+#include "blockopt/log/export.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+namespace {
+
+std::string JoinPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    char inner, char outer) {
+  std::string out;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) out += outer;
+    out += pairs[i].first;
+    out += inner;
+    out += pairs[i].second;
+  }
+  return out;
+}
+
+TxStatus StatusFromName(const std::string& name) {
+  if (name == "VALID") return TxStatus::kValid;
+  if (name == "MVCC_READ_CONFLICT") return TxStatus::kMvccReadConflict;
+  if (name == "PHANTOM_READ_CONFLICT") return TxStatus::kPhantomReadConflict;
+  if (name == "ENDORSEMENT_POLICY_FAILURE") {
+    return TxStatus::kEndorsementPolicyFailure;
+  }
+  return TxStatus::kConfig;
+}
+
+TxType TypeFromName(const std::string& name) {
+  if (name == "read") return TxType::kRead;
+  if (name == "write") return TxType::kWrite;
+  if (name == "update") return TxType::kUpdate;
+  if (name == "range_read") return TxType::kRangeRead;
+  return TxType::kDelete;
+}
+
+JsonValue::Array StringsToJson(const std::vector<std::string>& v) {
+  JsonValue::Array arr;
+  arr.reserve(v.size());
+  for (const auto& s : v) arr.emplace_back(s);
+  return arr;
+}
+
+std::vector<std::string> StringsFromJson(const JsonValue& v) {
+  std::vector<std::string> out;
+  if (!v.is_array()) return out;
+  for (const auto& e : v.as_array()) {
+    if (e.is_string()) out.push_back(e.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteLogCsv(const BlockchainLog& log, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.WriteRow({"commit_order", "client_timestamp", "activity", "args",
+                   "endorsers", "invoker_client", "invoker_org", "read_keys",
+                   "writes", "delete_keys", "status", "tx_type", "chaincode",
+                   "block_num", "tx_pos", "commit_timestamp"});
+  for (const auto& e : log.entries()) {
+    std::vector<std::string> endorsers = e.endorsers;
+    writer.WriteRow({
+        std::to_string(e.commit_order),
+        FormatDouble(e.client_timestamp, 6),
+        e.activity,
+        Join(e.args, "|"),
+        Join(endorsers, "|"),
+        e.invoker_client,
+        e.invoker_org,
+        Join(e.read_keys, "|"),
+        JoinPairs(e.writes, '=', '|'),
+        Join(e.delete_keys, "|"),
+        std::string(TxStatusName(e.status)),
+        std::string(TxTypeName(e.tx_type)),
+        e.chaincode,
+        std::to_string(e.block_num),
+        std::to_string(e.tx_pos),
+        FormatDouble(e.commit_timestamp, 6),
+    });
+  }
+}
+
+JsonValue LogToJson(const BlockchainLog& log) {
+  JsonValue::Array rows;
+  rows.reserve(log.size());
+  for (const auto& e : log.entries()) {
+    JsonValue::Object row;
+    row["commit_order"] = JsonValue(e.commit_order);
+    row["client_timestamp"] = JsonValue(e.client_timestamp);
+    row["activity"] = JsonValue(e.activity);
+    row["args"] = JsonValue(StringsToJson(e.args));
+    row["endorsers"] = JsonValue(StringsToJson(e.endorsers));
+    row["invoker_client"] = JsonValue(e.invoker_client);
+    row["invoker_org"] = JsonValue(e.invoker_org);
+    row["read_keys"] = JsonValue(StringsToJson(e.read_keys));
+    JsonValue::Array writes;
+    for (const auto& [k, v] : e.writes) {
+      JsonValue::Object w;
+      w["key"] = JsonValue(k);
+      w["value"] = JsonValue(v);
+      writes.emplace_back(std::move(w));
+    }
+    row["writes"] = JsonValue(std::move(writes));
+    row["delete_keys"] = JsonValue(StringsToJson(e.delete_keys));
+    JsonValue::Array ranges;
+    for (const auto& [s, t] : e.range_bounds) {
+      JsonValue::Object r;
+      r["start"] = JsonValue(s);
+      r["end"] = JsonValue(t);
+      ranges.emplace_back(std::move(r));
+    }
+    row["range_bounds"] = JsonValue(std::move(ranges));
+    row["status"] = JsonValue(std::string(TxStatusName(e.status)));
+    row["tx_type"] = JsonValue(std::string(TxTypeName(e.tx_type)));
+    row["chaincode"] = JsonValue(e.chaincode);
+    row["tx_id"] = JsonValue(e.tx_id);
+    row["block_num"] = JsonValue(e.block_num);
+    row["tx_pos"] = JsonValue(static_cast<uint64_t>(e.tx_pos));
+    row["commit_timestamp"] = JsonValue(e.commit_timestamp);
+    rows.emplace_back(std::move(row));
+  }
+  JsonValue::Object doc;
+  doc["entries"] = JsonValue(std::move(rows));
+  return JsonValue(std::move(doc));
+}
+
+Result<BlockchainLog> ParseLogJson(const JsonValue& json) {
+  if (!json.is_object() || !json["entries"].is_array()) {
+    return Status::InvalidArgument("log JSON must have an 'entries' array");
+  }
+  std::vector<BlockchainLogEntry> entries;
+  for (const auto& row : json["entries"].as_array()) {
+    if (!row.is_object()) {
+      return Status::InvalidArgument("log entry must be an object");
+    }
+    BlockchainLogEntry e;
+    e.commit_order = static_cast<uint64_t>(row["commit_order"].as_number());
+    e.client_timestamp = row["client_timestamp"].as_number();
+    e.activity = row["activity"].as_string();
+    e.args = StringsFromJson(row["args"]);
+    e.endorsers = StringsFromJson(row["endorsers"]);
+    e.invoker_client = row["invoker_client"].as_string();
+    e.invoker_org = row["invoker_org"].as_string();
+    e.read_keys = StringsFromJson(row["read_keys"]);
+    if (row["writes"].is_array()) {
+      for (const auto& w : row["writes"].as_array()) {
+        e.writes.emplace_back(w["key"].as_string(), w["value"].as_string());
+      }
+    }
+    e.delete_keys = StringsFromJson(row["delete_keys"]);
+    if (row["range_bounds"].is_array()) {
+      for (const auto& r : row["range_bounds"].as_array()) {
+        e.range_bounds.emplace_back(r["start"].as_string(),
+                                    r["end"].as_string());
+      }
+    }
+    e.status = StatusFromName(row["status"].as_string());
+    e.tx_type = TypeFromName(row["tx_type"].as_string());
+    e.chaincode = row["chaincode"].as_string();
+    e.tx_id = static_cast<uint64_t>(row["tx_id"].as_number());
+    e.block_num = static_cast<uint64_t>(row["block_num"].as_number());
+    e.tx_pos = static_cast<uint32_t>(row["tx_pos"].as_number());
+    e.commit_timestamp = row["commit_timestamp"].as_number();
+    entries.push_back(std::move(e));
+  }
+  return BlockchainLog(std::move(entries));
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,27 @@
+#ifndef BLOCKOPTR_BLOCKOPT_LOG_EXPORT_H_
+#define BLOCKOPTR_BLOCKOPT_LOG_EXPORT_H_
+
+#include <ostream>
+
+#include "blockopt/log/blockchain_log.h"
+#include "common/json.h"
+#include "common/result.h"
+
+namespace blockoptr {
+
+/// Serialization of the preprocessed blockchain log — the analysis-ready
+/// CSV/JSON artefacts BlockOptR publishes (paper §4.1, contribution 3).
+
+/// Writes the log as CSV with a header row. Multi-valued attributes
+/// (args, endorsers, keys) are '|'-joined inside one field.
+void WriteLogCsv(const BlockchainLog& log, std::ostream& out);
+
+/// Full-fidelity JSON export (round-trips through ParseLogJson).
+JsonValue LogToJson(const BlockchainLog& log);
+
+/// Parses a JSON export back into a log.
+Result<BlockchainLog> ParseLogJson(const JsonValue& json);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_LOG_EXPORT_H_

@@ -1,0 +1,27 @@
+#ifndef BLOCKOPTR_BLOCKOPT_LOG_PREPROCESS_H_
+#define BLOCKOPTR_BLOCKOPT_LOG_PREPROCESS_H_
+
+#include "blockopt/log/blockchain_log.h"
+#include "ledger/ledger.h"
+
+namespace blockoptr {
+
+/// Blockchain-data preprocessing (paper §4.1): BlockOptR reads the entire
+/// chain, removes configuration/setup transactions, derives the
+/// transaction type, and assigns the commit order.
+
+/// Step 1 — raw extraction: every transaction in every block, including
+/// configuration transactions (what the paper saves as JSON files).
+BlockchainLog ExtractRawLog(const Ledger& ledger);
+
+/// Step 2 — cleaning: drops configuration and lifecycle transactions and
+/// renumbers `commit_order` densely over the remaining entries.
+void CleanLog(BlockchainLog& log);
+
+/// Convenience: extraction + cleaning in one call. This is the log every
+/// downstream component (metrics, event log, recommender) consumes.
+BlockchainLog ExtractBlockchainLog(const Ledger& ledger);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_LOG_PREPROCESS_H_

@@ -1,0 +1,227 @@
+#include "blockopt/metrics/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/stats.h"
+
+namespace blockoptr {
+
+namespace {
+
+/// Tracks the latest committed writer of each key while replaying the log
+/// in commit order, to attribute each failure to its cause (corDV).
+struct LastWriter {
+  size_t entry_index;
+  std::string value;  // written value (for delta detection)
+};
+
+/// True when both values are counter-like — an integer prefix followed by
+/// identical payloads — and the counters differ by at most one. Catches
+/// both plain counters ("41" vs "42") and embedded ones
+/// ("41|meta|artist" vs "42|meta|artist", the DRM play count).
+bool IsIntegerDelta(const std::string& a, const std::string& b) {
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  long va = std::strtol(a.c_str(), &end_a, 10);
+  long vb = std::strtol(b.c_str(), &end_b, 10);
+  if (end_a == a.c_str() || end_b == b.c_str()) return false;
+  // The non-numeric remainder must match (same record, different count).
+  if (std::string_view(end_a) != std::string_view(end_b)) return false;
+  long d = va - vb;
+  return d >= -1 && d <= 1;
+}
+
+bool WriteSetsDisjoint(const BlockchainLogEntry& x,
+                       const BlockchainLogEntry& y) {
+  auto wx = x.WriteKeys();
+  auto wy = y.WriteKeys();
+  std::vector<std::string> inter;
+  std::set_intersection(wx.begin(), wx.end(), wy.begin(), wy.end(),
+                        std::back_inserter(inter));
+  return inter.empty();
+}
+
+}  // namespace
+
+LogMetrics ComputeMetrics(const BlockchainLog& log,
+                          const MetricsOptions& options) {
+  LogMetrics m;
+  if (log.empty()) return m;
+
+  // ---- Rate and failure metrics --------------------------------------
+  double min_ts = log[0].client_timestamp;
+  double max_ts = log[0].client_timestamp;
+  IntervalCounter tx_intervals(options.interval_s);
+  IntervalCounter fail_intervals(options.interval_s);
+  std::set<uint64_t> blocks;
+  std::set<std::string> activities;
+
+  for (const auto& e : log.entries()) {
+    ++m.total_txs;
+    min_ts = std::min(min_ts, e.client_timestamp);
+    max_ts = std::max(max_ts, e.client_timestamp);
+    tx_intervals.Add(e.client_timestamp);
+    blocks.insert(e.block_num);
+    activities.insert(e.activity);
+    ++m.activity_tx_types[e.activity][e.tx_type];
+
+    switch (e.status) {
+      case TxStatus::kMvccReadConflict:
+        ++m.mvcc_failures;
+        break;
+      case TxStatus::kPhantomReadConflict:
+        ++m.phantom_failures;
+        break;
+      case TxStatus::kEndorsementPolicyFailure:
+        ++m.endorsement_failures;
+        break;
+      default:
+        break;
+    }
+    if (e.failed()) {
+      ++m.failed_txs;
+      fail_intervals.Add(e.client_timestamp);
+    }
+
+    for (const auto& org : e.endorsers) ++m.endorser_sig[org];
+    ++m.invoker_sig[e.invoker_client];
+    ++m.invoker_org_sig[e.invoker_org];
+  }
+
+  m.duration_s = max_ts - min_ts;
+  m.tr = m.duration_s > 0
+             ? static_cast<double>(m.total_txs) / m.duration_s
+             : static_cast<double>(m.total_txs);
+  m.tfr = m.duration_s > 0
+              ? static_cast<double>(m.failed_txs) / m.duration_s
+              : static_cast<double>(m.failed_txs);
+  for (size_t i = 0; i < tx_intervals.num_intervals(); ++i) {
+    m.trd.push_back(tx_intervals.RateAt(i));
+  }
+  for (size_t i = 0; i < fail_intervals.num_intervals(); ++i) {
+    m.frd.push_back(fail_intervals.RateAt(i));
+  }
+  m.frd.resize(m.trd.size(), 0.0);  // align interval vectors
+
+  m.num_blocks = blocks.size();
+  m.b_sizeavg = m.num_blocks > 0 ? static_cast<double>(m.total_txs) /
+                                       static_cast<double>(m.num_blocks)
+                                 : 0;
+  m.num_activities = activities.size();
+
+  // ---- Key metrics (Kfreq over failures, Ksig over activities) --------
+  for (const auto& e : log.entries()) {
+    auto write_keys = e.WriteKeys();
+    for (const auto& key : e.AccessedKeys()) {
+      m.key_activities[key].insert(e.activity);
+      if (e.failed()) ++m.key_freq[key];
+      auto& stats = m.key_accessors[key][e.activity];
+      ++stats.accesses;
+      if (e.failed()) ++stats.failures;
+      if (std::binary_search(write_keys.begin(), write_keys.end(), key)) {
+        stats.writes = true;
+      }
+    }
+  }
+  // A key is hot when its failure frequency clears both the absolute
+  // floor and the fraction-of-all-failures threshold (user-configurable,
+  // paper §4.3 metric 6).
+  const uint64_t hot_threshold = std::max<uint64_t>(
+      options.hotkey_min_failures,
+      static_cast<uint64_t>(options.hotkey_failure_fraction *
+                            static_cast<double>(m.failed_txs)));
+  for (const auto& [key, freq] : m.key_freq) {
+    if (freq >= hot_threshold) m.hot_keys.push_back(key);
+  }
+  std::sort(m.hot_keys.begin(), m.hot_keys.end(),
+            [&](const std::string& a, const std::string& b) {
+              uint64_t fa = m.key_freq.at(a);
+              uint64_t fb = m.key_freq.at(b);
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+
+  // ---- Correlation metrics: replay in commit order --------------------
+  // For every failed transaction x, the cause y is the most recent valid
+  // transaction (by commit order) whose write invalidated one of x's
+  // reads — including a write into one of x's queried ranges (phantom).
+  std::map<std::string, LastWriter> last_writer;
+  for (size_t i = 0; i < log.size(); ++i) {
+    const BlockchainLogEntry& e = log[i];
+    if (e.failed() && (e.status == TxStatus::kMvccReadConflict ||
+                       e.status == TxStatus::kPhantomReadConflict)) {
+      // Candidate causes over x's read keys…
+      const LastWriter* cause = nullptr;
+      std::string contended_key;
+      for (const auto& key : e.read_keys) {
+        auto it = last_writer.find(key);
+        if (it == last_writer.end()) continue;
+        if (cause == nullptr ||
+            it->second.entry_index > cause->entry_index) {
+          cause = &it->second;
+          contended_key = key;
+        }
+      }
+      // …and over writes that landed inside x's queried ranges.
+      for (const auto& [start, end] : e.range_bounds) {
+        auto it = last_writer.lower_bound(start);
+        auto stop = end.empty() ? last_writer.end()
+                                : last_writer.lower_bound(end);
+        for (; it != stop; ++it) {
+          if (cause == nullptr ||
+              it->second.entry_index > cause->entry_index) {
+            cause = &it->second;
+            contended_key = it->first;
+          }
+        }
+      }
+      if (cause != nullptr) {
+        const BlockchainLogEntry& y = log[cause->entry_index];
+        ConflictPair pair;
+        pair.failed_commit_order = e.commit_order;
+        pair.cause_commit_order = y.commit_order;
+        pair.failed_activity = e.activity;
+        pair.cause_activity = y.activity;
+        pair.key = contended_key;
+        pair.distance = e.commit_order - y.commit_order;
+        pair.same_block = e.block_num == y.block_num;
+        pair.reorderable = WriteSetsDisjoint(e, y);
+        pair.same_activity = e.activity == y.activity;
+
+        // Delta-write candidate (Table 1): adjacent same-activity
+        // conflict, MVCC status, both single-key counter writes with a
+        // ±1 value difference.
+        if (pair.same_activity && e.status == TxStatus::kMvccReadConflict &&
+            e.writes.size() == 1 && e.delete_keys.empty() &&
+            y.writes.size() == 1 && y.delete_keys.empty() &&
+            e.writes[0].first == y.writes[0].first &&
+            IsIntegerDelta(e.writes[0].second, y.writes[0].second)) {
+          pair.delta_candidate = true;
+          ++m.delta_candidates;
+        }
+        if (pair.same_activity && pair.distance == 1) {
+          ++m.adjacent_same_activity_conflicts;
+        }
+        if (pair.same_block) {
+          ++m.intra_block_conflicts;
+        } else {
+          ++m.inter_block_conflicts;
+        }
+        if (pair.reorderable) ++m.reorderable_conflicts;
+        ++m.activity_conflicts[{pair.failed_activity, pair.cause_activity}];
+        m.conflicts.push_back(std::move(pair));
+      }
+    }
+    if (e.status == TxStatus::kValid) {
+      for (const auto& [key, value] : e.writes) {
+        last_writer[key] = LastWriter{i, value};
+      }
+      for (const auto& key : e.delete_keys) last_writer.erase(key);
+    }
+  }
+
+  return m;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,113 @@
+#ifndef BLOCKOPTR_BLOCKOPT_METRICS_METRICS_H_
+#define BLOCKOPTR_BLOCKOPT_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "blockopt/log/blockchain_log.h"
+
+namespace blockoptr {
+
+/// Tuning knobs for metric derivation (paper §4.3).
+struct MetricsOptions {
+  /// Interval size `ins` for the rate/failure distributions (seconds).
+  double interval_s = 1.0;
+
+  /// A key is hot when at least this many failed transactions access it
+  /// AND it accounts for at least this fraction of all failures.
+  uint64_t hotkey_min_failures = 30;
+  double hotkey_failure_fraction = 0.15;
+};
+
+/// One detected data-value-correlated conflict: a failed transaction and
+/// the committed transaction that invalidated its read (corDV(x,y) == 1).
+struct ConflictPair {
+  uint64_t failed_commit_order = 0;   // x
+  uint64_t cause_commit_order = 0;    // y
+  std::string failed_activity;        // A(x)
+  std::string cause_activity;         // A(y)
+  std::string key;                    // the contended key
+  uint64_t distance = 0;              // corP(x, y): commit-order distance
+  bool same_block = false;            // intra-block vs inter-block failure
+  bool reorderable = false;           // WS(x) ∩ WS(y) == ∅ (Table 1)
+  bool same_activity = false;         // A(x) == A(y)
+  bool delta_candidate = false;       // single-key ±1 counter update
+};
+
+/// All metrics derived from one blockchain log (paper §4.3).
+struct LogMetrics {
+  // -- Rate metrics ----------------------------------------------------
+  uint64_t total_txs = 0;
+  double duration_s = 0;       // span of client timestamps
+  double tr = 0;               // transaction rate Tr
+  std::vector<double> trd;     // Trd_i (per interval, client timestamps)
+
+  // -- Failure metrics -------------------------------------------------
+  uint64_t failed_txs = 0;
+  uint64_t mvcc_failures = 0;
+  uint64_t phantom_failures = 0;
+  uint64_t endorsement_failures = 0;
+  double tfr = 0;              // total failure rate TFr
+  std::vector<double> frd;     // Frd_i
+
+  // -- Block size metrics ----------------------------------------------
+  uint64_t num_blocks = 0;
+  double b_sizeavg = 0;        // average transactions per block
+
+  // -- Endorser / invoker significance ----------------------------------
+  std::map<std::string, uint64_t> endorser_sig;     // EDsig per org
+  std::map<std::string, uint64_t> invoker_sig;      // IVsig per client
+  std::map<std::string, uint64_t> invoker_org_sig;  // IVsig per org
+
+  // -- Key metrics -------------------------------------------------------
+  std::map<std::string, uint64_t> key_freq;                // Kfreq
+  std::map<std::string, std::set<std::string>> key_activities;  // Ksig
+  std::vector<std::string> hot_keys;                        // HK
+
+  /// Per-key, per-activity access statistics (drives the partitioning /
+  /// data-model-alteration distinction: which activities fail on a hotkey
+  /// and whether they write it).
+  struct KeyAccessorStats {
+    uint64_t accesses = 0;
+    uint64_t failures = 0;
+    bool writes = false;
+  };
+  std::map<std::string, std::map<std::string, KeyAccessorStats>>
+      key_accessors;
+
+  // -- Correlation metrics ----------------------------------------------
+  std::vector<ConflictPair> conflicts;  // corDV instances with corP
+  /// Aggregated conflicting activity pairs: (failed activity, cause
+  /// activity) -> count.
+  std::map<std::pair<std::string, std::string>, uint64_t> activity_conflicts;
+  uint64_t intra_block_conflicts = 0;
+  uint64_t inter_block_conflicts = 0;
+  /// Same-activity adjacent-conflict count with unit distance (corPA==1).
+  uint64_t adjacent_same_activity_conflicts = 0;
+  uint64_t delta_candidates = 0;
+  uint64_t reorderable_conflicts = 0;
+
+  /// Per-activity transaction-type counts (for process-model pruning:
+  /// the same activity committing with different TT values).
+  std::map<std::string, std::map<TxType, uint64_t>> activity_tx_types;
+
+  /// Number of activities (distinct smart-contract functions) observed.
+  size_t num_activities = 0;
+
+  double SuccessRate() const {
+    if (total_txs == 0) return 0;
+    return 1.0 - static_cast<double>(failed_txs) /
+                     static_cast<double>(total_txs);
+  }
+};
+
+/// Derives every §4.3 metric from a preprocessed blockchain log.
+LogMetrics ComputeMetrics(const BlockchainLog& log,
+                          const MetricsOptions& options = MetricsOptions());
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_METRICS_METRICS_H_

@@ -1,0 +1,59 @@
+#include "blockopt/provenance.h"
+
+namespace blockoptr {
+
+ProvenanceReport TrackDeviations(const BlockchainLog& log,
+                                 const ProvenanceOptions& options) {
+  // Pass 1: per-activity transaction-type histogram.
+  std::map<std::string, std::map<TxType, uint64_t>> histograms;
+  std::map<std::string, uint64_t> totals;
+  for (const auto& e : log.entries()) {
+    if (e.is_config) continue;
+    if (!options.include_failed && e.failed()) continue;
+    ++histograms[e.activity][e.tx_type];
+    ++totals[e.activity];
+  }
+
+  // Determine the dominant (expected) type per qualifying activity.
+  std::map<std::string, TxType> expected;
+  for (const auto& [activity, histogram] : histograms) {
+    uint64_t total = totals[activity];
+    if (total < options.min_activity_occurrences) continue;
+    TxType dominant = TxType::kRead;
+    uint64_t dominant_count = 0;
+    for (const auto& [type, count] : histogram) {
+      if (count > dominant_count) {
+        dominant = type;
+        dominant_count = count;
+      }
+    }
+    if (static_cast<double>(dominant_count) >=
+        options.dominant_type_fraction * static_cast<double>(total)) {
+      expected[activity] = dominant;
+    }
+  }
+
+  // Pass 2: attribute every off-type transaction to its invoker.
+  ProvenanceReport report;
+  for (const auto& e : log.entries()) {
+    if (e.is_config) continue;
+    if (!options.include_failed && e.failed()) continue;
+    auto it = expected.find(e.activity);
+    if (it == expected.end() || e.tx_type == it->second) continue;
+    Deviation d;
+    d.commit_order = e.commit_order;
+    d.activity = e.activity;
+    d.observed_type = e.tx_type;
+    d.expected_type = it->second;
+    d.invoker_client = e.invoker_client;
+    d.invoker_org = e.invoker_org;
+    d.commit_timestamp = e.commit_timestamp;
+    ++report.by_org[d.invoker_org];
+    ++report.by_client[d.invoker_client];
+    ++report.by_activity[d.activity];
+    report.deviations.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,64 @@
+#ifndef BLOCKOPTR_BLOCKOPT_PROVENANCE_H_
+#define BLOCKOPTR_BLOCKOPT_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blockopt/log/blockchain_log.h"
+
+namespace blockoptr {
+
+/// Provenance analysis of process deviations (paper §3): the *reason* the
+/// base smart-contract design commits illogical activity paths as
+/// read-only transactions is that the immutable record lets one "track,
+/// for example, individuals or organizations who deviated from the
+/// expected process model". This module performs exactly that tracking on
+/// the blockchain log.
+///
+/// A deviation is a committed transaction whose transaction type differs
+/// from its activity's dominant type — e.g. a Ship that committed
+/// read-only because its PushASN precondition did not hold (the
+/// Table 1 pruning condition, attributed to invokers).
+struct Deviation {
+  uint64_t commit_order = 0;
+  std::string activity;
+  TxType observed_type;
+  TxType expected_type;
+  std::string invoker_client;
+  std::string invoker_org;
+  double commit_timestamp = 0;
+};
+
+struct ProvenanceReport {
+  std::vector<Deviation> deviations;
+  /// Deviations per invoking organization / client — the accountability
+  /// view an enterprise would act on (incentives/penalties, §3).
+  std::map<std::string, uint64_t> by_org;
+  std::map<std::string, uint64_t> by_client;
+  std::map<std::string, uint64_t> by_activity;
+
+  bool empty() const { return deviations.empty(); }
+};
+
+/// Options for deviation detection.
+struct ProvenanceOptions {
+  /// An activity participates only if observed at least this often.
+  uint64_t min_activity_occurrences = 10;
+  /// The dominant type must cover at least this fraction of the
+  /// activity's transactions for the others to count as deviations
+  /// (prevents flagging genuinely polymorphic activities).
+  double dominant_type_fraction = 0.6;
+  /// Include failed transactions (they also deviate; default true).
+  bool include_failed = true;
+};
+
+/// Scans the log and returns every detected deviation with its invoker.
+ProvenanceReport TrackDeviations(
+    const BlockchainLog& log,
+    const ProvenanceOptions& options = ProvenanceOptions());
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_PROVENANCE_H_

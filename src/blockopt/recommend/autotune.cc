@@ -1,0 +1,86 @@
+#include "blockopt/recommend/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace blockoptr {
+
+namespace {
+
+/// The lowest candidate rate above which intervals fail at least twice as
+/// often (relative to their traffic) as the intervals below it; 0 when no
+/// such knee exists.
+double FindRateKnee(const std::vector<double>& trd,
+                    const std::vector<double>& frd) {
+  if (trd.size() < 4 || frd.size() < trd.size()) return 0;
+  std::vector<double> rates = trd;
+  std::sort(rates.begin(), rates.end());
+  // Candidate thresholds: deciles of the observed interval rates.
+  for (size_t d = 3; d <= 9; ++d) {
+    double candidate = rates[rates.size() * d / 10];
+    if (candidate <= 0) continue;
+    double above_fail = 0, above_tx = 0, below_fail = 0, below_tx = 0;
+    for (size_t i = 0; i < trd.size(); ++i) {
+      if (trd[i] >= candidate) {
+        above_fail += frd[i];
+        above_tx += trd[i];
+      } else {
+        below_fail += frd[i];
+        below_tx += trd[i];
+      }
+    }
+    if (above_tx <= 0 || below_tx <= 0) continue;
+    double above_share = above_fail / above_tx;
+    double below_share = below_fail / below_tx;
+    if (below_share <= 0) {
+      if (above_share > 0.02) return candidate;
+      continue;
+    }
+    if (above_share >= 2.0 * below_share && above_share > 0.02) {
+      return candidate;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+RecommenderOptions AutoTuneThresholds(const LogMetrics& metrics,
+                                      const RecommenderOptions& base) {
+  RecommenderOptions tuned = base;
+
+  // --- rt1: the knee of the rate/failure relation -----------------------
+  double knee = FindRateKnee(metrics.trd, metrics.frd);
+  if (knee > 0) {
+    tuned.rt1 = knee;
+  } else if (!metrics.trd.empty()) {
+    std::vector<double> rates = metrics.trd;
+    std::sort(rates.begin(), rates.end());
+    tuned.rt1 = rates[rates.size() * 3 / 4];
+  }
+
+  // --- et: relative to the policy-implied fair share --------------------
+  if (!metrics.endorser_sig.empty() && metrics.total_txs > 0) {
+    double mean = 0;
+    for (const auto& [org, count] : metrics.endorser_sig) {
+      (void)org;
+      mean += static_cast<double>(count);
+    }
+    mean /= static_cast<double>(metrics.endorser_sig.size());
+    double fair_share = mean / static_cast<double>(metrics.total_txs);
+    tuned.et = std::clamp(1.25 * fair_share, 0.2, 0.95);
+  }
+
+  // --- it: relative to the per-org fair invocation share ----------------
+  if (!metrics.invoker_org_sig.empty()) {
+    double fair =
+        1.0 / static_cast<double>(metrics.invoker_org_sig.size());
+    tuned.it = std::max(base.it, 1.25 * fair);
+    tuned.it = std::min(tuned.it, 0.95);
+  }
+
+  return tuned;
+}
+
+}  // namespace blockoptr

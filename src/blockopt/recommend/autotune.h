@@ -1,0 +1,36 @@
+#ifndef BLOCKOPTR_BLOCKOPT_RECOMMEND_AUTOTUNE_H_
+#define BLOCKOPTR_BLOCKOPT_RECOMMEND_AUTOTUNE_H_
+
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+
+namespace blockoptr {
+
+/// Automatic threshold tuning — the extension the paper's §9 names as
+/// future work ("the threshold settings of BlockOptR depend on the
+/// business network setup … tuning these thresholds automatically could
+/// be a future extension"). Derives deployment-specific thresholds from
+/// the observed log instead of the paper's hand-picked defaults:
+///
+///  * `rt1` (the "high traffic" bar for rate control) is set to the knee
+///    of the rate/failure relation: the lowest interval rate above which
+///    the failure share at least doubles compared to the quieter
+///    intervals. Falls back to the 75th percentile of the interval rates
+///    when no knee exists (uniform failure behaviour).
+///  * `et` (endorser significance) is set relative to the *fair share*
+///    implied by the observed endorsement pattern: mean share × 1.25, so
+///    "equal participation" is judged against what the policy actually
+///    requires rather than a fixed 50%.
+///  * `it` (invoker significance) is set to 1.25 × the fair per-org share
+///    (1/#orgs), floored at the paper's 0.5 so a 2-org network behaves
+///    like the paper's default.
+///
+/// `bt` and the reorderable fraction are left at their configured values —
+/// they encode intent (tolerance), not deployment scale.
+RecommenderOptions AutoTuneThresholds(
+    const LogMetrics& metrics,
+    const RecommenderOptions& base = RecommenderOptions());
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_RECOMMEND_AUTOTUNE_H_

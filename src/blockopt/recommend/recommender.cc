@@ -1,0 +1,370 @@
+#include "blockopt/recommend/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+std::string_view RecommendationTypeName(RecommendationType t) {
+  switch (t) {
+    case RecommendationType::kActivityReordering:
+      return "Activity reordering";
+    case RecommendationType::kProcessModelPruning:
+      return "Process model pruning";
+    case RecommendationType::kTransactionRateControl:
+      return "Transaction rate control";
+    case RecommendationType::kDeltaWrites:
+      return "Delta writes";
+    case RecommendationType::kSmartContractPartitioning:
+      return "Smart contract partitioning";
+    case RecommendationType::kDataModelAlteration:
+      return "Data model alteration";
+    case RecommendationType::kBlockSizeAdaptation:
+      return "Block size adaptation";
+    case RecommendationType::kEndorserRestructuring:
+      return "Endorser restructuring";
+    case RecommendationType::kClientResourceBoost:
+      return "Client resource boost";
+  }
+  return "Unknown";
+}
+
+RecommendationLevel LevelOf(RecommendationType t) {
+  switch (t) {
+    case RecommendationType::kActivityReordering:
+    case RecommendationType::kProcessModelPruning:
+    case RecommendationType::kTransactionRateControl:
+      return RecommendationLevel::kUser;
+    case RecommendationType::kDeltaWrites:
+    case RecommendationType::kSmartContractPartitioning:
+    case RecommendationType::kDataModelAlteration:
+      return RecommendationLevel::kData;
+    default:
+      return RecommendationLevel::kSystem;
+  }
+}
+
+namespace {
+
+/// Significant failed accessors of a hotkey: activities carrying at least
+/// max(3, 5%) of the key's failures.
+std::vector<std::pair<std::string, LogMetrics::KeyAccessorStats>>
+SignificantAccessors(const LogMetrics& m, const std::string& key) {
+  std::vector<std::pair<std::string, LogMetrics::KeyAccessorStats>> out;
+  auto it = m.key_accessors.find(key);
+  if (it == m.key_accessors.end()) return out;
+  uint64_t key_failures = 0;
+  auto freq = m.key_freq.find(key);
+  if (freq != m.key_freq.end()) key_failures = freq->second;
+  const uint64_t threshold = std::max<uint64_t>(
+      3, static_cast<uint64_t>(0.05 * static_cast<double>(key_failures)));
+  for (const auto& [activity, stats] : it->second) {
+    if (stats.failures >= threshold) out.emplace_back(activity, stats);
+  }
+  return out;
+}
+
+// ---- User level ------------------------------------------------------
+
+void DetectActivityReordering(const LogMetrics& m,
+                              const RecommenderOptions& opt,
+                              std::vector<Recommendation>& out) {
+  const uint64_t read_conflicts = m.mvcc_failures + m.phantom_failures;
+  if (read_conflicts < opt.min_failures) return;
+  if (static_cast<double>(m.reorderable_conflicts) <
+      opt.reorderable_mvcc_fraction * static_cast<double>(read_conflicts)) {
+    return;
+  }
+  // Rank the failing activities of reorderable pairs; those are the
+  // activities to reschedule (their write sets are disjoint from their
+  // conflict partners', Table 1).
+  std::map<std::string, uint64_t> failing;
+  std::map<std::string, uint64_t> causes;
+  for (const auto& c : m.conflicts) {
+    if (!c.reorderable) continue;
+    ++failing[c.failed_activity];
+    ++causes[c.cause_activity];
+  }
+  Recommendation rec;
+  rec.type = RecommendationType::kActivityReordering;
+  std::vector<std::pair<uint64_t, std::string>> ranked;
+  for (const auto& [activity, count] : failing) {
+    ranked.emplace_back(count, activity);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  const uint64_t activity_threshold =
+      std::max<uint64_t>(1, m.reorderable_conflicts / 10);
+  for (const auto& [count, activity] : ranked) {
+    if (count >= activity_threshold) rec.activities.push_back(activity);
+  }
+  if (rec.activities.empty()) return;
+  rec.detail = std::to_string(m.reorderable_conflicts) + " of " +
+               std::to_string(read_conflicts) +
+               " read conflicts are reorderable; reschedule {" +
+               Join(rec.activities, ", ") + "}";
+  out.push_back(std::move(rec));
+}
+
+void DetectProcessModelPruning(const LogMetrics& m,
+                               const RecommenderOptions& opt,
+                               std::vector<Recommendation>& out) {
+  (void)opt;
+  Recommendation rec;
+  rec.type = RecommendationType::kProcessModelPruning;
+  for (const auto& [activity, type_counts] : m.activity_tx_types) {
+    if (type_counts.size() < 2) continue;
+    // The anomaly is the minority transaction type (e.g. a normally
+    // updating activity committing read-only when its precondition did
+    // not hold). Require a non-trivial number of deviations.
+    uint64_t total = 0;
+    uint64_t max_count = 0;
+    for (const auto& [type, count] : type_counts) {
+      (void)type;
+      total += count;
+      max_count = std::max(max_count, count);
+    }
+    uint64_t deviations = total - max_count;
+    if (deviations >= 5) rec.activities.push_back(activity);
+  }
+  if (rec.activities.empty()) return;
+  rec.detail = "activities {" + Join(rec.activities, ", ") +
+               "} commit with inconsistent transaction types — candidate "
+               "illogical paths to prune";
+  out.push_back(std::move(rec));
+}
+
+void DetectTransactionRateControl(const LogMetrics& m,
+                                  const RecommenderOptions& opt,
+                                  std::vector<Recommendation>& out) {
+  size_t hot_intervals = 0;
+  for (size_t i = 0; i < m.trd.size(); ++i) {
+    if (m.trd[i] >= opt.rt1 && m.frd[i] >= m.trd[i] * opt.rt2) {
+      ++hot_intervals;
+    }
+  }
+  if (hot_intervals == 0) return;
+  Recommendation rec;
+  rec.type = RecommendationType::kTransactionRateControl;
+  rec.suggested_rate_tps = opt.rate_control_target_tps;
+  rec.detail = std::to_string(hot_intervals) +
+               " interval(s) combine rate >= " + FormatDouble(opt.rt1, 0) +
+               " TPS with failure share >= " + FormatPercent(opt.rt2) +
+               "; cap the client send rate at " +
+               FormatDouble(opt.rate_control_target_tps, 0) + " TPS";
+  out.push_back(std::move(rec));
+}
+
+// ---- Data level ------------------------------------------------------
+
+void DetectDeltaWrites(const LogMetrics& m, const RecommenderOptions& opt,
+                       const std::vector<std::string>& alteration_keys,
+                       std::vector<Recommendation>& out) {
+  if (m.delta_candidates < opt.min_delta_candidates) return;
+  Recommendation rec;
+  rec.type = RecommendationType::kDeltaWrites;
+  std::map<std::string, uint64_t> keys;
+  std::map<std::string, uint64_t> activities;
+  uint64_t candidates = 0;
+  for (const auto& c : m.conflicts) {
+    if (!c.delta_candidate) continue;
+    // A key already slated for data-model alteration gets the stronger
+    // fix — re-keying removes the dependency entirely (e.g. the voting
+    // tally is also a ±1 counter, but the paper's remedy is the voterID
+    // key, not delta writes).
+    if (std::find(alteration_keys.begin(), alteration_keys.end(), c.key) !=
+        alteration_keys.end()) {
+      continue;
+    }
+    ++candidates;
+    ++keys[c.key];
+    ++activities[c.failed_activity];
+  }
+  if (candidates < opt.min_delta_candidates) return;
+  for (const auto& [key, count] : keys) {
+    (void)count;
+    rec.keys.push_back(key);
+  }
+  for (const auto& [activity, count] : activities) {
+    (void)count;
+    rec.activities.push_back(activity);
+  }
+  rec.detail =
+      std::to_string(candidates) +
+      " failed single-key counter updates (increment/decrement); convert {" +
+      Join(rec.activities, ", ") + "} to delta writes";
+  out.push_back(std::move(rec));
+}
+
+void DetectPartitioningAndAlteration(const LogMetrics& m,
+                                     const RecommenderOptions& opt,
+                                     std::vector<Recommendation>& out) {
+  (void)opt;
+  Recommendation partition;
+  partition.type = RecommendationType::kSmartContractPartitioning;
+  Recommendation alter;
+  alter.type = RecommendationType::kDataModelAlteration;
+
+  for (const auto& key : m.hot_keys) {
+    auto accessors = SignificantAccessors(m, key);
+    if (accessors.empty()) continue;
+    bool has_read_only = std::any_of(
+        accessors.begin(), accessors.end(),
+        [](const auto& a) { return !a.second.writes; });
+    if (accessors.size() >= 2 && has_read_only) {
+      // Different functions need different aspects of the key: split the
+      // contract so each partition holds its own copy (paper §4.4.2).
+      partition.keys.push_back(key);
+      for (const auto& [activity, stats] : accessors) {
+        (void)stats;
+        if (std::find(partition.activities.begin(),
+                      partition.activities.end(),
+                      activity) == partition.activities.end()) {
+          partition.activities.push_back(activity);
+        }
+      }
+    } else {
+      // A single activity depends on itself (or every accessor writes the
+      // key): only a different primary key removes the dependency.
+      alter.keys.push_back(key);
+      for (const auto& [activity, stats] : accessors) {
+        (void)stats;
+        if (std::find(alter.activities.begin(), alter.activities.end(),
+                      activity) == alter.activities.end()) {
+          alter.activities.push_back(activity);
+        }
+      }
+    }
+  }
+
+  if (!partition.keys.empty()) {
+    partition.detail = "hotkey(s) {" + Join(partition.keys, ", ") +
+                       "} are accessed by multiple functions ({" +
+                       Join(partition.activities, ", ") +
+                       "}); split the smart contract";
+    out.push_back(std::move(partition));
+  }
+  if (!alter.keys.empty()) {
+    alter.detail = "hotkey(s) {" + Join(alter.keys, ", ") +
+                   "} are self-dependent via {" +
+                   Join(alter.activities, ", ") +
+                   "}; re-key the data model";
+    out.push_back(std::move(alter));
+  }
+}
+
+// ---- System level ----------------------------------------------------
+
+void DetectBlockSizeAdaptation(const LogMetrics& m,
+                               const RecommenderOptions& opt,
+                               std::vector<Recommendation>& out) {
+  if (m.num_blocks < 2 || m.tr <= 0) return;
+  if (std::abs(m.tr - m.b_sizeavg) <= opt.bt * m.tr) return;
+  Recommendation rec;
+  rec.type = RecommendationType::kBlockSizeAdaptation;
+  rec.suggested_block_count =
+      static_cast<uint32_t>(std::max(1.0, std::round(m.tr)));
+  rec.detail = "average block size " + FormatDouble(m.b_sizeavg, 1) +
+               " deviates from the transaction rate " +
+               FormatDouble(m.tr, 1) +
+               " TPS by more than " + FormatPercent(opt.bt) +
+               "; set block count to " +
+               std::to_string(rec.suggested_block_count);
+  out.push_back(std::move(rec));
+}
+
+void DetectEndorserRestructuring(const LogMetrics& m,
+                                 const RecommenderOptions& opt,
+                                 std::vector<Recommendation>& out) {
+  if (m.endorser_sig.empty() || m.total_txs == 0) return;
+  double mean = 0;
+  for (const auto& [org, count] : m.endorser_sig) {
+    (void)org;
+    mean += static_cast<double>(count);
+  }
+  mean /= static_cast<double>(m.endorser_sig.size());
+
+  Recommendation rec;
+  rec.type = RecommendationType::kEndorserRestructuring;
+  for (const auto& [org, count] : m.endorser_sig) {
+    if (static_cast<double>(count) >
+            static_cast<double>(m.total_txs) * opt.et &&
+        static_cast<double>(count) > opt.endorser_imbalance_factor * mean) {
+      rec.orgs.push_back(org);
+    }
+  }
+  if (rec.orgs.empty()) return;
+  rec.detail = "endorser(s) {" + Join(rec.orgs, ", ") +
+               "} carry a disproportionate share of endorsements; "
+               "restructure the endorsement policy / distribute proposals";
+  out.push_back(std::move(rec));
+}
+
+void DetectClientResourceBoost(const LogMetrics& m,
+                               const RecommenderOptions& opt,
+                               std::vector<Recommendation>& out) {
+  if (m.total_txs == 0) return;
+  Recommendation rec;
+  rec.type = RecommendationType::kClientResourceBoost;
+  for (const auto& [org, count] : m.invoker_org_sig) {
+    if (static_cast<double>(count) >
+        static_cast<double>(m.total_txs) * opt.it) {
+      rec.orgs.push_back(org);
+    }
+  }
+  if (rec.orgs.empty()) return;
+  rec.detail = "organization(s) {" + Join(rec.orgs, ", ") +
+               "} invoke the majority of transactions; scale their client "
+               "resources";
+  out.push_back(std::move(rec));
+}
+
+}  // namespace
+
+std::vector<Recommendation> Recommend(const LogMetrics& metrics,
+                                      const RecommenderOptions& options) {
+  std::vector<Recommendation> out;
+  DetectActivityReordering(metrics, options, out);
+  DetectProcessModelPruning(metrics, options, out);
+  DetectTransactionRateControl(metrics, options, out);
+  DetectPartitioningAndAlteration(metrics, options, out);
+  std::vector<std::string> alteration_keys;
+  if (const Recommendation* alter = FindRecommendation(
+          out, RecommendationType::kDataModelAlteration)) {
+    alteration_keys = alter->keys;
+  }
+  DetectDeltaWrites(metrics, options, alteration_keys, out);
+  DetectBlockSizeAdaptation(metrics, options, out);
+  DetectEndorserRestructuring(metrics, options, out);
+  DetectClientResourceBoost(metrics, options, out);
+
+  // Present by abstraction level (user, data, system), as the tool's
+  // report does.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return static_cast<int>(a.type) <
+                            static_cast<int>(b.type);
+                   });
+  return out;
+}
+
+std::vector<Recommendation> RecommendFromLog(
+    const BlockchainLog& log, const RecommenderOptions& options) {
+  return Recommend(ComputeMetrics(log, options.metrics), options);
+}
+
+bool HasRecommendation(const std::vector<Recommendation>& recs,
+                       RecommendationType t) {
+  return FindRecommendation(recs, t) != nullptr;
+}
+
+const Recommendation* FindRecommendation(
+    const std::vector<Recommendation>& recs, RecommendationType t) {
+  for (const auto& r : recs) {
+    if (r.type == t) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace blockoptr

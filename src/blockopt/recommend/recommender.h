@@ -1,0 +1,104 @@
+#ifndef BLOCKOPTR_BLOCKOPT_RECOMMEND_RECOMMENDER_H_
+#define BLOCKOPTR_BLOCKOPT_RECOMMEND_RECOMMENDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blockopt/log/blockchain_log.h"
+#include "blockopt/metrics/metrics.h"
+
+namespace blockoptr {
+
+/// The nine optimization recommendations of paper §4.4, across the three
+/// abstraction levels (user / data / system).
+enum class RecommendationType {
+  // User level.
+  kActivityReordering = 0,
+  kProcessModelPruning,
+  kTransactionRateControl,
+  // Data level.
+  kDeltaWrites,
+  kSmartContractPartitioning,
+  kDataModelAlteration,
+  // System level.
+  kBlockSizeAdaptation,
+  kEndorserRestructuring,
+  kClientResourceBoost,
+};
+
+std::string_view RecommendationTypeName(RecommendationType t);
+
+/// Which abstraction level a recommendation belongs to.
+enum class RecommendationLevel { kUser, kData, kSystem };
+RecommendationLevel LevelOf(RecommendationType t);
+
+/// One emitted recommendation with the evidence that triggered it.
+struct Recommendation {
+  RecommendationType type;
+  /// Human-readable rationale (key names, activities, rates involved).
+  std::string detail;
+  /// Activities involved (reordering: the activities to reschedule;
+  /// pruning: the anomalous activities).
+  std::vector<std::string> activities;
+  /// Keys involved (hotkeys for the data-level recommendations).
+  std::vector<std::string> keys;
+  /// Organizations involved (endorser bottlenecks / client boost target).
+  std::vector<std::string> orgs;
+  /// Suggested block count for block-size adaptation (min{B_count,
+  /// Tr*B_timeout} == Tr, paper §4.4.3).
+  uint32_t suggested_block_count = 0;
+  /// Suggested client cap for rate control (TPS).
+  double suggested_rate_tps = 0;
+};
+
+/// Detection thresholds, with the paper's defaults (§6: Et=0.5, Rt1=300,
+/// Rt2=0.3, Bt=0.6, It=0.5; reordering fires when >= 40% of MVCC failures
+/// are reorderable).
+struct RecommenderOptions {
+  double rt1 = 300;   // rate threshold (TPS) for rate control
+  double rt2 = 0.3;   // failure fraction threshold for rate control
+  double bt = 0.6;    // block-size deviation threshold
+  double et = 0.5;    // endorser significance threshold
+  double it = 0.5;    // invoker significance threshold
+  /// Reordering fires when at least this fraction of the MVCC/phantom
+  /// failures are reorderable. (The paper tuned 0.4 for its deployment;
+  /// the simulator's default network separates the reorderable use cases
+  /// from the self-dependent ones at 0.3.)
+  double reorderable_mvcc_fraction = 0.3;
+  /// Additional imbalance guard for endorser restructuring: an endorser
+  /// must also exceed this multiple of the mean endorsement load. (The
+  /// paper's TX*Et formula presumes the 4-org/2-signature setting; the
+  /// guard generalizes "detect whether all the endorsers participate
+  /// equally" to policies where every org legitimately signs everything.)
+  double endorser_imbalance_factor = 1.25;
+  /// Minimum number of delta-write candidate conflicts to recommend
+  /// delta writes.
+  uint64_t min_delta_candidates = 20;
+  /// Minimum failed transactions before any failure-driven rule fires.
+  uint64_t min_failures = 10;
+  /// Rate control suggestion (Table 4: 100 TPS).
+  double rate_control_target_tps = 100;
+  MetricsOptions metrics;
+};
+
+/// Runs all nine detection rules against the metrics and returns the
+/// recommendations, ordered by level (user, data, system) then type.
+std::vector<Recommendation> Recommend(const LogMetrics& metrics,
+                                      const RecommenderOptions& options);
+
+/// Convenience: metrics + recommendations straight from a log.
+std::vector<Recommendation> RecommendFromLog(const BlockchainLog& log,
+                                             const RecommenderOptions& options);
+
+/// True if `recs` contains a recommendation of type `t`.
+bool HasRecommendation(const std::vector<Recommendation>& recs,
+                       RecommendationType t);
+
+/// Returns the first recommendation of type `t`, or nullptr.
+const Recommendation* FindRecommendation(
+    const std::vector<Recommendation>& recs, RecommendationType t);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_RECOMMEND_RECOMMENDER_H_

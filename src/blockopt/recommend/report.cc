@@ -1,0 +1,65 @@
+#include "blockopt/recommend/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+std::string FormatRecommendationReport(
+    const LogMetrics& metrics, const std::vector<Recommendation>& recs) {
+  std::string out;
+  out += "== BlockOptR report ==\n";
+  out += "transactions: " + std::to_string(metrics.total_txs);
+  out += "  rate: " + FormatDouble(metrics.tr, 1) + " TPS";
+  out += "  success: " + FormatPercent(metrics.SuccessRate()) + "\n";
+  out += "failures: mvcc=" + std::to_string(metrics.mvcc_failures);
+  out += " phantom=" + std::to_string(metrics.phantom_failures);
+  out += " endorsement=" + std::to_string(metrics.endorsement_failures);
+  out += " (intra-block=" + std::to_string(metrics.intra_block_conflicts);
+  out += ", inter-block=" + std::to_string(metrics.inter_block_conflicts);
+  out += ")\n";
+  out += "blocks: " + std::to_string(metrics.num_blocks);
+  out += "  avg size: " + FormatDouble(metrics.b_sizeavg, 1) + "\n";
+  if (!metrics.hot_keys.empty()) {
+    out += "hot keys: " +
+           Join(std::vector<std::string>(
+                    metrics.hot_keys.begin(),
+                    metrics.hot_keys.begin() +
+                        std::min<size_t>(metrics.hot_keys.size(), 5)),
+                ", ") +
+           "\n";
+  }
+
+  const char* level_names[] = {"User level", "Data level", "System level"};
+  for (int level = 0; level < 3; ++level) {
+    bool header_written = false;
+    for (const auto& rec : recs) {
+      if (static_cast<int>(LevelOf(rec.type)) != level) continue;
+      if (!header_written) {
+        out += std::string("-- ") + level_names[level] + " --\n";
+        header_written = true;
+      }
+      out += "  * ";
+      out += RecommendationTypeName(rec.type);
+      out += ": ";
+      out += rec.detail;
+      out += "\n";
+    }
+  }
+  if (recs.empty()) {
+    out += "no optimizations recommended\n";
+  }
+  return out;
+}
+
+std::string RecommendationNames(const std::vector<Recommendation>& recs) {
+  std::vector<std::string> names;
+  names.reserve(recs.size());
+  for (const auto& r : recs) {
+    names.emplace_back(RecommendationTypeName(r.type));
+  }
+  return Join(names, ", ");
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,24 @@
+#ifndef BLOCKOPTR_BLOCKOPT_RECOMMEND_REPORT_H_
+#define BLOCKOPTR_BLOCKOPT_RECOMMEND_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+
+namespace blockoptr {
+
+/// Renders a human-readable BlockOptR report: headline metrics followed by
+/// the recommendations grouped by abstraction level (user / data /
+/// system), as the tool would present them to an operator.
+std::string FormatRecommendationReport(
+    const LogMetrics& metrics, const std::vector<Recommendation>& recs);
+
+/// One-line comma-separated recommendation list ("Activity reordering,
+/// Transaction rate control"), as in the paper's Table 3 rows.
+std::string RecommendationNames(const std::vector<Recommendation>& recs);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_RECOMMEND_REPORT_H_

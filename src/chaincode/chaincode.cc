@@ -1,0 +1,50 @@
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+// Defined in contracts/builtin.cc; populates the global registry with all
+// built-in contracts. Declared here (not in a header) to keep the
+// chaincode module's compile-time dependencies one-directional.
+void RegisterBuiltinContracts(ChaincodeRegistry& registry);
+
+Status Chaincode::InvokeChaincode(Chaincode& other, TxContext& ctx,
+                                  const std::string& function,
+                                  const std::vector<std::string>& args) {
+  ctx.PushNamespace(other.name());
+  Status st = other.Invoke(ctx, function, args);
+  ctx.PopNamespace();
+  return st;
+}
+
+ChaincodeRegistry& ChaincodeRegistry::Global() {
+  // Function-local static pointer: never destroyed (per the style guide's
+  // static-storage-duration rules).
+  static ChaincodeRegistry* registry = [] {
+    auto* r = new ChaincodeRegistry();
+    RegisterBuiltinContracts(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ChaincodeRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Chaincode>> ChaincodeRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no chaincode registered as '" + name + "'");
+  }
+  return it->second();
+}
+
+std::vector<std::string> ChaincodeRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace blockoptr

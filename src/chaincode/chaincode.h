@@ -1,0 +1,69 @@
+#ifndef BLOCKOPTR_CHAINCODE_CHAINCODE_H_
+#define BLOCKOPTR_CHAINCODE_CHAINCODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaincode/tx_context.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace blockoptr {
+
+/// A smart contract. Contracts implement `Invoke`, reading and writing
+/// world state exclusively through the `TxContext` shim so that every
+/// execution yields a read-write set.
+///
+/// Returning a non-OK status from `Invoke` *early-aborts* the transaction
+/// during endorsement: it never enters ordering or validation. The paper's
+/// process-model-pruning optimization (§3, §4.4.1) is implemented exactly
+/// this way — the pruned contract rejects illogical activity paths at
+/// endorsement time.
+class Chaincode {
+ public:
+  virtual ~Chaincode() = default;
+
+  /// Channel-unique chaincode name; doubles as the world-state namespace.
+  virtual std::string name() const = 0;
+
+  /// Executes `function(args)` against `ctx`.
+  virtual Status Invoke(TxContext& ctx, const std::string& function,
+                        const std::vector<std::string>& args) = 0;
+
+  /// Cross-chaincode invocation: runs `function` of `other` inside the
+  /// same transaction context under `other`'s namespace (Fabric's
+  /// InvokeChaincode on a shared channel).
+  static Status InvokeChaincode(Chaincode& other, TxContext& ctx,
+                                const std::string& function,
+                                const std::vector<std::string>& args);
+};
+
+/// Name-indexed factory for contracts, so experiments can swap a contract
+/// for its optimized variant by name (paper Table 4: "update smart
+/// contract").
+class ChaincodeRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Chaincode>()>;
+
+  /// The process-wide registry pre-populated with all built-in contracts
+  /// (genchain, scm, drm, ehr, dv, lap and their optimized variants).
+  static ChaincodeRegistry& Global();
+
+  /// Registers a factory; overwrites an existing entry with the same name.
+  void Register(const std::string& name, Factory factory);
+
+  /// Instantiates a contract by registered name.
+  Result<std::unique_ptr<Chaincode>> Create(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CHAINCODE_CHAINCODE_H_

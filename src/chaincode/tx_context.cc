@@ -1,0 +1,93 @@
+#include "chaincode/tx_context.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blockoptr {
+
+TxContext::TxContext(const VersionedStore* store, std::string ns)
+    : store_(store) {
+  ns_stack_.push_back(std::move(ns));
+}
+
+std::string TxContext::Namespaced(std::string_view key) const {
+  return ns_stack_.back() + "~" + std::string(key);
+}
+
+void TxContext::RecordRead(const std::string& full_key,
+                           const std::optional<Version>& version) {
+  // One read item per key (Fabric records the first observed version).
+  auto it = std::find_if(rwset_.reads.begin(), rwset_.reads.end(),
+                         [&](const ReadItem& r) { return r.key == full_key; });
+  if (it == rwset_.reads.end()) {
+    rwset_.reads.push_back(ReadItem{full_key, version});
+  }
+}
+
+std::optional<std::string> TxContext::GetState(std::string_view key) {
+  std::string full = Namespaced(key);
+  auto vv = store_->Get(full);
+  RecordRead(full, vv ? std::optional<Version>(vv->version) : std::nullopt);
+  if (!vv) return std::nullopt;
+  return vv->value;
+}
+
+void TxContext::PutState(std::string_view key, std::string_view value) {
+  std::string full = Namespaced(key);
+  auto it =
+      std::find_if(rwset_.writes.begin(), rwset_.writes.end(),
+                   [&](const WriteItem& w) { return w.key == full; });
+  if (it != rwset_.writes.end()) {
+    it->value = std::string(value);
+    it->is_delete = false;
+    return;
+  }
+  rwset_.writes.push_back(WriteItem{std::move(full), std::string(value),
+                                    /*is_delete=*/false});
+}
+
+void TxContext::DeleteState(std::string_view key) {
+  std::string full = Namespaced(key);
+  auto it =
+      std::find_if(rwset_.writes.begin(), rwset_.writes.end(),
+                   [&](const WriteItem& w) { return w.key == full; });
+  if (it != rwset_.writes.end()) {
+    it->value.clear();
+    it->is_delete = true;
+    return;
+  }
+  rwset_.writes.push_back(WriteItem{std::move(full), "", /*is_delete=*/true});
+}
+
+std::vector<std::pair<std::string, std::string>> TxContext::GetStateByRange(
+    std::string_view start_key, std::string_view end_key) {
+  std::string full_start = Namespaced(start_key);
+  // An empty end key scans to the end of this chaincode's namespace; the
+  // '~' separator sorts below 0x7F so "<ns>\x7f" upper-bounds it.
+  std::string full_end =
+      end_key.empty() ? ns_stack_.back() + "\x7f" : Namespaced(end_key);
+
+  RangeQueryInfo rq;
+  rq.start_key = full_start;
+  rq.end_key = full_end;
+
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [k, vv] : store_->Range(full_start, full_end)) {
+    rq.results.push_back(ReadItem{k, vv.version});
+    // Strip the namespace prefix for the contract's view.
+    out.emplace_back(k.substr(ns_stack_.back().size() + 1), vv.value);
+  }
+  rwset_.range_queries.push_back(std::move(rq));
+  return out;
+}
+
+void TxContext::PushNamespace(std::string ns) {
+  ns_stack_.push_back(std::move(ns));
+}
+
+void TxContext::PopNamespace() {
+  assert(ns_stack_.size() > 1);
+  ns_stack_.pop_back();
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,79 @@
+#ifndef BLOCKOPTR_COMMON_RESULT_H_
+#define BLOCKOPTR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace blockoptr {
+
+/// A value-or-error return type in the style of arrow::Result. Either holds
+/// a `T` (and an OK status) or a non-OK `Status`.
+///
+///   Result<int> Parse(std::string_view s);
+///   ...
+///   Result<int> r = Parse("42");
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result holding a value (implicit, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status (implicit).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must not be called on a failed result.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this result failed.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a `Result` expression, otherwise assigns the
+/// unwrapped value to `lhs`. Usage:
+///   BLOCKOPTR_ASSIGN_OR_RETURN(auto v, ComputeThing());
+#define BLOCKOPTR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value();
+
+#define BLOCKOPTR_ASSIGN_OR_RETURN(lhs, expr)                             \
+  BLOCKOPTR_ASSIGN_OR_RETURN_IMPL(                                        \
+      BLOCKOPTR_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define BLOCKOPTR_CONCAT_INNER_(a, b) a##b
+#define BLOCKOPTR_CONCAT_(a, b) BLOCKOPTR_CONCAT_INNER_(a, b)
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_COMMON_RESULT_H_

@@ -1,0 +1,73 @@
+#ifndef BLOCKOPTR_COMMON_RNG_H_
+#define BLOCKOPTR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace blockoptr {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. Every stochastic component in the library draws from an `Rng`
+/// owned by its caller so that experiments are reproducible bit-for-bit from
+/// a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given rate (lambda > 0).
+  /// Mean is 1/lambda. Used for inter-arrival and service-time jitter.
+  double NextExponential(double rate);
+
+  /// Normally distributed value (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Creates an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integer generator over {0, ..., n-1} with skew
+/// parameter `s` (s == 0 degenerates to uniform). Uses a precomputed
+/// cumulative distribution with binary search; construction is O(n),
+/// sampling O(log n). Matches the key-distribution-skew control variable
+/// of the paper's synthetic workload generator (Table 2).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Draws the next Zipf-distributed value in [0, n).
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // empty when s_ == 0 (uniform fast path)
+};
+
+/// Samples `k` distinct indices from [0, n) uniformly (Floyd's algorithm).
+std::vector<uint64_t> SampleWithoutReplacement(Rng& rng, uint64_t n,
+                                               uint64_t k);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_COMMON_RNG_H_

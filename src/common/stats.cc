@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blockoptr {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double PercentileTracker::Percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  // Nearest-rank.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+void IntervalCounter::Add(double t) {
+  if (t < 0) t = 0;
+  size_t idx = static_cast<size_t>(t / interval_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+}
+
+uint64_t IntervalCounter::CountAt(size_t i) const {
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+double IntervalCounter::RateAt(size_t i) const {
+  return static_cast<double>(CountAt(i)) / interval_;
+}
+
+}  // namespace blockoptr

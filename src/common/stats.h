@@ -1,0 +1,88 @@
+#ifndef BLOCKOPTR_COMMON_STATS_H_
+#define BLOCKOPTR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace blockoptr {
+
+/// Streaming summary statistics (Welford's algorithm): count, mean,
+/// variance, min, max. Used for latency/throughput reporting.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 if count < 2
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples for exact percentile queries. Suitable for the
+/// experiment scale in this repo (tens of thousands of samples).
+class PercentileTracker {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Exact percentile by nearest-rank on the sorted samples; p in [0, 100].
+  /// Returns 0 when empty.
+  double Percentile(double p);
+
+  double Median() { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width bucketing of values over [0, +inf), used for the rate /
+/// failure-rate distributions over time intervals (paper metrics Trd_i and
+/// Frd_i with user-configurable interval size `ins`).
+class IntervalCounter {
+ public:
+  /// `interval` is the bucket width (e.g. seconds). Must be > 0.
+  explicit IntervalCounter(double interval) : interval_(interval) {}
+
+  /// Adds an observation at coordinate `t` (e.g. a timestamp).
+  void Add(double t);
+
+  double interval() const { return interval_; }
+  size_t num_intervals() const { return counts_.size(); }
+
+  /// Count in bucket `i` (0 for out-of-range i).
+  uint64_t CountAt(size_t i) const;
+
+  /// Count divided by interval width — a rate per unit.
+  double RateAt(size_t i) const;
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  double interval_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_COMMON_STATS_H_

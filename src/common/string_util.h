@@ -1,0 +1,35 @@
+#ifndef BLOCKOPTR_COMMON_STRING_UTIL_H_
+#define BLOCKOPTR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blockoptr {
+
+/// Splits `s` on `sep` (single character). Empty fields are preserved;
+/// splitting an empty string yields one empty field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Formats a double with fixed precision (no trailing-zero stripping).
+std::string FormatDouble(double v, int precision);
+
+/// Formats a fraction as a percentage string, e.g. 0.257 -> "25.7%".
+std::string FormatPercent(double fraction, int precision = 1);
+
+/// Zero-pads a non-negative integer to `width` digits.
+std::string ZeroPad(uint64_t v, int width);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_COMMON_STRING_UTIL_H_

@@ -1,0 +1,38 @@
+#include <memory>
+
+#include "chaincode/chaincode.h"
+#include "contracts/drm.h"
+#include "contracts/dv.h"
+#include "contracts/ehr.h"
+#include "contracts/gen_chain.h"
+#include "contracts/lap.h"
+#include "contracts/scm.h"
+
+namespace blockoptr {
+
+// Referenced by ChaincodeRegistry::Global() (declared in chaincode.cc).
+void RegisterBuiltinContracts(ChaincodeRegistry& registry) {
+  registry.Register("genchain",
+                    [] { return std::make_unique<GenChainContract>(); });
+  registry.Register("scm", [] { return std::make_unique<ScmContract>(); });
+  registry.Register("scm_pruned",
+                    [] { return std::make_unique<ScmContract>(true); });
+  registry.Register("drm", [] { return std::make_unique<DrmContract>(); });
+  registry.Register("drm_delta",
+                    [] { return std::make_unique<DrmDeltaContract>(); });
+  registry.Register("drmplay",
+                    [] { return std::make_unique<DrmPlayContract>(); });
+  registry.Register("drmmeta",
+                    [] { return std::make_unique<DrmMetaContract>(); });
+  registry.Register("ehr", [] { return std::make_unique<EhrContract>(); });
+  registry.Register("ehr_pruned",
+                    [] { return std::make_unique<EhrContract>(true); });
+  registry.Register("dv", [] { return std::make_unique<DvContract>(); });
+  registry.Register("dv_voter",
+                    [] { return std::make_unique<DvVoterContract>(); });
+  registry.Register("lap", [] { return std::make_unique<LapContract>(); });
+  registry.Register("lap_app",
+                    [] { return std::make_unique<LapAppKeyContract>(); });
+}
+
+}  // namespace blockoptr

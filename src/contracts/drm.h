@@ -1,0 +1,71 @@
+#ifndef BLOCKOPTR_CONTRACTS_DRM_H_
+#define BLOCKOPTR_CONTRACTS_DRM_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+/// Digital Rights Management contract (paper §5.1.2): manages music
+/// rights. `Play` is executed on every playback and dominates the
+/// workload (70%), making the music record a hotkey.
+///
+/// State model (namespace "drm"):
+///   MUSIC_<id> : "<playcount>|<metadata>|<rightholders>"
+///   REV_<id>   : computed revenue
+///
+/// Functions: Create, Play (read-increment-write), ViewMetaData,
+/// QueryRightHolders, CalcRevenue (reads playcount, writes revenue).
+class DrmContract : public Chaincode {
+ public:
+  std::string name() const override { return "drm"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+
+  static const std::vector<std::string>& Activities();
+};
+
+/// Delta-write variant (paper §4.4.2 "Delta writes", evaluated in §6.2):
+/// `Play(music, uuid)` blind-writes a unique delta key instead of
+/// read-modify-writing the shared counter, eliminating the dependency.
+/// `CalcRevenue` aggregates the delta keys with a range query — slower
+/// (it touches every delta key) but rare. Registered as "drm_delta".
+class DrmDeltaContract : public Chaincode {
+ public:
+  std::string name() const override { return "drm_delta"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+};
+
+/// Partitioned variant (paper §4.4.2 "Smart contract partitioning"):
+/// the play-count functions live in "drmplay" and the metadata functions
+/// in "drmmeta"; each chaincode has its own world-state namespace, so the
+/// MUSIC_<id> record is duplicated and Play no longer conflicts with
+/// ViewMetaData/QueryRightHolders. `Create` on drmplay cross-invokes
+/// drmmeta's Create so both partitions stay populated.
+class DrmMetaContract : public Chaincode {
+ public:
+  std::string name() const override { return "drmmeta"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+};
+
+class DrmPlayContract : public Chaincode {
+ public:
+  std::string name() const override { return "drmplay"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+
+ private:
+  DrmMetaContract meta_;  // stateless delegate for cross-invocation
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CONTRACTS_DRM_H_

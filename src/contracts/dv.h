@@ -1,0 +1,46 @@
+#ifndef BLOCKOPTR_CONTRACTS_DV_H_
+#define BLOCKOPTR_CONTRACTS_DV_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+/// Digital Voting contract (paper §5.1.2). The base design keys vote
+/// tallies by *party*, so every Vote transaction read-modify-writes one of
+/// a handful of party keys — the hotkey pattern that triggers the paper's
+/// data-model-alteration recommendation (§6.2, Figure 16).
+///
+/// State model (namespace "dv"):
+///   ELECTION_<id> : "open" / "closed"
+///   PARTY_<id>    : vote tally
+///
+/// Functions: CreateElection(election, num_parties), Vote(election, party,
+/// voter), QueryParties, SeeResults, EndElection.
+class DvContract : public Chaincode {
+ public:
+  std::string name() const override { return "dv"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+
+  static const std::vector<std::string>& Activities();
+};
+
+/// Data-model-altered variant ("dv_voter"): votes are keyed by *voter*.
+/// Since each voter votes once, every Vote writes a unique key and the
+/// transaction dependencies disappear entirely — the paper observes 100%
+/// success with this design.
+class DvVoterContract : public Chaincode {
+ public:
+  std::string name() const override { return "dv_voter"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CONTRACTS_DV_H_

@@ -1,0 +1,81 @@
+#include "contracts/ehr.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+const std::vector<std::string>& EhrContract::Activities() {
+  static const std::vector<std::string>* kActivities =
+      new std::vector<std::string>{"Register", "GrantAccess", "RevokeAccess",
+                                   "QueryRecord", "AddRecord"};
+  return *kActivities;
+}
+
+Status EhrContract::Invoke(TxContext& ctx, const std::string& function,
+                           const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("ehr: missing patient argument");
+  }
+  const std::string patient_key = "PATIENT_" + args[0];
+  const std::string record_key = "REC_" + args[0];
+
+  if (function == "Register") {
+    ctx.GetState(patient_key);
+    ctx.PutState(patient_key, "");
+    return Status::OK();
+  }
+  if (function == "GrantAccess") {
+    if (args.size() < 2) {
+      return Status::InvalidArgument("ehr: GrantAccess needs an institute");
+    }
+    auto acl = ctx.GetState(patient_key);
+    std::string list = acl ? *acl : "";
+    auto entries = Split(list, ',');
+    if (std::find(entries.begin(), entries.end(), args[1]) == entries.end()) {
+      if (!list.empty()) list += ',';
+      list += args[1];
+    }
+    ctx.PutState(patient_key, list);
+    return Status::OK();
+  }
+  if (function == "RevokeAccess") {
+    if (args.size() < 2) {
+      return Status::InvalidArgument("ehr: RevokeAccess needs an institute");
+    }
+    auto acl = ctx.GetState(patient_key);
+    auto entries = acl ? Split(*acl, ',') : std::vector<std::string>{};
+    auto it = std::find(entries.begin(), entries.end(), args[1]);
+    if (it == entries.end()) {
+      if (pruned_) {
+        return Status::FailedPrecondition(
+            "ehr: revoke without a prior grant is pruned");
+      }
+      // Base design: record the deviation as a read-only transaction.
+      return Status::OK();
+    }
+    entries.erase(it);
+    ctx.PutState(patient_key, Join(entries, ","));
+    return Status::OK();
+  }
+  if (function == "QueryRecord") {
+    // Access check then record read — a pure read transaction.
+    ctx.GetState(patient_key);
+    ctx.GetState(record_key);
+    return Status::OK();
+  }
+  if (function == "AddRecord") {
+    // Appends the new observation id to the record summary (bounded).
+    auto rec = ctx.GetState(record_key);
+    std::string data = args.size() > 1 ? args[1] : "obs";
+    std::string next = rec && !rec->empty() ? *rec + ";" + data : data;
+    if (next.size() > 256) next.erase(0, next.size() - 256);
+    ctx.PutState(record_key, next);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("ehr: unknown function '" + function + "'");
+}
+
+}  // namespace blockoptr

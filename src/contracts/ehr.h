@@ -1,0 +1,41 @@
+#ifndef BLOCKOPTR_CONTRACTS_EHR_H_
+#define BLOCKOPTR_CONTRACTS_EHR_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+/// Electronic Health Records contract (paper §5.1.2): patients grant or
+/// revoke access rights for medical/research institutes and the institutes
+/// query records. The paper's workload is 70% update-heavy
+/// (grant/revoke), creating read-modify-write contention on patient keys.
+///
+/// State model (namespace "ehr"):
+///   PATIENT_<id> : comma-separated ACL of institutes with access
+///   REC_<id>     : record counter / summary for the patient
+///
+/// Functions: Register, GrantAccess, RevokeAccess, QueryRecord, AddRecord.
+/// The pruned variant ("ehr_pruned") early-aborts RevokeAccess for an
+/// institute that never had access — the illogical path the paper prunes
+/// in §6.2 ("revoke access to records without granting access").
+class EhrContract : public Chaincode {
+ public:
+  explicit EhrContract(bool pruned = false) : pruned_(pruned) {}
+
+  std::string name() const override { return pruned_ ? "ehr_pruned" : "ehr"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+
+  static const std::vector<std::string>& Activities();
+
+ private:
+  bool pruned_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CONTRACTS_EHR_H_

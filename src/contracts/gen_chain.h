@@ -1,0 +1,32 @@
+#ifndef BLOCKOPTR_CONTRACTS_GEN_CHAIN_H_
+#define BLOCKOPTR_CONTRACTS_GEN_CHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+/// The paper's generic synthetic smart contract ("genChain" [13]): plain
+/// read / write / update / range-read / delete functions over an abstract
+/// keyspace. The synthetic workload generator (Table 2) drives this
+/// contract.
+///
+/// Functions (activity names match the paper's synthetic experiments):
+///   Read(key)                — point read
+///   Write(key, value)        — insert with existence check (read + put)
+///   Update(key, delta)       — read-modify-write of an integer value
+///   RangeRead(start, end)    — ordered scan
+///   Delete(key)              — read + delete
+class GenChainContract : public Chaincode {
+ public:
+  std::string name() const override { return "genchain"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CONTRACTS_GEN_CHAIN_H_

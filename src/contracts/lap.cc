@@ -1,0 +1,57 @@
+#include "contracts/lap.h"
+
+namespace blockoptr {
+
+namespace {
+
+Status CheckArgs(const std::string& contract,
+                 const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Status::InvalidArgument(
+        contract + ": requires [employeeID, applicationID, ...] arguments");
+  }
+  return Status::OK();
+}
+
+/// Appends "<application>:<activity>" (or "<employee>:<activity>") to a
+/// bounded history value. The history is capped so values do not grow
+/// without limit over a 20k-transaction run.
+std::string AppendEvent(const std::string& current, const std::string& entry) {
+  constexpr size_t kMaxValueBytes = 512;
+  std::string next = current;
+  if (!next.empty()) next += ';';
+  next += entry;
+  if (next.size() > kMaxValueBytes) {
+    next.erase(0, next.size() - kMaxValueBytes);
+  }
+  return next;
+}
+
+}  // namespace
+
+Status LapContract::Invoke(TxContext& ctx, const std::string& function,
+                           const std::vector<std::string>& args) {
+  BLOCKOPTR_RETURN_NOT_OK(CheckArgs("lap", args));
+  // Keyed by employee: the record aggregates everything the employee
+  // processed, so a busy employee's key is contended by every concurrent
+  // activity they perform.
+  const std::string key = "EMP_" + args[0];
+  auto current = ctx.GetState(key);
+  ctx.PutState(key,
+               AppendEvent(current ? *current : "", args[1] + ":" + function));
+  return Status::OK();
+}
+
+Status LapAppKeyContract::Invoke(TxContext& ctx, const std::string& function,
+                                 const std::vector<std::string>& args) {
+  BLOCKOPTR_RETURN_NOT_OK(CheckArgs("lap_app", args));
+  // Keyed by application: employee is just a field; concurrent activities
+  // collide only within the same application's life cycle.
+  const std::string key = "APP_" + args[1];
+  auto current = ctx.GetState(key);
+  ctx.PutState(key,
+               AppendEvent(current ? *current : "", args[0] + ":" + function));
+  return Status::OK();
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,44 @@
+#ifndef BLOCKOPTR_CONTRACTS_LAP_H_
+#define BLOCKOPTR_CONTRACTS_LAP_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+/// Loan Application Process contract (paper §5.1.3), modeled on the
+/// BPI-2017 event log of a Dutch financial institute. Every activity of
+/// the loan process flow is a smart-contract function; the generic handler
+/// accepts any activity name and appends the event to the case record.
+///
+/// The paper's initial design keys records by *employee*: the value of
+/// EMP_<employee> is the array of applications that employee processed, so
+/// one busy employee (employeeID 1) becomes a hotkey — the data-model
+/// flaw BlockOptR detects (§6.3, Figure 17).
+///
+/// Arguments: [employeeID, applicationID, loanType, loanAmount].
+class LapContract : public Chaincode {
+ public:
+  std::string name() const override { return "lap"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+};
+
+/// Data-model-altered variant ("lap_app"): records are keyed by
+/// *application*; the employee becomes a field of the value. Concurrent
+/// transactions now collide only when they touch the same application,
+/// which removes the hotkey (paper §6.3).
+class LapAppKeyContract : public Chaincode {
+ public:
+  std::string name() const override { return "lap_app"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CONTRACTS_LAP_H_

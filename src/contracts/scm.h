@@ -1,0 +1,43 @@
+#ifndef BLOCKOPTR_CONTRACTS_SCM_H_
+#define BLOCKOPTR_CONTRACTS_SCM_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace blockoptr {
+
+/// Supply Chain Management contract (paper §5.1.2). Tracks products
+/// through the pipeline PushASN -> Ship -> QueryASN -> Unload, with
+/// QueryProducts (range query) and UpdateAuditInfo (reads the product,
+/// writes a per-product audit entry) possible at any time.
+///
+/// State model:
+///   PRODUCT_<id> : lifecycle status ("ASN", "SHIPPED", "UNLOADED")
+///   AUDIT_<id>   : audit-entry counter for the product
+///
+/// The *base* contract commits illogical paths (Ship without ASN, Unload
+/// without Ship) as read-only transactions — deliberate, for provenance
+/// (paper §3). The *pruned* variant (`pruned=true`, registered as
+/// "scm_pruned") early-aborts them at endorsement, implementing the
+/// process-model-pruning recommendation.
+class ScmContract : public Chaincode {
+ public:
+  explicit ScmContract(bool pruned = false) : pruned_(pruned) {}
+
+  std::string name() const override { return pruned_ ? "scm_pruned" : "scm"; }
+
+  Status Invoke(TxContext& ctx, const std::string& function,
+                const std::vector<std::string>& args) override;
+
+  /// The activity names, exported for workload generators and tests.
+  static const std::vector<std::string>& Activities();
+
+ private:
+  bool pruned_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_CONTRACTS_SCM_H_

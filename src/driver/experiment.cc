@@ -1,0 +1,107 @@
+#include "driver/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "fabric/network.h"
+#include "reorder/fabricpp.h"
+#include "reorder/fabricsharp.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+
+namespace {
+
+Result<std::unique_ptr<BlockReorderer>> MakeScheduler(
+    const std::string& name) {
+  if (name.empty()) return std::unique_ptr<BlockReorderer>();
+  if (name == "fabricpp") {
+    return std::unique_ptr<BlockReorderer>(new FabricPPReorderer());
+  }
+  if (name == "fabricsharp") {
+    return std::unique_ptr<BlockReorderer>(new FabricSharpReorderer());
+  }
+  return Status::InvalidArgument("unknown orderer scheduler '" + name + "'");
+}
+
+}  // namespace
+
+Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
+  Simulator sim;
+  FabricNetwork network(&sim, config.network);
+
+  for (const auto& name : config.chaincodes) {
+    auto contract = ChaincodeRegistry::Global().Create(name);
+    if (!contract.ok()) return contract.status();
+    BLOCKOPTR_RETURN_NOT_OK(
+        network.InstallChaincode(std::move(*contract)));
+  }
+  for (const auto& seed : config.seeds) {
+    network.SeedState(seed.chaincode, seed.key, seed.value);
+  }
+
+  auto scheduler = MakeScheduler(config.orderer_scheduler);
+  if (!scheduler.ok()) return scheduler.status();
+  if (*scheduler != nullptr) network.SetReorderer(std::move(*scheduler));
+
+  // Client manager: apply reordering / rate control to the workload.
+  Schedule schedule =
+      ClientManager::Prepare(config.schedule, config.client_manager);
+
+  ExperimentOutput output;
+  size_t completed = 0;
+  double last_commit = 0;
+  network.set_on_commit([&](const Transaction& tx) {
+    output.report.RecordCommit(tx);
+    if (!tx.is_config) {
+      ++completed;
+      last_commit = std::max(last_commit, tx.commit_timestamp);
+    }
+  });
+  network.set_on_early_abort([&](const ClientRequest&, const Status&) {
+    output.report.RecordEarlyAbort();
+    ++completed;
+  });
+
+  for (const auto& req : schedule) {
+    sim.ScheduleAt(req.send_time, [&network, req]() {
+      // Installation is checked below before the run; Submit cannot fail.
+      (void)network.Submit(req);
+    });
+  }
+
+  // Fail fast if the schedule references a missing contract.
+  for (const auto& req : schedule) {
+    bool found =
+        std::find(config.chaincodes.begin(), config.chaincodes.end(),
+                  req.chaincode) != config.chaincodes.end();
+    if (!found) {
+      return Status::InvalidArgument("schedule references chaincode '" +
+                                     req.chaincode +
+                                     "' which is not installed");
+    }
+  }
+
+  network.Start();
+
+  const size_t total = schedule.size();
+  while (completed < total) {
+    if (!sim.Step()) {
+      return Status::Internal(
+          "simulation drained before all transactions completed (" +
+          std::to_string(completed) + "/" + std::to_string(total) + ")");
+    }
+    if (sim.Now() > config.max_sim_time) {
+      return Status::Internal("simulation exceeded max_sim_time");
+    }
+  }
+
+  output.report.Finish(last_commit);
+  output.ledger = network.ledger();
+  output.endorsement_counts = network.endorsement_counts();
+  output.network = config.network;
+  output.sim_end_time = sim.Now();
+  return output;
+}
+
+}  // namespace blockoptr

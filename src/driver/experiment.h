@@ -1,0 +1,65 @@
+#ifndef BLOCKOPTR_DRIVER_EXPERIMENT_H_
+#define BLOCKOPTR_DRIVER_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "driver/client_manager.h"
+#include "driver/report.h"
+#include "fabric/config.h"
+#include "ledger/ledger.h"
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// A world-state entry installed before the run (init-transaction
+/// analogue).
+struct SeedEntry {
+  std::string chaincode;
+  std::string key;
+  std::string value;
+};
+
+/// Everything needed to run one benchmark experiment — the equivalent of
+/// one HyperledgerLab/Caliper round in the paper's methodology (§5).
+struct ExperimentConfig {
+  NetworkConfig network;
+
+  /// Registry names of the contracts to install (e.g. {"scm"} or the
+  /// optimized variant {"scm_pruned"}).
+  std::vector<std::string> chaincodes;
+
+  std::vector<SeedEntry> seeds;
+  Schedule schedule;
+
+  /// Client-manager transformations (activity reordering, rate control).
+  ClientManagerSettings client_manager;
+
+  /// Ordering-service scheduler: "" (vanilla Fabric), "fabricpp", or
+  /// "fabricsharp".
+  std::string orderer_scheduler;
+
+  /// Safety valve: abort the run if virtual time exceeds this.
+  double max_sim_time = 36000;
+};
+
+/// The result of a run: the performance report plus the artefacts
+/// BlockOptR analyzes (the ledger) and network-side statistics.
+struct ExperimentOutput {
+  PerformanceReport report;
+  Ledger ledger;
+  std::map<std::string, uint64_t> endorsement_counts;
+  NetworkConfig network;  // effective config (for metric extraction)
+  double sim_end_time = 0;
+};
+
+/// Runs the experiment to completion (every scheduled request committed or
+/// early-aborted) and returns the output. Deterministic per
+/// (config, schedule) — including all seeds.
+Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_EXPERIMENT_H_

@@ -1,0 +1,35 @@
+#include "driver/rate_controller.h"
+
+#include <algorithm>
+
+namespace blockoptr {
+
+void RateController::CapRate(Schedule& schedule, double max_tps) {
+  if (max_tps <= 0 || schedule.empty()) return;
+  const double min_gap = 1.0 / max_tps;
+  double prev = schedule.front().send_time;
+  double prev_adjusted = prev;
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    double gap = schedule[i].send_time - prev;
+    prev = schedule[i].send_time;
+    // Keep gaps that are already slower than the cap; clamp fast ones.
+    double adjusted_gap = std::max(gap, min_gap);
+    prev_adjusted += adjusted_gap;
+    schedule[i].send_time = prev_adjusted;
+  }
+}
+
+void RateController::CapRateWindowed(Schedule& schedule, double max_tps) {
+  if (max_tps <= 0 || schedule.empty()) return;
+  const double min_gap = 1.0 / max_tps;
+  // A request may keep its own time unless it violates the min gap with
+  // the (already adjusted) previous request; then it slides right.
+  double horizon = schedule.front().send_time;
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    double t = std::max(schedule[i].send_time, horizon + min_gap);
+    schedule[i].send_time = t;
+    horizon = t;
+  }
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,34 @@
+#ifndef BLOCKOPTR_DRIVER_RATE_CONTROLLER_H_
+#define BLOCKOPTR_DRIVER_RATE_CONTROLLER_H_
+
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// Client-side transaction-rate control (paper §4.4.1 recommendation 3 and
+/// §4.5): the client manager caps the rate at which transactions leave the
+/// clients. Two modes:
+///
+///  * `CapRate` re-paces the whole schedule at `max_tps`, preserving order
+///    (the paper's evaluation setting: "Set send rate to 100 TPS").
+///  * `CapRateWindowed` only stretches intervals whose instantaneous rate
+///    exceeds `max_tps` (targeted load shedding/queuing — the refinement
+///    §7 suggests for specific high-traffic periods), leaving low-traffic
+///    periods untouched.
+class RateController {
+ public:
+  /// Re-paces every request to at most `max_tps`; requests already slower
+  /// than the cap keep their relative spacing.
+  static void CapRate(Schedule& schedule, double max_tps);
+
+  /// Stretches only the overloaded stretches of the schedule: successive
+  /// requests are delayed just enough that no `1/max_tps` window ever
+  /// carries more than one request.
+  static void CapRateWindowed(Schedule& schedule, double max_tps);
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_RATE_CONTROLLER_H_

@@ -1,0 +1,70 @@
+#include "driver/report.h"
+
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+void PerformanceReport::RecordCommit(const Transaction& tx) {
+  ++total_committed_;
+  if (!saw_first_ || tx.client_timestamp < first_send_) {
+    first_send_ = tx.client_timestamp;
+    saw_first_ = true;
+  }
+  switch (tx.status) {
+    case TxStatus::kValid: {
+      ++successful_;
+      double lat = tx.commit_timestamp - tx.client_timestamp;
+      latency_.Add(lat);
+      latency_pct_.Add(lat);
+      break;
+    }
+    case TxStatus::kMvccReadConflict:
+      ++mvcc_failures_;
+      break;
+    case TxStatus::kPhantomReadConflict:
+      ++phantom_failures_;
+      break;
+    case TxStatus::kEndorsementPolicyFailure:
+      ++endorsement_failures_;
+      break;
+    case TxStatus::kConfig:
+      --total_committed_;  // config txs are not workload transactions
+      break;
+  }
+}
+
+void PerformanceReport::RecordEarlyAbort() { ++early_aborts_; }
+
+double PerformanceReport::SuccessRate() const {
+  if (total_committed_ == 0) return 0;
+  return static_cast<double>(successful_) /
+         static_cast<double>(total_committed_);
+}
+
+double PerformanceReport::Throughput() const {
+  double span = duration();
+  if (span <= 0) return 0;
+  return static_cast<double>(successful_) / span;
+}
+
+std::string PerformanceReport::Summary() const {
+  std::string out;
+  out += "success=" + FormatPercent(SuccessRate());
+  out += " tput=" + FormatDouble(Throughput(), 1) + "tps";
+  out += " lat=" + FormatDouble(AvgLatency(), 3) + "s";
+  out += " committed=" + std::to_string(total_committed_);
+  out += " mvcc=" + std::to_string(mvcc_failures_);
+  out += " phantom=" + std::to_string(phantom_failures_);
+  out += " endorse=" + std::to_string(endorsement_failures_);
+  out += " early_abort=" + std::to_string(early_aborts_);
+  return out;
+}
+
+double RelativeImprovement(double baseline, double optimized,
+                           bool lower_is_better) {
+  if (baseline == 0) return 0;
+  double change = (optimized - baseline) / baseline;
+  return lower_is_better ? -change : change;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,76 @@
+#ifndef BLOCKOPTR_DRIVER_REPORT_H_
+#define BLOCKOPTR_DRIVER_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "ledger/transaction.h"
+
+namespace blockoptr {
+
+/// Performance summary of one experiment run, mirroring what the paper
+/// measures (§5): success rate (successful / total), throughput of
+/// successful transactions, and average latency, plus the failure
+/// breakdown and latency percentiles.
+class PerformanceReport {
+ public:
+  /// Records a committed transaction (any status).
+  void RecordCommit(const Transaction& tx);
+
+  /// Records a transaction rejected by all endorsers (never ordered).
+  void RecordEarlyAbort();
+
+  /// Marks the end of the run for throughput computation.
+  void Finish(double end_time) { end_time_ = end_time; }
+
+  uint64_t total_committed() const { return total_committed_; }
+  uint64_t successful() const { return successful_; }
+  uint64_t mvcc_failures() const { return mvcc_failures_; }
+  uint64_t phantom_failures() const { return phantom_failures_; }
+  uint64_t endorsement_failures() const { return endorsement_failures_; }
+  uint64_t early_aborts() const { return early_aborts_; }
+  uint64_t failed() const {
+    return mvcc_failures_ + phantom_failures_ + endorsement_failures_;
+  }
+
+  /// Successful / committed (the paper's success rate), in [0, 1].
+  double SuccessRate() const;
+
+  /// Successful transactions per second over the run.
+  double Throughput() const;
+
+  /// Mean end-to-end latency (client timestamp -> block commit) of
+  /// successful transactions, seconds.
+  double AvgLatency() const { return latency_.mean(); }
+  double MaxLatency() const { return latency_.max(); }
+  double LatencyPercentile(double p) { return latency_pct_.Percentile(p); }
+
+  double duration() const { return end_time_ - first_send_; }
+
+  /// One-line summary: "success=87.2% tput=261.4tps lat=0.413s ...".
+  std::string Summary() const;
+
+ private:
+  uint64_t total_committed_ = 0;
+  uint64_t successful_ = 0;
+  uint64_t mvcc_failures_ = 0;
+  uint64_t phantom_failures_ = 0;
+  uint64_t endorsement_failures_ = 0;
+  uint64_t early_aborts_ = 0;
+  RunningStats latency_;
+  PercentileTracker latency_pct_;
+  double first_send_ = 0;
+  bool saw_first_ = false;
+  double end_time_ = 0;
+};
+
+/// Relative change helper for paper-style "% improvement" rows:
+/// positive = improvement for throughput/success, and for latency when
+/// `lower_is_better`.
+double RelativeImprovement(double baseline, double optimized,
+                           bool lower_is_better = false);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_REPORT_H_

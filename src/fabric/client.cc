@@ -1,0 +1,10 @@
+#include "fabric/client.h"
+
+namespace blockoptr {
+
+ClientProcess::ClientProcess(Simulator* sim, std::string id, int org_index)
+    : id_(std::move(id)),
+      org_index_(org_index),
+      station_(std::make_unique<ServiceStation>(sim, id_)) {}
+
+}  // namespace blockoptr

@@ -1,0 +1,33 @@
+#ifndef BLOCKOPTR_FABRIC_CLIENT_H_
+#define BLOCKOPTR_FABRIC_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "sim/service_station.h"
+
+namespace blockoptr {
+
+/// A client process (a Caliper worker). Clients do real work in Fabric —
+/// proposal creation, endorsement verification, envelope assembly — all of
+/// which occupies this single-server station. Because assembly happens
+/// *after* endorsement, a saturated client widens the endorsement-to-commit
+/// window and thereby raises MVCC failures; this is what the paper's
+/// client-resource-boost recommendation fixes (§4.4.3, §6.1.2).
+class ClientProcess {
+ public:
+  ClientProcess(Simulator* sim, std::string id, int org_index);
+
+  const std::string& id() const { return id_; }
+  int org_index() const { return org_index_; }
+  ServiceStation& station() { return *station_; }
+
+ private:
+  std::string id_;
+  int org_index_;
+  std::unique_ptr<ServiceStation> station_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_FABRIC_CLIENT_H_

@@ -1,0 +1,31 @@
+#include "fabric/config.h"
+
+namespace blockoptr {
+
+NetworkConfig NetworkConfig::Defaults() {
+  NetworkConfig cfg;
+  cfg.endorsement_policy = EndorsementPolicy::Preset(3, cfg.num_orgs);
+  return cfg;
+}
+
+std::string NetworkConfig::OrgName(int i) {
+  return "Org" + std::to_string(i);
+}
+
+std::string NetworkConfig::ClientName(int org_index, int client_index) const {
+  return OrgName(org_index) + "-client" + std::to_string(client_index);
+}
+
+int NetworkConfig::ClientsOfOrg(int org) const {
+  // Round-robin assignment of `num_clients` over orgs: org i (1-based)
+  // receives ceil((num_clients - i + 1) / num_orgs).
+  int base = num_clients / num_orgs;
+  int rem = num_clients % num_orgs;
+  int count = base + (org <= rem ? 1 : 0);
+  if (org - 1 < static_cast<int>(extra_clients_per_org.size())) {
+    count += extra_clients_per_org[org - 1];
+  }
+  return count;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,121 @@
+#ifndef BLOCKOPTR_FABRIC_CONFIG_H_
+#define BLOCKOPTR_FABRIC_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/endorsement_policy.h"
+
+namespace blockoptr {
+
+/// Block-cutting parameters of the ordering service (paper §2.1): a block
+/// is cut when the batch reaches `max_tx_count` transactions ("block
+/// count"), `max_bytes` bytes ("block bytes"), or `timeout_s` seconds after
+/// the first buffered transaction ("block timeout"), whichever comes first.
+struct BlockCuttingConfig {
+  uint32_t max_tx_count = 300;
+  double timeout_s = 1.0;
+  uint64_t max_bytes = 512ULL * 1024 * 1024;  // effectively unbounded
+
+  friend bool operator==(const BlockCuttingConfig&,
+                         const BlockCuttingConfig&) = default;
+};
+
+/// Service-time parameters of the queueing model. Calibrated so that the
+/// default 2-org network destabilizes a little above ~300 TPS — mirroring
+/// the paper's observation that rates above 300 TPS led to instabilities
+/// in their deployment (§9).
+struct LatencyModel {
+  // Client-side work (proposal creation before endorsement; endorsement
+  // verification + envelope assembly afterwards). Both occupy the client's
+  // service station, so client overload widens the endorsement-to-commit
+  // window.
+  double client_proposal_s = 0.012;
+  double client_assemble_s = 0.018;
+
+  // Endorser chaincode execution per transaction: a fixed cost plus a
+  // per-state-access cost (so aggregation-heavy functions such as a
+  // delta-write calcRevenue really are slower to endorse).
+  double endorse_exec_s = 0.003;
+  double endorse_per_key_s = 0.00002;
+
+  // Resource contention on the fixed-size cluster: the paper's testbed
+  // runs every peer as a pod on the same 5 worker VMs, so each
+  // organization beyond the 2-org reference steals a share of per-peer
+  // CPU. Peer-side service times (endorsement, validation) are scaled by
+  //   1 + peer_contention_per_org * (num_orgs - 2).
+  // This is what makes a mandatory endorser (policy P1) saturate at
+  // 300 TPS in the 4-org experiments while the 2-org default stays just
+  // below the knee — the Figure 7 effect.
+  double peer_contention_per_org = 0.15;
+
+  // One-way network delay between any two components, plus uniform jitter.
+  double network_delay_s = 0.004;
+  double network_jitter_s = 0.002;
+
+  // Ordering-service work: per-transaction enqueue cost plus a fixed
+  // per-block cost (consensus bookkeeping, block assembly, signing).
+  double order_per_tx_s = 0.0005;
+  double block_overhead_s = 0.17;
+
+  // Raft timing among orderer nodes.
+  double raft_heartbeat_s = 0.05;
+  double raft_election_timeout_min_s = 0.15;
+  double raft_election_timeout_max_s = 0.30;
+
+  // Peer-side validation/commit: per-block fixed cost plus per-tx cost.
+  double validate_per_tx_s = 0.0012;
+  double validate_block_overhead_s = 0.02;
+  double commit_per_block_s = 0.01;
+};
+
+/// Full configuration of a simulated Fabric network + channel.
+struct NetworkConfig {
+  /// Number of organizations; each org runs one endorsing peer that is
+  /// also a committing peer. Default mirrors the paper's Table 2 (2 orgs).
+  int num_orgs = 2;
+
+  /// Total client processes (Caliper workers), assigned to organizations
+  /// round-robin. The paper uses 10 Caliper workers.
+  int num_clients = 10;
+
+  /// Extra client processes for specific organizations (client resource
+  /// boost); entry i adds clients to Org(i+1).
+  std::vector<int> extra_clients_per_org;
+
+  /// Number of Raft ordering nodes.
+  int num_orderers = 3;
+
+  /// Endorsement policy. Default P3: Majority over all orgs.
+  EndorsementPolicy endorsement_policy;
+
+  /// Preference weight for endorser selection. 0 = uniform among minimal
+  /// satisfying sets; a value w > 1 makes odd-numbered orgs w times more
+  /// likely to be chosen (the paper's "endorser distribution skew").
+  double endorser_dist_skew = 0;
+
+  BlockCuttingConfig block_cutting;
+  LatencyModel latency;
+
+  /// RNG seed for network-internal randomness (raft timeouts, jitter,
+  /// endorser choice).
+  uint64_t seed = 42;
+
+  /// Returns the config with the paper's defaults (2 orgs, P3, block count
+  /// 300, timeout 1s).
+  static NetworkConfig Defaults();
+
+  /// Name of organization `i` (1-based): "Org1".
+  static std::string OrgName(int i);
+
+  /// Client id `j` (0-based global) and its organization.
+  std::string ClientName(int org_index, int client_index) const;
+
+  /// Number of clients attached to org `i` (1-based), including boosts.
+  int ClientsOfOrg(int org) const;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_FABRIC_CONFIG_H_

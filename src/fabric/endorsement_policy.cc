@@ -1,0 +1,307 @@
+#include "fabric/endorsement_policy.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser for the policy grammar.
+class PolicyParser {
+ public:
+  explicit PolicyParser(std::string_view text) : text_(text) {}
+
+  Result<std::string> TakeIdentifier() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at offset " +
+                                     std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// The Node type is private; parsing builds it via a friend-free local
+// recursion that mirrors the public grammar.
+Result<EndorsementPolicy> EndorsementPolicy::Parse(std::string_view text) {
+  PolicyParser p(text);
+
+  // Local recursive lambda over the private Node type.
+  std::function<Result<Node>()> parse_policy = [&]() -> Result<Node> {
+    auto ident = p.TakeIdentifier();
+    if (!ident.ok()) return ident.status();
+    std::string lower = ToLower(*ident);
+
+    auto parse_list = [&](Node& node) -> Status {
+      for (;;) {
+        auto child = parse_policy();
+        if (!child.ok()) return child.status();
+        node.children.push_back(std::move(*child));
+        if (p.Consume(',')) continue;
+        if (p.Consume(')')) return Status::OK();
+        return Status::InvalidArgument("expected ',' or ')' in policy list");
+      }
+    };
+
+    if (lower == "and" || lower == "or" || lower == "majority" ||
+        lower == "outof") {
+      if (!p.Consume('(')) {
+        return Status::InvalidArgument("expected '(' after " + *ident);
+      }
+      Node node;
+      if (lower == "and") {
+        node.kind = Node::kAnd;
+      } else if (lower == "or") {
+        node.kind = Node::kOr;
+      } else {
+        node.kind = Node::kOutOf;
+      }
+      if (lower == "outof") {
+        auto n_tok = p.TakeIdentifier();
+        if (!n_tok.ok()) return n_tok.status();
+        char* end = nullptr;
+        long n = std::strtol(n_tok->c_str(), &end, 10);
+        if (end != n_tok->c_str() + n_tok->size() || n <= 0) {
+          return Status::InvalidArgument("OutOf threshold must be a positive "
+                                         "integer, got '" + *n_tok + "'");
+        }
+        node.n = static_cast<int>(n);
+        if (!p.Consume(',')) {
+          return Status::InvalidArgument("expected ',' after OutOf threshold");
+        }
+      }
+      BLOCKOPTR_RETURN_NOT_OK(parse_list(node));
+      if (node.kind == Node::kOutOf && lower == "majority") {
+        // unreachable; kept for clarity
+      }
+      if (lower == "majority") {
+        node.n = static_cast<int>(node.children.size() / 2) + 1;
+      }
+      if (node.kind == Node::kOutOf &&
+          node.n > static_cast<int>(node.children.size())) {
+        return Status::InvalidArgument(
+            "OutOf threshold exceeds number of sub-policies");
+      }
+      return node;
+    }
+
+    Node leaf;
+    leaf.kind = Node::kOrg;
+    leaf.org = *ident;
+    return leaf;
+  };
+
+  auto root = parse_policy();
+  if (!root.ok()) return root.status();
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing characters in policy at offset " +
+                                   std::to_string(p.pos()));
+  }
+  EndorsementPolicy policy;
+  policy.node_ = std::move(*root);
+  return policy;
+}
+
+EndorsementPolicy EndorsementPolicy::Preset(int preset, int num_orgs) {
+  auto org = [](int i) { return "Org" + std::to_string(i); };
+  auto org_list = [&](int from, int to) {
+    std::vector<std::string> parts;
+    for (int i = from; i <= to; ++i) parts.push_back(org(i));
+    return Join(parts, ",");
+  };
+  int n = std::max(num_orgs, 2);
+  std::string text;
+  switch (preset) {
+    case 1:  // And(Org1, Or(Org2,...,OrgN))
+      text = "And(Org1, Or(" + org_list(2, n) + "))";
+      break;
+    case 2: {  // And(Or(first half), Or(second half))
+      int half = n / 2;
+      text = "And(Or(" + org_list(1, half) + "), Or(" +
+             org_list(half + 1, n) + "))";
+      break;
+    }
+    case 4: {  // OutOf(2, Org1..OrgN)
+      text = "OutOf(2, " + org_list(1, n) + ")";
+      break;
+    }
+    case 3:
+    default:  // Majority(Org1..OrgN) — the paper default
+      text = "Majority(" + org_list(1, n) + ")";
+      break;
+  }
+  auto parsed = Parse(text);
+  // Presets are generated from a fixed grammar; parsing cannot fail.
+  return *parsed;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+bool EndorsementPolicy::Eval(const Node& node,
+                             const std::set<std::string>& orgs) {
+  switch (node.kind) {
+    case Node::kNone:
+      return false;
+    case Node::kOrg:
+      return orgs.count(node.org) > 0;
+    case Node::kAnd:
+      return std::all_of(node.children.begin(), node.children.end(),
+                         [&](const Node& c) { return Eval(c, orgs); });
+    case Node::kOr:
+      return std::any_of(node.children.begin(), node.children.end(),
+                         [&](const Node& c) { return Eval(c, orgs); });
+    case Node::kOutOf: {
+      int satisfied = 0;
+      for (const auto& c : node.children) {
+        if (Eval(c, orgs)) ++satisfied;
+      }
+      return satisfied >= node.n;
+    }
+  }
+  return false;
+}
+
+bool EndorsementPolicy::IsSatisfiedBy(
+    const std::set<std::string>& endorsing_orgs) const {
+  return Eval(node_, endorsing_orgs);
+}
+
+void EndorsementPolicy::CollectOrgs(const Node& node,
+                                    std::set<std::string>& out) {
+  if (node.kind == Node::kOrg) {
+    out.insert(node.org);
+    return;
+  }
+  for (const auto& c : node.children) CollectOrgs(c, out);
+}
+
+std::vector<std::string> EndorsementPolicy::Organizations() const {
+  std::set<std::string> orgs;
+  CollectOrgs(node_, orgs);
+  return {orgs.begin(), orgs.end()};
+}
+
+std::vector<std::string> EndorsementPolicy::MandatoryOrgs() const {
+  std::vector<std::string> all = Organizations();
+  std::set<std::string> all_set(all.begin(), all.end());
+  std::vector<std::string> mandatory;
+  for (const auto& org : all) {
+    std::set<std::string> without = all_set;
+    without.erase(org);
+    if (!IsSatisfiedBy(without)) mandatory.push_back(org);
+  }
+  return mandatory;
+}
+
+std::vector<std::set<std::string>> EndorsementPolicy::MinimalSatisfyingSets()
+    const {
+  std::vector<std::string> orgs = Organizations();
+  const size_t n = orgs.size();
+  std::vector<std::set<std::string>> satisfying;
+  if (n == 0 || n > 16) return satisfying;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::set<std::string> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.insert(orgs[i]);
+    }
+    if (IsSatisfiedBy(subset)) satisfying.push_back(std::move(subset));
+  }
+  // Keep only minimal sets.
+  std::vector<std::set<std::string>> minimal;
+  for (const auto& s : satisfying) {
+    bool has_proper_subset = std::any_of(
+        satisfying.begin(), satisfying.end(), [&](const auto& t) {
+          return t.size() < s.size() &&
+                 std::includes(s.begin(), s.end(), t.begin(), t.end());
+        });
+    if (!has_proper_subset) minimal.push_back(s);
+  }
+  return minimal;
+}
+
+std::string EndorsementPolicy::NodeToString(const Node& node) {
+  switch (node.kind) {
+    case Node::kNone:
+      return "<empty>";
+    case Node::kOrg:
+      return node.org;
+    case Node::kAnd:
+    case Node::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(node.children.size());
+      for (const auto& c : node.children) parts.push_back(NodeToString(c));
+      return std::string(node.kind == Node::kAnd ? "And(" : "Or(") +
+             Join(parts, ",") + ")";
+    }
+    case Node::kOutOf: {
+      std::vector<std::string> parts;
+      parts.reserve(node.children.size());
+      for (const auto& c : node.children) parts.push_back(NodeToString(c));
+      return "OutOf(" + std::to_string(node.n) + "," + Join(parts, ",") + ")";
+    }
+  }
+  return "<invalid>";
+}
+
+std::string EndorsementPolicy::ToString() const {
+  return NodeToString(node_);
+}
+
+}  // namespace blockoptr

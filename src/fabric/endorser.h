@@ -1,0 +1,37 @@
+#ifndef BLOCKOPTR_FABRIC_ENDORSER_H_
+#define BLOCKOPTR_FABRIC_ENDORSER_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+#include "ledger/rwset.h"
+#include "statedb/versioned_store.h"
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// The outcome of one endorser simulating a proposal.
+struct EndorseResult {
+  /// Non-OK when the chaincode rejected the invocation (early abort —
+  /// e.g. the pruned contract failing an illogical activity path).
+  Status status;
+  ReadWriteSet rwset;
+};
+
+/// Executes a transaction proposal against `store` (the endorsing peer's
+/// committed world state) and returns the produced read-write set. This is
+/// the "execute" phase of Fabric's execute-order-validate flow. Different
+/// endorsers execute against their own stores; when stores have diverged
+/// (commit lag), the resulting read-write sets differ, which later
+/// manifests as an endorsement policy failure during validation.
+EndorseResult ExecuteProposal(Chaincode& chaincode, const VersionedStore& store,
+                              const ClientRequest& request);
+
+/// Approximate wire size of a transaction, used for block-bytes cutting.
+uint64_t EstimateTxBytes(const ClientRequest& request,
+                         const ReadWriteSet& rwset);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_FABRIC_ENDORSER_H_

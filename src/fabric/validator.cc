@@ -1,0 +1,106 @@
+#include "fabric/validator.h"
+
+#include <set>
+
+namespace blockoptr {
+
+namespace {
+
+bool ReadItemCurrent(const ReadItem& r, const VersionedStore& state) {
+  auto vv = state.Get(r.key);
+  if (!vv) return !r.version.has_value();
+  return r.version.has_value() && *r.version == vv->version;
+}
+
+bool RangeQueryCurrent(const RangeQueryInfo& rq, const VersionedStore& state) {
+  auto current = state.Range(rq.start_key, rq.end_key);
+  if (current.size() != rq.results.size()) return false;
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (current[i].first != rq.results[i].key) return false;
+    if (!rq.results[i].version.has_value() ||
+        *rq.results[i].version != current[i].second.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PointReadsCurrent(const ReadWriteSet& rwset, const VersionedStore& state) {
+  for (const auto& r : rwset.reads) {
+    if (!ReadItemCurrent(r, state)) return false;
+  }
+  return true;
+}
+
+bool RangeReadsCurrent(const ReadWriteSet& rwset, const VersionedStore& state) {
+  for (const auto& rq : rwset.range_queries) {
+    if (!RangeQueryCurrent(rq, state)) return false;
+  }
+  return true;
+}
+
+void ApplyWrites(const ReadWriteSet& rwset, VersionedStore& state,
+                 Version version) {
+  for (const auto& w : rwset.writes) {
+    state.Apply(w.key, w.value, w.is_delete, version);
+  }
+}
+
+}  // namespace
+
+bool ReadsAreCurrent(const ReadWriteSet& rwset, const VersionedStore& state) {
+  return PointReadsCurrent(rwset, state) && RangeReadsCurrent(rwset, state);
+}
+
+BlockValidationStats ValidateAndApplyBlock(Block& block, VersionedStore& state,
+                                           const EndorsementPolicy& policy) {
+  BlockValidationStats stats;
+  uint32_t tx_pos = 0;
+  for (auto& tx : block.transactions) {
+    const uint32_t pos = tx_pos++;
+    if (tx.is_config) {
+      tx.status = TxStatus::kConfig;
+      continue;
+    }
+    if (tx.pre_aborted) {
+      // Status stamped by the reordering scheduler; count it.
+      switch (tx.status) {
+        case TxStatus::kMvccReadConflict:
+          ++stats.mvcc_conflicts;
+          break;
+        case TxStatus::kPhantomReadConflict:
+          ++stats.phantom_conflicts;
+          break;
+        default:
+          ++stats.endorsement_failures;
+          break;
+      }
+      continue;
+    }
+    // 1. VSCC: signature set must satisfy the endorsement policy.
+    std::set<std::string> signers(tx.endorsers.begin(), tx.endorsers.end());
+    if (!policy.IsSatisfiedBy(signers)) {
+      tx.status = TxStatus::kEndorsementPolicyFailure;
+      ++stats.endorsement_failures;
+      continue;
+    }
+    // 2. MVCC point-read check.
+    if (!PointReadsCurrent(tx.rwset, state)) {
+      tx.status = TxStatus::kMvccReadConflict;
+      ++stats.mvcc_conflicts;
+      continue;
+    }
+    // 3. Phantom (range-read) check.
+    if (!RangeReadsCurrent(tx.rwset, state)) {
+      tx.status = TxStatus::kPhantomReadConflict;
+      ++stats.phantom_conflicts;
+      continue;
+    }
+    tx.status = TxStatus::kValid;
+    ++stats.valid;
+    ApplyWrites(tx.rwset, state, Version{block.block_num, pos});
+  }
+  return stats;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,31 @@
+#ifndef BLOCKOPTR_LEDGER_BLOCK_H_
+#define BLOCKOPTR_LEDGER_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ledger/transaction.h"
+
+namespace blockoptr {
+
+/// A block of ordered transactions. Blocks are hash-chained: each block
+/// records the hash of its predecessor, and `ComputeHash()` digests the
+/// block contents so tampering is detectable (`Ledger::VerifyChain`).
+struct Block {
+  uint64_t block_num = 0;
+  SimTime cut_timestamp = 0;     // when the orderer cut the block
+  SimTime commit_timestamp = 0;  // when peers committed it
+  uint64_t prev_hash = 0;
+  uint64_t hash = 0;
+  std::vector<Transaction> transactions;
+
+  /// FNV-1a digest over block number, previous hash, and per-transaction
+  /// identity/content fields. Not cryptographic — the simulation needs
+  /// chain integrity, not adversarial resistance.
+  uint64_t ComputeHash() const;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_LEDGER_BLOCK_H_

@@ -1,0 +1,49 @@
+#include "ledger/ledger.h"
+
+#include <cassert>
+
+namespace blockoptr {
+
+uint64_t Ledger::Append(Block block) {
+  block.block_num = blocks_.size();
+  block.prev_hash = blocks_.empty() ? 0 : blocks_.back().hash;
+  block.hash = block.ComputeHash();
+  num_txs_ += block.transactions.size();
+  blocks_.push_back(std::move(block));
+  return blocks_.back().block_num;
+}
+
+const Block& Ledger::GetBlock(uint64_t block_num) const {
+  assert(block_num < blocks_.size());
+  return blocks_[block_num];
+}
+
+void Ledger::ForEachTransaction(
+    const std::function<void(const Block&, const Transaction&)>& fn) const {
+  for (const auto& b : blocks_) {
+    for (const auto& tx : b.transactions) fn(b, tx);
+  }
+}
+
+Status Ledger::VerifyChain() const {
+  uint64_t prev = 0;
+  for (const auto& b : blocks_) {
+    if (b.prev_hash != prev) {
+      return Status::Internal("broken prev-hash link at block " +
+                              std::to_string(b.block_num));
+    }
+    if (b.ComputeHash() != b.hash) {
+      return Status::Internal("hash mismatch at block " +
+                              std::to_string(b.block_num));
+    }
+    prev = b.hash;
+  }
+  return Status::OK();
+}
+
+double Ledger::AverageBlockSize() const {
+  if (blocks_.empty()) return 0.0;
+  return static_cast<double>(num_txs_) / static_cast<double>(blocks_.size());
+}
+
+}  // namespace blockoptr

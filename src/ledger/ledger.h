@@ -1,0 +1,48 @@
+#ifndef BLOCKOPTR_LEDGER_LEDGER_H_
+#define BLOCKOPTR_LEDGER_LEDGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "ledger/block.h"
+
+namespace blockoptr {
+
+/// The append-only distributed ledger: the chain of committed blocks. In
+/// Fabric *every* transaction — failed or successful — is appended; only
+/// the validation flag differs. That property is what makes the ledger a
+/// complete log for BlockOptR's analysis (paper §4).
+class Ledger {
+ public:
+  Ledger() = default;
+
+  /// Appends `block` after assigning its number, prev-hash link and hash.
+  /// Returns the assigned block number.
+  uint64_t Append(Block block);
+
+  uint64_t NumBlocks() const { return blocks_.size(); }
+  uint64_t NumTransactions() const { return num_txs_; }
+
+  const Block& GetBlock(uint64_t block_num) const;
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Visits every transaction in commit order.
+  void ForEachTransaction(
+      const std::function<void(const Block&, const Transaction&)>& fn) const;
+
+  /// Re-computes every hash link; fails if any block was tampered with.
+  Status VerifyChain() const;
+
+  /// Average number of transactions per block — the paper's B_sizeavg.
+  double AverageBlockSize() const;
+
+ private:
+  std::vector<Block> blocks_;
+  uint64_t num_txs_ = 0;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_LEDGER_LEDGER_H_

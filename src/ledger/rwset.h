@@ -1,0 +1,68 @@
+#ifndef BLOCKOPTR_LEDGER_RWSET_H_
+#define BLOCKOPTR_LEDGER_RWSET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "statedb/versioned_store.h"
+
+namespace blockoptr {
+
+/// One key read during simulation/endorsement, with the committed version
+/// observed at that time (nullopt when the key did not exist).
+struct ReadItem {
+  std::string key;
+  std::optional<Version> version;
+
+  friend bool operator==(const ReadItem&, const ReadItem&) = default;
+};
+
+/// One key written (or deleted) by the transaction.
+struct WriteItem {
+  std::string key;
+  std::string value;
+  bool is_delete = false;
+
+  friend bool operator==(const WriteItem&, const WriteItem&) = default;
+};
+
+/// A range query executed during endorsement: the bounds plus the exact
+/// (key, version) results observed. Validation re-executes the range
+/// against commit-time state; any difference is a *phantom read conflict*.
+struct RangeQueryInfo {
+  std::string start_key;
+  std::string end_key;  // empty = unbounded
+  std::vector<ReadItem> results;
+
+  friend bool operator==(const RangeQueryInfo&, const RangeQueryInfo&) =
+      default;
+};
+
+/// The read-write set produced by endorsing (simulating) a transaction.
+/// This is the object Fabric's validators check and the primary artefact
+/// BlockOptR's analysis consumes (paper §4.1 attribute 6).
+struct ReadWriteSet {
+  std::vector<ReadItem> reads;
+  std::vector<WriteItem> writes;
+  std::vector<RangeQueryInfo> range_queries;
+
+  friend bool operator==(const ReadWriteSet&, const ReadWriteSet&) = default;
+
+  /// All keys accessed (reads, writes, and range-query results), deduped,
+  /// sorted. This is RWS(x) in the paper's formalization.
+  std::vector<std::string> AccessedKeys() const;
+
+  /// Keys in the read set (including range results): RS(x).
+  std::vector<std::string> ReadKeys() const;
+
+  /// Keys in the write set: WS(x).
+  std::vector<std::string> WriteKeys() const;
+
+  bool HasWriteTo(const std::string& key) const;
+  bool HasReadOf(const std::string& key) const;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_LEDGER_RWSET_H_

@@ -1,0 +1,74 @@
+#ifndef BLOCKOPTR_LEDGER_TRANSACTION_H_
+#define BLOCKOPTR_LEDGER_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ledger/rwset.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+
+/// Validation outcome recorded per transaction in the ledger. Matches the
+/// paper's transaction-status attribute (§4.1 attribute 7): success, MVCC
+/// read conflict (MRC), phantom read conflict, endorsement policy failure.
+enum class TxStatus {
+  kValid = 0,
+  kMvccReadConflict,
+  kPhantomReadConflict,
+  kEndorsementPolicyFailure,
+  /// Configuration / lifecycle transaction; removed by preprocessing.
+  kConfig,
+};
+
+std::string_view TxStatusName(TxStatus s);
+
+/// The paper's derived transaction-type attribute (§4.1 attribute 8),
+/// computed from the read-write set.
+enum class TxType {
+  kRead = 0,
+  kWrite,      // blind write / insert (no read of the written key)
+  kUpdate,     // read-modify-write of at least one key
+  kRangeRead,
+  kDelete,
+};
+
+std::string_view TxTypeName(TxType t);
+
+/// Derives the transaction type from a read-write set. Precedence follows
+/// the paper's taxonomy: delete > range read > update > write > read.
+TxType DeriveTxType(const ReadWriteSet& rwset);
+
+/// Identity of the client that invoked a transaction (paper attribute 5).
+struct Invoker {
+  std::string client_id;  // e.g. "Org2-client3"
+  std::string org;        // e.g. "Org2"
+
+  friend bool operator==(const Invoker&, const Invoker&) = default;
+};
+
+/// A committed transaction envelope as stored in a ledger block. Carries
+/// everything BlockOptR's preprocessing extracts (paper §4.1).
+struct Transaction {
+  uint64_t tx_id = 0;
+  std::string chaincode;              // smart-contract name
+  std::string activity;               // smart-contract function: A(x)
+  std::vector<std::string> args;      // function arguments
+  Invoker invoker;
+  std::vector<std::string> endorsers; // endorsing orgs that signed
+  ReadWriteSet rwset;
+  TxStatus status = TxStatus::kValid;
+  SimTime client_timestamp = 0;       // when the client created the proposal
+  SimTime commit_timestamp = 0;       // when the block committed
+  bool is_config = false;             // channel-config / lifecycle tx
+
+  /// Set by a reordering scheduler (Fabric++-style early abort): the
+  /// stamped status is final and the validator must not re-validate.
+  bool pre_aborted = false;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_LEDGER_TRANSACTION_H_

@@ -1,0 +1,144 @@
+#include "mining/alpha_miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+namespace {
+
+using SetPair = std::pair<std::vector<std::string>, std::vector<std::string>>;
+
+/// True when every (a, b) with a in A and b in B is causal, all members
+/// of A are pairwise unrelated, and all members of B are pairwise
+/// unrelated (the X_L condition of the Alpha algorithm).
+bool ValidPair(const Footprint& fp, const std::vector<std::string>& a_set,
+               const std::vector<std::string>& b_set) {
+  for (const auto& a : a_set) {
+    for (const auto& b : b_set) {
+      if (!fp.Causal(a, b)) return false;
+    }
+  }
+  for (size_t i = 0; i < a_set.size(); ++i) {
+    for (size_t j = i + 1; j < a_set.size(); ++j) {
+      if (!fp.Unrelated(a_set[i], a_set[j])) return false;
+    }
+  }
+  for (size_t i = 0; i < b_set.size(); ++i) {
+    for (size_t j = i + 1; j < b_set.size(); ++j) {
+      if (!fp.Unrelated(b_set[i], b_set[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool Subset(const std::vector<std::string>& small,
+            const std::vector<std::string>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+std::vector<SetPair> AlphaMiner::MaximalCausalPairs(const Footprint& fp) {
+  const auto& acts = fp.activities();
+
+  // Seed X_L with singleton causal pairs, then grow either side while the
+  // pair stays valid. Activity counts in process logs are small, so the
+  // breadth-first expansion with dedup stays cheap.
+  std::set<SetPair> all;
+  std::vector<SetPair> frontier;
+  for (const auto& a : acts) {
+    for (const auto& b : acts) {
+      if (fp.Causal(a, b)) {
+        SetPair p{{a}, {b}};
+        if (all.insert(p).second) frontier.push_back(p);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    std::vector<SetPair> next;
+    for (const auto& pair : frontier) {
+      for (const auto& act : acts) {
+        // Try extending A.
+        if (std::find(pair.first.begin(), pair.first.end(), act) ==
+            pair.first.end()) {
+          SetPair grown = pair;
+          grown.first.push_back(act);
+          std::sort(grown.first.begin(), grown.first.end());
+          if (ValidPair(fp, grown.first, grown.second) &&
+              all.insert(grown).second) {
+            next.push_back(grown);
+          }
+        }
+        // Try extending B.
+        if (std::find(pair.second.begin(), pair.second.end(), act) ==
+            pair.second.end()) {
+          SetPair grown = pair;
+          grown.second.push_back(act);
+          std::sort(grown.second.begin(), grown.second.end());
+          if (ValidPair(fp, grown.first, grown.second) &&
+              all.insert(grown).second) {
+            next.push_back(grown);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Y_L: keep only maximal pairs.
+  std::vector<SetPair> pairs(all.begin(), all.end());
+  std::vector<SetPair> maximal;
+  for (const auto& p : pairs) {
+    bool dominated = std::any_of(
+        pairs.begin(), pairs.end(), [&](const SetPair& q) {
+          if (&q == &p) return false;
+          if (q.first.size() + q.second.size() <=
+              p.first.size() + p.second.size()) {
+            return false;
+          }
+          return Subset(p.first, q.first) && Subset(p.second, q.second);
+        });
+    if (!dominated) maximal.push_back(p);
+  }
+  return maximal;
+}
+
+PetriNet AlphaMiner::Mine(
+    const std::vector<std::vector<std::string>>& traces) {
+  Footprint fp(traces);
+  PetriNet net;
+  for (const auto& a : fp.activities()) net.AddTransition(a);
+
+  for (const auto& [a_set, b_set] : MaximalCausalPairs(fp)) {
+    PetriNet::Place place;
+    place.name = "p({" + Join(a_set, ",") + "}->{" + Join(b_set, ",") + "})";
+    for (const auto& a : a_set) {
+      place.input_transitions.push_back(net.TransitionIndex(a));
+    }
+    for (const auto& b : b_set) {
+      place.output_transitions.push_back(net.TransitionIndex(b));
+    }
+    net.AddPlace(std::move(place));
+  }
+
+  PetriNet::Place source;
+  source.name = "start";
+  for (const auto& s : fp.start_activities()) {
+    source.output_transitions.push_back(net.TransitionIndex(s));
+  }
+  net.set_source_place(net.AddPlace(std::move(source)));
+
+  PetriNet::Place sink;
+  sink.name = "end";
+  for (const auto& e : fp.end_activities()) {
+    sink.input_transitions.push_back(net.TransitionIndex(e));
+  }
+  net.set_sink_place(net.AddPlace(std::move(sink)));
+
+  return net;
+}
+
+}  // namespace blockoptr

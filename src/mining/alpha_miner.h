@@ -1,0 +1,35 @@
+#ifndef BLOCKOPTR_MINING_ALPHA_MINER_H_
+#define BLOCKOPTR_MINING_ALPHA_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/footprint.h"
+#include "mining/petri_net.h"
+
+namespace blockoptr {
+
+/// The Alpha process-discovery algorithm (van der Aalst et al., TKDE'04
+/// [76]) — the algorithm the paper uses to derive the process models of
+/// Figures 2 and 4 from the blockchain event log:
+///
+///   1. Compute the footprint relations from the traces.
+///   2. Find all pairs of sets (A, B) with every a->b causal, the members
+///      of A pairwise unrelated, and the members of B pairwise unrelated.
+///   3. Keep the maximal pairs; each becomes a place from A to B.
+///   4. Add a source place into the start activities and a sink place out
+///      of the end activities.
+class AlphaMiner {
+ public:
+  /// Mines a Petri net from activity traces.
+  static PetriNet Mine(const std::vector<std::vector<std::string>>& traces);
+
+  /// Exposed for testing: the maximal (A, B) causal set pairs of step 3.
+  static std::vector<std::pair<std::vector<std::string>,
+                               std::vector<std::string>>>
+  MaximalCausalPairs(const Footprint& footprint);
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_ALPHA_MINER_H_

@@ -1,0 +1,87 @@
+#include "mining/conformance.h"
+
+#include <vector>
+
+namespace blockoptr {
+
+double ConformanceResult::Fitness() const {
+  double miss_term =
+      consumed > 0
+          ? 1.0 - static_cast<double>(missing) / static_cast<double>(consumed)
+          : 1.0;
+  double rem_term =
+      produced > 0
+          ? 1.0 -
+                static_cast<double>(remaining) / static_cast<double>(produced)
+          : 1.0;
+  return 0.5 * miss_term + 0.5 * rem_term;
+}
+
+ConformanceResult ReplayTraces(
+    const PetriNet& net,
+    const std::vector<std::vector<std::string>>& traces) {
+  ConformanceResult result;
+
+  // Precompute transition -> input/output places.
+  std::vector<std::vector<int>> inputs(net.num_transitions());
+  std::vector<std::vector<int>> outputs(net.num_transitions());
+  for (size_t t = 0; t < net.num_transitions(); ++t) {
+    inputs[t] = net.InputPlacesOf(static_cast<int>(t));
+    outputs[t] = net.OutputPlacesOf(static_cast<int>(t));
+  }
+
+  for (const auto& trace : traces) {
+    std::vector<int64_t> marking(net.num_places(), 0);
+    uint64_t trace_missing = 0;
+
+    // Initial token in the source place.
+    if (net.source_place() >= 0) {
+      marking[static_cast<size_t>(net.source_place())] = 1;
+      ++result.produced;
+    }
+
+    for (const auto& activity : trace) {
+      int t = net.TransitionIndex(activity);
+      if (t < 0) continue;  // label unknown to the model
+      for (int p : inputs[static_cast<size_t>(t)]) {
+        if (marking[static_cast<size_t>(p)] <= 0) {
+          // Token missing: create it artificially so replay can continue.
+          ++result.missing;
+          ++trace_missing;
+          ++marking[static_cast<size_t>(p)];
+        }
+        --marking[static_cast<size_t>(p)];
+        ++result.consumed;
+      }
+      for (int p : outputs[static_cast<size_t>(t)]) {
+        ++marking[static_cast<size_t>(p)];
+        ++result.produced;
+      }
+    }
+
+    // Consume the final token from the sink.
+    uint64_t trace_remaining = 0;
+    if (net.sink_place() >= 0) {
+      if (marking[static_cast<size_t>(net.sink_place())] <= 0) {
+        ++result.missing;
+        ++trace_missing;
+        ++marking[static_cast<size_t>(net.sink_place())];
+      }
+      --marking[static_cast<size_t>(net.sink_place())];
+      ++result.consumed;
+    }
+    for (int64_t tokens : marking) {
+      if (tokens > 0) {
+        result.remaining += static_cast<uint64_t>(tokens);
+        trace_remaining += static_cast<uint64_t>(tokens);
+      }
+    }
+    ++result.traces_replayed;
+    if (trace_missing == 0 && trace_remaining == 0) {
+      ++result.perfectly_fitting_traces;
+    }
+  }
+  return result;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,37 @@
+#ifndef BLOCKOPTR_MINING_CONFORMANCE_H_
+#define BLOCKOPTR_MINING_CONFORMANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mining/petri_net.h"
+
+namespace blockoptr {
+
+/// Token-based replay conformance checking: how well a set of traces fits
+/// a (mined or designed) process model. This is how BlockOptR verifies
+/// compliance with a redesigned process model (paper §1, §3: "Our
+/// approach can also verify compliance with the new process model").
+struct ConformanceResult {
+  uint64_t produced = 0;   // p: tokens produced during replay
+  uint64_t consumed = 0;   // c: tokens consumed
+  uint64_t missing = 0;    // m: tokens that had to be created artificially
+  uint64_t remaining = 0;  // r: tokens left behind at the end
+  uint64_t traces_replayed = 0;
+  uint64_t perfectly_fitting_traces = 0;
+
+  /// Token-replay fitness: 0.5*(1 - m/c) + 0.5*(1 - r/p), in [0, 1];
+  /// 1 means every trace replays without missing or remaining tokens.
+  double Fitness() const;
+};
+
+/// Replays every trace against the net. Activities that are not in the
+/// model are skipped (counted via missing tokens is not meaningful for
+/// unknown labels; they simply do not move tokens).
+ConformanceResult ReplayTraces(
+    const PetriNet& net, const std::vector<std::vector<std::string>>& traces);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_CONFORMANCE_H_

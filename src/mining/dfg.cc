@@ -1,0 +1,54 @@
+#include "mining/dfg.h"
+
+#include <set>
+
+namespace blockoptr {
+
+DirectlyFollowsGraph::DirectlyFollowsGraph(
+    const std::vector<std::vector<std::string>>& traces) {
+  std::set<std::string> acts;
+  for (const auto& trace : traces) {
+    if (trace.empty()) continue;
+    ++start_counts_[trace.front()];
+    ++end_counts_[trace.back()];
+    for (size_t i = 0; i < trace.size(); ++i) {
+      acts.insert(trace[i]);
+      ++activity_counts_[trace[i]];
+      if (i + 1 < trace.size()) ++edges_[{trace[i], trace[i + 1]}];
+    }
+  }
+  activities_.assign(acts.begin(), acts.end());
+}
+
+uint64_t DirectlyFollowsGraph::EdgeCount(const std::string& a,
+                                         const std::string& b) const {
+  auto it = edges_.find({a, b});
+  return it == edges_.end() ? 0 : it->second;
+}
+
+uint64_t DirectlyFollowsGraph::ActivityCount(const std::string& a) const {
+  auto it = activity_counts_.find(a);
+  return it == activity_counts_.end() ? 0 : it->second;
+}
+
+uint64_t DirectlyFollowsGraph::StartCount(const std::string& a) const {
+  auto it = start_counts_.find(a);
+  return it == start_counts_.end() ? 0 : it->second;
+}
+
+uint64_t DirectlyFollowsGraph::EndCount(const std::string& a) const {
+  auto it = end_counts_.find(a);
+  return it == end_counts_.end() ? 0 : it->second;
+}
+
+void DirectlyFollowsGraph::FilterEdges(uint64_t min_count) {
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    if (it->second < min_count) {
+      it = edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,44 @@
+#ifndef BLOCKOPTR_MINING_DFG_H_
+#define BLOCKOPTR_MINING_DFG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blockoptr {
+
+/// A directly-follows graph: the frequency-annotated process-model view
+/// most commercial mining tools (Disco, Celonis) present, and the input
+/// to the heuristics miner.
+class DirectlyFollowsGraph {
+ public:
+  explicit DirectlyFollowsGraph(
+      const std::vector<std::vector<std::string>>& traces);
+
+  const std::vector<std::string>& activities() const { return activities_; }
+  uint64_t EdgeCount(const std::string& a, const std::string& b) const;
+  uint64_t ActivityCount(const std::string& a) const;
+  uint64_t StartCount(const std::string& a) const;
+  uint64_t EndCount(const std::string& a) const;
+
+  const std::map<std::pair<std::string, std::string>, uint64_t>& edges()
+      const {
+    return edges_;
+  }
+
+  /// Drops edges occurring fewer than `min_count` times (noise filtering
+  /// by abstraction, as mining tools do).
+  void FilterEdges(uint64_t min_count);
+
+ private:
+  std::vector<std::string> activities_;
+  std::map<std::pair<std::string, std::string>, uint64_t> edges_;
+  std::map<std::string, uint64_t> activity_counts_;
+  std::map<std::string, uint64_t> start_counts_;
+  std::map<std::string, uint64_t> end_counts_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_DFG_H_

@@ -1,0 +1,75 @@
+#include "mining/dot_export.h"
+
+namespace blockoptr {
+
+namespace {
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\\\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string PetriNetToDot(const PetriNet& net) {
+  std::string out = "digraph petri {\n  rankdir=LR;\n";
+  for (size_t t = 0; t < net.num_transitions(); ++t) {
+    out += "  t" + std::to_string(t) + " [shape=box,label=" +
+           Quoted(net.TransitionLabel(static_cast<int>(t))) + "];\n";
+  }
+  for (size_t p = 0; p < net.places().size(); ++p) {
+    const auto& place = net.places()[p];
+    std::string attrs = "shape=circle,label=\"\"";
+    if (static_cast<int>(p) == net.source_place()) {
+      attrs = "shape=circle,label=\"\",style=filled,fillcolor=green";
+    } else if (static_cast<int>(p) == net.sink_place()) {
+      attrs = "shape=doublecircle,label=\"\"";
+    }
+    out += "  p" + std::to_string(p) + " [" + attrs + "];\n";
+    for (int t : place.input_transitions) {
+      out += "  t" + std::to_string(t) + " -> p" + std::to_string(p) + ";\n";
+    }
+    for (int t : place.output_transitions) {
+      out += "  p" + std::to_string(p) + " -> t" + std::to_string(t) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DfgToDot(const DirectlyFollowsGraph& dfg) {
+  std::string out = "digraph dfg {\n  rankdir=LR;\n";
+  for (const auto& a : dfg.activities()) {
+    out += "  " + Quoted(a) + " [shape=box,label=" +
+           Quoted(a + " (" + std::to_string(dfg.ActivityCount(a)) + ")") +
+           "];\n";
+  }
+  for (const auto& [edge, count] : dfg.edges()) {
+    out += "  " + Quoted(edge.first) + " -> " + Quoted(edge.second) +
+           " [label=\"" + std::to_string(count) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DependencyGraphToDot(const HeuristicsMiner::DependencyGraph& g) {
+  std::string out = "digraph deps {\n  rankdir=LR;\n";
+  for (const auto& a : g.activities) {
+    out += "  " + Quoted(a) + " [shape=box];\n";
+  }
+  for (const auto& [edge, dep] : g.edges) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", dep);
+    out += "  " + Quoted(edge.first) + " -> " + Quoted(edge.second) +
+           " [label=\"" + buf + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace blockoptr

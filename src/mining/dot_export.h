@@ -1,0 +1,20 @@
+#ifndef BLOCKOPTR_MINING_DOT_EXPORT_H_
+#define BLOCKOPTR_MINING_DOT_EXPORT_H_
+
+#include <string>
+
+#include "mining/dfg.h"
+#include "mining/heuristics_miner.h"
+#include "mining/petri_net.h"
+
+namespace blockoptr {
+
+/// Graphviz DOT rendering of mined models, for visual inspection of the
+/// derived process models (the Figure 2 / Figure 4 views of the paper).
+std::string PetriNetToDot(const PetriNet& net);
+std::string DfgToDot(const DirectlyFollowsGraph& dfg);
+std::string DependencyGraphToDot(const HeuristicsMiner::DependencyGraph& g);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_DOT_EXPORT_H_

@@ -1,0 +1,44 @@
+#include "mining/footprint.h"
+
+#include <algorithm>
+#include <set>
+
+namespace blockoptr {
+
+Footprint::Footprint(const std::vector<std::vector<std::string>>& traces) {
+  std::set<std::string> acts;
+  std::set<std::string> starts;
+  std::set<std::string> ends;
+  for (const auto& trace : traces) {
+    if (trace.empty()) continue;
+    starts.insert(trace.front());
+    ends.insert(trace.back());
+    for (size_t i = 0; i < trace.size(); ++i) {
+      acts.insert(trace[i]);
+      if (i + 1 < trace.size()) {
+        ++follows_[{trace[i], trace[i + 1]}];
+      }
+    }
+  }
+  activities_.assign(acts.begin(), acts.end());
+  start_activities_.assign(starts.begin(), starts.end());
+  end_activities_.assign(ends.begin(), ends.end());
+}
+
+uint64_t Footprint::DirectlyFollows(const std::string& a,
+                                    const std::string& b) const {
+  auto it = follows_.find({a, b});
+  return it == follows_.end() ? 0 : it->second;
+}
+
+Footprint::Relation Footprint::RelationOf(const std::string& a,
+                                          const std::string& b) const {
+  bool ab = DirectlyFollows(a, b) > 0;
+  bool ba = DirectlyFollows(b, a) > 0;
+  if (ab && ba) return Relation::kParallel;
+  if (ab) return Relation::kCausal;
+  if (ba) return Relation::kInverseCausal;
+  return Relation::kUnrelated;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,57 @@
+#ifndef BLOCKOPTR_MINING_FOOTPRINT_H_
+#define BLOCKOPTR_MINING_FOOTPRINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blockoptr {
+
+/// The footprint matrix of an event log (van der Aalst's Alpha algorithm,
+/// paper reference [76]): for every ordered activity pair, whether a is
+/// directly followed by b, and the derived causal / parallel / unrelated
+/// relations.
+class Footprint {
+ public:
+  enum class Relation {
+    kUnrelated,      // a # b
+    kCausal,         // a -> b
+    kInverseCausal,  // a <- b
+    kParallel,       // a || b
+  };
+
+  explicit Footprint(const std::vector<std::vector<std::string>>& traces);
+
+  const std::vector<std::string>& activities() const { return activities_; }
+
+  /// Directly-follows count of (a, b).
+  uint64_t DirectlyFollows(const std::string& a, const std::string& b) const;
+
+  Relation RelationOf(const std::string& a, const std::string& b) const;
+
+  bool Causal(const std::string& a, const std::string& b) const {
+    return RelationOf(a, b) == Relation::kCausal;
+  }
+  bool Unrelated(const std::string& a, const std::string& b) const {
+    return RelationOf(a, b) == Relation::kUnrelated;
+  }
+
+  /// Activities that start / end at least one trace.
+  const std::vector<std::string>& start_activities() const {
+    return start_activities_;
+  }
+  const std::vector<std::string>& end_activities() const {
+    return end_activities_;
+  }
+
+ private:
+  std::vector<std::string> activities_;
+  std::map<std::pair<std::string, std::string>, uint64_t> follows_;
+  std::vector<std::string> start_activities_;
+  std::vector<std::string> end_activities_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_FOOTPRINT_H_

@@ -1,0 +1,94 @@
+#include "mining/fuzzy_miner.h"
+
+#include <algorithm>
+
+#include "mining/dfg.h"
+
+namespace blockoptr {
+
+std::string FuzzyMiner::ProcessMap::NodeOf(const std::string& activity) const {
+  if (activities.count(activity) > 0) return activity;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const auto& cluster = clusters[i];
+    if (std::find(cluster.begin(), cluster.end(), activity) !=
+        cluster.end()) {
+      return "cluster_" + std::to_string(i);
+    }
+  }
+  return "";
+}
+
+FuzzyMiner::ProcessMap FuzzyMiner::Mine(
+    const std::vector<std::vector<std::string>>& traces,
+    const Options& options) {
+  DirectlyFollowsGraph dfg(traces);
+  ProcessMap map;
+  if (dfg.activities().empty()) return map;
+
+  // 1. Node significance: frequency relative to the most frequent
+  //    activity.
+  uint64_t max_count = 0;
+  for (const auto& a : dfg.activities()) {
+    max_count = std::max(max_count, dfg.ActivityCount(a));
+  }
+  std::vector<std::string> weak;
+  for (const auto& a : dfg.activities()) {
+    double significance = static_cast<double>(dfg.ActivityCount(a)) /
+                          static_cast<double>(max_count);
+    if (significance >= options.node_significance_threshold) {
+      map.activities[a] = significance;
+    } else {
+      weak.push_back(a);
+    }
+  }
+
+  // 2. Cluster the weak activities: connected groups (via
+  //    directly-follows in either direction) aggregate together;
+  //    isolated weak activities form singleton clusters.
+  std::vector<bool> assigned(weak.size(), false);
+  for (size_t i = 0; i < weak.size(); ++i) {
+    if (assigned[i]) continue;
+    std::vector<std::string> cluster = {weak[i]};
+    assigned[i] = true;
+    // Grow the cluster transitively.
+    for (size_t grow = 0; grow < cluster.size(); ++grow) {
+      for (size_t j = 0; j < weak.size(); ++j) {
+        if (assigned[j]) continue;
+        if (dfg.EdgeCount(cluster[grow], weak[j]) > 0 ||
+            dfg.EdgeCount(weak[j], cluster[grow]) > 0) {
+          cluster.push_back(weak[j]);
+          assigned[j] = true;
+        }
+      }
+    }
+    map.clusters.push_back(std::move(cluster));
+  }
+
+  // 3. Edge correlation + filtering: for every source node keep edges
+  //    whose frequency clears `edge_cutoff` of the strongest outgoing
+  //    edge of that node. Edges touching clustered activities are
+  //    re-targeted to the cluster node (aggregation).
+  std::map<std::string, uint64_t> strongest_out;
+  for (const auto& [edge, count] : dfg.edges()) {
+    std::string from = map.NodeOf(edge.first);
+    auto it = strongest_out.find(from);
+    if (it == strongest_out.end() || count > it->second) {
+      strongest_out[from] = count;
+    }
+  }
+  for (const auto& [edge, count] : dfg.edges()) {
+    std::string from = map.NodeOf(edge.first);
+    std::string to = map.NodeOf(edge.second);
+    if (from.empty() || to.empty() || from == to) continue;  // self-loops of
+                                                             // clusters drop
+    double correlation = static_cast<double>(count) /
+                         static_cast<double>(strongest_out.at(from));
+    if (correlation < options.edge_cutoff) continue;
+    auto [it, inserted] = map.edges.emplace(std::make_pair(from, to),
+                                            correlation);
+    if (!inserted) it->second = std::max(it->second, correlation);
+  }
+  return map;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,56 @@
+#ifndef BLOCKOPTR_MINING_FUZZY_MINER_H_
+#define BLOCKOPTR_MINING_FUZZY_MINER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blockoptr {
+
+/// A simplified fuzzy miner (Günther & van der Aalst [30], cited in paper
+/// §2.2): produces an adaptively *simplified* process map from noisy logs
+/// by (1) scoring activities by significance (relative frequency), (2)
+/// scoring edges by correlation (relative directly-follows frequency),
+/// (3) keeping every edge of highly significant activities while
+/// clustering low-significance activities into aggregate nodes, and (4)
+/// dropping conflicting weak edges.
+///
+/// The output is a process map: preserved activities, clusters of
+/// abstracted activities, and the filtered edge set — the "abstraction or
+/// aggregation" simplification the paper describes for mining tools.
+class FuzzyMiner {
+ public:
+  struct Options {
+    /// Activities with significance below this fraction of the maximum
+    /// are clustered away.
+    double node_significance_threshold = 0.1;
+    /// Edges with correlation below this fraction of the strongest edge
+    /// leaving the same node are dropped (edge filtering).
+    double edge_cutoff = 0.2;
+  };
+
+  struct ProcessMap {
+    /// Preserved activity -> significance in (0, 1].
+    std::map<std::string, double> activities;
+    /// Clusters of abstracted low-significance activities.
+    std::vector<std::vector<std::string>> clusters;
+    /// Kept edges with correlation weights. Cluster members are
+    /// represented by their cluster name ("cluster_0", ...).
+    std::map<std::pair<std::string, std::string>, double> edges;
+
+    /// Node label for an activity: itself if preserved, else its
+    /// cluster's name, else empty.
+    std::string NodeOf(const std::string& activity) const;
+  };
+
+  static ProcessMap Mine(const std::vector<std::vector<std::string>>& traces,
+                         const Options& options);
+  static ProcessMap Mine(
+      const std::vector<std::vector<std::string>>& traces) {
+    return Mine(traces, Options());
+  }
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_FUZZY_MINER_H_

@@ -1,0 +1,34 @@
+#include "mining/heuristics_miner.h"
+
+namespace blockoptr {
+
+double HeuristicsMiner::Dependency(const DirectlyFollowsGraph& dfg,
+                                   const std::string& a,
+                                   const std::string& b) {
+  double ab = static_cast<double>(dfg.EdgeCount(a, b));
+  double ba = static_cast<double>(dfg.EdgeCount(b, a));
+  return (ab - ba) / (ab + ba + 1.0);
+}
+
+HeuristicsMiner::DependencyGraph HeuristicsMiner::Mine(
+    const std::vector<std::vector<std::string>>& traces,
+    const Options& options) {
+  DirectlyFollowsGraph dfg(traces);
+  DependencyGraph graph;
+  graph.activities = dfg.activities();
+  for (const auto& a : dfg.activities()) {
+    if (dfg.StartCount(a) > 0) graph.start_activities.push_back(a);
+    if (dfg.EndCount(a) > 0) graph.end_activities.push_back(a);
+    for (const auto& b : dfg.activities()) {
+      if (a == b) continue;
+      if (dfg.EdgeCount(a, b) < options.min_edge_support) continue;
+      double d = Dependency(dfg, a, b);
+      if (d >= options.dependency_threshold) {
+        graph.edges[{a, b}] = d;
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace blockoptr

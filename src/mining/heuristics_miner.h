@@ -1,0 +1,56 @@
+#ifndef BLOCKOPTR_MINING_HEURISTICS_MINER_H_
+#define BLOCKOPTR_MINING_HEURISTICS_MINER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mining/dfg.h"
+
+namespace blockoptr {
+
+/// The heuristics miner (Weijters & van der Aalst [79]): derives a
+/// dependency graph from directly-follows counts, robust to noise. The
+/// dependency measure for activities a, b is
+///
+///        |a > b| - |b > a|
+///   d = -------------------
+///        |a > b| + |b > a| + 1
+///
+/// Edges with d >= `dependency_threshold` and support >=
+/// `min_edge_support` are kept.
+class HeuristicsMiner {
+ public:
+  struct Options {
+    double dependency_threshold = 0.9;
+    uint64_t min_edge_support = 2;
+  };
+
+  struct DependencyGraph {
+    std::vector<std::string> activities;
+    /// (a, b) -> dependency measure, for kept edges only.
+    std::map<std::pair<std::string, std::string>, double> edges;
+    std::vector<std::string> start_activities;
+    std::vector<std::string> end_activities;
+
+    bool HasEdge(const std::string& a, const std::string& b) const {
+      return edges.count({a, b}) > 0;
+    }
+  };
+
+  static DependencyGraph Mine(
+      const std::vector<std::vector<std::string>>& traces,
+      const Options& options);
+  static DependencyGraph Mine(
+      const std::vector<std::vector<std::string>>& traces) {
+    return Mine(traces, Options());
+  }
+
+  /// The raw dependency measure between two activities.
+  static double Dependency(const DirectlyFollowsGraph& dfg,
+                           const std::string& a, const std::string& b);
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_HEURISTICS_MINER_H_

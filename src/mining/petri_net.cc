@@ -1,0 +1,48 @@
+#include "mining/petri_net.h"
+
+#include <algorithm>
+
+namespace blockoptr {
+
+int PetriNet::AddTransition(const std::string& label) {
+  int existing = TransitionIndex(label);
+  if (existing >= 0) return existing;
+  transitions_.push_back(label);
+  return static_cast<int>(transitions_.size()) - 1;
+}
+
+int PetriNet::AddPlace(Place place) {
+  places_.push_back(std::move(place));
+  return static_cast<int>(places_.size()) - 1;
+}
+
+int PetriNet::TransitionIndex(const std::string& label) const {
+  auto it = std::find(transitions_.begin(), transitions_.end(), label);
+  if (it == transitions_.end()) return -1;
+  return static_cast<int>(it - transitions_.begin());
+}
+
+std::vector<int> PetriNet::InputPlacesOf(int transition) const {
+  std::vector<int> out;
+  for (size_t p = 0; p < places_.size(); ++p) {
+    const auto& outputs = places_[p].output_transitions;
+    if (std::find(outputs.begin(), outputs.end(), transition) !=
+        outputs.end()) {
+      out.push_back(static_cast<int>(p));
+    }
+  }
+  return out;
+}
+
+std::vector<int> PetriNet::OutputPlacesOf(int transition) const {
+  std::vector<int> out;
+  for (size_t p = 0; p < places_.size(); ++p) {
+    const auto& inputs = places_[p].input_transitions;
+    if (std::find(inputs.begin(), inputs.end(), transition) != inputs.end()) {
+      out.push_back(static_cast<int>(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace blockoptr

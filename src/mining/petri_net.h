@@ -1,0 +1,57 @@
+#ifndef BLOCKOPTR_MINING_PETRI_NET_H_
+#define BLOCKOPTR_MINING_PETRI_NET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace blockoptr {
+
+/// A workflow-net-style Petri net: transitions are activities; places
+/// connect them. Produced by the Alpha miner and consumed by token-replay
+/// conformance checking.
+class PetriNet {
+ public:
+  struct Place {
+    std::string name;
+    std::vector<int> input_transitions;   // transitions producing tokens
+    std::vector<int> output_transitions;  // transitions consuming tokens
+  };
+
+  /// Adds a transition (activity); returns its index. Duplicate labels
+  /// return the existing index.
+  int AddTransition(const std::string& label);
+
+  /// Adds a place; returns its index.
+  int AddPlace(Place place);
+
+  int TransitionIndex(const std::string& label) const;  // -1 if absent
+  const std::string& TransitionLabel(int t) const {
+    return transitions_[static_cast<size_t>(t)];
+  }
+  size_t num_transitions() const { return transitions_.size(); }
+  size_t num_places() const { return places_.size(); }
+  const std::vector<Place>& places() const { return places_; }
+  const std::vector<std::string>& transitions() const { return transitions_; }
+
+  /// Source/sink places of the workflow net (set by the miner).
+  int source_place() const { return source_place_; }
+  int sink_place() const { return sink_place_; }
+  void set_source_place(int p) { source_place_ = p; }
+  void set_sink_place(int p) { sink_place_ = p; }
+
+  /// Input/output places of a transition.
+  std::vector<int> InputPlacesOf(int transition) const;
+  std::vector<int> OutputPlacesOf(int transition) const;
+
+ private:
+  std::vector<std::string> transitions_;
+  std::vector<Place> places_;
+  int source_place_ = -1;
+  int sink_place_ = -1;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_PETRI_NET_H_

@@ -1,0 +1,95 @@
+#include "mining/precision.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace blockoptr {
+
+namespace {
+
+/// Marking = token count per place.
+using Marking = std::vector<int64_t>;
+
+struct PrefixStats {
+  uint64_t frequency = 0;
+  std::set<std::string> observed_next;
+};
+
+}  // namespace
+
+double EscapingEdgesPrecision(
+    const PetriNet& net,
+    const std::vector<std::vector<std::string>>& traces) {
+  // 1. Prefix automaton of the log: for every observed prefix, which
+  //    activities follow it (and how often the prefix occurs).
+  std::map<std::vector<std::string>, PrefixStats> prefixes;
+  for (const auto& trace : traces) {
+    std::vector<std::string> prefix;
+    for (const auto& activity : trace) {
+      auto& stats = prefixes[prefix];
+      ++stats.frequency;
+      stats.observed_next.insert(activity);
+      prefix.push_back(activity);
+    }
+  }
+
+  // Precompute transition I/O places.
+  std::vector<std::vector<int>> inputs(net.num_transitions());
+  std::vector<std::vector<int>> outputs(net.num_transitions());
+  for (size_t t = 0; t < net.num_transitions(); ++t) {
+    inputs[t] = net.InputPlacesOf(static_cast<int>(t));
+    outputs[t] = net.OutputPlacesOf(static_cast<int>(t));
+  }
+
+  auto enabled = [&](const Marking& marking, size_t t) {
+    for (int p : inputs[t]) {
+      if (marking[static_cast<size_t>(p)] <= 0) return false;
+    }
+    return true;
+  };
+
+  // 2. Replay each prefix to its marking (creating missing tokens like
+  //    token replay does, so unfitting logs still yield a value), then
+  //    count enabled vs observed-next transitions.
+  double weighted_allowed = 0;
+  double weighted_escaping = 0;
+  for (const auto& [prefix, stats] : prefixes) {
+    Marking marking(net.num_places(), 0);
+    if (net.source_place() >= 0) {
+      marking[static_cast<size_t>(net.source_place())] = 1;
+    }
+    for (const auto& activity : prefix) {
+      int t = net.TransitionIndex(activity);
+      if (t < 0) continue;
+      for (int p : inputs[static_cast<size_t>(t)]) {
+        if (marking[static_cast<size_t>(p)] <= 0) {
+          ++marking[static_cast<size_t>(p)];  // missing-token repair
+        }
+        --marking[static_cast<size_t>(p)];
+      }
+      for (int p : outputs[static_cast<size_t>(t)]) {
+        ++marking[static_cast<size_t>(p)];
+      }
+    }
+    size_t allowed = 0;
+    size_t escaping = 0;
+    for (size_t t = 0; t < net.num_transitions(); ++t) {
+      if (!enabled(marking, t)) continue;
+      ++allowed;
+      if (stats.observed_next.count(net.TransitionLabel(
+              static_cast<int>(t))) == 0) {
+        ++escaping;
+      }
+    }
+    if (allowed == 0) continue;
+    weighted_allowed +=
+        static_cast<double>(stats.frequency) * static_cast<double>(allowed);
+    weighted_escaping +=
+        static_cast<double>(stats.frequency) * static_cast<double>(escaping);
+  }
+  if (weighted_allowed <= 0) return 1.0;
+  return 1.0 - weighted_escaping / weighted_allowed;
+}
+
+}  // namespace blockoptr

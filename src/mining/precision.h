@@ -1,0 +1,31 @@
+#ifndef BLOCKOPTR_MINING_PRECISION_H_
+#define BLOCKOPTR_MINING_PRECISION_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/petri_net.h"
+
+namespace blockoptr {
+
+/// Escaping-edges (ETC-style) precision of a Petri net with respect to a
+/// log: fitness asks "does the model allow the observed behaviour?";
+/// precision asks the converse — "does the model allow *much more* than
+/// the observed behaviour?". A model that permits every interleaving
+/// (e.g. a "flower" model) has fitness 1 but very low precision.
+///
+/// For every observed trace prefix the net's enabled transitions are
+/// compared against the activities actually observed next in the log at
+/// that prefix; enabled-but-never-observed transitions are *escaping
+/// edges*. Precision = 1 - (weighted escaping) / (weighted allowed),
+/// weighted by prefix frequency. In [0, 1]; 1 = the model allows exactly
+/// the observed behaviour.
+///
+/// Together with token-replay fitness (conformance.h) this gives the
+/// standard two-axis model-quality view for mined process models.
+double EscapingEdgesPrecision(
+    const PetriNet& net, const std::vector<std::vector<std::string>>& traces);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_MINING_PRECISION_H_

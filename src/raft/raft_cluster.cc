@@ -1,0 +1,94 @@
+#include "raft/raft_cluster.h"
+
+#include <utility>
+
+namespace blockoptr {
+
+RaftCluster::RaftCluster(Simulator* sim, Options options)
+    : sim_(sim), options_(options), rng_(options.seed) {
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<RaftNode>(
+        i, options_.num_nodes, this, sim_, rng_.Fork(),
+        options_.election_timeout_min, options_.election_timeout_max,
+        options_.heartbeat_interval));
+  }
+}
+
+void RaftCluster::Start() {
+  for (auto& n : nodes_) n->Start();
+}
+
+void RaftCluster::Propose(uint64_t payload) {
+  pending_.push(payload);
+  FlushPending();
+}
+
+void RaftCluster::FlushPending() {
+  int leader = LeaderId();
+  if (leader < 0) {
+    // No leader yet; retry shortly (leadership will emerge via timers).
+    sim_->ScheduleAfter(options_.heartbeat_interval, [this]() {
+      if (!pending_.empty()) FlushPending();
+    });
+    return;
+  }
+  while (!pending_.empty()) {
+    if (!nodes_[static_cast<size_t>(leader)]->Propose(pending_.front())) {
+      // Leadership changed between checks; retry later.
+      sim_->ScheduleAfter(options_.heartbeat_interval, [this]() {
+        if (!pending_.empty()) FlushPending();
+      });
+      return;
+    }
+    pending_.pop();
+  }
+}
+
+void RaftCluster::Send(int from, int to, RaftMessage msg) {
+  (void)from;
+  if (nodes_[static_cast<size_t>(to)]->stopped()) return;
+  ++messages_sent_;
+  double delay =
+      options_.network_delay + rng_.NextDouble() * options_.network_jitter;
+  sim_->ScheduleAfter(delay, [this, to, msg = std::move(msg)]() {
+    nodes_[static_cast<size_t>(to)]->Receive(msg);
+  });
+}
+
+void RaftCluster::OnNodeCommit(const RaftNode& node) {
+  // Deliver newly committed payloads exactly once, in log order. Committed
+  // prefixes are identical on all nodes (Raft log-matching), so reading
+  // from whichever node advanced first is safe.
+  while (applied_index_ < node.commit_index()) {
+    ++applied_index_;
+    uint64_t payload = node.log().At(applied_index_).payload;
+    if (on_commit_) on_commit_(payload);
+  }
+}
+
+void RaftCluster::OnLeaderElected(int leader_id) {
+  (void)leader_id;
+  if (!pending_.empty()) FlushPending();
+}
+
+void RaftCluster::StopNode(int id) { nodes_[static_cast<size_t>(id)]->Stop(); }
+
+void RaftCluster::RestartNode(int id) {
+  nodes_[static_cast<size_t>(id)]->Restart();
+}
+
+int RaftCluster::LeaderId() const {
+  // The acting leader is the live leader with the highest term.
+  int leader = -1;
+  uint64_t best_term = 0;
+  for (const auto& n : nodes_) {
+    if (!n->stopped() && n->role() == RaftNode::Role::kLeader &&
+        n->current_term() >= best_term) {
+      leader = n->id();
+      best_term = n->current_term();
+    }
+  }
+  return leader;
+}
+
+}  // namespace blockoptr

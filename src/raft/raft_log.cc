@@ -1,0 +1,35 @@
+#include "raft/raft_log.h"
+
+namespace blockoptr {
+
+uint64_t RaftLog::TermAt(uint64_t index) const {
+  if (index == 0 || index > entries_.size()) return 0;
+  return entries_[index - 1].term;
+}
+
+bool RaftLog::Matches(uint64_t index, uint64_t term) const {
+  if (index == 0) return term == 0;
+  if (index > entries_.size()) return false;
+  return entries_[index - 1].term == term;
+}
+
+void RaftLog::TruncateFrom(uint64_t from_index) {
+  if (from_index == 0) {
+    entries_.clear();
+    return;
+  }
+  if (from_index <= entries_.size()) {
+    entries_.resize(from_index - 1);
+  }
+}
+
+std::vector<RaftEntry> RaftLog::EntriesFrom(uint64_t from_index) const {
+  std::vector<RaftEntry> out;
+  if (from_index == 0) from_index = 1;
+  for (uint64_t i = from_index; i <= entries_.size(); ++i) {
+    out.push_back(entries_[i - 1]);
+  }
+  return out;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,51 @@
+#ifndef BLOCKOPTR_RAFT_RAFT_LOG_H_
+#define BLOCKOPTR_RAFT_RAFT_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace blockoptr {
+
+/// One replicated log entry. The payload is an opaque identifier — the
+/// ordering service stores the id of a cut block and resolves it back to
+/// the block contents on commit.
+struct RaftEntry {
+  uint64_t term = 0;
+  uint64_t payload = 0;
+
+  friend bool operator==(const RaftEntry&, const RaftEntry&) = default;
+};
+
+/// A Raft log with 1-based indexing (index 0 is the empty sentinel with
+/// term 0, as in the Raft paper).
+class RaftLog {
+ public:
+  uint64_t LastIndex() const { return entries_.size(); }
+  uint64_t LastTerm() const {
+    return entries_.empty() ? 0 : entries_.back().term;
+  }
+
+  /// Term of the entry at `index`; 0 for index 0; 0 for out-of-range.
+  uint64_t TermAt(uint64_t index) const;
+
+  /// True if the log contains an entry at `index` with term `term`
+  /// (or index == 0).
+  bool Matches(uint64_t index, uint64_t term) const;
+
+  const RaftEntry& At(uint64_t index) const { return entries_[index - 1]; }
+
+  void Append(RaftEntry entry) { entries_.push_back(entry); }
+
+  /// Removes entries at `from_index` and beyond.
+  void TruncateFrom(uint64_t from_index);
+
+  /// Entries in [from_index, LastIndex()].
+  std::vector<RaftEntry> EntriesFrom(uint64_t from_index) const;
+
+ private:
+  std::vector<RaftEntry> entries_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_RAFT_RAFT_LOG_H_

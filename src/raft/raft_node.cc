@@ -1,0 +1,249 @@
+#include "raft/raft_node.h"
+
+#include <algorithm>
+
+#include "raft/raft_cluster.h"
+
+namespace blockoptr {
+
+RaftNode::RaftNode(int id, int cluster_size, RaftCluster* cluster,
+                   Simulator* sim, Rng rng, double election_timeout_min,
+                   double election_timeout_max, double heartbeat_interval)
+    : id_(id),
+      cluster_size_(cluster_size),
+      cluster_(cluster),
+      sim_(sim),
+      rng_(rng),
+      election_timeout_min_(election_timeout_min),
+      election_timeout_max_(election_timeout_max),
+      heartbeat_interval_(heartbeat_interval) {
+  next_index_.assign(static_cast<size_t>(cluster_size_), 1);
+  match_index_.assign(static_cast<size_t>(cluster_size_), 0);
+}
+
+void RaftNode::Start() { ArmElectionTimer(); }
+
+void RaftNode::Stop() {
+  stopped_ = true;
+  // Invalidate all pending timers.
+  ++election_timer_gen_;
+  ++heartbeat_timer_gen_;
+}
+
+void RaftNode::Restart() {
+  stopped_ = false;
+  role_ = Role::kFollower;
+  commit_index_ = 0;
+  last_applied_ = 0;
+  votes_received_ = 0;
+  ArmElectionTimer();
+}
+
+void RaftNode::ArmElectionTimer() {
+  uint64_t gen = ++election_timer_gen_;
+  double timeout =
+      election_timeout_min_ +
+      rng_.NextDouble() * (election_timeout_max_ - election_timeout_min_);
+  sim_->ScheduleAfter(timeout, [this, gen]() {
+    if (stopped_ || gen != election_timer_gen_) return;
+    if (role_ != Role::kLeader) StartElection();
+  });
+}
+
+void RaftNode::StartElection() {
+  role_ = Role::kCandidate;
+  ++current_term_;
+  voted_for_ = id_;
+  votes_received_ = 1;
+  ArmElectionTimer();  // retry if the election stalls
+  RequestVoteArgs args{current_term_, id_, log_.LastIndex(), log_.LastTerm()};
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == id_) continue;
+    cluster_->Send(id_, peer, args);
+  }
+  // Single-node cluster: immediately win.
+  if (cluster_size_ == 1) BecomeLeader();
+}
+
+void RaftNode::BecomeFollower(uint64_t term) {
+  if (term > current_term_) {
+    current_term_ = term;
+    voted_for_ = -1;
+  }
+  role_ = Role::kFollower;
+  votes_received_ = 0;
+  ++heartbeat_timer_gen_;  // stop leader heartbeats if we were leader
+  ArmElectionTimer();
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = Role::kLeader;
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    next_index_[static_cast<size_t>(peer)] = log_.LastIndex() + 1;
+    match_index_[static_cast<size_t>(peer)] = 0;
+  }
+  match_index_[static_cast<size_t>(id_)] = log_.LastIndex();
+  ++election_timer_gen_;  // leaders do not time out
+  cluster_->OnLeaderElected(id_);
+  SendHeartbeats();
+}
+
+void RaftNode::SendHeartbeats() {
+  if (stopped_ || role_ != Role::kLeader) return;
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == id_) continue;
+    ReplicateTo(peer);
+  }
+  uint64_t gen = ++heartbeat_timer_gen_;
+  sim_->ScheduleAfter(heartbeat_interval_, [this, gen]() {
+    if (stopped_ || gen != heartbeat_timer_gen_) return;
+    SendHeartbeats();
+  });
+}
+
+void RaftNode::ReplicateTo(int peer) {
+  uint64_t next = next_index_[static_cast<size_t>(peer)];
+  AppendEntriesArgs args;
+  args.term = current_term_;
+  args.leader_id = id_;
+  args.prev_log_index = next - 1;
+  args.prev_log_term = log_.TermAt(next - 1);
+  args.entries = log_.EntriesFrom(next);
+  args.leader_commit = commit_index_;
+  cluster_->Send(id_, peer, std::move(args));
+}
+
+bool RaftNode::Propose(uint64_t payload) {
+  if (stopped_ || role_ != Role::kLeader) return false;
+  log_.Append(RaftEntry{current_term_, payload});
+  match_index_[static_cast<size_t>(id_)] = log_.LastIndex();
+  if (cluster_size_ == 1) {
+    AdvanceCommitIndex();
+    return true;
+  }
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == id_) continue;
+    ReplicateTo(peer);
+  }
+  return true;
+}
+
+void RaftNode::Receive(const RaftMessage& msg) {
+  if (stopped_) return;
+  std::visit([this](const auto& m) { Handle(m); }, msg);
+}
+
+void RaftNode::Handle(const RequestVoteArgs& args) {
+  if (args.term > current_term_) BecomeFollower(args.term);
+  bool grant = false;
+  if (args.term == current_term_ &&
+      (voted_for_ == -1 || voted_for_ == args.candidate_id)) {
+    // Election restriction: candidate's log must be at least as up to date.
+    bool up_to_date =
+        args.last_log_term > log_.LastTerm() ||
+        (args.last_log_term == log_.LastTerm() &&
+         args.last_log_index >= log_.LastIndex());
+    if (up_to_date) {
+      grant = true;
+      voted_for_ = args.candidate_id;
+      ArmElectionTimer();
+    }
+  }
+  cluster_->Send(id_, args.candidate_id,
+                 RequestVoteReply{current_term_, grant, id_});
+}
+
+void RaftNode::Handle(const RequestVoteReply& reply) {
+  if (reply.term > current_term_) {
+    BecomeFollower(reply.term);
+    return;
+  }
+  if (role_ != Role::kCandidate || reply.term != current_term_) return;
+  if (reply.vote_granted) {
+    ++votes_received_;
+    if (votes_received_ * 2 > cluster_size_) BecomeLeader();
+  }
+}
+
+void RaftNode::Handle(const AppendEntriesArgs& args) {
+  if (args.term > current_term_ ||
+      (args.term == current_term_ && role_ != Role::kFollower)) {
+    BecomeFollower(args.term);
+  }
+  if (args.term < current_term_) {
+    cluster_->Send(id_, args.leader_id,
+                   AppendEntriesReply{current_term_, false, 0, id_});
+    return;
+  }
+  ArmElectionTimer();  // valid leader contact
+  if (!log_.Matches(args.prev_log_index, args.prev_log_term)) {
+    cluster_->Send(id_, args.leader_id,
+                   AppendEntriesReply{current_term_, false, 0, id_});
+    return;
+  }
+  // Append, resolving conflicts by truncation.
+  uint64_t index = args.prev_log_index;
+  for (const auto& entry : args.entries) {
+    ++index;
+    if (log_.LastIndex() >= index) {
+      if (log_.TermAt(index) != entry.term) {
+        log_.TruncateFrom(index);
+        log_.Append(entry);
+      }
+    } else {
+      log_.Append(entry);
+    }
+  }
+  if (args.leader_commit > commit_index_) {
+    commit_index_ = std::min(args.leader_commit, log_.LastIndex());
+    MaybeApply();
+  }
+  cluster_->Send(
+      id_, args.leader_id,
+      AppendEntriesReply{current_term_, true,
+                         args.prev_log_index + args.entries.size(), id_});
+}
+
+void RaftNode::Handle(const AppendEntriesReply& reply) {
+  if (reply.term > current_term_) {
+    BecomeFollower(reply.term);
+    return;
+  }
+  if (role_ != Role::kLeader || reply.term != current_term_) return;
+  auto peer = static_cast<size_t>(reply.follower_id);
+  if (reply.success) {
+    match_index_[peer] = std::max(match_index_[peer], reply.match_index);
+    next_index_[peer] = match_index_[peer] + 1;
+    AdvanceCommitIndex();
+  } else {
+    // Back off and retry.
+    if (next_index_[peer] > 1) --next_index_[peer];
+    ReplicateTo(reply.follower_id);
+  }
+}
+
+void RaftNode::AdvanceCommitIndex() {
+  // Find the highest index replicated on a majority with an entry from
+  // the current term (Raft paper §5.4.2).
+  for (uint64_t n = log_.LastIndex(); n > commit_index_; --n) {
+    if (log_.TermAt(n) != current_term_) break;
+    int count = 0;
+    for (int peer = 0; peer < cluster_size_; ++peer) {
+      if (match_index_[static_cast<size_t>(peer)] >= n) ++count;
+    }
+    if (count * 2 > cluster_size_) {
+      commit_index_ = n;
+      MaybeApply();
+      break;
+    }
+  }
+}
+
+void RaftNode::MaybeApply() {
+  if (last_applied_ < commit_index_) {
+    last_applied_ = commit_index_;
+    cluster_->OnNodeCommit(*this);
+  }
+}
+
+}  // namespace blockoptr

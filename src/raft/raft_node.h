@@ -1,0 +1,127 @@
+#ifndef BLOCKOPTR_RAFT_RAFT_NODE_H_
+#define BLOCKOPTR_RAFT_RAFT_NODE_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "raft/raft_log.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+
+class RaftCluster;
+
+/// Raft RPC messages (Raft paper §5).
+struct RequestVoteArgs {
+  uint64_t term;
+  int candidate_id;
+  uint64_t last_log_index;
+  uint64_t last_log_term;
+};
+struct RequestVoteReply {
+  uint64_t term;
+  bool vote_granted;
+  int voter_id;
+};
+struct AppendEntriesArgs {
+  uint64_t term;
+  int leader_id;
+  uint64_t prev_log_index;
+  uint64_t prev_log_term;
+  std::vector<RaftEntry> entries;
+  uint64_t leader_commit;
+};
+struct AppendEntriesReply {
+  uint64_t term;
+  bool success;
+  uint64_t match_index;  // highest replicated index when success
+  int follower_id;
+};
+
+using RaftMessage = std::variant<RequestVoteArgs, RequestVoteReply,
+                                 AppendEntriesArgs, AppendEntriesReply>;
+
+/// One Raft consensus participant (an ordering-service node). Driven
+/// entirely by the discrete-event simulator: election timeouts, heartbeats,
+/// and message deliveries are simulator events, so consensus behaviour —
+/// including elections and leader failover — is deterministic per seed.
+class RaftNode {
+ public:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  /// `cluster` and `sim` must outlive the node.
+  RaftNode(int id, int cluster_size, RaftCluster* cluster, Simulator* sim,
+           Rng rng, double election_timeout_min, double election_timeout_max,
+           double heartbeat_interval);
+
+  int id() const { return id_; }
+  Role role() const { return role_; }
+  uint64_t current_term() const { return current_term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  const RaftLog& log() const { return log_; }
+  bool stopped() const { return stopped_; }
+
+  /// Begins participating: arms the first election timeout.
+  void Start();
+
+  /// Crash-stops the node (drops all traffic, freezes timers).
+  void Stop();
+
+  /// Restarts after a crash: volatile state reset, persistent state
+  /// (term, vote, log) retained per the Raft model.
+  void Restart();
+
+  /// Leader-only: appends a payload to the local log and replicates it.
+  /// Returns false when this node is not the leader.
+  bool Propose(uint64_t payload);
+
+  /// Message delivery entry point (called by the cluster).
+  void Receive(const RaftMessage& msg);
+
+ private:
+  void BecomeFollower(uint64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void ArmElectionTimer();
+  void SendHeartbeats();
+  void ReplicateTo(int peer);
+  void AdvanceCommitIndex();
+  void MaybeApply();
+
+  void Handle(const RequestVoteArgs& args);
+  void Handle(const RequestVoteReply& reply);
+  void Handle(const AppendEntriesArgs& args);
+  void Handle(const AppendEntriesReply& reply);
+
+  const int id_;
+  const int cluster_size_;
+  RaftCluster* cluster_;
+  Simulator* sim_;
+  Rng rng_;
+  const double election_timeout_min_;
+  const double election_timeout_max_;
+  const double heartbeat_interval_;
+
+  Role role_ = Role::kFollower;
+  uint64_t current_term_ = 0;
+  int voted_for_ = -1;
+  RaftLog log_;
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+
+  // Leader volatile state.
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+  int votes_received_ = 0;
+
+  // Timer generations invalidate stale scheduled callbacks.
+  uint64_t election_timer_gen_ = 0;
+  uint64_t heartbeat_timer_gen_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_RAFT_RAFT_NODE_H_

@@ -1,0 +1,193 @@
+#include "reorder/conflict_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace blockoptr {
+
+ConflictGraph::ConflictGraph(const std::vector<const ReadWriteSet*>& rwsets) {
+  const size_t n = rwsets.size();
+  adj_.assign(n, {});
+  removed_.assign(n, false);
+
+  // Index: key -> transactions reading it / writing it.
+  std::map<std::string, std::vector<int>> readers;
+  for (size_t j = 0; j < n; ++j) {
+    for (const auto& key : rwsets[j]->ReadKeys()) {
+      readers[key].push_back(static_cast<int>(j));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& w : rwsets[i]->writes) {
+      auto it = readers.find(w.key);
+      if (it == readers.end()) continue;
+      for (int j : it->second) {
+        if (j != static_cast<int>(i)) {
+          adj_[i].push_back(j);
+        }
+      }
+    }
+    std::sort(adj_[i].begin(), adj_[i].end());
+    adj_[i].erase(std::unique(adj_[i].begin(), adj_[i].end()), adj_[i].end());
+  }
+}
+
+std::vector<std::vector<int>> ConflictGraph::StronglyConnectedComponents()
+    const {
+  // Iterative Tarjan.
+  const int n = static_cast<int>(adj_.size());
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    size_t child;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<size_t>(start)] != -1 ||
+        removed_[static_cast<size_t>(start)]) {
+      continue;
+    }
+    std::vector<Frame> frames{{start, 0}};
+    index[static_cast<size_t>(start)] = lowlink[static_cast<size_t>(start)] =
+        next_index++;
+    stack.push_back(start);
+    on_stack[static_cast<size_t>(start)] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& succ = adj_[static_cast<size_t>(f.v)];
+      bool descended = false;
+      while (f.child < succ.size()) {
+        int w = succ[f.child++];
+        if (removed_[static_cast<size_t>(w)]) continue;
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = lowlink[static_cast<size_t>(w)] =
+              next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = true;
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<size_t>(w)]) {
+          lowlink[static_cast<size_t>(f.v)] =
+              std::min(lowlink[static_cast<size_t>(f.v)],
+                       index[static_cast<size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      // Done with f.v.
+      if (lowlink[static_cast<size_t>(f.v)] ==
+          index[static_cast<size_t>(f.v)]) {
+        std::vector<int> scc;
+        for (;;) {
+          int w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          scc.push_back(w);
+          if (w == f.v) break;
+        }
+        sccs.push_back(std::move(scc));
+      }
+      int v = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int parent = frames.back().v;
+        lowlink[static_cast<size_t>(parent)] =
+            std::min(lowlink[static_cast<size_t>(parent)],
+                     lowlink[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  return sccs;
+}
+
+std::vector<int> ConflictGraph::BreakCycles() {
+  std::vector<int> aborted;
+  for (;;) {
+    auto sccs = StronglyConnectedComponents();
+    // Also handle self-loops (a tx cannot invalidate itself in Fabric —
+    // reads are taken before writes — so adj_ never has self-edges; only
+    // multi-node SCCs matter).
+    std::vector<int>* worst_scc = nullptr;
+    for (auto& scc : sccs) {
+      if (scc.size() > 1) {
+        worst_scc = &scc;
+        break;
+      }
+    }
+    if (worst_scc == nullptr) break;
+    // Drop the member with the highest degree inside the SCC.
+    int victim = (*worst_scc)[0];
+    size_t best_degree = 0;
+    for (int v : *worst_scc) {
+      size_t degree = 0;
+      for (int w : adj_[static_cast<size_t>(v)]) {
+        if (!removed_[static_cast<size_t>(w)]) ++degree;
+      }
+      for (int u : *worst_scc) {
+        if (u == v || removed_[static_cast<size_t>(u)]) continue;
+        if (std::binary_search(adj_[static_cast<size_t>(u)].begin(),
+                               adj_[static_cast<size_t>(u)].end(), v)) {
+          ++degree;
+        }
+      }
+      if (degree > best_degree) {
+        best_degree = degree;
+        victim = v;
+      }
+    }
+    removed_[static_cast<size_t>(victim)] = true;
+    aborted.push_back(victim);
+  }
+  std::sort(aborted.begin(), aborted.end());
+  return aborted;
+}
+
+std::vector<int> ConflictGraph::SerializableOrder(
+    const std::vector<bool>& alive) const {
+  const int n = static_cast<int>(adj_.size());
+  // Precedence edge j -> i for every conflict edge i -> j (the reader must
+  // come first). Kahn's algorithm with original-order tie-breaking.
+  std::vector<std::vector<int>> succ(static_cast<size_t>(n));
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    if (!alive[static_cast<size_t>(i)]) continue;
+    for (int j : adj_[static_cast<size_t>(i)]) {
+      if (!alive[static_cast<size_t>(j)]) continue;
+      succ[static_cast<size_t>(j)].push_back(i);
+      ++indegree[static_cast<size_t>(i)];
+    }
+  }
+  // Min-heap over available nodes keyed by original index keeps ties in
+  // arrival order.
+  std::vector<int> available;
+  for (int i = 0; i < n; ++i) {
+    if (alive[static_cast<size_t>(i)] && indegree[static_cast<size_t>(i)] == 0) {
+      available.push_back(i);
+    }
+  }
+  std::make_heap(available.begin(), available.end(), std::greater<>());
+  std::vector<int> order;
+  while (!available.empty()) {
+    std::pop_heap(available.begin(), available.end(), std::greater<>());
+    int v = available.back();
+    available.pop_back();
+    order.push_back(v);
+    for (int w : succ[static_cast<size_t>(v)]) {
+      if (--indegree[static_cast<size_t>(w)] == 0) {
+        available.push_back(w);
+        std::push_heap(available.begin(), available.end(), std::greater<>());
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,36 @@
+#include "reorder/fabricpp.h"
+
+#include "reorder/conflict_graph.h"
+
+namespace blockoptr {
+
+void FabricPPReorderer::ProcessBatch(std::vector<Transaction>& batch) {
+  if (batch.size() < 2) return;
+
+  std::vector<const ReadWriteSet*> rwsets;
+  rwsets.reserve(batch.size());
+  for (const auto& tx : batch) rwsets.push_back(&tx.rwset);
+
+  ConflictGraph graph(rwsets);
+  std::vector<int> aborted = graph.BreakCycles();
+
+  std::vector<bool> alive(batch.size(), true);
+  for (int a : aborted) {
+    alive[static_cast<size_t>(a)] = false;
+    batch[static_cast<size_t>(a)].pre_aborted = true;
+    batch[static_cast<size_t>(a)].status = TxStatus::kMvccReadConflict;
+    ++total_early_aborts_;
+  }
+
+  std::vector<int> order = graph.SerializableOrder(alive);
+
+  std::vector<Transaction> out;
+  out.reserve(batch.size());
+  for (int i : order) out.push_back(std::move(batch[static_cast<size_t>(i)]));
+  // Aborted transactions are still recorded in the block (flagged
+  // invalid), appended at the end.
+  for (int a : aborted) out.push_back(std::move(batch[static_cast<size_t>(a)]));
+  batch = std::move(out);
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace blockoptr {
+
+void Simulator::ScheduleAt(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+void Simulator::ScheduleAfter(SimTime delay, Callback cb) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via a copy of
+  // the handle before pop. Events are small (one std::function).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,39 @@
+#include "statedb/versioned_store.h"
+
+namespace blockoptr {
+
+std::string Version::ToString() const {
+  return std::to_string(block_num) + ":" + std::to_string(tx_num);
+}
+
+std::optional<VersionedValue> VersionedStore::Get(std::string_view key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool VersionedStore::Contains(std::string_view key) const {
+  return map_.find(key) != map_.end();
+}
+
+std::vector<std::pair<std::string, VersionedValue>> VersionedStore::Range(
+    std::string_view start_key, std::string_view end_key) const {
+  std::vector<std::pair<std::string, VersionedValue>> out;
+  auto it = map_.lower_bound(start_key);
+  auto end = end_key.empty() ? map_.end() : map_.lower_bound(end_key);
+  for (; it != end; ++it) out.emplace_back(it->first, it->second);
+  return out;
+}
+
+void VersionedStore::Apply(std::string_view key, std::string_view value,
+                           bool is_delete, Version version) {
+  if (is_delete) {
+    map_.erase(std::string(key));
+    return;
+  }
+  auto [it, inserted] = map_.try_emplace(std::string(key));
+  it->second.value = std::string(value);
+  it->second.version = version;
+}
+
+}  // namespace blockoptr

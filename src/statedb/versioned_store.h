@@ -1,0 +1,72 @@
+#ifndef BLOCKOPTR_STATEDB_VERSIONED_STORE_H_
+#define BLOCKOPTR_STATEDB_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blockoptr {
+
+/// The version of a committed key: the (block, tx-in-block) coordinates of
+/// the transaction that last wrote it. Fabric's MVCC validation compares
+/// the version recorded in a transaction's read set against the current
+/// committed version — a mismatch is an MVCC read conflict.
+struct Version {
+  uint64_t block_num = 0;
+  uint32_t tx_num = 0;
+
+  friend bool operator==(const Version&, const Version&) = default;
+  friend auto operator<=>(const Version&, const Version&) = default;
+
+  std::string ToString() const;
+};
+
+/// A committed value together with its version.
+struct VersionedValue {
+  std::string value;
+  Version version;
+};
+
+/// The world-state database of a single peer: the latest committed value
+/// and version per key, with ordered iteration for range queries. Each peer
+/// in the simulated network owns one store; peers may lag behind the chain
+/// tip (they apply blocks with queueing delay), which is what creates
+/// endorsement-time staleness.
+class VersionedStore {
+ public:
+  VersionedStore() = default;
+
+  /// Latest committed value for `key`, or nullopt if absent.
+  std::optional<VersionedValue> Get(std::string_view key) const;
+
+  /// True if the key currently exists.
+  bool Contains(std::string_view key) const;
+
+  /// All keys in [start_key, end_key) in lexicographic order. An empty
+  /// `end_key` means "to the end". Mirrors Fabric's GetStateByRange.
+  std::vector<std::pair<std::string, VersionedValue>> Range(
+      std::string_view start_key, std::string_view end_key) const;
+
+  /// Writes or deletes a single key at `version` (used by block commit).
+  void Apply(std::string_view key, std::string_view value, bool is_delete,
+             Version version);
+
+  /// Height of the last block applied via MarkBlockApplied.
+  uint64_t applied_height() const { return applied_height_; }
+  void MarkBlockApplied(uint64_t block_num) { applied_height_ = block_num; }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  // std::map (not unordered) so Range() is a simple ordered scan — the
+  // same trade RocksDB's sorted memtable makes for iterator support.
+  std::map<std::string, VersionedValue, std::less<>> map_;
+  uint64_t applied_height_ = 0;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_STATEDB_VERSIONED_STORE_H_

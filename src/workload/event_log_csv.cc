@@ -1,0 +1,89 @@
+#include "workload/event_log_csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace blockoptr {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<LapEvent>> ParseEventLogCsv(std::string_view csv_text) {
+  auto rows = CsvReader::ParseDocument(csv_text);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) {
+    return Status::InvalidArgument("event-log CSV is empty");
+  }
+
+  // Resolve column indices from the header.
+  const auto& header = (*rows)[0];
+  int case_col = -1, activity_col = -1, resource_col = -1, amount_col = -1,
+      type_col = -1;
+  for (size_t i = 0; i < header.size(); ++i) {
+    std::string name = Lower(header[i]);
+    if (name == "case" || name == "case_id" || name == "caseid") {
+      case_col = static_cast<int>(i);
+    } else if (name == "activity" || name == "event" ||
+               name == "concept:name") {
+      activity_col = static_cast<int>(i);
+    } else if (name == "resource" || name == "employee" ||
+               name == "org:resource") {
+      resource_col = static_cast<int>(i);
+    } else if (name == "amount") {
+      amount_col = static_cast<int>(i);
+    } else if (name == "type") {
+      type_col = static_cast<int>(i);
+    }
+  }
+  if (case_col < 0 || activity_col < 0) {
+    return Status::InvalidArgument(
+        "event-log CSV needs 'case' and 'activity' columns");
+  }
+
+  std::vector<LapEvent> events;
+  events.reserve(rows->size() - 1);
+  for (size_t r = 1; r < rows->size(); ++r) {
+    const auto& row = (*rows)[r];
+    auto field = [&](int col, const char* fallback) -> std::string {
+      if (col < 0 || static_cast<size_t>(col) >= row.size()) return fallback;
+      return row[static_cast<size_t>(col)];
+    };
+    LapEvent ev;
+    ev.application = field(case_col, "");
+    ev.activity = field(activity_col, "");
+    if (ev.application.empty() || ev.activity.empty()) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " misses case or activity");
+    }
+    ev.employee = field(resource_col, "R0");
+    ev.amount =
+        static_cast<int>(std::strtol(field(amount_col, "0").c_str(),
+                                     nullptr, 10));
+    ev.loan_type = field(type_col, "generic");
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+Result<std::vector<LapEvent>> LoadEventLogCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open event-log CSV '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseEventLogCsv(buffer.str());
+}
+
+}  // namespace blockoptr

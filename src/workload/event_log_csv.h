@@ -1,0 +1,32 @@
+#ifndef BLOCKOPTR_WORKLOAD_EVENT_LOG_CSV_H_
+#define BLOCKOPTR_WORKLOAD_EVENT_LOG_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/lap_log.h"
+
+namespace blockoptr {
+
+/// Import of external event logs from CSV — how the paper's LAP
+/// experiment ingests the public BPI-2017 loan log (§5.1.3): every event
+/// becomes a transaction whose smart-contract function is the activity.
+///
+/// Expected columns (header row required; order free; extra columns
+/// ignored; case-insensitive names):
+///   case     — case identifier (e.g. applicationID)
+///   activity — activity/event name
+///   resource — optional handler (e.g. employeeID); defaults to "R0"
+///   amount   — optional integer attribute; defaults to 0
+///   type     — optional string attribute; defaults to "generic"
+/// Rows must be in event order (the usual export order of mining tools).
+Result<std::vector<LapEvent>> ParseEventLogCsv(std::string_view csv_text);
+
+/// Loads and parses a CSV event-log file.
+Result<std::vector<LapEvent>> LoadEventLogCsv(const std::string& path);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_WORKLOAD_EVENT_LOG_CSV_H_

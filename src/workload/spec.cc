@@ -1,0 +1,48 @@
+#include "workload/spec.h"
+
+#include <algorithm>
+
+namespace blockoptr {
+
+void NormalizeSchedule(Schedule& schedule) {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ClientRequest& a, const ClientRequest& b) {
+                     if (a.send_time != b.send_time)
+                       return a.send_time < b.send_time;
+                     return a.request_id < b.request_id;
+                   });
+}
+
+void RepaceSchedule(Schedule& schedule, double rate_tps) {
+  if (rate_tps <= 0) return;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    schedule[i].send_time = static_cast<double>(i) / rate_tps;
+  }
+}
+
+void ReorderActivities(Schedule& schedule,
+                       const std::vector<std::string>& first,
+                       const std::vector<std::string>& last, double rate_tps) {
+  auto in = [](const std::vector<std::string>& set, const std::string& f) {
+    return std::find(set.begin(), set.end(), f) != set.end();
+  };
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [&](const ClientRequest& a, const ClientRequest& b) {
+                     auto rank = [&](const ClientRequest& r) {
+                       if (in(first, r.function)) return 0;
+                       if (in(last, r.function)) return 2;
+                       return 1;
+                     };
+                     return rank(a) < rank(b);
+                   });
+  RepaceSchedule(schedule, rate_tps);
+}
+
+double ScheduleRate(const Schedule& schedule) {
+  if (schedule.size() < 2) return 0;
+  double span = schedule.back().send_time - schedule.front().send_time;
+  if (span <= 0) return 0;
+  return static_cast<double>(schedule.size() - 1) / span;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,61 @@
+#ifndef BLOCKOPTR_WORKLOAD_SPEC_H_
+#define BLOCKOPTR_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace blockoptr {
+
+/// One transaction request a client will issue: which contract function to
+/// invoke, with which arguments, when, and through which organization's
+/// client pool.
+struct ClientRequest {
+  /// Scheduled client send time (virtual seconds from experiment start).
+  SimTime send_time = 0;
+
+  /// Target chaincode name (must be installed on the network).
+  std::string chaincode;
+
+  /// Smart-contract function — this is the *activity* of the paper's
+  /// process view.
+  std::string function;
+
+  std::vector<std::string> args;
+
+  /// 1-based organization whose client pool issues the request; 0 lets the
+  /// driver assign organizations round-robin.
+  int target_org = 0;
+
+  /// Stable identifier assigned by the generator (useful for tracing).
+  uint64_t request_id = 0;
+};
+
+/// An ordered (by send_time) list of requests: the experiment workload.
+using Schedule = std::vector<ClientRequest>;
+
+/// Sorts a schedule by send time, breaking ties by request id. Generators
+/// call this before returning.
+void NormalizeSchedule(Schedule& schedule);
+
+/// Recomputes send times so requests are issued at a fixed `rate_tps`,
+/// preserving order. Used for the paper's transaction-rate-control
+/// implementation ("set send rate to 100 TPS", Table 4).
+void RepaceSchedule(Schedule& schedule, double rate_tps);
+
+/// Stably moves requests whose function is in `first` to the front and
+/// those in `last` to the back, then re-paces the whole schedule at
+/// `rate_tps` (the paper's activity-reordering implementation: the client
+/// manager orders transactions across clients, §4.5).
+void ReorderActivities(Schedule& schedule,
+                       const std::vector<std::string>& first,
+                       const std::vector<std::string>& last, double rate_tps);
+
+/// Average send rate implied by the schedule (requests / makespan).
+double ScheduleRate(const Schedule& schedule);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_WORKLOAD_SPEC_H_

@@ -1,0 +1,141 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace blockoptr {
+
+std::string_view SyntheticWorkloadTypeName(SyntheticWorkloadType t) {
+  switch (t) {
+    case SyntheticWorkloadType::kUniform:
+      return "Uniform";
+    case SyntheticWorkloadType::kReadHeavy:
+      return "Read-heavy";
+    case SyntheticWorkloadType::kInsertHeavy:
+      return "Insert-heavy";
+    case SyntheticWorkloadType::kUpdateHeavy:
+      return "Update-heavy";
+    case SyntheticWorkloadType::kRangeReadHeavy:
+      return "RangeRead-heavy";
+  }
+  return "Unknown";
+}
+
+std::string SyntheticKeyName(int i) { return "key" + ZeroPad(static_cast<uint64_t>(i), 6); }
+
+namespace {
+
+/// Operation mix per workload type, in the order
+/// {Read, Write, Update, RangeRead, Delete}.
+std::array<double, 5> MixFor(SyntheticWorkloadType type) {
+  constexpr double kHeavy = 0.70;
+  constexpr double kRest = (1.0 - kHeavy) / 4.0;
+  switch (type) {
+    case SyntheticWorkloadType::kUniform:
+      return {0.225, 0.225, 0.225, 0.225, 0.10};
+    case SyntheticWorkloadType::kReadHeavy:
+      return {kHeavy, kRest, kRest, kRest, kRest};
+    case SyntheticWorkloadType::kInsertHeavy:
+      return {kRest, kHeavy, kRest, kRest, kRest};
+    case SyntheticWorkloadType::kUpdateHeavy:
+      return {kRest, kRest, kHeavy, kRest, kRest};
+    case SyntheticWorkloadType::kRangeReadHeavy:
+      return {kRest, kRest, kRest, kHeavy, kRest};
+  }
+  return {0.2, 0.2, 0.2, 0.2, 0.2};
+}
+
+}  // namespace
+
+Schedule GenerateSynthetic(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  // Skew factor 1 is uniform; higher factors map to Zipf exponents.
+  ZipfGenerator zipf(static_cast<uint64_t>(config.keyspace),
+                     std::max(0.0, config.key_skew - 1.0));
+  const auto mix = MixFor(config.type);
+
+  Schedule schedule;
+  schedule.reserve(static_cast<size_t>(config.num_txs));
+  for (int i = 0; i < config.num_txs; ++i) {
+    ClientRequest req;
+    req.request_id = static_cast<uint64_t>(i);
+    req.send_time = static_cast<double>(i) / config.send_rate;
+    req.chaincode = "genchain";
+
+    // Pick the operation kind.
+    double u = rng.NextDouble();
+    int op = 0;
+    double acc = 0;
+    for (int k = 0; k < 5; ++k) {
+      acc += mix[static_cast<size_t>(k)];
+      if (u < acc) {
+        op = k;
+        break;
+      }
+      op = k;
+    }
+
+    // Reads/updates/deletes target the seeded keyspace; inserts go to the
+    // wider domain [0, 2*keyspace) so most of them create fresh keys.
+    // Range reads scan the full domain, which is how inserts conflict
+    // with them (phantoms).
+    const int domain = config.keyspace * 2;
+    int key = static_cast<int>(zipf.Next(rng));
+    switch (op) {
+      case 0:
+        req.function = "Read";
+        req.args = {SyntheticKeyName(key)};
+        break;
+      case 1: {
+        int slot = static_cast<int>(
+            rng.NextBelow(static_cast<uint64_t>(domain)));
+        req.function = "Write";
+        req.args = {SyntheticKeyName(slot), "v" + std::to_string(i)};
+        break;
+      }
+      case 2:
+        req.function = "Update";
+        req.args = {SyntheticKeyName(key), "u" + std::to_string(i)};
+        break;
+      case 3: {
+        int start = static_cast<int>(rng.NextBelow(
+            static_cast<uint64_t>(domain - config.range_span)));
+        req.function = "RangeRead";
+        req.args = {SyntheticKeyName(start),
+                    SyntheticKeyName(start + config.range_span)};
+        break;
+      }
+      case 4:
+      default:
+        req.function = "Delete";
+        req.args = {SyntheticKeyName(key)};
+        break;
+    }
+
+    if (config.tx_dist_skew > 0) {
+      // Skewed invocation: the configured fraction goes through Org1.
+      req.target_org = rng.NextBool(config.tx_dist_skew)
+                           ? 1
+                           : static_cast<int>(rng.NextBelow(
+                                 static_cast<uint64_t>(config.num_orgs))) +
+                                 1;
+    }
+    schedule.push_back(std::move(req));
+  }
+  return schedule;
+}
+
+std::vector<std::pair<std::string, std::string>> SyntheticSeedState(
+    const SyntheticConfig& config) {
+  std::vector<std::pair<std::string, std::string>> seeds;
+  seeds.reserve(static_cast<size_t>(config.keyspace));
+  for (int i = 0; i < config.keyspace; ++i) {
+    seeds.emplace_back(SyntheticKeyName(i), "0");
+  }
+  return seeds;
+}
+
+}  // namespace blockoptr

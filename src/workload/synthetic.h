@@ -1,0 +1,65 @@
+#ifndef BLOCKOPTR_WORKLOAD_SYNTHETIC_H_
+#define BLOCKOPTR_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// The paper's synthetic workload types (Table 2): "heavy" means 70% of
+/// transactions are of the named kind; the rest are spread evenly.
+enum class SyntheticWorkloadType {
+  kUniform = 0,
+  kReadHeavy,
+  kInsertHeavy,
+  kUpdateHeavy,
+  kRangeReadHeavy,
+};
+
+std::string_view SyntheticWorkloadTypeName(SyntheticWorkloadType t);
+
+/// Control variables of the synthetic workload generator, mirroring the
+/// paper's Table 2 (the network-side variables — endorsement policy,
+/// endorser distribution skew, number of organizations, block count — live
+/// in NetworkConfig).
+struct SyntheticConfig {
+  SyntheticWorkloadType type = SyntheticWorkloadType::kUniform;
+  int num_txs = 10000;
+  double send_rate = 300;
+
+  /// Key-distribution skew factor over the keyspace (paper default 1).
+  /// 1 = uniform access; 2 = heavily skewed (Zipf). Internally mapped to
+  /// a Zipf exponent of (key_skew - 1).
+  double key_skew = 1.0;
+  int keyspace = 500;
+
+  /// Span of range queries in key slots.
+  int range_span = 20;
+
+  /// Fraction of transactions invoked through Org1's clients
+  /// ("transaction distribution skew"; 0 = round-robin over all orgs).
+  double tx_dist_skew = 0;
+  int num_orgs = 2;
+
+  uint64_t seed = 1;
+};
+
+/// Generates the request schedule for the genChain contract.
+Schedule GenerateSynthetic(const SyntheticConfig& config);
+
+/// Key/value pairs to pre-populate (all keyspace keys = "0"), so reads and
+/// updates hit existing state.
+std::vector<std::pair<std::string, std::string>> SyntheticSeedState(
+    const SyntheticConfig& config);
+
+/// The key name for slot `i` ("key0000...").
+std::string SyntheticKeyName(int i);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,56 @@
+#ifndef BLOCKOPTR_WORKLOAD_USECASE_H_
+#define BLOCKOPTR_WORKLOAD_USECASE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// Shared knobs for the four use-case workloads (paper §5.1.2). Each
+/// generator produces a 10,000-transaction schedule by default, matching
+/// the paper.
+struct UseCaseConfig {
+  int num_txs = 10000;
+  double send_rate = 300;
+  uint64_t seed = 1;
+};
+
+/// Supply Chain Management: products move through PushASN -> Ship ->
+/// QueryASN -> Unload in order, with QueryProducts and UpdateAuditInfo
+/// interleaved at random points near the active products (the pattern of
+/// Figure 2: UpdateAuditInfo frequently lands between PushASN and Ship).
+Schedule GenerateScmWorkload(const UseCaseConfig& config);
+
+/// Digital Rights Management: 70% Play transactions over a Zipf-skewed
+/// music catalog; the rest split over Create / ViewMetaData /
+/// QueryRightHolders / CalcRevenue.
+Schedule GenerateDrmWorkload(const UseCaseConfig& config);
+/// Seed records for the DRM catalog (needed so Play finds the music).
+std::vector<std::pair<std::string, std::string>> DrmSeedState();
+
+/// Electronic Health Records: 70% update-heavy (GrantAccess /
+/// RevokeAccess) over Zipf-skewed patients; revocations sometimes target
+/// institutes that never had access (the illogical path pruning removes).
+Schedule GenerateEhrWorkload(const UseCaseConfig& config);
+std::vector<std::pair<std::string, std::string>> EhrSeedState();
+
+/// Digital Voting, phased like the paper: 1,000 QueryParties at 100 TPS,
+/// then 5,000 Vote at 300 TPS, then SeeResults and EndElection.
+/// (num_txs/send_rate of `config` are ignored; the phases fix them.)
+Schedule GenerateDvWorkload(const UseCaseConfig& config);
+std::vector<std::pair<std::string, std::string>> DvSeedState();
+
+/// Number of parties/music ids/patients used by the generators (exported
+/// for tests and benches).
+inline constexpr int kDvParties = 4;
+inline constexpr int kDrmCatalogSize = 100;
+inline constexpr int kEhrPatients = 400;
+inline constexpr int kEhrInstitutes = 10;
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_WORKLOAD_USECASE_H_

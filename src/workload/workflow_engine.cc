@@ -1,0 +1,105 @@
+#include "workload/workflow_engine.h"
+
+#include <algorithm>
+
+namespace blockoptr {
+
+Result<Schedule> WorkflowEngine::Generate(
+    const HeuristicsMiner::DependencyGraph& model, const Options& options,
+    const ArgsFn& args_fn) {
+  if (model.start_activities.empty()) {
+    return Status::InvalidArgument("process model has no start activities");
+  }
+  if (model.end_activities.empty()) {
+    return Status::InvalidArgument("process model has no end activities");
+  }
+  Rng rng(options.seed);
+
+  // ---- Phase 1: walk the model per case (control flow only) -----------
+  std::vector<std::vector<std::string>> case_steps;
+  case_steps.reserve(static_cast<size_t>(options.num_cases));
+  size_t total_steps = 0;
+  for (int c = 0; c < options.num_cases; ++c) {
+    std::vector<std::string> steps;
+    std::string current = model.start_activities[rng.NextBelow(
+        model.start_activities.size())];
+    for (int step = 0; step < options.max_steps_per_case; ++step) {
+      steps.push_back(current);
+
+      bool is_end = std::find(model.end_activities.begin(),
+                              model.end_activities.end(),
+                              current) != model.end_activities.end();
+
+      // Collect weighted successors.
+      std::vector<std::pair<std::string, double>> successors;
+      double total = 0;
+      for (const auto& [edge, strength] : model.edges) {
+        if (edge.first == current && strength > 0) {
+          successors.emplace_back(edge.second, strength);
+          total += strength;
+        }
+      }
+      // Stop at an end activity without strong successors, or
+      // probabilistically so cyclic models terminate.
+      if (successors.empty() || (is_end && rng.NextBool(0.7))) break;
+
+      double u = rng.NextDouble() * total;
+      double acc = 0;
+      for (const auto& [next, strength] : successors) {
+        acc += strength;
+        if (u < acc || &successors.back().first == &next) {
+          current = next;
+          break;
+        }
+      }
+    }
+    total_steps += steps.size();
+    case_steps.push_back(std::move(steps));
+  }
+
+  // ---- Phase 2: assign send times in seconds --------------------------
+  // Case starts are staggered uniformly over the makespan implied by the
+  // target rate; each case then advances with its own gaps.
+  const double makespan =
+      static_cast<double>(total_steps) / std::max(options.send_rate, 1e-9);
+  const double case_stagger =
+      makespan / std::max(1, options.num_cases);
+
+  struct Timed {
+    double at;
+    uint64_t seq;
+    ClientRequest req;
+  };
+  std::vector<Timed> timed;
+  timed.reserve(total_steps);
+  uint64_t seq = 0;
+  for (int c = 0; c < options.num_cases; ++c) {
+    const std::string case_id = "CASE" + std::to_string(c);
+    double t = c * case_stagger;
+    for (const auto& activity : case_steps[static_cast<size_t>(c)]) {
+      Timed entry;
+      entry.at = t;
+      entry.seq = seq;
+      entry.req.request_id = seq++;
+      entry.req.send_time = t;
+      entry.req.chaincode = options.chaincode;
+      entry.req.function = activity;
+      entry.req.args = args_fn ? args_fn(case_id, activity)
+                               : std::vector<std::string>{case_id};
+      timed.push_back(std::move(entry));
+      t += options.min_step_gap_s +
+           rng.NextExponential(1.0 / std::max(options.mean_step_gap_s, 1e-9));
+    }
+  }
+
+  std::sort(timed.begin(), timed.end(), [](const Timed& a, const Timed& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  Schedule schedule;
+  schedule.reserve(timed.size());
+  for (auto& entry : timed) schedule.push_back(std::move(entry.req));
+  return schedule;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,60 @@
+#ifndef BLOCKOPTR_WORKLOAD_WORKFLOW_ENGINE_H_
+#define BLOCKOPTR_WORKLOAD_WORKFLOW_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "mining/heuristics_miner.h"
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// The automated workflow engine of the paper's Figure 6: it triggers
+/// transactions *based on a process model*. Each case is a random walk
+/// over the model's dependency graph from a start activity to an end
+/// activity, emitting one client request per executed activity.
+///
+/// This closes the loop with process mining: mine a model from the
+/// blockchain log (HeuristicsMiner), redesign it (drop or re-wire edges —
+/// e.g. process-model pruning), and regenerate a compliant workload from
+/// the redesigned model.
+class WorkflowEngine {
+ public:
+  struct Options {
+    int num_cases = 1000;
+    /// Target aggregate send rate (TPS). Case starts are staggered so the
+    /// overall rate approximates this while every case keeps its own
+    /// pacing.
+    double send_rate = 300;
+    std::string chaincode;
+    /// Maximum activities executed per case (guards against cycles).
+    int max_steps_per_case = 64;
+    /// Spacing in *seconds* between consecutive activities of one case: a
+    /// guaranteed floor plus an exponential tail with the given mean.
+    /// Keep `min_step_gap_s` above the network's commit latency to
+    /// generate conflict-free case pipelines.
+    double min_step_gap_s = 1.5;
+    double mean_step_gap_s = 1.0;
+    uint64_t seed = 1;
+  };
+
+  /// Builds request arguments for one activity execution; defaults to
+  /// {case_id} when not provided.
+  using ArgsFn = std::function<std::vector<std::string>(
+      const std::string& case_id, const std::string& activity)>;
+
+  /// Generates a schedule by executing `model` for `options.num_cases`
+  /// cases. Successor activities are chosen proportionally to the model's
+  /// dependency strengths. Fails if the model has no start or no end
+  /// activities.
+  static Result<Schedule> Generate(
+      const HeuristicsMiner::DependencyGraph& model, const Options& options,
+      const ArgsFn& args_fn = nullptr);
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_WORKLOAD_WORKFLOW_ENGINE_H_

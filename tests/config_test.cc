@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "fabric/config.h"
+
+namespace blockoptr {
+namespace {
+
+TEST(NetworkConfigTest, DefaultsMatchThePaper) {
+  NetworkConfig cfg = NetworkConfig::Defaults();
+  EXPECT_EQ(cfg.num_orgs, 2);
+  EXPECT_EQ(cfg.num_clients, 10);  // 10 Caliper workers
+  EXPECT_EQ(cfg.block_cutting.max_tx_count, 300u);
+  EXPECT_DOUBLE_EQ(cfg.block_cutting.timeout_s, 1.0);
+  // Default policy: Majority over the orgs (P3).
+  EXPECT_EQ(cfg.endorsement_policy.Organizations().size(), 2u);
+  EXPECT_FALSE(cfg.endorsement_policy.IsSatisfiedBy({{"Org1"}}));
+}
+
+TEST(NetworkConfigTest, OrgNames) {
+  EXPECT_EQ(NetworkConfig::OrgName(1), "Org1");
+  EXPECT_EQ(NetworkConfig::OrgName(12), "Org12");
+}
+
+TEST(NetworkConfigTest, ClientNameEncodesOrg) {
+  NetworkConfig cfg = NetworkConfig::Defaults();
+  EXPECT_EQ(cfg.ClientName(2, 3), "Org2-client3");
+}
+
+TEST(NetworkConfigTest, ClientsSplitRoundRobin) {
+  NetworkConfig cfg = NetworkConfig::Defaults();
+  cfg.num_clients = 10;
+  cfg.num_orgs = 2;
+  EXPECT_EQ(cfg.ClientsOfOrg(1), 5);
+  EXPECT_EQ(cfg.ClientsOfOrg(2), 5);
+  cfg.num_orgs = 4;
+  EXPECT_EQ(cfg.ClientsOfOrg(1), 3);  // 10 = 3+3+2+2
+  EXPECT_EQ(cfg.ClientsOfOrg(2), 3);
+  EXPECT_EQ(cfg.ClientsOfOrg(3), 2);
+  EXPECT_EQ(cfg.ClientsOfOrg(4), 2);
+}
+
+TEST(NetworkConfigTest, TotalClientsIsPreservedAcrossOrgCounts) {
+  for (int orgs = 1; orgs <= 6; ++orgs) {
+    NetworkConfig cfg = NetworkConfig::Defaults();
+    cfg.num_orgs = orgs;
+    int total = 0;
+    for (int o = 1; o <= orgs; ++o) total += cfg.ClientsOfOrg(o);
+    EXPECT_EQ(total, cfg.num_clients) << orgs << " orgs";
+  }
+}
+
+TEST(NetworkConfigTest, ExtraClientsApplyPerOrg) {
+  NetworkConfig cfg = NetworkConfig::Defaults();
+  cfg.extra_clients_per_org = {5, 0};
+  EXPECT_EQ(cfg.ClientsOfOrg(1), 10);
+  EXPECT_EQ(cfg.ClientsOfOrg(2), 5);
+}
+
+TEST(LatencyModelTest, DefaultsArePositive) {
+  LatencyModel lat;
+  EXPECT_GT(lat.client_proposal_s, 0);
+  EXPECT_GT(lat.client_assemble_s, 0);
+  EXPECT_GT(lat.endorse_exec_s, 0);
+  EXPECT_GT(lat.network_delay_s, 0);
+  EXPECT_GT(lat.block_overhead_s, 0);
+  EXPECT_GT(lat.validate_per_tx_s, 0);
+  // Election timeouts must exceed the heartbeat interval or Raft thrashes.
+  EXPECT_GT(lat.raft_election_timeout_min_s, lat.raft_heartbeat_s);
+  EXPECT_GT(lat.raft_election_timeout_max_s,
+            lat.raft_election_timeout_min_s);
+}
+
+TEST(BlockCuttingTest, Equality) {
+  BlockCuttingConfig a, b;
+  EXPECT_EQ(a, b);
+  b.max_tx_count = 50;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "blockopt/eventlog/case_id.h"
+#include "blockopt/eventlog/event_log.h"
+
+namespace blockoptr {
+namespace {
+
+BlockchainLogEntry Entry(uint64_t order, const std::string& activity,
+                         std::vector<std::string> args,
+                         TxStatus status = TxStatus::kValid) {
+  BlockchainLogEntry e;
+  e.commit_order = order;
+  e.activity = activity;
+  e.args = std::move(args);
+  e.status = status;
+  e.commit_timestamp = static_cast<double>(order) * 0.1;
+  return e;
+}
+
+BlockchainLog ScmLikeLog() {
+  // Two product cases interleaved in commit order.
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(Entry(0, "PushASN", {"P1"}));
+  entries.push_back(Entry(1, "PushASN", {"P2"}));
+  entries.push_back(Entry(2, "Ship", {"P1"}));
+  entries.push_back(Entry(3, "UpdateAuditInfo", {"P2", "audit"}));
+  entries.push_back(Entry(4, "Ship", {"P2"}));
+  entries.push_back(Entry(5, "Unload", {"P1"}));
+  entries.push_back(Entry(6, "Unload", {"P2"}));
+  return BlockchainLog(std::move(entries));
+}
+
+// ---------------------------------------------------------------------------
+// CaseID derivation (§4.2)
+// ---------------------------------------------------------------------------
+
+TEST(CaseIdTest, PicksTheCommonElementColumn) {
+  auto derived = DeriveCaseIdColumn(ScmLikeLog());
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->arg_index, 0);
+  EXPECT_EQ(derived->cardinality, 2u);  // P1, P2
+  EXPECT_DOUBLE_EQ(derived->coverage, 1.0);
+}
+
+TEST(CaseIdTest, HigherCardinalityFullCoverageColumnWins) {
+  // LAP shape: arg0 = employee (few), arg1 = application (many). The
+  // application must be chosen as the case id, like the paper does.
+  std::vector<BlockchainLogEntry> entries;
+  for (int i = 0; i < 20; ++i) {
+    entries.push_back(Entry(static_cast<uint64_t>(i), "A_Create",
+                            {"E" + std::to_string(i % 3),
+                             "APP" + std::to_string(i)}));
+  }
+  auto derived = DeriveCaseIdColumn(BlockchainLog(std::move(entries)));
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->arg_index, 1);
+  EXPECT_EQ(derived->cardinality, 20u);
+}
+
+TEST(CaseIdTest, PartialCoverageColumnLoses) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(Entry(0, "A", {"case1", "extra"}));
+  entries.push_back(Entry(1, "B", {"case1"}));  // no second arg
+  auto derived = DeriveCaseIdColumn(BlockchainLog(std::move(entries)));
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->arg_index, 0);
+}
+
+TEST(CaseIdTest, EmptyLogFails) {
+  EXPECT_FALSE(DeriveCaseIdColumn(BlockchainLog()).ok());
+}
+
+TEST(CaseIdTest, NoArgumentsFails) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(Entry(0, "A", {}));
+  EXPECT_FALSE(DeriveCaseIdColumn(BlockchainLog(std::move(entries))).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Event log construction
+// ---------------------------------------------------------------------------
+
+TEST(EventLogTest, BuildsCasesInCommitOrder) {
+  auto log = EventLog::FromBlockchainLog(ScmLikeLog(), EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_cases(), 2u);
+  EXPECT_EQ(log->events().size(), 7u);
+  auto traces = log->Traces();
+  // Both cases are in the map; the P1 trace is PushASN,Ship,Unload.
+  bool found_p1 = false;
+  for (const auto& trace : traces) {
+    if (trace == std::vector<std::string>{"PushASN", "Ship", "Unload"}) {
+      found_p1 = true;
+    }
+  }
+  EXPECT_TRUE(found_p1);
+}
+
+TEST(EventLogTest, CommitOrderBeatsClientTimestamp) {
+  // The paper's §4.2 point: commit order, not client send order, defines
+  // the trace. Craft a log where a later commit has an earlier client
+  // timestamp.
+  std::vector<BlockchainLogEntry> entries;
+  BlockchainLogEntry first = Entry(0, "StepB", {"C1"});
+  first.client_timestamp = 10.0;  // sent late, committed first
+  BlockchainLogEntry second = Entry(1, "StepA", {"C1"});
+  second.client_timestamp = 1.0;
+  entries.push_back(second);  // stored out of order on purpose
+  entries.push_back(first);
+  auto log =
+      EventLog::FromBlockchainLog(BlockchainLog(std::move(entries)),
+                                  EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  auto traces = log->Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0], (std::vector<std::string>{"StepB", "StepA"}));
+}
+
+TEST(EventLogTest, ExcludeFailedFiltersEvents) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(Entry(0, "A", {"C1"}));
+  entries.push_back(Entry(1, "B", {"C1"}, TxStatus::kMvccReadConflict));
+  entries.push_back(Entry(2, "C", {"C1"}));
+  BlockchainLog bl(std::move(entries));
+
+  EventLogOptions include;
+  auto with = EventLog::FromBlockchainLog(bl, include);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->events().size(), 3u);
+
+  EventLogOptions exclude;
+  exclude.include_failed = false;
+  auto without = EventLog::FromBlockchainLog(bl, exclude);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->events().size(), 2u);
+  EXPECT_EQ(without->Traces()[0],
+            (std::vector<std::string>{"A", "C"}));
+}
+
+TEST(EventLogTest, ExplicitCaseColumnOverridesDerivation) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(Entry(0, "A", {"x", "case1"}));
+  entries.push_back(Entry(1, "B", {"y", "case1"}));
+  EventLogOptions options;
+  options.case_arg_index = 1;
+  auto log = EventLog::FromBlockchainLog(BlockchainLog(std::move(entries)),
+                                         options);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_cases(), 1u);
+  EXPECT_EQ(log->case_arg_index(), 1);
+}
+
+TEST(EventLogTest, VariantsRankedByFrequency) {
+  std::vector<BlockchainLogEntry> entries;
+  uint64_t order = 0;
+  // Three cases follow A->B, one follows A->C.
+  for (int c = 0; c < 3; ++c) {
+    std::string id = "AB" + std::to_string(c);
+    entries.push_back(Entry(order++, "A", {id}));
+    entries.push_back(Entry(order++, "B", {id}));
+  }
+  entries.push_back(Entry(order++, "A", {"AC0"}));
+  entries.push_back(Entry(order++, "C", {"AC0"}));
+  auto log = EventLog::FromBlockchainLog(BlockchainLog(std::move(entries)),
+                                         EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  auto variants = log->Variants();
+  ASSERT_EQ(variants.size(), 2u);
+  EXPECT_EQ(variants[0].first, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(variants[0].second, 3u);
+  EXPECT_EQ(variants[1].second, 1u);
+}
+
+TEST(EventLogTest, CsvExport) {
+  auto log = EventLog::FromBlockchainLog(ScmLikeLog(), EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  std::ostringstream out;
+  log->WriteCsv(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("case_id,activity"), std::string::npos);
+  EXPECT_NE(text.find("P1,PushASN"), std::string::npos);
+}
+
+TEST(EventLogTest, ConfigEntriesAreSkipped) {
+  std::vector<BlockchainLogEntry> entries;
+  BlockchainLogEntry cfg = Entry(0, "configUpdate", {"x"});
+  cfg.is_config = true;
+  entries.push_back(cfg);
+  entries.push_back(Entry(1, "A", {"C1"}));
+  auto log = EventLog::FromBlockchainLog(BlockchainLog(std::move(entries)),
+                                         EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace blockoptr

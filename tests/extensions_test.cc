@@ -1,0 +1,524 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "blockopt/eventlog/event_log.h"
+#include "blockopt/eventlog/xes_export.h"
+#include "blockopt/provenance.h"
+#include "blockopt/recommend/autotune.h"
+#include "mining/fuzzy_miner.h"
+#include "mining/heuristics_miner.h"
+#include "workload/event_log_csv.h"
+#include "workload/workflow_engine.h"
+
+namespace blockoptr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// XES export
+// ---------------------------------------------------------------------------
+
+BlockchainLog TwoCaseLog() {
+  std::vector<BlockchainLogEntry> entries;
+  auto add = [&](uint64_t order, const char* activity, const char* case_id,
+                 TxStatus status = TxStatus::kValid) {
+    BlockchainLogEntry e;
+    e.commit_order = order;
+    e.activity = activity;
+    e.args = {case_id};
+    e.status = status;
+    e.commit_timestamp = static_cast<double>(order);
+    entries.push_back(std::move(e));
+  };
+  add(0, "A", "c1");
+  add(1, "A", "c2");
+  add(2, "B<&>", "c1", TxStatus::kMvccReadConflict);
+  add(3, "B<&>", "c2");
+  return BlockchainLog(std::move(entries));
+}
+
+TEST(XesExportTest, ProducesWellFormedTraces) {
+  auto log = EventLog::FromBlockchainLog(TwoCaseLog(), EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  std::ostringstream out;
+  WriteXes(*log, out);
+  std::string xes = out.str();
+  EXPECT_NE(xes.find("<log xes.version=\"1.0\""), std::string::npos);
+  // Two traces with their case ids.
+  EXPECT_NE(xes.find("value=\"c1\""), std::string::npos);
+  EXPECT_NE(xes.find("value=\"c2\""), std::string::npos);
+  // Activities escaped.
+  EXPECT_NE(xes.find("B&lt;&amp;&gt;"), std::string::npos);
+  EXPECT_EQ(xes.find("B<&>"), std::string::npos);
+  // Status attribute present.
+  EXPECT_NE(xes.find("MVCC_READ_CONFLICT"), std::string::npos);
+  // Document closes.
+  EXPECT_NE(xes.find("</log>"), std::string::npos);
+}
+
+TEST(XesExportTest, EventCountMatches) {
+  auto log = EventLog::FromBlockchainLog(TwoCaseLog(), EventLogOptions{});
+  ASSERT_TRUE(log.ok());
+  std::ostringstream out;
+  WriteXes(*log, out);
+  std::string xes = out.str();
+  size_t events = 0, pos = 0;
+  while ((pos = xes.find("<event>", pos)) != std::string::npos) {
+    ++events;
+    pos += 7;
+  }
+  EXPECT_EQ(events, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Workflow engine (paper Figure 6)
+// ---------------------------------------------------------------------------
+
+HeuristicsMiner::DependencyGraph LinearModel() {
+  HeuristicsMiner::DependencyGraph g;
+  g.activities = {"start", "mid", "end"};
+  g.edges[{"start", "mid"}] = 0.9;
+  g.edges[{"mid", "end"}] = 0.9;
+  g.start_activities = {"start"};
+  g.end_activities = {"end"};
+  return g;
+}
+
+TEST(WorkflowEngineTest, ExecutesLinearModelPerCase) {
+  WorkflowEngine::Options options;
+  options.num_cases = 50;
+  options.chaincode = "cc";
+  auto schedule = WorkflowEngine::Generate(LinearModel(), options);
+  ASSERT_TRUE(schedule.ok());
+  // Every case walks start -> mid -> end in order.
+  std::map<std::string, std::vector<std::string>> per_case;
+  for (const auto& req : *schedule) {
+    per_case[req.args[0]].push_back(req.function);
+  }
+  EXPECT_EQ(per_case.size(), 50u);
+  for (const auto& [case_id, seq] : per_case) {
+    ASSERT_GE(seq.size(), 3u) << case_id;
+    EXPECT_EQ(seq[0], "start");
+    EXPECT_EQ(seq[1], "mid");
+    EXPECT_EQ(seq[2], "end");
+  }
+}
+
+TEST(WorkflowEngineTest, ApproximatesSendRate) {
+  WorkflowEngine::Options options;
+  options.num_cases = 200;
+  options.send_rate = 200;
+  // Fast per-case pacing so the case span is negligible vs the makespan.
+  options.min_step_gap_s = 0.005;
+  options.mean_step_gap_s = 0.005;
+  options.chaincode = "cc";
+  auto schedule = WorkflowEngine::Generate(LinearModel(), options);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(ScheduleRate(*schedule), 200, 30);
+}
+
+TEST(WorkflowEngineTest, StepGapFloorIsRespected) {
+  WorkflowEngine::Options options;
+  options.num_cases = 30;
+  options.chaincode = "cc";
+  options.min_step_gap_s = 2.0;
+  options.mean_step_gap_s = 0.5;
+  auto schedule = WorkflowEngine::Generate(LinearModel(), options);
+  ASSERT_TRUE(schedule.ok());
+  // Within every case, consecutive activities are at least 2s apart.
+  std::map<std::string, double> last_time;
+  for (const auto& req : *schedule) {
+    auto it = last_time.find(req.args[0]);
+    if (it != last_time.end()) {
+      EXPECT_GE(req.send_time - it->second, 2.0 - 1e-9);
+    }
+    last_time[req.args[0]] = req.send_time;
+  }
+}
+
+TEST(WorkflowEngineTest, BranchingModelFollowsWeights) {
+  HeuristicsMiner::DependencyGraph g;
+  g.activities = {"a", "heavy", "rare", "z"};
+  g.edges[{"a", "heavy"}] = 0.9;
+  g.edges[{"a", "rare"}] = 0.1;
+  g.edges[{"heavy", "z"}] = 0.9;
+  g.edges[{"rare", "z"}] = 0.9;
+  g.start_activities = {"a"};
+  g.end_activities = {"z"};
+  WorkflowEngine::Options options;
+  options.num_cases = 1000;
+  options.chaincode = "cc";
+  auto schedule = WorkflowEngine::Generate(g, options);
+  ASSERT_TRUE(schedule.ok());
+  int heavy = 0, rare = 0;
+  for (const auto& req : *schedule) {
+    if (req.function == "heavy") ++heavy;
+    if (req.function == "rare") ++rare;
+  }
+  EXPECT_GT(heavy, rare * 4);
+}
+
+TEST(WorkflowEngineTest, CyclicModelTerminates) {
+  HeuristicsMiner::DependencyGraph g;
+  g.activities = {"a", "b"};
+  g.edges[{"a", "b"}] = 0.9;
+  g.edges[{"b", "a"}] = 0.9;  // cycle with no escape
+  g.start_activities = {"a"};
+  g.end_activities = {"b"};
+  WorkflowEngine::Options options;
+  options.num_cases = 10;
+  options.max_steps_per_case = 16;
+  options.chaincode = "cc";
+  auto schedule = WorkflowEngine::Generate(g, options);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_LE(schedule->size(), 10u * 16u);
+}
+
+TEST(WorkflowEngineTest, CustomArgsFn) {
+  WorkflowEngine::Options options;
+  options.num_cases = 3;
+  options.chaincode = "cc";
+  auto schedule = WorkflowEngine::Generate(
+      LinearModel(), options,
+      [](const std::string& case_id, const std::string& activity) {
+        return std::vector<std::string>{case_id, activity + "-arg"};
+      });
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ((*schedule)[0].args.size(), 2u);
+  EXPECT_EQ((*schedule)[0].args[1], (*schedule)[0].function + "-arg");
+}
+
+TEST(WorkflowEngineTest, RejectsModelsWithoutStartOrEnd) {
+  HeuristicsMiner::DependencyGraph g;
+  g.activities = {"a"};
+  g.end_activities = {"a"};
+  WorkflowEngine::Options options;
+  EXPECT_FALSE(WorkflowEngine::Generate(g, options).ok());
+  g.start_activities = {"a"};
+  g.end_activities.clear();
+  EXPECT_FALSE(WorkflowEngine::Generate(g, options).ok());
+}
+
+TEST(WorkflowEngineTest, DeterministicPerSeed) {
+  WorkflowEngine::Options options;
+  options.num_cases = 20;
+  options.chaincode = "cc";
+  auto a = WorkflowEngine::Generate(LinearModel(), options);
+  auto b = WorkflowEngine::Generate(LinearModel(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].function, (*b)[i].function);
+    EXPECT_EQ((*a)[i].args, (*b)[i].args);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzy miner (paper §2.2 reference [30])
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::string>> NoisyTraces() {
+  std::vector<std::vector<std::string>> traces;
+  for (int i = 0; i < 50; ++i) traces.push_back({"a", "b", "c"});
+  // Two rare auxiliary activities that should be clustered away.
+  traces.push_back({"a", "x", "y", "b", "c"});
+  return traces;
+}
+
+TEST(FuzzyMinerTest, PreservesSignificantActivities) {
+  auto map = FuzzyMiner::Mine(NoisyTraces());
+  EXPECT_TRUE(map.activities.count("a"));
+  EXPECT_TRUE(map.activities.count("b"));
+  EXPECT_TRUE(map.activities.count("c"));
+  EXPECT_FALSE(map.activities.count("x"));
+  EXPECT_FALSE(map.activities.count("y"));
+}
+
+TEST(FuzzyMinerTest, ClustersConnectedWeakActivities) {
+  auto map = FuzzyMiner::Mine(NoisyTraces());
+  ASSERT_EQ(map.clusters.size(), 1u);  // x and y follow each other
+  EXPECT_EQ(map.clusters[0].size(), 2u);
+  EXPECT_EQ(map.NodeOf("x"), "cluster_0");
+  EXPECT_EQ(map.NodeOf("y"), "cluster_0");
+  EXPECT_EQ(map.NodeOf("a"), "a");
+}
+
+TEST(FuzzyMinerTest, DominantEdgesSurviveFiltering) {
+  auto map = FuzzyMiner::Mine(NoisyTraces());
+  EXPECT_TRUE(map.edges.count({"a", "b"}));
+  EXPECT_TRUE(map.edges.count({"b", "c"}));
+  EXPECT_DOUBLE_EQ(map.edges.at({"b", "c"}), 1.0);
+}
+
+TEST(FuzzyMinerTest, WeakEdgesDropBelowCutoff) {
+  std::vector<std::vector<std::string>> traces;
+  for (int i = 0; i < 100; ++i) traces.push_back({"a", "b"});
+  traces.push_back({"a", "c"});  // 1% edge
+  FuzzyMiner::Options options;
+  options.node_significance_threshold = 0.0001;  // keep all nodes
+  options.edge_cutoff = 0.2;
+  auto map = FuzzyMiner::Mine(traces, options);
+  EXPECT_TRUE(map.edges.count({"a", "b"}));
+  EXPECT_FALSE(map.edges.count({"a", "c"}));
+}
+
+TEST(FuzzyMinerTest, SignificanceScalesWithFrequency) {
+  auto map = FuzzyMiner::Mine(NoisyTraces());
+  // All three main activities occur ~equally often.
+  EXPECT_NEAR(map.activities.at("a"), 1.0, 0.05);
+  EXPECT_NEAR(map.activities.at("b"), 1.0, 0.05);
+}
+
+TEST(FuzzyMinerTest, EmptyLogYieldsEmptyMap) {
+  auto map = FuzzyMiner::Mine({});
+  EXPECT_TRUE(map.activities.empty());
+  EXPECT_TRUE(map.clusters.empty());
+  EXPECT_TRUE(map.edges.empty());
+}
+
+// ---------------------------------------------------------------------------
+// External event-log CSV import (paper §5.1.3 BPI-2017 ingestion path)
+// ---------------------------------------------------------------------------
+
+TEST(EventLogCsvTest, ParsesStandardColumns) {
+  std::string csv =
+      "case,activity,resource,amount,type\n"
+      "APP1,A_Create,E1,100000,home\n"
+      "APP1,A_Submitted,E1,100000,home\n"
+      "APP2,A_Create,E2,20000,car\n";
+  auto events = ParseEventLogCsv(csv);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ((*events)[0].application, "APP1");
+  EXPECT_EQ((*events)[0].activity, "A_Create");
+  EXPECT_EQ((*events)[0].employee, "E1");
+  EXPECT_EQ((*events)[0].amount, 100000);
+  EXPECT_EQ((*events)[2].loan_type, "car");
+}
+
+TEST(EventLogCsvTest, ColumnOrderIsFree) {
+  std::string csv =
+      "activity,case\n"
+      "Ship,P1\n";
+  auto events = ParseEventLogCsv(csv);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ((*events)[0].application, "P1");
+  EXPECT_EQ((*events)[0].activity, "Ship");
+  EXPECT_EQ((*events)[0].employee, "R0");  // default resource
+}
+
+TEST(EventLogCsvTest, AcceptsXesStyleHeaders) {
+  std::string csv =
+      "concept:name,case_id,org:resource\n"
+      "A_Create,APP9,E7\n";
+  auto events = ParseEventLogCsv(csv);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ((*events)[0].activity, "A_Create");
+  EXPECT_EQ((*events)[0].application, "APP9");
+  EXPECT_EQ((*events)[0].employee, "E7");
+}
+
+TEST(EventLogCsvTest, RejectsMissingMandatoryColumns) {
+  EXPECT_FALSE(ParseEventLogCsv("resource,amount\nE1,5\n").ok());
+  EXPECT_FALSE(ParseEventLogCsv("").ok());
+}
+
+TEST(EventLogCsvTest, RejectsRowsWithoutCaseOrActivity) {
+  std::string csv =
+      "case,activity\n"
+      "APP1,\n";
+  EXPECT_FALSE(ParseEventLogCsv(csv).ok());
+}
+
+TEST(EventLogCsvTest, ImportedLogDrivesASchedule) {
+  std::string csv =
+      "case,activity,resource\n"
+      "APP1,A_Create,E1\n"
+      "APP1,W_ValidateApplication,E1\n"
+      "APP2,A_Create,E2\n";
+  auto events = ParseEventLogCsv(csv);
+  ASSERT_TRUE(events.ok());
+  Schedule schedule = LapScheduleFromLog(*events, 10.0);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[1].function, "W_ValidateApplication");
+  EXPECT_EQ(schedule[1].args[1], "APP1");
+}
+
+TEST(EventLogCsvTest, MissingFileIsNotFound) {
+  auto events = LoadEventLogCsv("/nonexistent/path/log.csv");
+  EXPECT_FALSE(events.ok());
+  EXPECT_TRUE(events.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Threshold auto-tuning (paper §9 future work)
+// ---------------------------------------------------------------------------
+
+TEST(AutoTuneTest, FindsTheRateKnee) {
+  LogMetrics m;
+  m.total_txs = 1000;
+  // Quiet intervals at 100 TPS with ~zero failures; hot intervals at
+  // 400 TPS failing hard.
+  for (int i = 0; i < 20; ++i) {
+    m.trd.push_back(100);
+    m.frd.push_back(1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    m.trd.push_back(400);
+    m.frd.push_back(150);
+  }
+  RecommenderOptions tuned = AutoTuneThresholds(m);
+  // The knee sits between the quiet and the hot rates.
+  EXPECT_GT(tuned.rt1, 100);
+  EXPECT_LE(tuned.rt1, 400);
+}
+
+TEST(AutoTuneTest, FallsBackToP75WithoutKnee) {
+  LogMetrics m;
+  m.total_txs = 1000;
+  for (int i = 0; i < 40; ++i) {
+    m.trd.push_back(100 + i * 5);  // smooth ramp
+    m.frd.push_back(0);
+  }
+  RecommenderOptions tuned = AutoTuneThresholds(m);
+  EXPECT_NEAR(tuned.rt1, 100 + 30 * 5, 30);
+}
+
+TEST(AutoTuneTest, EtTracksFairShare) {
+  LogMetrics m;
+  m.total_txs = 1000;
+  // 4 orgs, 2 signatures each tx -> fair share 0.5.
+  m.endorser_sig = {{"Org1", 500}, {"Org2", 500}, {"Org3", 500},
+                    {"Org4", 500}};
+  RecommenderOptions tuned = AutoTuneThresholds(m);
+  EXPECT_NEAR(tuned.et, 0.625, 0.01);  // 1.25 * 0.5
+
+  // Majority-of-2: fair share 1.0 -> clamped to 0.95 so universal
+  // endorsement is never flagged.
+  m.endorser_sig = {{"Org1", 1000}, {"Org2", 1000}};
+  tuned = AutoTuneThresholds(m);
+  EXPECT_NEAR(tuned.et, 0.95, 0.01);
+}
+
+TEST(AutoTuneTest, ItFlooredAtPaperDefault) {
+  LogMetrics m;
+  m.total_txs = 1000;
+  m.invoker_org_sig = {{"Org1", 500}, {"Org2", 500}};
+  RecommenderOptions tuned = AutoTuneThresholds(m);
+  EXPECT_NEAR(tuned.it, 0.625, 0.01);  // 1.25 * (1/2)
+  m.invoker_org_sig = {{"Org1", 250}, {"Org2", 250}, {"Org3", 250},
+                       {"Org4", 250}};
+  tuned = AutoTuneThresholds(m);
+  EXPECT_NEAR(tuned.it, 0.5, 0.01);  // floor at the paper's 0.5
+}
+
+// ---------------------------------------------------------------------------
+// Provenance deviation tracking (paper §3)
+// ---------------------------------------------------------------------------
+
+BlockchainLogEntry ProvEntry(uint64_t order, const char* activity,
+                             TxType type, const char* org,
+                             const char* client) {
+  BlockchainLogEntry e;
+  e.commit_order = order;
+  e.activity = activity;
+  e.tx_type = type;
+  e.invoker_org = org;
+  e.invoker_client = client;
+  e.args = {"P" + std::to_string(order)};
+  return e;
+}
+
+BlockchainLog ScmDeviationLog() {
+  std::vector<BlockchainLogEntry> entries;
+  uint64_t order = 0;
+  // 20 normal Ships (update type) invoked by Org1.
+  for (int i = 0; i < 20; ++i) {
+    entries.push_back(
+        ProvEntry(order++, "Ship", TxType::kUpdate, "Org1", "Org1-client0"));
+  }
+  // 3 illogical Ships (read-only) invoked by Org2's client1 — the
+  // deviators the provenance record should expose.
+  for (int i = 0; i < 3; ++i) {
+    entries.push_back(
+        ProvEntry(order++, "Ship", TxType::kRead, "Org2", "Org2-client1"));
+  }
+  // A consistent read activity: never a deviation.
+  for (int i = 0; i < 15; ++i) {
+    entries.push_back(ProvEntry(order++, "QueryASN", TxType::kRead, "Org1",
+                                "Org1-client1"));
+  }
+  return BlockchainLog(std::move(entries));
+}
+
+TEST(ProvenanceTest, AttributesDeviationsToInvokers) {
+  ProvenanceReport report = TrackDeviations(ScmDeviationLog());
+  ASSERT_EQ(report.deviations.size(), 3u);
+  for (const auto& d : report.deviations) {
+    EXPECT_EQ(d.activity, "Ship");
+    EXPECT_EQ(d.observed_type, TxType::kRead);
+    EXPECT_EQ(d.expected_type, TxType::kUpdate);
+    EXPECT_EQ(d.invoker_org, "Org2");
+  }
+  EXPECT_EQ(report.by_org.at("Org2"), 3u);
+  EXPECT_EQ(report.by_client.at("Org2-client1"), 3u);
+  EXPECT_EQ(report.by_activity.at("Ship"), 3u);
+  EXPECT_EQ(report.by_org.count("Org1"), 0u);
+}
+
+TEST(ProvenanceTest, ConsistentActivitiesProduceNoDeviations) {
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 30; ++i) {
+    entries.push_back(
+        ProvEntry(i, "Read", TxType::kRead, "Org1", "Org1-client0"));
+  }
+  EXPECT_TRUE(TrackDeviations(BlockchainLog(std::move(entries))).empty());
+}
+
+TEST(ProvenanceTest, RareActivitiesAreSkipped) {
+  std::vector<BlockchainLogEntry> entries;
+  // Only 5 occurrences: below the default floor of 10.
+  entries.push_back(ProvEntry(0, "X", TxType::kUpdate, "Org1", "c"));
+  entries.push_back(ProvEntry(1, "X", TxType::kUpdate, "Org1", "c"));
+  entries.push_back(ProvEntry(2, "X", TxType::kUpdate, "Org1", "c"));
+  entries.push_back(ProvEntry(3, "X", TxType::kUpdate, "Org1", "c"));
+  entries.push_back(ProvEntry(4, "X", TxType::kRead, "Org1", "c"));
+  EXPECT_TRUE(TrackDeviations(BlockchainLog(std::move(entries))).empty());
+}
+
+TEST(ProvenanceTest, PolymorphicActivitiesAreNotFlagged) {
+  // 50/50 type split: no dominant type, so nothing counts as deviation.
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 20; ++i) {
+    entries.push_back(ProvEntry(i, "Mixed",
+                                i % 2 ? TxType::kRead : TxType::kUpdate,
+                                "Org1", "c"));
+  }
+  EXPECT_TRUE(TrackDeviations(BlockchainLog(std::move(entries))).empty());
+}
+
+TEST(ProvenanceTest, ThresholdsAreConfigurable) {
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 4; ++i) {
+    entries.push_back(ProvEntry(i, "X", TxType::kUpdate, "Org1", "c"));
+  }
+  entries.push_back(ProvEntry(4, "X", TxType::kRead, "Org2", "d"));
+  ProvenanceOptions options;
+  options.min_activity_occurrences = 3;
+  auto report = TrackDeviations(BlockchainLog(std::move(entries)), options);
+  EXPECT_EQ(report.deviations.size(), 1u);
+}
+
+TEST(AutoTuneTest, EmptyMetricsKeepBaseOptions) {
+  LogMetrics m;
+  RecommenderOptions base;
+  base.rt1 = 123;
+  RecommenderOptions tuned = AutoTuneThresholds(m, base);
+  EXPECT_DOUBLE_EQ(tuned.rt1, 123);
+  EXPECT_DOUBLE_EQ(tuned.et, base.et);
+  EXPECT_DOUBLE_EQ(tuned.it, base.it);
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "blockopt/apply/optimizer.h"
+#include "blockopt/eventlog/event_log.h"
+#include "blockopt/log/preprocess.h"
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+#include "driver/experiment.h"
+#include "mining/alpha_miner.h"
+#include "mining/conformance.h"
+#include "workload/lap_log.h"
+#include "workload/synthetic.h"
+#include "workload/usecase.h"
+
+namespace blockoptr {
+namespace {
+
+/// Full BlockOptR loop: run -> extract log -> recommend -> apply -> rerun.
+struct LoopResult {
+  ExperimentOutput baseline;
+  std::vector<Recommendation> recommendations;
+  ExperimentOutput optimized;
+};
+
+LoopResult RunLoop(const ExperimentConfig& cfg) {
+  LoopResult result;
+  auto baseline = RunExperiment(cfg);
+  EXPECT_TRUE(baseline.ok()) << baseline.status();
+  result.baseline = std::move(*baseline);
+
+  BlockchainLog log = ExtractBlockchainLog(result.baseline.ledger);
+  result.recommendations = RecommendFromLog(log, {});
+
+  auto optimized_cfg = ApplyOptimizations(cfg, result.recommendations);
+  EXPECT_TRUE(optimized_cfg.ok()) << optimized_cfg.status();
+  auto optimized = RunExperiment(*optimized_cfg);
+  EXPECT_TRUE(optimized.ok()) << optimized.status();
+  result.optimized = std::move(*optimized);
+  return result;
+}
+
+ExperimentConfig SyntheticExperiment(SyntheticConfig wl,
+                                     NetworkConfig net =
+                                         NetworkConfig::Defaults()) {
+  ExperimentConfig cfg;
+  cfg.network = net;
+  cfg.chaincodes = {"genchain"};
+  for (auto& [k, v] : SyntheticSeedState(wl)) {
+    cfg.seeds.push_back(SeedEntry{"genchain", k, v});
+  }
+  cfg.schedule = GenerateSynthetic(wl);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic end-to-end loops (Table 3 / Figures 7-12 shapes)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, DefaultWorkloadLoopImprovesSuccessRate) {
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  LoopResult loop = RunLoop(SyntheticExperiment(wl));
+  EXPECT_FALSE(loop.recommendations.empty());
+  EXPECT_GT(loop.optimized.report.SuccessRate(),
+            loop.baseline.report.SuccessRate() + 0.05);
+}
+
+TEST(IntegrationTest, ReadHeavyGetsReorderingOnly) {
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  wl.type = SyntheticWorkloadType::kReadHeavy;
+  LoopResult loop = RunLoop(SyntheticExperiment(wl));
+  EXPECT_TRUE(HasRecommendation(loop.recommendations,
+                                RecommendationType::kActivityReordering));
+  EXPECT_FALSE(HasRecommendation(
+      loop.recommendations, RecommendationType::kSmartContractPartitioning));
+  EXPECT_GT(loop.optimized.report.SuccessRate(),
+            loop.baseline.report.SuccessRate());
+}
+
+TEST(IntegrationTest, UpdateHeavyGetsNoReordering) {
+  // Paper Experiment 5: the Update activity depends on itself, which
+  // reordering cannot fix.
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  wl.type = SyntheticWorkloadType::kUpdateHeavy;
+  ExperimentConfig cfg = SyntheticExperiment(wl);
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok());
+  auto recs = RecommendFromLog(ExtractBlockchainLog(out->ledger), {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kActivityReordering));
+}
+
+TEST(IntegrationTest, KeySkewTriggersPartitioning) {
+  // Paper Experiment 8.
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  wl.key_skew = 2;
+  ExperimentConfig cfg = SyntheticExperiment(wl);
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok());
+  auto recs = RecommendFromLog(ExtractBlockchainLog(out->ledger), {});
+  EXPECT_TRUE(HasRecommendation(
+      recs, RecommendationType::kSmartContractPartitioning));
+}
+
+TEST(IntegrationTest, MandatoryEndorserTriggersRestructuring) {
+  // Paper Experiment 1 (policy P1).
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  wl.num_orgs = 4;
+  NetworkConfig net = NetworkConfig::Defaults();
+  net.num_orgs = 4;
+  net.endorsement_policy = EndorsementPolicy::Preset(1, 4);
+  ExperimentConfig cfg = SyntheticExperiment(wl, net);
+  auto baseline = RunExperiment(cfg);
+  ASSERT_TRUE(baseline.ok());
+  auto recs = RecommendFromLog(ExtractBlockchainLog(baseline->ledger), {});
+  const Recommendation* restructure =
+      FindRecommendation(recs, RecommendationType::kEndorserRestructuring);
+  ASSERT_NE(restructure, nullptr);
+  EXPECT_EQ(restructure->orgs, (std::vector<std::string>{"Org1"}));
+  EXPECT_EQ(baseline->endorsement_counts.at("Org1"), 2000u);
+
+  // Apply ONLY the restructuring (the Figure 7 setting — rate control is
+  // evaluated separately in Figure 10).
+  auto restructured_cfg = ApplyOptimizations(cfg, {*restructure});
+  ASSERT_TRUE(restructured_cfg.ok());
+  auto restructured = RunExperiment(*restructured_cfg);
+  ASSERT_TRUE(restructured.ok());
+  // The load spreads: Org1 no longer endorses everything, and the
+  // de-queued bottleneck shows as better latency/throughput.
+  EXPECT_LT(restructured->endorsement_counts.at("Org1"), 1600u);
+  EXPECT_GE(restructured->report.Throughput(),
+            baseline->report.Throughput());
+  EXPECT_LT(restructured->report.AvgLatency(),
+            baseline->report.AvgLatency());
+}
+
+TEST(IntegrationTest, InvokerSkewTriggersClientBoostAndLatencyDrops) {
+  // Paper Experiment 15 / Figure 8.
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  wl.tx_dist_skew = 0.7;
+  ExperimentConfig cfg = SyntheticExperiment(wl);
+  auto baseline = RunExperiment(cfg);
+  ASSERT_TRUE(baseline.ok());
+  auto recs = RecommendFromLog(ExtractBlockchainLog(baseline->ledger), {});
+  const Recommendation* boost =
+      FindRecommendation(recs, RecommendationType::kClientResourceBoost);
+  ASSERT_NE(boost, nullptr);
+  EXPECT_EQ(boost->orgs, (std::vector<std::string>{"Org1"}));
+
+  // Apply ONLY the boost (the Figure 8 setting).
+  auto boosted_cfg = ApplyOptimizations(cfg, {*boost});
+  ASSERT_TRUE(boosted_cfg.ok());
+  auto boosted = RunExperiment(*boosted_cfg);
+  ASSERT_TRUE(boosted.ok());
+  EXPECT_LT(boosted->report.AvgLatency(),
+            baseline->report.AvgLatency() * 0.6);
+}
+
+TEST(IntegrationTest, TinyBlocksGetBlockSizeAdaptation) {
+  // Paper Figure 9 (block count 50 at 300 TPS). The orderer saturation
+  // from cutting 6 blocks/s builds up over the run, so this needs a
+  // longer experiment than the other loops.
+  SyntheticConfig wl;
+  wl.num_txs = 6000;
+  NetworkConfig net = NetworkConfig::Defaults();
+  net.block_cutting.max_tx_count = 50;
+  ExperimentConfig cfg = SyntheticExperiment(wl, net);
+  auto baseline = RunExperiment(cfg);
+  ASSERT_TRUE(baseline.ok());
+  auto recs = RecommendFromLog(ExtractBlockchainLog(baseline->ledger), {});
+  const Recommendation* adapt =
+      FindRecommendation(recs, RecommendationType::kBlockSizeAdaptation);
+  ASSERT_NE(adapt, nullptr);
+  // The suggested count targets the derived rate (~300 TPS).
+  EXPECT_NEAR(adapt->suggested_block_count, 300, 60);
+
+  auto adapted_cfg = ApplyOptimizations(cfg, {*adapt});
+  ASSERT_TRUE(adapted_cfg.ok());
+  auto adapted = RunExperiment(*adapted_cfg);
+  ASSERT_TRUE(adapted.ok());
+  EXPECT_GT(adapted->report.SuccessRate(), baseline->report.SuccessRate());
+  EXPECT_GT(adapted->report.Throughput(), baseline->report.Throughput());
+}
+
+// ---------------------------------------------------------------------------
+// Use-case loops (Figures 13-17 shapes)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, ScmLoopRecommendsReorderPruneRate) {
+  UseCaseConfig uc;
+  uc.num_txs = 2000;
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"scm"};
+  cfg.schedule = GenerateScmWorkload(uc);
+  LoopResult loop = RunLoop(cfg);
+  EXPECT_TRUE(HasRecommendation(loop.recommendations,
+                                RecommendationType::kActivityReordering));
+  EXPECT_TRUE(HasRecommendation(loop.recommendations,
+                                RecommendationType::kProcessModelPruning));
+  EXPECT_GT(loop.optimized.report.SuccessRate(),
+            loop.baseline.report.SuccessRate());
+}
+
+TEST(IntegrationTest, DvLoopReachesPerfectSuccess) {
+  // Paper §6.2: "we observe 100% success rate with this new smart
+  // contract because there are no more transaction dependencies".
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"dv"};
+  for (auto& [k, v] : DvSeedState()) {
+    cfg.seeds.push_back(SeedEntry{"dv", k, v});
+  }
+  UseCaseConfig uc;
+  cfg.schedule = GenerateDvWorkload(uc);
+  LoopResult loop = RunLoop(cfg);
+  EXPECT_TRUE(HasRecommendation(loop.recommendations,
+                                RecommendationType::kDataModelAlteration));
+  EXPECT_LT(loop.baseline.report.SuccessRate(), 0.5);
+  EXPECT_GT(loop.optimized.report.SuccessRate(), 0.99);
+}
+
+TEST(IntegrationTest, LapLoopRemovesTheEmployeeHotkey) {
+  LapLogConfig lc;
+  lc.num_applications = 300;
+  lc.num_events = 3000;
+  auto events = GenerateLapEventLog(lc);
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"lap"};
+  cfg.schedule = LapScheduleFromLog(events, 10.0);
+  auto baseline = RunExperiment(cfg);
+  ASSERT_TRUE(baseline.ok());
+  BlockchainLog log = ExtractBlockchainLog(baseline->ledger);
+  auto metrics = ComputeMetrics(log, {});
+  // The busy employee's key is the hotkey.
+  ASSERT_FALSE(metrics.hot_keys.empty());
+  EXPECT_EQ(metrics.hot_keys[0].rfind("lap~EMP_", 0), 0u);
+  auto recs = Recommend(metrics, {});
+  EXPECT_TRUE(
+      HasRecommendation(recs, RecommendationType::kDataModelAlteration));
+}
+
+// ---------------------------------------------------------------------------
+// Process-mining round trip (Figures 2 / 4)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, MinedScmModelShowsIllogicalBranches) {
+  UseCaseConfig uc;
+  uc.num_txs = 3000;
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"scm"};
+  cfg.schedule = GenerateScmWorkload(uc);
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok());
+  BlockchainLog log = ExtractBlockchainLog(out->ledger);
+  auto event_log = EventLog::FromBlockchainLog(log, EventLogOptions{});
+  ASSERT_TRUE(event_log.ok());
+  // CaseID is the product argument.
+  EXPECT_EQ(event_log->case_arg_index(), 0);
+  // The observed behaviour contains deviations from the clean pipeline —
+  // the illogical branches of Figure 2 (e.g. Ship-type activity with a
+  // read-only outcome was recorded). Check via the variants: not every
+  // case follows the canonical order.
+  auto variants = event_log->Variants();
+  EXPECT_GT(variants.size(), 1u);
+}
+
+TEST(IntegrationTest, ConformanceConfirmsRedesignCompliance) {
+  // After reordering, audit/query activities run at the end; replaying
+  // the new traces on the redesigned model fits perfectly, while the old
+  // traces do not — "the new process model derived from the blockchain
+  // log confirms the adherence to the new design" (paper §3, Figure 4).
+  using Trace = std::vector<std::string>;
+  std::vector<Trace> redesigned_traces = {
+      {"PushASN", "Ship", "Unload", "UpdateAuditInfo"},
+      {"PushASN", "Ship", "Unload", "UpdateAuditInfo"}};
+  PetriNet redesigned = AlphaMiner::Mine(redesigned_traces);
+  EXPECT_DOUBLE_EQ(ReplayTraces(redesigned, redesigned_traces).Fitness(),
+                   1.0);
+  std::vector<Trace> old_traces = {
+      {"PushASN", "UpdateAuditInfo", "Ship", "Unload"}};
+  EXPECT_LT(ReplayTraces(redesigned, old_traces).Fitness(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Reordering baselines (Figures 18 / 19 shapes)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, BlockOptRHelpsOnTopOfFabricPP) {
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  ExperimentConfig cfg = SyntheticExperiment(wl);
+  cfg.orderer_scheduler = "fabricpp";
+  LoopResult loop = RunLoop(cfg);
+  EXPECT_FALSE(loop.recommendations.empty());
+  EXPECT_GT(loop.optimized.report.SuccessRate(),
+            loop.baseline.report.SuccessRate());
+}
+
+TEST(IntegrationTest, BlockOptRHelpsOnTopOfFabricSharp) {
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  ExperimentConfig cfg = SyntheticExperiment(wl);
+  cfg.orderer_scheduler = "fabricsharp";
+  LoopResult loop = RunLoop(cfg);
+  EXPECT_FALSE(loop.recommendations.empty());
+  EXPECT_GT(loop.optimized.report.SuccessRate(),
+            loop.baseline.report.SuccessRate());
+}
+
+TEST(IntegrationTest, FabricPPReducesIntraBlockReaderConflicts) {
+  // Intra-block reordering saves reader-vs-writer conflicts (read-heavy);
+  // self-dependent update-update cycles can only be aborted, not saved,
+  // which is exactly the Fabric++ weakness the paper cites from [13].
+  SyntheticConfig wl;
+  wl.num_txs = 2000;
+  wl.type = SyntheticWorkloadType::kReadHeavy;
+  ExperimentConfig vanilla = SyntheticExperiment(wl);
+  ExperimentConfig pp = vanilla;
+  pp.orderer_scheduler = "fabricpp";
+  auto vanilla_out = RunExperiment(vanilla);
+  auto pp_out = RunExperiment(pp);
+  ASSERT_TRUE(vanilla_out.ok());
+  ASSERT_TRUE(pp_out.ok());
+  auto vanilla_metrics =
+      ComputeMetrics(ExtractBlockchainLog(vanilla_out->ledger), {});
+  auto pp_metrics = ComputeMetrics(ExtractBlockchainLog(pp_out->ledger), {});
+  EXPECT_LT(pp_metrics.intra_block_conflicts,
+            vanilla_metrics.intra_block_conflicts);
+  EXPECT_GE(pp_out->report.SuccessRate(), vanilla_out->report.SuccessRate());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the whole loop
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, WholeLoopIsDeterministic) {
+  SyntheticConfig wl;
+  wl.num_txs = 800;
+  ExperimentConfig cfg = SyntheticExperiment(wl);
+  LoopResult a = RunLoop(cfg);
+  LoopResult b = RunLoop(cfg);
+  EXPECT_EQ(a.recommendations.size(), b.recommendations.size());
+  EXPECT_EQ(a.baseline.report.successful(), b.baseline.report.successful());
+  EXPECT_EQ(a.optimized.report.successful(), b.optimized.report.successful());
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "blockopt/metrics/metrics.h"
+
+namespace blockoptr {
+namespace {
+
+struct EntryBuilder {
+  BlockchainLogEntry e;
+
+  EntryBuilder(uint64_t order, const std::string& activity) {
+    e.commit_order = order;
+    e.activity = activity;
+    e.client_timestamp = static_cast<double>(order) * 0.01;
+    e.block_num = order / 10;  // 10 txs per block
+    e.tx_pos = static_cast<uint32_t>(order % 10);
+    e.invoker_client = "Org1-client0";
+    e.invoker_org = "Org1";
+    e.endorsers = {"Org1", "Org2"};
+  }
+  EntryBuilder& Reads(std::vector<std::string> keys) {
+    e.read_keys = std::move(keys);
+    return *this;
+  }
+  EntryBuilder& Writes(std::vector<std::pair<std::string, std::string>> w) {
+    e.writes = std::move(w);
+    return *this;
+  }
+  EntryBuilder& Status(TxStatus s) {
+    e.status = s;
+    return *this;
+  }
+  EntryBuilder& Type(TxType t) {
+    e.tx_type = t;
+    return *this;
+  }
+  EntryBuilder& Invoker(const std::string& client, const std::string& org) {
+    e.invoker_client = client;
+    e.invoker_org = org;
+    return *this;
+  }
+  EntryBuilder& Endorsers(std::vector<std::string> orgs) {
+    e.endorsers = std::move(orgs);
+    return *this;
+  }
+  EntryBuilder& Time(double t) {
+    e.client_timestamp = t;
+    return *this;
+  }
+  BlockchainLogEntry Build() { return e; }
+};
+
+// ---------------------------------------------------------------------------
+// Rate / failure metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, TransactionRateFromTimestamps) {
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 101; ++i) {
+    entries.push_back(EntryBuilder(i, "A").Time(i * 0.01).Build());
+  }
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.total_txs, 101u);
+  EXPECT_NEAR(m.duration_s, 1.0, 1e-9);
+  EXPECT_NEAR(m.tr, 101.0, 1.0);
+}
+
+TEST(MetricsTest, RateDistributionPerInterval) {
+  std::vector<BlockchainLogEntry> entries;
+  uint64_t order = 0;
+  // 10 txs in second 0, 30 in second 1.
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back(EntryBuilder(order++, "A").Time(0.05 * i).Build());
+  }
+  for (int i = 0; i < 30; ++i) {
+    entries.push_back(
+        EntryBuilder(order++, "A").Time(1.0 + 0.03 * i).Build());
+  }
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  ASSERT_GE(m.trd.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.trd[0], 10.0);
+  EXPECT_DOUBLE_EQ(m.trd[1], 30.0);
+}
+
+TEST(MetricsTest, FailureBreakdownAndAlignment) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "A").Time(0.1).Build());
+  entries.push_back(EntryBuilder(1, "A")
+                        .Time(0.2)
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  entries.push_back(EntryBuilder(2, "A")
+                        .Time(1.5)
+                        .Status(TxStatus::kPhantomReadConflict)
+                        .Build());
+  entries.push_back(EntryBuilder(3, "A")
+                        .Time(2.5)
+                        .Status(TxStatus::kEndorsementPolicyFailure)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.failed_txs, 3u);
+  EXPECT_EQ(m.mvcc_failures, 1u);
+  EXPECT_EQ(m.phantom_failures, 1u);
+  EXPECT_EQ(m.endorsement_failures, 1u);
+  EXPECT_NEAR(m.SuccessRate(), 0.25, 1e-9);
+  // frd is padded to the same length as trd.
+  EXPECT_EQ(m.frd.size(), m.trd.size());
+}
+
+// ---------------------------------------------------------------------------
+// Block size / significance metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, AverageBlockSize) {
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 40; ++i) {
+    entries.push_back(EntryBuilder(i, "A").Build());  // block = i / 10
+  }
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.num_blocks, 4u);
+  EXPECT_DOUBLE_EQ(m.b_sizeavg, 10.0);
+}
+
+TEST(MetricsTest, EndorserSignificance) {
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 10; ++i) {
+    entries.push_back(
+        EntryBuilder(i, "A")
+            .Endorsers(i < 7 ? std::vector<std::string>{"Org1", "Org2"}
+                             : std::vector<std::string>{"Org3", "Org4"})
+            .Build());
+  }
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.endorser_sig["Org1"], 7u);
+  EXPECT_EQ(m.endorser_sig["Org4"], 3u);
+}
+
+TEST(MetricsTest, InvokerSignificancePerClientAndOrg) {
+  std::vector<BlockchainLogEntry> entries;
+  for (uint64_t i = 0; i < 10; ++i) {
+    entries.push_back(EntryBuilder(i, "A")
+                          .Invoker(i < 8 ? "Org1-client0" : "Org2-client0",
+                                   i < 8 ? "Org1" : "Org2")
+                          .Build());
+  }
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.invoker_sig["Org1-client0"], 8u);
+  EXPECT_EQ(m.invoker_org_sig["Org1"], 8u);
+  EXPECT_EQ(m.invoker_org_sig["Org2"], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Key metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, KeyFrequencyCountsFailuresOnly) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "A").Reads({"k"}).Build());
+  entries.push_back(EntryBuilder(1, "A")
+                        .Reads({"k"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.key_freq["k"], 1u);
+  EXPECT_EQ(m.key_activities["k"].size(), 1u);
+}
+
+TEST(MetricsTest, HotkeyThresholds) {
+  std::vector<BlockchainLogEntry> entries;
+  uint64_t order = 0;
+  // 50 failures on "hot", 5 on "cold".
+  for (int i = 0; i < 50; ++i) {
+    entries.push_back(EntryBuilder(order++, "Vote")
+                          .Reads({"hot"})
+                          .Writes({{"hot", std::to_string(i)}})
+                          .Status(TxStatus::kMvccReadConflict)
+                          .Build());
+  }
+  for (int i = 0; i < 5; ++i) {
+    entries.push_back(EntryBuilder(order++, "Other")
+                          .Reads({"cold"})
+                          .Status(TxStatus::kMvccReadConflict)
+                          .Build());
+  }
+  MetricsOptions options;
+  options.hotkey_min_failures = 30;
+  options.hotkey_failure_fraction = 0.15;
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), options);
+  ASSERT_EQ(m.hot_keys.size(), 1u);
+  EXPECT_EQ(m.hot_keys[0], "hot");
+}
+
+TEST(MetricsTest, KeyAccessorStatsDistinguishReadersFromWriters) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "Play")
+                        .Reads({"m"})
+                        .Writes({{"m", "1"}})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  entries.push_back(EntryBuilder(1, "ViewMetaData")
+                        .Reads({"m"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_TRUE(m.key_accessors["m"]["Play"].writes);
+  EXPECT_FALSE(m.key_accessors["m"]["ViewMetaData"].writes);
+  EXPECT_EQ(m.key_accessors["m"]["Play"].failures, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation metrics (corDV / corP / corPA)
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, ConflictAttributionFindsTheLastWriter) {
+  std::vector<BlockchainLogEntry> entries;
+  // y writes k, then x fails reading k.
+  entries.push_back(
+      EntryBuilder(0, "Writer").Writes({{"k", "v1"}}).Build());
+  entries.push_back(EntryBuilder(1, "Reader")
+                        .Reads({"k"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  ASSERT_EQ(m.conflicts.size(), 1u);
+  const auto& c = m.conflicts[0];
+  EXPECT_EQ(c.failed_activity, "Reader");
+  EXPECT_EQ(c.cause_activity, "Writer");
+  EXPECT_EQ(c.key, "k");
+  EXPECT_EQ(c.distance, 1u);
+  EXPECT_TRUE(c.reorderable);  // reader writes nothing
+  EXPECT_FALSE(c.same_activity);
+}
+
+TEST(MetricsTest, MostRecentWriterWins) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "W1").Writes({{"k", "a"}}).Build());
+  entries.push_back(EntryBuilder(1, "W2").Writes({{"k", "b"}}).Build());
+  entries.push_back(EntryBuilder(2, "R")
+                        .Reads({"k"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  ASSERT_EQ(m.conflicts.size(), 1u);
+  EXPECT_EQ(m.conflicts[0].cause_activity, "W2");
+  EXPECT_EQ(m.conflicts[0].distance, 1u);
+}
+
+TEST(MetricsTest, FailedWritersDoNotBecomeCauses) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "GoodWriter").Writes({{"k", "a"}}).Build());
+  entries.push_back(EntryBuilder(1, "BadWriter")
+                        .Writes({{"k", "b"}})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Reads({"other"})
+                        .Build());
+  entries.push_back(EntryBuilder(2, "R")
+                        .Reads({"k"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  // BadWriter never committed its write, so the cause of R is GoodWriter.
+  bool found = false;
+  for (const auto& c : m.conflicts) {
+    if (c.failed_activity == "R") {
+      EXPECT_EQ(c.cause_activity, "GoodWriter");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsTest, IntraVsInterBlockClassification) {
+  std::vector<BlockchainLogEntry> entries;
+  // Orders 0 and 1 share block 0 (intra); order 10 is block 1 (inter).
+  entries.push_back(EntryBuilder(0, "W").Writes({{"k", "a"}}).Build());
+  entries.push_back(EntryBuilder(1, "R1")
+                        .Reads({"k"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  entries.push_back(EntryBuilder(10, "R2")
+                        .Reads({"k"})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.intra_block_conflicts, 1u);
+  EXPECT_EQ(m.inter_block_conflicts, 1u);
+}
+
+TEST(MetricsTest, NonReorderableWhenWriteSetsOverlap) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "Update")
+                        .Reads({"k"})
+                        .Writes({{"k", "v1"}})
+                        .Build());
+  entries.push_back(EntryBuilder(1, "Update")
+                        .Reads({"k"})
+                        .Writes({{"k", "v2"}})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  ASSERT_EQ(m.conflicts.size(), 1u);
+  EXPECT_FALSE(m.conflicts[0].reorderable);
+  EXPECT_TRUE(m.conflicts[0].same_activity);
+  EXPECT_EQ(m.reorderable_conflicts, 0u);
+}
+
+TEST(MetricsTest, DeltaCandidateDetection) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "Play")
+                        .Reads({"m"})
+                        .Writes({{"m", "5|meta"}})
+                        .Build());
+  entries.push_back(EntryBuilder(1, "Play")
+                        .Reads({"m"})
+                        .Writes({{"m", "5|meta"}})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.delta_candidates, 1u);
+  ASSERT_EQ(m.conflicts.size(), 1u);
+  EXPECT_TRUE(m.conflicts[0].delta_candidate);
+}
+
+TEST(MetricsTest, NonCounterValuesAreNotDeltaCandidates) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "Upd")
+                        .Reads({"k"})
+                        .Writes({{"k", "abc"}})
+                        .Build());
+  entries.push_back(EntryBuilder(1, "Upd")
+                        .Reads({"k"})
+                        .Writes({{"k", "xyz"}})
+                        .Status(TxStatus::kMvccReadConflict)
+                        .Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.delta_candidates, 0u);
+}
+
+TEST(MetricsTest, PhantomCauseFoundViaRangeBounds) {
+  std::vector<BlockchainLogEntry> entries;
+  // A writer inserts "key5"; a range reader over [key0, key9) fails.
+  entries.push_back(
+      EntryBuilder(0, "Insert").Writes({{"key5", "v"}}).Build());
+  BlockchainLogEntry range = EntryBuilder(1, "RangeRead")
+                                 .Status(TxStatus::kPhantomReadConflict)
+                                 .Build();
+  range.range_bounds.emplace_back("key0", "key9");
+  entries.push_back(range);
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  ASSERT_EQ(m.conflicts.size(), 1u);
+  EXPECT_EQ(m.conflicts[0].cause_activity, "Insert");
+  EXPECT_EQ(m.conflicts[0].key, "key5");
+  EXPECT_TRUE(m.conflicts[0].reorderable);
+}
+
+TEST(MetricsTest, ActivityConflictAggregation) {
+  std::vector<BlockchainLogEntry> entries;
+  uint64_t order = 0;
+  for (int i = 0; i < 3; ++i) {
+    entries.push_back(EntryBuilder(order++, "W")
+                          .Writes({{"k", "v" + std::to_string(i)}})
+                          .Build());
+    entries.push_back(EntryBuilder(order++, "R")
+                          .Reads({"k"})
+                          .Status(TxStatus::kMvccReadConflict)
+                          .Build());
+  }
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ((m.activity_conflicts[{"R", "W"}]), 3u);
+}
+
+TEST(MetricsTest, ActivityTxTypeCounts) {
+  std::vector<BlockchainLogEntry> entries;
+  entries.push_back(EntryBuilder(0, "Ship").Type(TxType::kUpdate).Build());
+  entries.push_back(EntryBuilder(1, "Ship").Type(TxType::kUpdate).Build());
+  entries.push_back(EntryBuilder(2, "Ship").Type(TxType::kRead).Build());
+  auto m = ComputeMetrics(BlockchainLog(std::move(entries)), {});
+  EXPECT_EQ(m.activity_tx_types["Ship"][TxType::kUpdate], 2u);
+  EXPECT_EQ(m.activity_tx_types["Ship"][TxType::kRead], 1u);
+}
+
+TEST(MetricsTest, EmptyLogYieldsZeroMetrics) {
+  auto m = ComputeMetrics(BlockchainLog(), {});
+  EXPECT_EQ(m.total_txs, 0u);
+  EXPECT_EQ(m.tr, 0);
+  EXPECT_TRUE(m.conflicts.empty());
+  EXPECT_TRUE(m.hot_keys.empty());
+}
+
+}  // namespace
+}  // namespace blockoptr

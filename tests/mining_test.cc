@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "mining/alpha_miner.h"
+#include "mining/conformance.h"
+#include "mining/dfg.h"
+#include "mining/dot_export.h"
+#include "mining/footprint.h"
+#include "mining/heuristics_miner.h"
+#include "mining/petri_net.h"
+#include "mining/precision.h"
+
+namespace blockoptr {
+namespace {
+
+using Traces = std::vector<std::vector<std::string>>;
+
+/// The textbook log L1 of the Alpha-algorithm literature:
+/// [<a,b,c,d>, <a,c,b,d>, <a,e,d>].
+Traces L1() {
+  return {{"a", "b", "c", "d"}, {"a", "c", "b", "d"}, {"a", "e", "d"}};
+}
+
+// ---------------------------------------------------------------------------
+// Footprint
+// ---------------------------------------------------------------------------
+
+TEST(FootprintTest, RelationsOfL1) {
+  Footprint fp(L1());
+  EXPECT_EQ(fp.activities().size(), 5u);
+  EXPECT_TRUE(fp.Causal("a", "b"));
+  EXPECT_TRUE(fp.Causal("a", "c"));
+  EXPECT_TRUE(fp.Causal("a", "e"));
+  EXPECT_TRUE(fp.Causal("b", "d"));
+  EXPECT_TRUE(fp.Causal("e", "d"));
+  // b and c appear in both orders -> parallel.
+  EXPECT_EQ(fp.RelationOf("b", "c"), Footprint::Relation::kParallel);
+  // b and e never follow each other -> unrelated.
+  EXPECT_TRUE(fp.Unrelated("b", "e"));
+  // Inverse direction.
+  EXPECT_EQ(fp.RelationOf("b", "a"), Footprint::Relation::kInverseCausal);
+}
+
+TEST(FootprintTest, StartAndEndActivities) {
+  Footprint fp(L1());
+  EXPECT_EQ(fp.start_activities(), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(fp.end_activities(), (std::vector<std::string>{"d"}));
+}
+
+TEST(FootprintTest, DirectlyFollowsCounts) {
+  Footprint fp(L1());
+  EXPECT_EQ(fp.DirectlyFollows("a", "b"), 1u);
+  EXPECT_EQ(fp.DirectlyFollows("b", "c"), 1u);
+  EXPECT_EQ(fp.DirectlyFollows("c", "b"), 1u);
+  EXPECT_EQ(fp.DirectlyFollows("d", "a"), 0u);
+}
+
+TEST(FootprintTest, SelfLoopIsParallelWithItself) {
+  Footprint fp({{"a", "a", "b"}});
+  EXPECT_EQ(fp.RelationOf("a", "a"), Footprint::Relation::kParallel);
+}
+
+TEST(FootprintTest, EmptyTracesAreIgnored) {
+  Footprint fp({{}, {"a"}});
+  EXPECT_EQ(fp.activities().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Alpha miner
+// ---------------------------------------------------------------------------
+
+TEST(AlphaMinerTest, MinesTheClassicL1Net) {
+  PetriNet net = AlphaMiner::Mine(L1());
+  EXPECT_EQ(net.num_transitions(), 5u);
+  // The classic result: places p({a},{b,e}), p({a},{c,e}), p({b,e},{d}),
+  // p({c,e},{d}) plus source and sink.
+  EXPECT_EQ(net.num_places(), 6u);
+  ASSERT_GE(net.source_place(), 0);
+  ASSERT_GE(net.sink_place(), 0);
+  // Source feeds exactly 'a'; sink is fed by exactly 'd'.
+  const auto& source = net.places()[static_cast<size_t>(net.source_place())];
+  ASSERT_EQ(source.output_transitions.size(), 1u);
+  EXPECT_EQ(net.TransitionLabel(source.output_transitions[0]), "a");
+  const auto& sink = net.places()[static_cast<size_t>(net.sink_place())];
+  ASSERT_EQ(sink.input_transitions.size(), 1u);
+  EXPECT_EQ(net.TransitionLabel(sink.input_transitions[0]), "d");
+}
+
+TEST(AlphaMinerTest, MaximalCausalPairsOfL1) {
+  Footprint fp(L1());
+  auto pairs = AlphaMiner::MaximalCausalPairs(fp);
+  ASSERT_EQ(pairs.size(), 4u);
+  bool found_abe = false;
+  for (const auto& [a_set, b_set] : pairs) {
+    if (a_set == std::vector<std::string>{"a"} &&
+        b_set == std::vector<std::string>{"b", "e"}) {
+      found_abe = true;
+    }
+  }
+  EXPECT_TRUE(found_abe);
+}
+
+TEST(AlphaMinerTest, LinearSequence) {
+  PetriNet net = AlphaMiner::Mine({{"x", "y", "z"}});
+  EXPECT_EQ(net.num_transitions(), 3u);
+  EXPECT_EQ(net.num_places(), 4u);  // start, x->y, y->z, end
+}
+
+TEST(AlphaMinerTest, ExclusiveChoice) {
+  PetriNet net = AlphaMiner::Mine({{"a", "b", "d"}, {"a", "c", "d"}});
+  // b and c are alternatives: one place a->{b,c} and one {b,c}->d.
+  EXPECT_EQ(net.num_places(), 4u);
+}
+
+TEST(AlphaMinerTest, ScmScenarioHasNoShipWithoutAsnPath) {
+  // After pruning, the SCM traces follow the clean pipeline; the mined
+  // model must chain PushASN -> Ship -> Unload (the Figure 4 shape).
+  Traces traces = {{"PushASN", "Ship", "QueryASN", "Unload"},
+                   {"PushASN", "Ship", "QueryASN", "Unload"}};
+  PetriNet net = AlphaMiner::Mine(traces);
+  int ship = net.TransitionIndex("Ship");
+  ASSERT_GE(ship, 0);
+  // Ship has an input place fed by PushASN.
+  bool ship_after_asn = false;
+  for (int p : net.InputPlacesOf(ship)) {
+    for (int t : net.places()[static_cast<size_t>(p)].input_transitions) {
+      if (net.TransitionLabel(t) == "PushASN") ship_after_asn = true;
+    }
+  }
+  EXPECT_TRUE(ship_after_asn);
+}
+
+// ---------------------------------------------------------------------------
+// Token-replay conformance
+// ---------------------------------------------------------------------------
+
+TEST(ConformanceTest, MinedNetPerfectlyFitsItsOwnLog) {
+  Traces traces = L1();
+  PetriNet net = AlphaMiner::Mine(traces);
+  ConformanceResult result = ReplayTraces(net, traces);
+  EXPECT_DOUBLE_EQ(result.Fitness(), 1.0);
+  EXPECT_EQ(result.perfectly_fitting_traces, 3u);
+  EXPECT_EQ(result.missing, 0u);
+  EXPECT_EQ(result.remaining, 0u);
+}
+
+TEST(ConformanceTest, DeviatingTraceLowersFitness) {
+  PetriNet net = AlphaMiner::Mine(L1());
+  // 'b' without 'a', and no 'd' at the end.
+  ConformanceResult result = ReplayTraces(net, {{"b", "c"}});
+  EXPECT_LT(result.Fitness(), 1.0);
+  EXPECT_GT(result.missing, 0u);
+  EXPECT_EQ(result.perfectly_fitting_traces, 0u);
+}
+
+TEST(ConformanceTest, UnknownActivitiesAreIgnored) {
+  PetriNet net = AlphaMiner::Mine(L1());
+  ConformanceResult perfect = ReplayTraces(net, {{"a", "b", "c", "d"}});
+  ConformanceResult with_alien =
+      ReplayTraces(net, {{"a", "b", "alien", "c", "d"}});
+  EXPECT_DOUBLE_EQ(with_alien.Fitness(), perfect.Fitness());
+}
+
+TEST(ConformanceTest, ComplianceCheckAfterRedesign) {
+  // The §3 use: verify adherence to the redesigned process model. Traces
+  // that still contain the removed path fit worse than compliant ones.
+  Traces redesigned = {{"PushASN", "Ship", "Unload", "UpdateAuditInfo"}};
+  PetriNet net = AlphaMiner::Mine(redesigned);
+  EXPECT_DOUBLE_EQ(ReplayTraces(net, redesigned).Fitness(), 1.0);
+  ConformanceResult violating =
+      ReplayTraces(net, {{"Ship", "PushASN", "Unload", "UpdateAuditInfo"}});
+  EXPECT_LT(violating.Fitness(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Escaping-edges precision
+// ---------------------------------------------------------------------------
+
+TEST(PrecisionTest, ExactModelHasPrecisionOne) {
+  Traces traces = {{"x", "y", "z"}};
+  PetriNet net = AlphaMiner::Mine(traces);
+  EXPECT_DOUBLE_EQ(EscapingEdgesPrecision(net, traces), 1.0);
+}
+
+TEST(PrecisionTest, FlowerLikeModelScoresLow) {
+  // A net where every activity stays enabled permits far more behaviour
+  // than the sequential log shows.
+  PetriNet flower;
+  int a = flower.AddTransition("a");
+  int b = flower.AddTransition("b");
+  int c = flower.AddTransition("c");
+  PetriNet::Place hub;
+  hub.name = "hub";
+  hub.input_transitions = {a, b, c};
+  hub.output_transitions = {a, b, c};
+  int hub_idx = flower.AddPlace(std::move(hub));
+  flower.set_source_place(hub_idx);
+  flower.set_sink_place(flower.AddPlace(PetriNet::Place{"end", {}, {}}));
+
+  Traces sequential = {{"a", "b", "c"}, {"a", "b", "c"}};
+  double flower_precision = EscapingEdgesPrecision(flower, sequential);
+  PetriNet exact = AlphaMiner::Mine(sequential);
+  double exact_precision = EscapingEdgesPrecision(exact, sequential);
+  EXPECT_LT(flower_precision, exact_precision);
+  EXPECT_LT(flower_precision, 0.7);
+}
+
+TEST(PrecisionTest, ParallelModelLosesPrecisionOnSequentialLog) {
+  // Mine a model from parallel behaviour, then evaluate it against a log
+  // that only ever does one order: the unused interleaving is escaping.
+  Traces parallel = {{"a", "b", "c", "d"}, {"a", "c", "b", "d"}};
+  PetriNet net = AlphaMiner::Mine(parallel);
+  double on_parallel = EscapingEdgesPrecision(net, parallel);
+  double on_sequential = EscapingEdgesPrecision(net, {{"a", "b", "c", "d"}});
+  EXPECT_GT(on_parallel, on_sequential);
+}
+
+TEST(PrecisionTest, EmptyLogIsVacuouslyPrecise) {
+  PetriNet net = AlphaMiner::Mine({{"a"}});
+  EXPECT_DOUBLE_EQ(EscapingEdgesPrecision(net, {}), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// DFG + heuristics miner
+// ---------------------------------------------------------------------------
+
+TEST(DfgTest, CountsEdgesAndActivities) {
+  DirectlyFollowsGraph dfg(L1());
+  EXPECT_EQ(dfg.EdgeCount("a", "b"), 1u);
+  EXPECT_EQ(dfg.ActivityCount("a"), 3u);
+  EXPECT_EQ(dfg.ActivityCount("d"), 3u);
+  EXPECT_EQ(dfg.StartCount("a"), 3u);
+  EXPECT_EQ(dfg.EndCount("d"), 3u);
+}
+
+TEST(DfgTest, FilterDropsRareEdges) {
+  DirectlyFollowsGraph dfg({{"a", "b"}, {"a", "b"}, {"a", "c"}});
+  EXPECT_EQ(dfg.edges().size(), 2u);
+  dfg.FilterEdges(2);
+  EXPECT_EQ(dfg.edges().size(), 1u);
+  EXPECT_EQ(dfg.EdgeCount("a", "c"), 0u);
+}
+
+TEST(HeuristicsMinerTest, DependencyMeasure) {
+  // 10x a>b and never b>a: dependency 10/11.
+  Traces traces;
+  for (int i = 0; i < 10; ++i) traces.push_back({"a", "b"});
+  DirectlyFollowsGraph dfg(traces);
+  EXPECT_NEAR(HeuristicsMiner::Dependency(dfg, "a", "b"), 10.0 / 11.0, 1e-12);
+  EXPECT_NEAR(HeuristicsMiner::Dependency(dfg, "b", "a"), -10.0 / 11.0,
+              1e-12);
+}
+
+TEST(HeuristicsMinerTest, NoiseEdgesFallBelowThreshold) {
+  Traces traces;
+  for (int i = 0; i < 50; ++i) traces.push_back({"a", "b", "c"});
+  traces.push_back({"a", "c", "b"});  // one noisy trace
+  auto graph = HeuristicsMiner::Mine(traces);
+  EXPECT_TRUE(graph.HasEdge("a", "b"));
+  EXPECT_TRUE(graph.HasEdge("b", "c"));
+  // The single noisy c>b observation must not produce an edge.
+  EXPECT_FALSE(graph.HasEdge("c", "b"));
+}
+
+TEST(HeuristicsMinerTest, MinSupportFiltersSingletons) {
+  Traces traces = {{"a", "b"}, {"x", "y"}, {"x", "y"}};
+  HeuristicsMiner::Options options;
+  options.dependency_threshold = 0.1;
+  options.min_edge_support = 2;
+  auto graph = HeuristicsMiner::Mine(traces, options);
+  EXPECT_FALSE(graph.HasEdge("a", "b"));  // support 1
+  EXPECT_TRUE(graph.HasEdge("x", "y"));   // support 2
+}
+
+TEST(HeuristicsMinerTest, StartEndActivities) {
+  auto graph = HeuristicsMiner::Mine(L1());
+  EXPECT_EQ(graph.start_activities, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(graph.end_activities, (std::vector<std::string>{"d"}));
+}
+
+// ---------------------------------------------------------------------------
+// DOT export
+// ---------------------------------------------------------------------------
+
+TEST(DotExportTest, PetriNetDotIsWellFormed) {
+  std::string dot = PetriNetToDot(AlphaMiner::Mine(L1()));
+  EXPECT_EQ(dot.rfind("digraph petri {", 0), 0u);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotExportTest, DfgDotIncludesCounts) {
+  DirectlyFollowsGraph dfg(L1());
+  std::string dot = DfgToDot(dfg);
+  EXPECT_NE(dot.find("label=\"1\""), std::string::npos);
+  EXPECT_NE(dot.find("a (3)"), std::string::npos);
+}
+
+TEST(DotExportTest, DependencyGraphDotIncludesMeasures) {
+  auto graph = HeuristicsMiner::Mine(L1(), {0.3, 1});
+  std::string dot = DependencyGraphToDot(graph);
+  EXPECT_EQ(dot.rfind("digraph deps {", 0), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blockoptr

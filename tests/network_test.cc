@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "contracts/gen_chain.h"
+#include "fabric/network.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+namespace {
+
+NetworkConfig SmallConfig() {
+  NetworkConfig cfg = NetworkConfig::Defaults();
+  cfg.seed = 5;
+  return cfg;
+}
+
+ClientRequest Req(const std::string& fn, std::vector<std::string> args,
+                  int org = 0) {
+  ClientRequest req;
+  req.chaincode = "genchain";
+  req.function = fn;
+  req.args = std::move(args);
+  req.target_org = org;
+  return req;
+}
+
+struct Harness {
+  Simulator sim;
+  FabricNetwork network;
+  std::vector<Transaction> commits;
+  int early_aborts = 0;
+
+  explicit Harness(NetworkConfig cfg = SmallConfig())
+      : network(&sim, std::move(cfg)) {
+    EXPECT_TRUE(
+        network.InstallChaincode(std::make_unique<GenChainContract>()).ok());
+    network.set_on_commit(
+        [this](const Transaction& tx) { commits.push_back(tx); });
+    network.set_on_early_abort(
+        [this](const ClientRequest&, const Status&) { ++early_aborts; });
+  }
+
+  void SubmitAt(double t, ClientRequest req) {
+    sim.ScheduleAt(t, [this, req] { ASSERT_TRUE(network.Submit(req).ok()); });
+  }
+
+  void RunToCompletion(size_t expected, double max_time = 300) {
+    network.Start();
+    while (commits.size() + static_cast<size_t>(early_aborts) < expected &&
+           sim.Step()) {
+      ASSERT_LT(sim.Now(), max_time) << "simulation ran away";
+    }
+  }
+};
+
+TEST(NetworkTest, SingleTransactionCommitsSuccessfully) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  h.SubmitAt(0.0, Req("Update", {"k", "u1"}));
+  h.RunToCompletion(1);
+  ASSERT_EQ(h.commits.size(), 1u);
+  EXPECT_EQ(h.commits[0].status, TxStatus::kValid);
+  EXPECT_EQ(h.commits[0].activity, "Update");
+  EXPECT_GT(h.commits[0].commit_timestamp, h.commits[0].client_timestamp);
+}
+
+TEST(NetworkTest, GenesisBlockIsConfig) {
+  Harness h;
+  ASSERT_GE(h.network.ledger().NumBlocks(), 1u);
+  const Block& genesis = h.network.ledger().GetBlock(0);
+  ASSERT_EQ(genesis.transactions.size(), 1u);
+  EXPECT_TRUE(genesis.transactions[0].is_config);
+}
+
+TEST(NetworkTest, LedgerChainVerifiesAfterRun) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 50; ++i) {
+    h.SubmitAt(i * 0.01, Req("Update", {"k", "u" + std::to_string(i)}));
+  }
+  h.RunToCompletion(50);
+  EXPECT_TRUE(h.network.ledger().VerifyChain().ok());
+  EXPECT_EQ(h.network.ledger().NumTransactions(), 51u);  // + genesis config
+}
+
+TEST(NetworkTest, ConflictingUpdatesProduceMvccFailures) {
+  Harness h;
+  h.network.SeedState("genchain", "hot", "0");
+  // 40 concurrent updates of one key: only a handful can win.
+  for (int i = 0; i < 40; ++i) {
+    h.SubmitAt(0.001 * i, Req("Update", {"hot", "u" + std::to_string(i)}));
+  }
+  h.RunToCompletion(40);
+  int valid = 0, mvcc = 0;
+  for (const auto& tx : h.commits) {
+    if (tx.status == TxStatus::kValid) ++valid;
+    if (tx.status == TxStatus::kMvccReadConflict) ++mvcc;
+  }
+  EXPECT_GE(valid, 1);
+  EXPECT_GT(mvcc, 10);
+}
+
+TEST(NetworkTest, NonConflictingUpdatesAllSucceed) {
+  Harness h;
+  for (int i = 0; i < 40; ++i) {
+    h.network.SeedState("genchain", "k" + std::to_string(i), "0");
+  }
+  for (int i = 0; i < 40; ++i) {
+    h.SubmitAt(0.001 * i,
+               Req("Update", {"k" + std::to_string(i), "u"}));
+  }
+  h.RunToCompletion(40);
+  for (const auto& tx : h.commits) {
+    EXPECT_EQ(tx.status, TxStatus::kValid);
+  }
+}
+
+TEST(NetworkTest, WellSpacedUpdatesOfSameKeySucceed) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  // 2 seconds apart: far beyond the commit latency.
+  for (int i = 0; i < 5; ++i) {
+    h.SubmitAt(2.0 * i, Req("Update", {"k", "u" + std::to_string(i)}));
+  }
+  h.RunToCompletion(5);
+  for (const auto& tx : h.commits) {
+    EXPECT_EQ(tx.status, TxStatus::kValid);
+  }
+}
+
+TEST(NetworkTest, UnknownChaincodeIsRejected) {
+  Harness h;
+  ClientRequest req;
+  req.chaincode = "nope";
+  req.function = "x";
+  Status st = h.network.Submit(req);
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST(NetworkTest, DuplicateInstallFails) {
+  Harness h;
+  Status st = h.network.InstallChaincode(std::make_unique<GenChainContract>());
+  EXPECT_TRUE(st.IsAlreadyExists());
+}
+
+TEST(NetworkTest, EndorsersRespectMandatoryOrg) {
+  // P1 makes Org1 mandatory: every transaction carries an Org1
+  // endorsement (the bottleneck of paper Experiment 1).
+  NetworkConfig cfg = SmallConfig();
+  cfg.num_orgs = 4;
+  cfg.endorsement_policy = EndorsementPolicy::Preset(1, 4);
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 30; ++i) {
+    h.SubmitAt(0.05 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(30);
+  for (const auto& tx : h.commits) {
+    EXPECT_NE(std::find(tx.endorsers.begin(), tx.endorsers.end(), "Org1"),
+              tx.endorsers.end());
+  }
+  EXPECT_EQ(h.network.endorsement_counts().at("Org1"), 30u);
+}
+
+TEST(NetworkTest, EndorserSkewBiasesSelection) {
+  NetworkConfig cfg = SmallConfig();
+  cfg.num_orgs = 4;
+  cfg.endorsement_policy = EndorsementPolicy::Preset(4, 4);  // OutOf(2,...)
+  cfg.endorser_dist_skew = 6;
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 200; ++i) {
+    h.SubmitAt(0.02 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(200);
+  const auto& counts = h.network.endorsement_counts();
+  // Odd orgs (1, 3) are weighted 6x: they must dominate.
+  EXPECT_GT(counts.at("Org1"), counts.at("Org2") * 2);
+  EXPECT_GT(counts.at("Org3"), counts.at("Org4") * 2);
+}
+
+TEST(NetworkTest, TargetOrgRoutesThroughThatOrgsClients) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 10; ++i) {
+    h.SubmitAt(0.05 * i, Req("Read", {"k"}, /*org=*/2));
+  }
+  h.RunToCompletion(10);
+  for (const auto& tx : h.commits) {
+    EXPECT_EQ(tx.invoker.org, "Org2");
+  }
+}
+
+TEST(NetworkTest, RoundRobinSpreadsInvokersAcrossOrgs) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 20; ++i) {
+    h.SubmitAt(0.05 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(20);
+  std::set<std::string> orgs;
+  for (const auto& tx : h.commits) orgs.insert(tx.invoker.org);
+  EXPECT_EQ(orgs.size(), 2u);
+}
+
+class RejectingContract : public Chaincode {
+ public:
+  std::string name() const override { return "rejector"; }
+  Status Invoke(TxContext&, const std::string&,
+                const std::vector<std::string>&) override {
+    return Status::FailedPrecondition("always rejected");
+  }
+};
+
+TEST(NetworkTest, UnanimousRejectionIsEarlyAbort) {
+  Harness h;
+  ASSERT_TRUE(
+      h.network.InstallChaincode(std::make_unique<RejectingContract>()).ok());
+  ClientRequest req;
+  req.chaincode = "rejector";
+  req.function = "x";
+  h.SubmitAt(0.0, req);
+  h.RunToCompletion(1);
+  EXPECT_EQ(h.early_aborts, 1);
+  EXPECT_TRUE(h.commits.empty());
+  // Early-aborted transactions never reach the ledger.
+  EXPECT_EQ(h.network.ledger().NumTransactions(), 1u);  // genesis only
+}
+
+TEST(NetworkTest, BlockCuttingByCount) {
+  NetworkConfig cfg = SmallConfig();
+  cfg.block_cutting.max_tx_count = 5;
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 20; ++i) {
+    h.SubmitAt(0.001 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(20);
+  // 20 txs at 5 per block = 4 data blocks (+ genesis).
+  EXPECT_EQ(h.network.ledger().NumBlocks(), 5u);
+  for (uint64_t b = 1; b < 5; ++b) {
+    EXPECT_EQ(h.network.ledger().GetBlock(b).transactions.size(), 5u);
+  }
+}
+
+TEST(NetworkTest, BlockCuttingByTimeout) {
+  NetworkConfig cfg = SmallConfig();
+  cfg.block_cutting.max_tx_count = 1000;
+  cfg.block_cutting.timeout_s = 0.5;
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  h.SubmitAt(0.0, Req("Read", {"k"}));
+  h.SubmitAt(0.01, Req("Read", {"k"}));
+  h.RunToCompletion(2);
+  // Far below the count limit: the timeout must have cut the block.
+  EXPECT_EQ(h.network.ledger().NumBlocks(), 2u);
+  EXPECT_EQ(h.network.ledger().GetBlock(1).transactions.size(), 2u);
+}
+
+TEST(NetworkTest, BlockCuttingByBytes) {
+  NetworkConfig cfg = SmallConfig();
+  cfg.block_cutting.max_tx_count = 1000;
+  cfg.block_cutting.max_bytes = 1500;  // ~2 transactions
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 8; ++i) {
+    h.SubmitAt(0.001 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(8);
+  EXPECT_GE(h.network.ledger().NumBlocks(), 3u);
+}
+
+TEST(NetworkTest, CommitOrderTimestampsAreMonotone) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 30; ++i) {
+    h.SubmitAt(0.01 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(30);
+  double prev = 0;
+  for (const auto& block : h.network.ledger().blocks()) {
+    EXPECT_GE(block.commit_timestamp, prev);
+    prev = block.commit_timestamp;
+  }
+}
+
+TEST(NetworkTest, PeerStoresConvergeAfterRun) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 20; ++i) {
+    h.SubmitAt(0.5 * i, Req("Update", {"k", "u" + std::to_string(i)}));
+  }
+  h.RunToCompletion(20);
+  // Drain the remaining validator events. (Plain Run() would never return:
+  // the Raft leader's heartbeats re-arm forever.)
+  h.sim.RunUntil(h.sim.Now() + 30);
+  auto v1 = h.network.peer(1).store().Get("genchain~k");
+  auto v2 = h.network.peer(2).store().Get("genchain~k");
+  ASSERT_TRUE(v1.has_value());
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v1->value, v2->value);
+  EXPECT_EQ(v1->version, v2->version);
+}
+
+TEST(NetworkTest, SurvivesOrdererLeaderCrash) {
+  // Crash-stop the Raft leader of the ordering service mid-run: a new
+  // leader takes over and every submitted transaction still commits.
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 60; ++i) {
+    h.SubmitAt(0.1 * i, Req("Read", {"k"}));
+  }
+  h.sim.ScheduleAt(3.0, [&h] {
+    RaftCluster& raft = h.network.orderer().mutable_raft();
+    int leader = raft.LeaderId();
+    ASSERT_GE(leader, 0);
+    raft.StopNode(leader);
+  });
+  h.RunToCompletion(60, /*max_time=*/600);
+  EXPECT_EQ(h.commits.size(), 60u);
+  EXPECT_TRUE(h.network.ledger().VerifyChain().ok());
+  // A new leader exists among the surviving nodes.
+  EXPECT_GE(h.network.orderer().raft().LeaderId(), 0);
+}
+
+TEST(NetworkTest, OrdererFollowerCrashIsInvisible) {
+  Harness h;
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 30; ++i) {
+    h.SubmitAt(0.05 * i, Req("Read", {"k"}));
+  }
+  h.sim.ScheduleAt(0.5, [&h] {
+    RaftCluster& raft = h.network.orderer().mutable_raft();
+    int leader = raft.LeaderId();
+    ASSERT_GE(leader, 0);
+    raft.StopNode((leader + 1) % raft.num_nodes());
+  });
+  h.RunToCompletion(30);
+  EXPECT_EQ(h.commits.size(), 30u);
+  EXPECT_TRUE(h.network.ledger().VerifyChain().ok());
+}
+
+TEST(NetworkTest, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    NetworkConfig cfg = SmallConfig();
+    cfg.seed = seed;
+    Harness h(cfg);
+    h.network.SeedState("genchain", "k", "0");
+    for (int i = 0; i < 30; ++i) {
+      h.SubmitAt(0.005 * i, Req("Update", {"k", "u" + std::to_string(i)}));
+    }
+    h.RunToCompletion(30);
+    int valid = 0;
+    for (const auto& tx : h.commits) {
+      if (tx.status == TxStatus::kValid) ++valid;
+    }
+    return std::make_pair(valid, h.network.ledger().NumBlocks());
+  };
+  EXPECT_EQ(run(11), run(11));
+}
+
+TEST(NetworkTest, LiveBlockCuttingUpdateTakesEffect) {
+  // Paper §4.5: block size can be adapted with a config-update
+  // transaction, no restart. Blocks before the update hold 5 txs, after
+  // it 10.
+  NetworkConfig cfg = SmallConfig();
+  cfg.block_cutting.max_tx_count = 5;
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 20; ++i) {
+    h.SubmitAt(0.001 * i, Req("Read", {"k"}));
+  }
+  h.sim.ScheduleAt(3.0, [&h] {
+    BlockCuttingConfig cutting;
+    cutting.max_tx_count = 10;
+    h.network.SubmitBlockCuttingUpdate(cutting);
+  });
+  for (int i = 0; i < 20; ++i) {
+    h.SubmitAt(6.0 + 0.001 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(40);
+
+  // The config transaction sits alone in its own block, and block sizes
+  // switch from 5 to 10 around it.
+  const Ledger& ledger = h.network.ledger();
+  int config_block = -1;
+  for (const auto& block : ledger.blocks()) {
+    if (block.block_num == 0) continue;  // genesis
+    if (block.transactions.size() == 1 &&
+        block.transactions[0].is_config) {
+      config_block = static_cast<int>(block.block_num);
+    }
+  }
+  ASSERT_GT(config_block, 0);
+  EXPECT_EQ(ledger.GetBlock(static_cast<uint64_t>(config_block) - 1)
+                .transactions.size(),
+            5u);
+  EXPECT_EQ(ledger.GetBlock(static_cast<uint64_t>(config_block) + 1)
+                .transactions.size(),
+            10u);
+}
+
+TEST(NetworkTest, LivePolicyUpdateTransaction) {
+  NetworkConfig cfg = SmallConfig();
+  cfg.num_orgs = 4;
+  cfg.endorsement_policy = EndorsementPolicy::Preset(1, 4);  // Org1 mandatory
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  for (int i = 0; i < 30; ++i) {
+    h.SubmitAt(0.05 * i, Req("Read", {"k"}));
+  }
+  h.sim.ScheduleAt(5.0, [&h] {
+    h.network.SubmitPolicyUpdate(EndorsementPolicy::Preset(4, 4));
+  });
+  for (int i = 0; i < 60; ++i) {
+    h.SubmitAt(8.0 + 0.05 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(90);
+  // Before the update Org1 endorsed everything; afterwards only a share.
+  // With 90 requests total, an Org1 monopoly would count 90.
+  EXPECT_LT(h.network.endorsement_counts().at("Org1"), 75u);
+  EXPECT_GE(h.network.endorsement_counts().at("Org1"), 30u);
+}
+
+TEST(NetworkTest, PolicyUpdateTakesEffect) {
+  NetworkConfig cfg = SmallConfig();
+  cfg.num_orgs = 4;
+  cfg.endorsement_policy = EndorsementPolicy::Preset(1, 4);
+  Harness h(cfg);
+  h.network.SeedState("genchain", "k", "0");
+  h.network.UpdateEndorsementPolicy(EndorsementPolicy::Preset(4, 4));
+  for (int i = 0; i < 100; ++i) {
+    h.SubmitAt(0.02 * i, Req("Read", {"k"}));
+  }
+  h.RunToCompletion(100);
+  // Under P4 no org is mandatory; Org1 must not have endorsed everything.
+  EXPECT_LT(h.network.endorsement_counts().at("Org1"), 100u);
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "blockopt/apply/optimizer.h"
+#include "workload/usecase.h"
+
+namespace blockoptr {
+namespace {
+
+Recommendation Rec(RecommendationType type) {
+  Recommendation r;
+  r.type = type;
+  return r;
+}
+
+ExperimentConfig DrmBase() {
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"drm"};
+  for (auto& [k, v] : DrmSeedState()) {
+    cfg.seeds.push_back(SeedEntry{"drm", k, v});
+  }
+  UseCaseConfig uc;
+  uc.num_txs = 200;
+  cfg.schedule = GenerateDrmWorkload(uc);
+  return cfg;
+}
+
+TEST(OptimizerTest, NoRecommendationsIsIdentity) {
+  ExperimentConfig base = DrmBase();
+  auto out = ApplyOptimizations(base, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->chaincodes, base.chaincodes);
+  EXPECT_EQ(out->schedule.size(), base.schedule.size());
+  EXPECT_EQ(out->client_manager.rate_cap_tps, 0);
+}
+
+TEST(OptimizerTest, ActivityReorderingConfiguresClientManager) {
+  Recommendation rec = Rec(RecommendationType::kActivityReordering);
+  rec.activities = {"CalcRevenue", "QueryRightHolders"};
+  auto out = ApplyOptimizations(DrmBase(), {rec});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->client_manager.activities_last,
+            (std::vector<std::string>{"CalcRevenue", "QueryRightHolders"}));
+}
+
+TEST(OptimizerTest, RateControlCapsAt100ByDefault) {
+  Recommendation rec = Rec(RecommendationType::kTransactionRateControl);
+  auto out = ApplyOptimizations(DrmBase(), {rec});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->client_manager.rate_cap_tps, 100);
+}
+
+TEST(OptimizerTest, RateControlHonorsSuggestedRate) {
+  Recommendation rec = Rec(RecommendationType::kTransactionRateControl);
+  rec.suggested_rate_tps = 150;
+  auto out = ApplyOptimizations(DrmBase(), {rec});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->client_manager.rate_cap_tps, 150);
+}
+
+TEST(OptimizerTest, PruningSwapsContractEverywhere) {
+  ExperimentConfig base;
+  base.network = NetworkConfig::Defaults();
+  base.chaincodes = {"scm"};
+  base.seeds.push_back(SeedEntry{"scm", "PRODUCT_P1", "ASN"});
+  ClientRequest req;
+  req.chaincode = "scm";
+  req.function = "Ship";
+  req.args = {"P1"};
+  base.schedule.push_back(req);
+
+  auto out = ApplyOptimizations(base,
+                                {Rec(RecommendationType::kProcessModelPruning)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->chaincodes, (std::vector<std::string>{"scm_pruned"}));
+  EXPECT_EQ(out->seeds[0].chaincode, "scm_pruned");
+  EXPECT_EQ(out->schedule[0].chaincode, "scm_pruned");
+}
+
+TEST(OptimizerTest, DeltaWritesSwapDrmVariant) {
+  auto out =
+      ApplyOptimizations(DrmBase(), {Rec(RecommendationType::kDeltaWrites)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->chaincodes, (std::vector<std::string>{"drm_delta"}));
+  for (const auto& req : out->schedule) {
+    EXPECT_EQ(req.chaincode, "drm_delta");
+  }
+}
+
+TEST(OptimizerTest, PartitioningSplitsAndRoutesByFunction) {
+  auto out = ApplyOptimizations(
+      DrmBase(), {Rec(RecommendationType::kSmartContractPartitioning)});
+  ASSERT_TRUE(out.ok());
+  // Both partitions installed, original gone.
+  EXPECT_EQ(out->chaincodes.size(), 2u);
+  EXPECT_NE(std::find(out->chaincodes.begin(), out->chaincodes.end(),
+                      "drmplay"),
+            out->chaincodes.end());
+  EXPECT_NE(std::find(out->chaincodes.begin(), out->chaincodes.end(),
+                      "drmmeta"),
+            out->chaincodes.end());
+  // Schedule routed per function.
+  for (const auto& req : out->schedule) {
+    if (req.function == "Play" || req.function == "CalcRevenue" ||
+        req.function == "Create") {
+      EXPECT_EQ(req.chaincode, "drmplay") << req.function;
+    } else {
+      EXPECT_EQ(req.chaincode, "drmmeta") << req.function;
+    }
+  }
+  // Seeds duplicated across partitions (the duplicated primary key).
+  size_t play_seeds = 0, meta_seeds = 0;
+  for (const auto& seed : out->seeds) {
+    if (seed.chaincode == "drmplay") ++play_seeds;
+    if (seed.chaincode == "drmmeta") ++meta_seeds;
+  }
+  EXPECT_EQ(play_seeds, static_cast<size_t>(kDrmCatalogSize));
+  EXPECT_EQ(meta_seeds, static_cast<size_t>(kDrmCatalogSize));
+}
+
+TEST(OptimizerTest, DeltaBeatsPartitioningWhenBothRecommended) {
+  auto out = ApplyOptimizations(
+      DrmBase(), {Rec(RecommendationType::kDeltaWrites),
+                  Rec(RecommendationType::kSmartContractPartitioning)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->chaincodes, (std::vector<std::string>{"drm_delta"}));
+}
+
+TEST(OptimizerTest, DataModelAlterationSwapsVariant) {
+  ExperimentConfig base;
+  base.network = NetworkConfig::Defaults();
+  base.chaincodes = {"dv"};
+  ClientRequest req;
+  req.chaincode = "dv";
+  req.function = "Vote";
+  req.args = {"E1", "0", "V1"};
+  base.schedule.push_back(req);
+  auto out = ApplyOptimizations(
+      base, {Rec(RecommendationType::kDataModelAlteration)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->chaincodes, (std::vector<std::string>{"dv_voter"}));
+  EXPECT_EQ(out->schedule[0].chaincode, "dv_voter");
+}
+
+TEST(OptimizerTest, BlockSizeAdaptationSetsCount) {
+  Recommendation rec = Rec(RecommendationType::kBlockSizeAdaptation);
+  rec.suggested_block_count = 123;
+  auto out = ApplyOptimizations(DrmBase(), {rec});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->network.block_cutting.max_tx_count, 123u);
+}
+
+TEST(OptimizerTest, EndorserRestructuringSwitchesToP4) {
+  ExperimentConfig base = DrmBase();
+  base.network.num_orgs = 4;
+  base.network.endorsement_policy = EndorsementPolicy::Preset(1, 4);
+  base.network.endorser_dist_skew = 6;
+  auto out = ApplyOptimizations(
+      base, {Rec(RecommendationType::kEndorserRestructuring)});
+  ASSERT_TRUE(out.ok());
+  // P4 = OutOf(2,...) has no mandatory orgs, and the skew is cleared.
+  EXPECT_TRUE(out->network.endorsement_policy.MandatoryOrgs().empty());
+  EXPECT_EQ(out->network.endorser_dist_skew, 0);
+}
+
+TEST(OptimizerTest, ClientBoostDoublesTheOrgsClients) {
+  ExperimentConfig base = DrmBase();  // 2 orgs, 5 clients each
+  Recommendation rec = Rec(RecommendationType::kClientResourceBoost);
+  rec.orgs = {"Org1"};
+  auto out = ApplyOptimizations(base, {rec});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->network.ClientsOfOrg(1), 10);
+  EXPECT_EQ(out->network.ClientsOfOrg(2), 5);
+}
+
+TEST(OptimizerTest, ClientBoostRejectsUnknownOrg) {
+  Recommendation rec = Rec(RecommendationType::kClientResourceBoost);
+  rec.orgs = {"Org9"};
+  auto out = ApplyOptimizations(DrmBase(), {rec});
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(OptimizerTest, CombinedRecommendationsCompose) {
+  Recommendation reorder = Rec(RecommendationType::kActivityReordering);
+  reorder.activities = {"CalcRevenue"};
+  Recommendation rate = Rec(RecommendationType::kTransactionRateControl);
+  Recommendation block = Rec(RecommendationType::kBlockSizeAdaptation);
+  block.suggested_block_count = 250;
+  auto out = ApplyOptimizations(DrmBase(), {reorder, rate, block});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->client_manager.activities_last.size(), 1u);
+  EXPECT_DOUBLE_EQ(out->client_manager.rate_cap_tps, 100);
+  EXPECT_EQ(out->network.block_cutting.max_tx_count, 250u);
+}
+
+TEST(ContractVariantsTest, BuiltinCoversAllUseCases) {
+  const auto& v = ContractVariants::Builtin();
+  EXPECT_EQ(v.pruned.at("scm"), "scm_pruned");
+  EXPECT_EQ(v.pruned.at("ehr"), "ehr_pruned");
+  EXPECT_EQ(v.delta.at("drm"), "drm_delta");
+  EXPECT_EQ(v.altered.at("dv"), "dv_voter");
+  EXPECT_EQ(v.altered.at("lap"), "lap_app");
+  EXPECT_EQ(v.partitions.at("drm").at("Play"), "drmplay");
+  EXPECT_EQ(v.partitions.at("drm").at("ViewMetaData"), "drmmeta");
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fabric/endorsement_policy.h"
+
+namespace blockoptr {
+namespace {
+
+std::set<std::string> Orgs(std::initializer_list<const char*> names) {
+  std::set<std::string> out;
+  for (const char* n : names) out.insert(n);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(PolicyParseTest, SingleOrg) {
+  auto p = EndorsementPolicy::Parse("Org1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org1"})));
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org2"})));
+}
+
+TEST(PolicyParseTest, PaperPolicyP1) {
+  auto p = EndorsementPolicy::Parse("And(Org1, Or(Org2,Org3,Org4))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org1", "Org2"})));
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org1", "Org4"})));
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org1"})));
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org2", "Org3", "Org4"})));
+}
+
+TEST(PolicyParseTest, PaperPolicyP2) {
+  auto p = EndorsementPolicy::Parse("And(Or(Org1,Org2), Or(Org3,Org4))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org2", "Org3"})));
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org1", "Org2"})));
+}
+
+TEST(PolicyParseTest, PaperPolicyP3Majority) {
+  auto p = EndorsementPolicy::Parse("Majority(Org1,Org2,Org3,Org4)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org1", "Org2"})));
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org1", "Org2", "Org3"})));
+}
+
+TEST(PolicyParseTest, PaperPolicyP4OutOf) {
+  auto p = EndorsementPolicy::Parse("OutOf(2, Org1, Org2, Org3, Org4)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org3"})));
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org3", "Org1"})));
+}
+
+TEST(PolicyParseTest, CaseInsensitiveKeywords) {
+  auto p = EndorsementPolicy::Parse("AND(org_a, OR(org_b, org_c))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"org_a", "org_c"})));
+}
+
+TEST(PolicyParseTest, NestedPolicies) {
+  auto p = EndorsementPolicy::Parse(
+      "OutOf(2, And(Org1,Org2), Org3, Or(Org4,Org5))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org3", "Org5"})));
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org1", "Org2", "Org3"})));
+  EXPECT_FALSE(p->IsSatisfiedBy(Orgs({"Org1", "Org3"})));
+}
+
+TEST(PolicyParseTest, WhitespaceTolerant) {
+  auto p = EndorsementPolicy::Parse("  And ( Org1 , Org2 ) ");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsSatisfiedBy(Orgs({"Org1", "Org2"})));
+}
+
+TEST(PolicyParseTest, RejectsMalformedExpressions) {
+  EXPECT_FALSE(EndorsementPolicy::Parse("").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("And(").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("And(Org1").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("And(Org1,)").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("Org1 Org2").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("OutOf(Org1, Org2)").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("OutOf(0, Org1)").ok());
+  EXPECT_FALSE(EndorsementPolicy::Parse("OutOf(3, Org1, Org2)").ok());
+}
+
+TEST(PolicyParseTest, ToStringRoundTrips) {
+  const char* policies[] = {
+      "And(Org1,Or(Org2,Org3,Org4))",
+      "OutOf(2,Org1,Org2,Org3)",
+      "Org1",
+  };
+  for (const char* text : policies) {
+    auto p = EndorsementPolicy::Parse(text);
+    ASSERT_TRUE(p.ok()) << text;
+    auto reparsed = EndorsementPolicy::Parse(p->ToString());
+    ASSERT_TRUE(reparsed.ok()) << p->ToString();
+    EXPECT_EQ(reparsed->ToString(), p->ToString());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Presets (P1..P4 per paper §5.1.1)
+// ---------------------------------------------------------------------------
+
+class PresetSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PresetSweep, PresetsParseAndMentionAllOrgs) {
+  auto [preset, num_orgs] = GetParam();
+  EndorsementPolicy p = EndorsementPolicy::Preset(preset, num_orgs);
+  EXPECT_FALSE(p.empty());
+  EXPECT_EQ(p.Organizations().size(), static_cast<size_t>(num_orgs));
+  // All orgs together always satisfy any preset.
+  std::set<std::string> all;
+  for (int i = 1; i <= num_orgs; ++i) all.insert("Org" + std::to_string(i));
+  EXPECT_TRUE(p.IsSatisfiedBy(all));
+  // The empty set never does.
+  EXPECT_FALSE(p.IsSatisfiedBy({}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(2, 4, 6)));
+
+TEST(PresetTest, MajorityOfTwoNeedsBoth) {
+  EndorsementPolicy p = EndorsementPolicy::Preset(3, 2);
+  EXPECT_FALSE(p.IsSatisfiedBy(Orgs({"Org1"})));
+  EXPECT_TRUE(p.IsSatisfiedBy(Orgs({"Org1", "Org2"})));
+}
+
+TEST(PresetTest, MajorityOfFourNeedsThree) {
+  EndorsementPolicy p = EndorsementPolicy::Preset(3, 4);
+  EXPECT_FALSE(p.IsSatisfiedBy(Orgs({"Org1", "Org2"})));
+  EXPECT_TRUE(p.IsSatisfiedBy(Orgs({"Org2", "Org3", "Org4"})));
+}
+
+// ---------------------------------------------------------------------------
+// Analysis helpers
+// ---------------------------------------------------------------------------
+
+TEST(PolicyAnalysisTest, MandatoryOrgOfP1IsOrg1) {
+  // Org1 is the bottleneck the paper's Experiment 1 detects.
+  EndorsementPolicy p = EndorsementPolicy::Preset(1, 4);
+  EXPECT_EQ(p.MandatoryOrgs(), (std::vector<std::string>{"Org1"}));
+}
+
+TEST(PolicyAnalysisTest, P4HasNoMandatoryOrgs) {
+  EndorsementPolicy p = EndorsementPolicy::Preset(4, 4);
+  EXPECT_TRUE(p.MandatoryOrgs().empty());
+}
+
+TEST(PolicyAnalysisTest, MinimalSatisfyingSetsOfP1) {
+  EndorsementPolicy p = EndorsementPolicy::Preset(1, 4);
+  auto sets = p.MinimalSatisfyingSets();
+  // {Org1,Org2}, {Org1,Org3}, {Org1,Org4}.
+  ASSERT_EQ(sets.size(), 3u);
+  for (const auto& s : sets) {
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.count("Org1"));
+  }
+}
+
+TEST(PolicyAnalysisTest, MinimalSatisfyingSetsOfP4) {
+  EndorsementPolicy p = EndorsementPolicy::Preset(4, 4);
+  auto sets = p.MinimalSatisfyingSets();
+  EXPECT_EQ(sets.size(), 6u);  // C(4,2)
+  for (const auto& s : sets) EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(PolicyAnalysisTest, MinimalSetsAreActuallyMinimal) {
+  EndorsementPolicy p = EndorsementPolicy::Preset(2, 4);
+  for (const auto& s : p.MinimalSatisfyingSets()) {
+    EXPECT_TRUE(p.IsSatisfiedBy(s));
+    // Removing any org breaks it.
+    for (const auto& org : s) {
+      std::set<std::string> smaller = s;
+      smaller.erase(org);
+      EXPECT_FALSE(p.IsSatisfiedBy(smaller));
+    }
+  }
+}
+
+TEST(PolicyAnalysisTest, OrganizationsSortedUnique) {
+  auto p = EndorsementPolicy::Parse("And(Org2, Or(Org1, Org2))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Organizations(), (std::vector<std::string>{"Org1", "Org2"}));
+}
+
+TEST(PolicyAnalysisTest, EmptyPolicyIsNeverSatisfied) {
+  EndorsementPolicy p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.IsSatisfiedBy(Orgs({"Org1"})));
+  EXPECT_TRUE(p.MinimalSatisfyingSets().empty());
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockopt/log/preprocess.h"
+#include "blockopt/metrics/metrics.h"
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "driver/experiment.h"
+#include "fabric/endorsement_policy.h"
+#include "reorder/conflict_graph.h"
+#include "workload/synthetic.h"
+
+namespace blockoptr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// End-to-end invariants swept over workload type x orderer scheduler
+// ---------------------------------------------------------------------------
+
+using ExperimentParam = std::tuple<SyntheticWorkloadType, std::string>;
+
+class ExperimentInvariants
+    : public ::testing::TestWithParam<ExperimentParam> {};
+
+TEST_P(ExperimentInvariants, HoldAcrossTheSweep) {
+  auto [type, scheduler] = GetParam();
+  SyntheticConfig wl;
+  wl.type = type;
+  wl.num_txs = 1200;
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"genchain"};
+  for (auto& [k, v] : SyntheticSeedState(wl)) {
+    cfg.seeds.push_back(SeedEntry{"genchain", k, v});
+  }
+  cfg.schedule = GenerateSynthetic(wl);
+  cfg.orderer_scheduler = scheduler;
+
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  // 1. Conservation: every scheduled request resolves exactly once.
+  EXPECT_EQ(out->report.total_committed() + out->report.early_aborts(),
+            1200u);
+  // 2. Status counts add up.
+  EXPECT_EQ(out->report.successful() + out->report.failed(),
+            out->report.total_committed());
+  // 3. The chain verifies end to end.
+  EXPECT_TRUE(out->ledger.VerifyChain().ok());
+  // 4. Commit timestamps never precede client timestamps, and block
+  //    commit order is monotone.
+  double prev_commit = 0;
+  out->ledger.ForEachTransaction(
+      [&](const Block& block, const Transaction& tx) {
+        if (tx.is_config) return;
+        EXPECT_GE(tx.commit_timestamp, tx.client_timestamp);
+        EXPECT_GE(block.commit_timestamp, prev_commit);
+        prev_commit = block.commit_timestamp;
+      });
+  // 5. The extracted log matches the ledger's non-config population.
+  BlockchainLog log = ExtractBlockchainLog(out->ledger);
+  EXPECT_EQ(log.size(), out->report.total_committed());
+  // 6. Metrics are internally consistent.
+  LogMetrics m = ComputeMetrics(log, {});
+  EXPECT_EQ(m.total_txs, log.size());
+  EXPECT_EQ(m.failed_txs,
+            m.mvcc_failures + m.phantom_failures + m.endorsement_failures);
+  EXPECT_LE(m.intra_block_conflicts + m.inter_block_conflicts,
+            m.mvcc_failures + m.phantom_failures);
+  EXPECT_GE(m.SuccessRate(), 0.0);
+  EXPECT_LE(m.SuccessRate(), 1.0);
+  // 7. Every valid transaction carries a policy-satisfying endorsement.
+  for (const auto& e : log.entries()) {
+    if (e.status != TxStatus::kValid) continue;
+    std::set<std::string> signers(e.endorsers.begin(), e.endorsers.end());
+    EXPECT_TRUE(
+        cfg.network.endorsement_policy.IsSatisfiedBy(signers))
+        << "tx " << e.tx_id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExperimentInvariants,
+    ::testing::Combine(
+        ::testing::Values(SyntheticWorkloadType::kUniform,
+                          SyntheticWorkloadType::kReadHeavy,
+                          SyntheticWorkloadType::kInsertHeavy,
+                          SyntheticWorkloadType::kUpdateHeavy,
+                          SyntheticWorkloadType::kRangeReadHeavy),
+        ::testing::Values("", "fabricpp", "fabricsharp")));
+
+// ---------------------------------------------------------------------------
+// Serialization round-trips under randomized inputs
+// ---------------------------------------------------------------------------
+
+std::string RandomField(Rng& rng) {
+  static const char kAlphabet[] =
+      "abcXYZ019 ,\"\n\r\t|~=;'<>&\\{}";
+  std::string s;
+  size_t len = rng.NextBelow(20);
+  for (size_t i = 0; i < len; ++i) {
+    s += kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return s;
+}
+
+TEST(SerializationProperty, CsvRoundTripsRandomRows) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> row;
+    size_t fields = 1 + rng.NextBelow(6);
+    for (size_t i = 0; i < fields; ++i) row.push_back(RandomField(rng));
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.WriteRow(row);
+    auto parsed = CsvReader::ParseDocument(out.str());
+    ASSERT_TRUE(parsed.ok()) << out.str();
+    ASSERT_EQ(parsed->size(), 1u);
+    EXPECT_EQ((*parsed)[0], row);
+  }
+}
+
+JsonValue RandomJson(Rng& rng, int depth) {
+  switch (depth <= 0 ? rng.NextBelow(3) : rng.NextBelow(5)) {
+    case 0:
+      return JsonValue(RandomField(rng));
+    case 1:
+      return JsonValue(static_cast<int64_t>(rng.NextInRange(-5000, 5000)));
+    case 2:
+      return rng.NextBool(0.5) ? JsonValue(true) : JsonValue(nullptr);
+    case 3: {
+      JsonValue::Array arr;
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) arr.push_back(RandomJson(rng, depth - 1));
+      return JsonValue(std::move(arr));
+    }
+    default: {
+      JsonValue::Object obj;
+      size_t n = rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        obj["k" + std::to_string(i) + RandomField(rng)] =
+            RandomJson(rng, depth - 1);
+      }
+      return JsonValue(std::move(obj));
+    }
+  }
+}
+
+TEST(SerializationProperty, JsonRoundTripsRandomDocuments) {
+  Rng rng(7777);
+  for (int trial = 0; trial < 200; ++trial) {
+    JsonValue doc = RandomJson(rng, 3);
+    auto parsed = JsonValue::Parse(doc.Dump());
+    ASSERT_TRUE(parsed.ok()) << doc.Dump();
+    EXPECT_EQ(parsed->Dump(), doc.Dump());
+    // Pretty form parses back to the same document too.
+    auto pretty = JsonValue::Parse(doc.DumpPretty());
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(pretty->Dump(), doc.Dump());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Endorsement-policy properties
+// ---------------------------------------------------------------------------
+
+TEST(PolicyProperty, SatisfactionIsMonotone) {
+  // Adding endorsers never invalidates a satisfying set.
+  Rng rng(99);
+  for (int preset = 1; preset <= 4; ++preset) {
+    for (int orgs : {2, 4, 6}) {
+      EndorsementPolicy policy = EndorsementPolicy::Preset(preset, orgs);
+      for (const auto& minimal : policy.MinimalSatisfyingSets()) {
+        std::set<std::string> grown = minimal;
+        grown.insert("Org" + std::to_string(
+                                 1 + rng.NextBelow(
+                                         static_cast<uint64_t>(orgs))));
+        EXPECT_TRUE(policy.IsSatisfiedBy(grown));
+      }
+    }
+  }
+}
+
+TEST(PolicyProperty, MandatoryOrgsAppearInEveryMinimalSet) {
+  for (int preset = 1; preset <= 4; ++preset) {
+    EndorsementPolicy policy = EndorsementPolicy::Preset(preset, 4);
+    auto mandatory = policy.MandatoryOrgs();
+    for (const auto& set : policy.MinimalSatisfyingSets()) {
+      for (const auto& org : mandatory) {
+        EXPECT_TRUE(set.count(org)) << policy.ToString();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conflict-graph scheduling properties
+// ---------------------------------------------------------------------------
+
+TEST(ConflictGraphProperty, SerializableOrderRespectsPrecedence) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random batch over a small keyspace.
+    size_t n = 3 + rng.NextBelow(12);
+    std::vector<ReadWriteSet> sets(n);
+    for (auto& rw : sets) {
+      size_t reads = rng.NextBelow(3);
+      for (size_t r = 0; r < reads; ++r) {
+        rw.reads.push_back(
+            ReadItem{"k" + std::to_string(rng.NextBelow(5)), Version{0, 0}});
+      }
+      if (rng.NextBool(0.7)) {
+        rw.writes.push_back(WriteItem{
+            "k" + std::to_string(rng.NextBelow(5)), "v", false});
+      }
+    }
+    std::vector<const ReadWriteSet*> ptrs;
+    for (const auto& rw : sets) ptrs.push_back(&rw);
+    ConflictGraph graph(ptrs);
+    auto aborted = graph.BreakCycles();
+    std::vector<bool> alive(n, true);
+    for (int a : aborted) alive[static_cast<size_t>(a)] = false;
+    auto order = graph.SerializableOrder(alive);
+
+    // Every surviving transaction appears exactly once…
+    std::set<int> seen(order.begin(), order.end());
+    size_t alive_count = 0;
+    for (bool a : alive) alive_count += a ? 1 : 0;
+    EXPECT_EQ(seen.size(), order.size());
+    EXPECT_EQ(order.size(), alive_count);
+
+    // …and for every conflict edge i -> j among survivors, j precedes i.
+    std::vector<size_t> position(n, 0);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      position[static_cast<size_t>(order[pos])] = pos;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (int j : graph.InvalidatedBy(static_cast<int>(i))) {
+        if (!alive[static_cast<size_t>(j)]) continue;
+        EXPECT_LT(position[static_cast<size_t>(j)], position[i])
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raft/raft_cluster.h"
+#include "raft/raft_log.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+namespace {
+
+RaftCluster::Options TestOptions(int nodes = 3) {
+  RaftCluster::Options opts;
+  opts.num_nodes = nodes;
+  opts.seed = 99;
+  return opts;
+}
+
+int CountLeaders(const RaftCluster& cluster) {
+  int leaders = 0;
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    const RaftNode& n = cluster.node(i);
+    if (!n.stopped() && n.role() == RaftNode::Role::kLeader) ++leaders;
+  }
+  return leaders;
+}
+
+// ---------------------------------------------------------------------------
+// RaftLog
+// ---------------------------------------------------------------------------
+
+TEST(RaftLogTest, OneBasedIndexing) {
+  RaftLog log;
+  EXPECT_EQ(log.LastIndex(), 0u);
+  EXPECT_EQ(log.LastTerm(), 0u);
+  EXPECT_TRUE(log.Matches(0, 0));
+  log.Append(RaftEntry{1, 100});
+  log.Append(RaftEntry{2, 200});
+  EXPECT_EQ(log.LastIndex(), 2u);
+  EXPECT_EQ(log.LastTerm(), 2u);
+  EXPECT_EQ(log.TermAt(1), 1u);
+  EXPECT_EQ(log.At(2).payload, 200u);
+}
+
+TEST(RaftLogTest, MatchesChecksTerm) {
+  RaftLog log;
+  log.Append(RaftEntry{3, 1});
+  EXPECT_TRUE(log.Matches(1, 3));
+  EXPECT_FALSE(log.Matches(1, 2));
+  EXPECT_FALSE(log.Matches(2, 3));  // beyond the log
+}
+
+TEST(RaftLogTest, TruncateRemovesSuffix) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 5; ++i) log.Append(RaftEntry{1, i});
+  log.TruncateFrom(3);
+  EXPECT_EQ(log.LastIndex(), 2u);
+  EXPECT_EQ(log.At(2).payload, 2u);
+}
+
+TEST(RaftLogTest, EntriesFrom) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 4; ++i) log.Append(RaftEntry{1, i * 10});
+  auto entries = log.EntriesFrom(3);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].payload, 30u);
+  EXPECT_TRUE(log.EntriesFrom(5).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Elections
+// ---------------------------------------------------------------------------
+
+TEST(RaftClusterTest, ElectsExactlyOneLeader) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions());
+  cluster.Start();
+  sim.RunUntil(2.0);
+  EXPECT_EQ(CountLeaders(cluster), 1);
+  EXPECT_GE(cluster.LeaderId(), 0);
+}
+
+TEST(RaftClusterTest, SingleNodeClusterElectsItself) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions(1));
+  cluster.Start();
+  sim.RunUntil(1.0);
+  EXPECT_EQ(cluster.LeaderId(), 0);
+}
+
+TEST(RaftClusterTest, FiveNodeClusterConverges) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions(5));
+  cluster.Start();
+  sim.RunUntil(3.0);
+  EXPECT_EQ(CountLeaders(cluster), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+TEST(RaftClusterTest, CommitsPayloadsInOrderExactlyOnce) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions());
+  std::vector<uint64_t> committed;
+  cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+  cluster.Start();
+  sim.ScheduleAt(1.0, [&] {
+    for (uint64_t p = 1; p <= 20; ++p) cluster.Propose(p);
+  });
+  sim.RunUntil(5.0);
+  ASSERT_EQ(committed.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(committed[i], i + 1);
+}
+
+TEST(RaftClusterTest, ProposalsBeforeLeaderElectionAreBuffered) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions());
+  std::vector<uint64_t> committed;
+  cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+  cluster.Start();
+  // Propose immediately, before any election can have completed.
+  cluster.Propose(42);
+  cluster.Propose(43);
+  sim.RunUntil(3.0);
+  EXPECT_EQ(committed, (std::vector<uint64_t>{42, 43}));
+}
+
+TEST(RaftClusterTest, FollowersReplicateTheLeaderLog) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions());
+  cluster.Start();
+  sim.ScheduleAt(1.0, [&] {
+    for (uint64_t p = 1; p <= 5; ++p) cluster.Propose(p);
+  });
+  sim.RunUntil(5.0);
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    EXPECT_EQ(cluster.node(i).log().LastIndex(), 5u) << "node " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(RaftClusterTest, SurvivesLeaderCrash) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions());
+  std::vector<uint64_t> committed;
+  cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+  cluster.Start();
+
+  sim.ScheduleAt(1.0, [&] {
+    cluster.Propose(1);
+    cluster.Propose(2);
+  });
+  sim.ScheduleAt(2.0, [&] {
+    int leader = cluster.LeaderId();
+    ASSERT_GE(leader, 0);
+    cluster.StopNode(leader);
+  });
+  sim.ScheduleAt(4.0, [&] { cluster.Propose(3); });
+  sim.RunUntil(8.0);
+
+  // A new leader took over and the post-crash proposal committed.
+  EXPECT_EQ(CountLeaders(cluster), 1);
+  ASSERT_EQ(committed.size(), 3u);
+  EXPECT_EQ(committed[2], 3u);
+}
+
+TEST(RaftClusterTest, MinorityCannotCommit) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions(3));
+  std::vector<uint64_t> committed;
+  cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+  cluster.Start();
+  sim.ScheduleAt(1.5, [&] {
+    // Stop two of three nodes: the survivor has no quorum.
+    int leader = cluster.LeaderId();
+    ASSERT_GE(leader, 0);
+    int stopped = 0;
+    for (int i = 0; i < 3 && stopped < 2; ++i) {
+      if (i != leader) {
+        cluster.StopNode(i);
+        ++stopped;
+      }
+    }
+    cluster.Propose(99);
+  });
+  sim.RunUntil(6.0);
+  EXPECT_TRUE(committed.empty());
+}
+
+TEST(RaftClusterTest, RestartedNodeCatchesUp) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions(3));
+  cluster.set_on_commit([](uint64_t) {});
+  cluster.Start();
+  int victim = -1;
+  sim.ScheduleAt(1.0, [&] {
+    victim = (cluster.LeaderId() + 1) % 3;  // a follower
+    cluster.StopNode(victim);
+    for (uint64_t p = 1; p <= 4; ++p) cluster.Propose(p);
+  });
+  sim.ScheduleAt(3.0, [&] { cluster.RestartNode(victim); });
+  sim.RunUntil(8.0);
+  ASSERT_GE(victim, 0);
+  EXPECT_EQ(cluster.node(victim).log().LastIndex(), 4u);
+}
+
+TEST(RaftClusterTest, TermsIncreaseAcrossElections) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions());
+  cluster.Start();
+  sim.RunUntil(2.0);
+  int first_leader = cluster.LeaderId();
+  uint64_t first_term = cluster.node(first_leader).current_term();
+  cluster.StopNode(first_leader);
+  sim.RunUntil(6.0);
+  int second_leader = cluster.LeaderId();
+  ASSERT_GE(second_leader, 0);
+  EXPECT_NE(second_leader, first_leader);
+  EXPECT_GT(cluster.node(second_leader).current_term(), first_term);
+}
+
+TEST(RaftClusterTest, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    RaftCluster::Options opts = TestOptions();
+    opts.seed = seed;
+    RaftCluster cluster(&sim, opts);
+    std::vector<uint64_t> committed;
+    cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+    cluster.Start();
+    sim.ScheduleAt(1.0, [&] {
+      for (uint64_t p = 1; p <= 10; ++p) cluster.Propose(p);
+    });
+    sim.RunUntil(5.0);
+    return std::make_pair(cluster.LeaderId(), cluster.messages_sent());
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/recommend/report.h"
+
+namespace blockoptr {
+namespace {
+
+/// A metrics object representing a healthy run: nothing should fire.
+LogMetrics HealthyMetrics() {
+  LogMetrics m;
+  m.total_txs = 10000;
+  m.duration_s = 33.3;
+  m.tr = 300;
+  m.trd.assign(33, 300.0);
+  m.frd.assign(33, 2.0);  // negligible failures
+  m.failed_txs = 60;
+  m.mvcc_failures = 60;
+  m.num_blocks = 33;
+  m.b_sizeavg = 300;
+  m.endorser_sig = {{"Org1", 5000}, {"Org2", 5000}};
+  m.invoker_org_sig = {{"Org1", 5000}, {"Org2", 5000}};
+  m.reorderable_conflicts = 5;
+  return m;
+}
+
+TEST(RecommenderTest, HealthyRunYieldsNothing) {
+  auto recs = Recommend(HealthyMetrics(), {});
+  EXPECT_TRUE(recs.empty()) << RecommendationNames(recs);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: activity reordering (Table 1 row 1)
+// ---------------------------------------------------------------------------
+
+LogMetrics ReorderableMetrics(uint64_t reorderable, uint64_t total_mvcc) {
+  LogMetrics m = HealthyMetrics();
+  m.failed_txs = total_mvcc;
+  m.mvcc_failures = total_mvcc;
+  m.reorderable_conflicts = reorderable;
+  for (uint64_t i = 0; i < total_mvcc; ++i) {
+    ConflictPair c;
+    c.failed_activity = i < reorderable ? "Read" : "Update";
+    c.cause_activity = "Update";
+    c.reorderable = i < reorderable;
+    m.conflicts.push_back(c);
+  }
+  return m;
+}
+
+TEST(RecommenderTest, ReorderingFiresAboveFraction) {
+  auto recs = Recommend(ReorderableMetrics(500, 1000), {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kActivityReordering);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->activities, (std::vector<std::string>{"Read"}));
+}
+
+TEST(RecommenderTest, ReorderingSilentBelowFraction) {
+  auto recs = Recommend(ReorderableMetrics(100, 1000), {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kActivityReordering));
+}
+
+class ReorderThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReorderThresholdSweep, FiresExactlyWhenFractionReached) {
+  double threshold = GetParam();
+  RecommenderOptions options;
+  options.reorderable_mvcc_fraction = threshold;
+  // 400 of 1000 conflicts reorderable.
+  auto recs = Recommend(ReorderableMetrics(400, 1000), options);
+  bool fired =
+      HasRecommendation(recs, RecommendationType::kActivityReordering);
+  EXPECT_EQ(fired, 0.4 >= threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ReorderThresholdSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.8));
+
+// ---------------------------------------------------------------------------
+// Rule 2: process model pruning (TT(x) != TT(y) for the same activity)
+// ---------------------------------------------------------------------------
+
+TEST(RecommenderTest, PruningFiresOnMixedTxTypes) {
+  LogMetrics m = HealthyMetrics();
+  m.activity_tx_types["Ship"][TxType::kUpdate] = 900;
+  m.activity_tx_types["Ship"][TxType::kRead] = 100;  // deviations
+  auto recs = Recommend(m, {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kProcessModelPruning);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->activities, (std::vector<std::string>{"Ship"}));
+}
+
+TEST(RecommenderTest, PruningIgnoresRareDeviations) {
+  LogMetrics m = HealthyMetrics();
+  m.activity_tx_types["Ship"][TxType::kUpdate] = 900;
+  m.activity_tx_types["Ship"][TxType::kRead] = 2;  // below the floor of 5
+  auto recs = Recommend(m, {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kProcessModelPruning));
+}
+
+TEST(RecommenderTest, PruningIgnoresConsistentActivities) {
+  LogMetrics m = HealthyMetrics();
+  m.activity_tx_types["Read"][TxType::kRead] = 1000;
+  auto recs = Recommend(m, {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kProcessModelPruning));
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: rate control (Trd_i >= Rt1 && Frd_i >= Trd_i * Rt2)
+// ---------------------------------------------------------------------------
+
+TEST(RecommenderTest, RateControlFiresOnHotFailingIntervals) {
+  LogMetrics m = HealthyMetrics();
+  m.trd = {100, 400, 400};
+  m.frd = {1, 150, 10};  // interval 1: rate 400 >= 300, failures 150 >= 120
+  auto recs = Recommend(m, {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kTransactionRateControl);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_DOUBLE_EQ(rec->suggested_rate_tps, 100);
+}
+
+TEST(RecommenderTest, RateControlSilentWhenRateLowOrFailuresLow) {
+  LogMetrics m = HealthyMetrics();
+  m.trd = {200, 200};  // below Rt1
+  m.frd = {150, 150};
+  EXPECT_FALSE(HasRecommendation(
+      Recommend(m, {}), RecommendationType::kTransactionRateControl));
+  m.trd = {400, 400};
+  m.frd = {50, 50};  // below Rt2 share
+  EXPECT_FALSE(HasRecommendation(
+      Recommend(m, {}), RecommendationType::kTransactionRateControl));
+}
+
+TEST(RecommenderTest, Rt1AndRt2AreConfigurable) {
+  LogMetrics m = HealthyMetrics();
+  m.trd = {250};
+  m.frd = {50};
+  RecommenderOptions options;
+  options.rt1 = 200;  // consider 250 TPS "high"
+  options.rt2 = 0.1;
+  EXPECT_TRUE(HasRecommendation(
+      Recommend(m, options), RecommendationType::kTransactionRateControl));
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: delta writes
+// ---------------------------------------------------------------------------
+
+LogMetrics DeltaMetrics(uint64_t candidates) {
+  LogMetrics m = HealthyMetrics();
+  m.delta_candidates = candidates;
+  for (uint64_t i = 0; i < candidates; ++i) {
+    ConflictPair c;
+    c.failed_activity = "Play";
+    c.cause_activity = "Play";
+    c.key = "drm~MUSIC_M1";
+    c.same_activity = true;
+    c.delta_candidate = true;
+    m.conflicts.push_back(c);
+  }
+  return m;
+}
+
+TEST(RecommenderTest, DeltaWritesFireOnCounterConflicts) {
+  auto recs = Recommend(DeltaMetrics(50), {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kDeltaWrites);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->activities, (std::vector<std::string>{"Play"}));
+  EXPECT_EQ(rec->keys, (std::vector<std::string>{"drm~MUSIC_M1"}));
+}
+
+TEST(RecommenderTest, DeltaWritesNeedEnoughCandidates) {
+  auto recs = Recommend(DeltaMetrics(5), {});
+  EXPECT_FALSE(HasRecommendation(recs, RecommendationType::kDeltaWrites));
+}
+
+TEST(RecommenderTest, AlterationSuppressesDeltaOnSameKey) {
+  // A voting-style log: the counter key is also a single-accessor hotkey,
+  // so data-model alteration wins and delta writes must stay silent.
+  LogMetrics m = DeltaMetrics(60);
+  m.failed_txs = 100;
+  m.key_freq["drm~MUSIC_M1"] = 60;
+  m.hot_keys = {"drm~MUSIC_M1"};
+  auto& stats = m.key_accessors["drm~MUSIC_M1"]["Play"];
+  stats.accesses = 100;
+  stats.failures = 60;
+  stats.writes = true;
+  auto recs = Recommend(m, {});
+  EXPECT_TRUE(
+      HasRecommendation(recs, RecommendationType::kDataModelAlteration));
+  EXPECT_FALSE(HasRecommendation(recs, RecommendationType::kDeltaWrites));
+}
+
+// ---------------------------------------------------------------------------
+// Rules 5 + 6: partitioning vs data-model alteration
+// ---------------------------------------------------------------------------
+
+LogMetrics HotkeyMetrics(bool with_read_only_accessor) {
+  LogMetrics m = HealthyMetrics();
+  m.failed_txs = 200;
+  m.key_freq["hot"] = 150;
+  m.hot_keys = {"hot"};
+  auto& writer = m.key_accessors["hot"]["Play"];
+  writer.accesses = 500;
+  writer.failures = 100;
+  writer.writes = true;
+  if (with_read_only_accessor) {
+    auto& reader = m.key_accessors["hot"]["ViewMetaData"];
+    reader.accesses = 200;
+    reader.failures = 50;
+    reader.writes = false;
+  }
+  return m;
+}
+
+TEST(RecommenderTest, PartitioningFiresWithReadOnlyAccessor) {
+  auto recs = Recommend(HotkeyMetrics(true), {});
+  const Recommendation* rec = FindRecommendation(
+      recs, RecommendationType::kSmartContractPartitioning);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->keys, (std::vector<std::string>{"hot"}));
+  EXPECT_EQ(rec->activities.size(), 2u);
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kDataModelAlteration));
+}
+
+TEST(RecommenderTest, AlterationFiresForSelfDependentHotkey) {
+  auto recs = Recommend(HotkeyMetrics(false), {});
+  EXPECT_TRUE(
+      HasRecommendation(recs, RecommendationType::kDataModelAlteration));
+  EXPECT_FALSE(HasRecommendation(
+      recs, RecommendationType::kSmartContractPartitioning));
+}
+
+TEST(RecommenderTest, NoHotkeysNoDataLevelRecommendations) {
+  auto recs = Recommend(HealthyMetrics(), {});
+  EXPECT_FALSE(HasRecommendation(
+      recs, RecommendationType::kSmartContractPartitioning));
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kDataModelAlteration));
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: block size adaptation (|Tr - B_sizeavg| > Bt * Tr)
+// ---------------------------------------------------------------------------
+
+TEST(RecommenderTest, BlockSizeFiresWhenBlocksTooSmall) {
+  LogMetrics m = HealthyMetrics();
+  m.tr = 300;
+  m.b_sizeavg = 50;  // deviation 250 > 0.6*300
+  auto recs = Recommend(m, {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kBlockSizeAdaptation);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->suggested_block_count, 300u);
+}
+
+TEST(RecommenderTest, BlockSizeFiresWhenBlocksTooLarge) {
+  LogMetrics m = HealthyMetrics();
+  m.tr = 100;
+  m.b_sizeavg = 800;
+  auto recs = Recommend(m, {});
+  EXPECT_TRUE(
+      HasRecommendation(recs, RecommendationType::kBlockSizeAdaptation));
+}
+
+TEST(RecommenderTest, BlockSizeSilentWhenMatched) {
+  LogMetrics m = HealthyMetrics();
+  m.tr = 300;
+  m.b_sizeavg = 290;
+  auto recs = Recommend(m, {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kBlockSizeAdaptation));
+}
+
+class BlockSizeBtSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockSizeBtSweep, FiresExactlyOutsideTolerance) {
+  double bt = GetParam();
+  LogMetrics m = HealthyMetrics();
+  m.tr = 300;
+  m.b_sizeavg = 150;  // 50% deviation
+  RecommenderOptions options;
+  options.bt = bt;
+  bool fired = HasRecommendation(
+      Recommend(m, options), RecommendationType::kBlockSizeAdaptation);
+  EXPECT_EQ(fired, 0.5 > bt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, BlockSizeBtSweep,
+                         ::testing::Values(0.2, 0.4, 0.49, 0.51, 0.6, 0.9));
+
+// ---------------------------------------------------------------------------
+// Rule 8: endorser restructuring (EDsig(e) > TX * Et)
+// ---------------------------------------------------------------------------
+
+TEST(RecommenderTest, EndorserBottleneckDetected) {
+  LogMetrics m = HealthyMetrics();
+  // P1-style: Org1 endorses everything, others a third each.
+  m.endorser_sig = {{"Org1", 10000},
+                    {"Org2", 3333},
+                    {"Org3", 3333},
+                    {"Org4", 3334}};
+  auto recs = Recommend(m, {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kEndorserRestructuring);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->orgs, (std::vector<std::string>{"Org1"}));
+}
+
+TEST(RecommenderTest, UniformEndorsementIsNotABottleneck) {
+  // Majority-of-2: both orgs legitimately endorse every transaction; the
+  // imbalance guard keeps the rule silent.
+  LogMetrics m = HealthyMetrics();
+  m.endorser_sig = {{"Org1", 10000}, {"Org2", 10000}};
+  auto recs = Recommend(m, {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kEndorserRestructuring));
+}
+
+TEST(RecommenderTest, EvenOutOfTwoDistributionIsFine) {
+  LogMetrics m = HealthyMetrics();
+  m.endorser_sig = {{"Org1", 5000},
+                    {"Org2", 5000},
+                    {"Org3", 5000},
+                    {"Org4", 5000}};
+  auto recs = Recommend(m, {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kEndorserRestructuring));
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: client resource boost (IVsig(org) > TX * It)
+// ---------------------------------------------------------------------------
+
+TEST(RecommenderTest, InvokerSkewTriggersClientBoost) {
+  LogMetrics m = HealthyMetrics();
+  m.invoker_org_sig = {{"Org1", 7000}, {"Org2", 3000}};
+  auto recs = Recommend(m, {});
+  const Recommendation* rec =
+      FindRecommendation(recs, RecommendationType::kClientResourceBoost);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->orgs, (std::vector<std::string>{"Org1"}));
+}
+
+TEST(RecommenderTest, ExactHalfDoesNotTrigger) {
+  LogMetrics m = HealthyMetrics();
+  m.invoker_org_sig = {{"Org1", 5000}, {"Org2", 5000}};
+  auto recs = Recommend(m, {});
+  EXPECT_FALSE(
+      HasRecommendation(recs, RecommendationType::kClientResourceBoost));
+}
+
+TEST(RecommenderTest, ItThresholdConfigurable) {
+  LogMetrics m = HealthyMetrics();
+  m.invoker_org_sig = {{"Org1", 4000}, {"Org2", 3000}, {"Org3", 3000}};
+  RecommenderOptions options;
+  options.it = 0.3;
+  auto recs = Recommend(m, options);
+  EXPECT_TRUE(
+      HasRecommendation(recs, RecommendationType::kClientResourceBoost));
+}
+
+// ---------------------------------------------------------------------------
+// Report formatting + ordering
+// ---------------------------------------------------------------------------
+
+TEST(RecommenderTest, RecommendationsOrderedByLevel) {
+  LogMetrics m = HotkeyMetrics(false);  // alteration (data level)
+  m.trd = {400};
+  m.frd = {200};  // rate control (user level)
+  m.endorser_sig = {{"Org1", 10000}, {"Org2", 2000}};  // system level
+  auto recs = Recommend(m, {});
+  ASSERT_GE(recs.size(), 3u);
+  int prev = -1;
+  for (const auto& r : recs) {
+    int level = static_cast<int>(LevelOf(r.type));
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(ReportFormattingTest, IncludesMetricsAndRecommendations) {
+  LogMetrics m = HotkeyMetrics(false);
+  auto recs = Recommend(m, {});
+  std::string report = FormatRecommendationReport(m, recs);
+  EXPECT_NE(report.find("BlockOptR report"), std::string::npos);
+  EXPECT_NE(report.find("Data level"), std::string::npos);
+  EXPECT_NE(report.find("Data model alteration"), std::string::npos);
+  EXPECT_NE(report.find("hot"), std::string::npos);
+}
+
+TEST(ReportFormattingTest, EmptyRecommendationsSaySo) {
+  auto m = HealthyMetrics();
+  std::string report = FormatRecommendationReport(m, {});
+  EXPECT_NE(report.find("no optimizations recommended"), std::string::npos);
+}
+
+TEST(ReportFormattingTest, NamesLine) {
+  std::vector<Recommendation> recs(2);
+  recs[0].type = RecommendationType::kActivityReordering;
+  recs[1].type = RecommendationType::kDeltaWrites;
+  EXPECT_EQ(RecommendationNames(recs), "Activity reordering, Delta writes");
+}
+
+TEST(RecommendationTypeTest, LevelsMatchThePaper) {
+  EXPECT_EQ(LevelOf(RecommendationType::kActivityReordering),
+            RecommendationLevel::kUser);
+  EXPECT_EQ(LevelOf(RecommendationType::kProcessModelPruning),
+            RecommendationLevel::kUser);
+  EXPECT_EQ(LevelOf(RecommendationType::kTransactionRateControl),
+            RecommendationLevel::kUser);
+  EXPECT_EQ(LevelOf(RecommendationType::kDeltaWrites),
+            RecommendationLevel::kData);
+  EXPECT_EQ(LevelOf(RecommendationType::kSmartContractPartitioning),
+            RecommendationLevel::kData);
+  EXPECT_EQ(LevelOf(RecommendationType::kDataModelAlteration),
+            RecommendationLevel::kData);
+  EXPECT_EQ(LevelOf(RecommendationType::kBlockSizeAdaptation),
+            RecommendationLevel::kSystem);
+  EXPECT_EQ(LevelOf(RecommendationType::kEndorserRestructuring),
+            RecommendationLevel::kSystem);
+  EXPECT_EQ(LevelOf(RecommendationType::kClientResourceBoost),
+            RecommendationLevel::kSystem);
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "fabric/validator.h"
+#include "reorder/conflict_graph.h"
+#include "reorder/fabricpp.h"
+#include "reorder/fabricsharp.h"
+
+namespace blockoptr {
+namespace {
+
+ReadWriteSet Rw(std::vector<std::string> reads,
+                std::vector<std::string> writes,
+                std::optional<Version> read_version = Version{0, 0}) {
+  ReadWriteSet rw;
+  for (auto& r : reads) rw.reads.push_back(ReadItem{r, read_version});
+  for (auto& w : writes) rw.writes.push_back(WriteItem{w, "v", false});
+  return rw;
+}
+
+Transaction Tx(uint64_t id, ReadWriteSet rw) {
+  Transaction tx;
+  tx.tx_id = id;
+  tx.activity = "fn" + std::to_string(id);
+  tx.endorsers = {"Org1", "Org2"};
+  tx.rwset = std::move(rw);
+  return tx;
+}
+
+// ---------------------------------------------------------------------------
+// ConflictGraph
+// ---------------------------------------------------------------------------
+
+TEST(ConflictGraphTest, EdgeFromWriterToReader) {
+  std::vector<ReadWriteSet> sets = {Rw({}, {"k"}), Rw({"k"}, {})};
+  std::vector<const ReadWriteSet*> ptrs = {&sets[0], &sets[1]};
+  ConflictGraph graph(ptrs);
+  EXPECT_EQ(graph.InvalidatedBy(0), (std::vector<int>{1}));
+  EXPECT_TRUE(graph.InvalidatedBy(1).empty());
+}
+
+TEST(ConflictGraphTest, NoSelfEdges) {
+  std::vector<ReadWriteSet> sets = {Rw({"k"}, {"k"})};
+  std::vector<const ReadWriteSet*> ptrs = {&sets[0]};
+  ConflictGraph graph(ptrs);
+  EXPECT_TRUE(graph.InvalidatedBy(0).empty());
+}
+
+TEST(ConflictGraphTest, SccFindsCycle) {
+  // 0 writes a, reads b; 1 writes b, reads a -> 2-cycle.
+  std::vector<ReadWriteSet> sets = {Rw({"b"}, {"a"}), Rw({"a"}, {"b"})};
+  std::vector<const ReadWriteSet*> ptrs = {&sets[0], &sets[1]};
+  ConflictGraph graph(ptrs);
+  auto sccs = graph.StronglyConnectedComponents();
+  bool has_cycle = false;
+  for (const auto& scc : sccs) {
+    if (scc.size() > 1) has_cycle = true;
+  }
+  EXPECT_TRUE(has_cycle);
+}
+
+TEST(ConflictGraphTest, BreakCyclesAbortsMinimally) {
+  std::vector<ReadWriteSet> sets = {Rw({"b"}, {"a"}), Rw({"a"}, {"b"}),
+                                    Rw({"z"}, {})};
+  std::vector<const ReadWriteSet*> ptrs = {&sets[0], &sets[1], &sets[2]};
+  ConflictGraph graph(ptrs);
+  auto aborted = graph.BreakCycles();
+  EXPECT_EQ(aborted.size(), 1u);
+  EXPECT_LT(aborted[0], 2);  // one of the cycle members, never tx 2
+}
+
+TEST(ConflictGraphTest, SerializableOrderPutsReadersFirst) {
+  // tx0 writes k; tx1 reads k. Reader must precede writer in the output.
+  std::vector<ReadWriteSet> sets = {Rw({}, {"k"}), Rw({"k"}, {})};
+  std::vector<const ReadWriteSet*> ptrs = {&sets[0], &sets[1]};
+  ConflictGraph graph(ptrs);
+  std::vector<bool> alive = {true, true};
+  auto order = graph.SerializableOrder(alive);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(ConflictGraphTest, IndependentTxsKeepArrivalOrder) {
+  std::vector<ReadWriteSet> sets = {Rw({}, {"a"}), Rw({}, {"b"}),
+                                    Rw({}, {"c"})};
+  std::vector<const ReadWriteSet*> ptrs = {&sets[0], &sets[1], &sets[2]};
+  ConflictGraph graph(ptrs);
+  std::vector<bool> alive = {true, true, true};
+  EXPECT_EQ(graph.SerializableOrder(alive), (std::vector<int>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Fabric++-style intra-block reordering
+// ---------------------------------------------------------------------------
+
+EndorsementPolicy TwoOrgPolicy() { return EndorsementPolicy::Preset(3, 2); }
+
+TEST(FabricPPTest, ReorderingSavesIntraBlockReader) {
+  // Writer arrives before reader; without reordering the reader fails
+  // validation; with Fabric++ it is placed first and succeeds.
+  VersionedStore state;
+  state.Apply("k", "v", false, Version{0, 0});
+
+  auto make_batch = [] {
+    std::vector<Transaction> batch;
+    batch.push_back(Tx(1, Rw({"k"}, {"k"})));  // update (writer)
+    batch.push_back(Tx(2, Rw({"k"}, {})));     // reader, would be stale
+    return batch;
+  };
+
+  // Baseline: validate in arrival order.
+  {
+    VersionedStore s = state;
+    Block block;
+    block.block_num = 1;
+    block.transactions = make_batch();
+    auto stats = ValidateAndApplyBlock(block, s, TwoOrgPolicy());
+    EXPECT_EQ(stats.mvcc_conflicts, 1u);
+  }
+  // With Fabric++ reordering.
+  {
+    VersionedStore s = state;
+    FabricPPReorderer reorderer;
+    auto batch = make_batch();
+    reorderer.ProcessBatch(batch);
+    Block block;
+    block.block_num = 1;
+    block.transactions = std::move(batch);
+    auto stats = ValidateAndApplyBlock(block, s, TwoOrgPolicy());
+    EXPECT_EQ(stats.mvcc_conflicts, 0u);
+    EXPECT_EQ(stats.valid, 2u);
+    EXPECT_EQ(reorderer.total_early_aborts(), 0u);
+  }
+}
+
+TEST(FabricPPTest, CycleMembersAreEarlyAborted) {
+  FabricPPReorderer reorderer;
+  std::vector<Transaction> batch;
+  batch.push_back(Tx(1, Rw({"b"}, {"a"})));
+  batch.push_back(Tx(2, Rw({"a"}, {"b"})));
+  reorderer.ProcessBatch(batch);
+  int aborted = 0;
+  for (const auto& tx : batch) {
+    if (tx.pre_aborted) {
+      ++aborted;
+      EXPECT_EQ(tx.status, TxStatus::kMvccReadConflict);
+    }
+  }
+  EXPECT_EQ(aborted, 1);
+  EXPECT_EQ(reorderer.total_early_aborts(), 1u);
+}
+
+TEST(FabricPPTest, BatchSizeIsPreserved) {
+  FabricPPReorderer reorderer;
+  std::vector<Transaction> batch;
+  for (uint64_t i = 0; i < 10; ++i) {
+    batch.push_back(Tx(i, Rw({"k" + std::to_string(i % 3)},
+                             {"k" + std::to_string((i + 1) % 3)})));
+  }
+  reorderer.ProcessBatch(batch);
+  EXPECT_EQ(batch.size(), 10u);
+}
+
+TEST(FabricPPTest, ExtraCostGrowsWithBatch) {
+  FabricPPReorderer reorderer;
+  EXPECT_GT(reorderer.ExtraBlockCost(100), reorderer.ExtraBlockCost(10));
+}
+
+// ---------------------------------------------------------------------------
+// FabricSharp-style OCC reordering
+// ---------------------------------------------------------------------------
+
+TEST(FabricSharpTest, CrossBlockDoomedTxIsAbortedEarly) {
+  FabricSharpReorderer reorderer(/*first_block_num=*/1);
+  // Block 1: a transaction writes k.
+  std::vector<Transaction> batch1;
+  batch1.push_back(Tx(1, Rw({}, {"k"})));
+  reorderer.ProcessBatch(batch1);
+  EXPECT_FALSE(batch1[0].pre_aborted);
+
+  // Block 2: a transaction that read k at the seed version is doomed.
+  std::vector<Transaction> batch2;
+  batch2.push_back(Tx(2, Rw({"k"}, {}, Version{0, 0})));
+  reorderer.ProcessBatch(batch2);
+  EXPECT_TRUE(batch2[0].pre_aborted);
+  EXPECT_EQ(reorderer.cross_block_aborts(), 1u);
+}
+
+TEST(FabricSharpTest, FreshReadAgainstShadowSurvives) {
+  FabricSharpReorderer reorderer(1);
+  std::vector<Transaction> batch1;
+  batch1.push_back(Tx(1, Rw({}, {"k"})));
+  reorderer.ProcessBatch(batch1);
+
+  // The shadow predicts version {1, 0} for k; a transaction endorsed
+  // against the post-commit state reads exactly that.
+  std::vector<Transaction> batch2;
+  batch2.push_back(Tx(2, Rw({"k"}, {}, Version{1, 0})));
+  reorderer.ProcessBatch(batch2);
+  EXPECT_FALSE(batch2[0].pre_aborted);
+  EXPECT_EQ(reorderer.cross_block_aborts(), 0u);
+}
+
+TEST(FabricSharpTest, ShadowPredictionMatchesValidator) {
+  // End-to-end agreement: what the shadow predicts survives validation.
+  VersionedStore state;
+  EndorsementPolicy policy = TwoOrgPolicy();
+  FabricSharpReorderer reorderer(1);
+
+  std::vector<Transaction> batch1;
+  batch1.push_back(Tx(1, Rw({}, {"k"})));
+  reorderer.ProcessBatch(batch1);
+  Block b1;
+  b1.block_num = 1;
+  b1.transactions = std::move(batch1);
+  ValidateAndApplyBlock(b1, state, policy);
+  ASSERT_EQ(b1.transactions[0].status, TxStatus::kValid);
+
+  std::vector<Transaction> batch2;
+  batch2.push_back(Tx(2, Rw({"k"}, {"k"}, Version{1, 0})));
+  reorderer.ProcessBatch(batch2);
+  ASSERT_FALSE(batch2[0].pre_aborted);
+  Block b2;
+  b2.block_num = 2;
+  b2.transactions = std::move(batch2);
+  auto stats = ValidateAndApplyBlock(b2, state, policy);
+  EXPECT_EQ(stats.valid, 1u);
+}
+
+TEST(FabricSharpTest, PhantomInsertIntoRangeIsDetected) {
+  FabricSharpReorderer reorderer(1);
+  std::vector<Transaction> batch1;
+  batch1.push_back(Tx(1, Rw({}, {"key5"})));
+  reorderer.ProcessBatch(batch1);
+
+  // A range read over [key0, key9) that did not see key5 is doomed.
+  Transaction range_tx = Tx(2, {});
+  RangeQueryInfo rq;
+  rq.start_key = "key0";
+  rq.end_key = "key9";
+  range_tx.rwset.range_queries.push_back(rq);
+  std::vector<Transaction> batch2{range_tx};
+  reorderer.ProcessBatch(batch2);
+  EXPECT_TRUE(batch2[0].pre_aborted);
+}
+
+TEST(FabricSharpTest, DeletedKeyReadAsAbsentSurvives) {
+  FabricSharpReorderer reorderer(1);
+  std::vector<Transaction> batch1;
+  Transaction del = Tx(1, {});
+  del.rwset.writes.push_back(WriteItem{"k", "", true});
+  batch1.push_back(del);
+  reorderer.ProcessBatch(batch1);
+
+  std::vector<Transaction> batch2;
+  batch2.push_back(Tx(2, Rw({"k"}, {}, std::nullopt)));
+  reorderer.ProcessBatch(batch2);
+  EXPECT_FALSE(batch2[0].pre_aborted);
+}
+
+TEST(FabricSharpTest, IntraBlockStillSerialized) {
+  FabricSharpReorderer reorderer(1);
+  std::vector<Transaction> batch;
+  batch.push_back(Tx(1, Rw({}, {"k"})));             // writer
+  batch.push_back(Tx(2, Rw({"k"}, {}, Version{0, 0})));  // reader
+  reorderer.ProcessBatch(batch);
+  // The reader must have been moved before the writer.
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].tx_id, 2u);
+  EXPECT_EQ(batch[1].tx_id, 1u);
+  EXPECT_EQ(reorderer.intra_block_aborts(), 0u);
+}
+
+TEST(FabricSharpTest, CostsMoreThanFabricPP) {
+  FabricSharpReorderer sharp;
+  FabricPPReorderer pp;
+  EXPECT_GT(sharp.ExtraBlockCost(300), pp.ExtraBlockCost(300));
+}
+
+}  // namespace
+}  // namespace blockoptr

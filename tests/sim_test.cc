@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/service_station.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.num_processed(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.ScheduleAt(5.0, [&] {
+    sim.ScheduleAfter(2.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimulatorTest, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.ScheduleAt(4.0, [&] {
+    sim.ScheduleAt(1.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(2.0, [&] { ++fired; });
+  sim.ScheduleAt(3.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.num_pending(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(9.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 9.0);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsCanCascade) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.ScheduleAfter(0.01, recurse);
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(sim.Now(), 0.99, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStation
+// ---------------------------------------------------------------------------
+
+TEST(ServiceStationTest, SingleServerSerializesJobs) {
+  Simulator sim;
+  ServiceStation station(&sim, "s");
+  std::vector<double> finish_times;
+  sim.ScheduleAt(0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      station.Submit(1.0, [&] { finish_times.push_back(sim.Now()); });
+    }
+  });
+  sim.Run();
+  ASSERT_EQ(finish_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(finish_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(finish_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(finish_times[2], 3.0);
+  EXPECT_EQ(station.jobs_completed(), 3u);
+  EXPECT_DOUBLE_EQ(station.busy_time(), 3.0);
+}
+
+TEST(ServiceStationTest, MultiServerRunsInParallel) {
+  Simulator sim;
+  ServiceStation station(&sim, "s", 2);
+  std::vector<double> finish_times;
+  sim.ScheduleAt(0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      station.Submit(1.0, [&] { finish_times.push_back(sim.Now()); });
+    }
+  });
+  sim.Run();
+  ASSERT_EQ(finish_times.size(), 4u);
+  EXPECT_DOUBLE_EQ(finish_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(finish_times[1], 1.0);
+  EXPECT_DOUBLE_EQ(finish_times[2], 2.0);
+  EXPECT_DOUBLE_EQ(finish_times[3], 2.0);
+}
+
+TEST(ServiceStationTest, WaitStatsMeasureQueueing) {
+  Simulator sim;
+  ServiceStation station(&sim, "s");
+  sim.ScheduleAt(0, [&] {
+    station.Submit(2.0, [] {});  // waits 0
+    station.Submit(1.0, [] {});  // waits 2
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(station.wait_stats().min(), 0.0);
+  EXPECT_DOUBLE_EQ(station.wait_stats().max(), 2.0);
+}
+
+TEST(ServiceStationTest, IdleServerStartsImmediately) {
+  Simulator sim;
+  ServiceStation station(&sim, "s");
+  double finish = -1;
+  sim.ScheduleAt(5.0, [&] { station.Submit(0.5, [&] { finish = sim.Now(); }); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(finish, 5.5);
+}
+
+TEST(ServiceStationTest, AddingServersDrainsBacklogFaster) {
+  // Same offered load, one vs two servers: total completion time halves.
+  auto run = [](int servers) {
+    Simulator sim;
+    ServiceStation station(&sim, "s", servers);
+    sim.ScheduleAt(0, [&] {
+      for (int i = 0; i < 10; ++i) station.Submit(1.0, [] {});
+    });
+    sim.Run();
+    return sim.Now();
+  };
+  EXPECT_DOUBLE_EQ(run(1), 10.0);
+  EXPECT_DOUBLE_EQ(run(2), 5.0);
+}
+
+TEST(ServiceStationTest, SetServersAffectsLaterJobs) {
+  Simulator sim;
+  ServiceStation station(&sim, "s", 1);
+  std::vector<double> finish_times;
+  sim.ScheduleAt(0, [&] {
+    station.Submit(1.0, [&] { finish_times.push_back(sim.Now()); });
+    station.set_servers(3);
+    station.Submit(1.0, [&] { finish_times.push_back(sim.Now()); });
+    station.Submit(1.0, [&] { finish_times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(finish_times.size(), 3u);
+  // All three can run in parallel after the expansion.
+  EXPECT_DOUBLE_EQ(finish_times[2], 1.0);
+}
+
+TEST(ServiceStationTest, CurrentDelayTracksBacklog) {
+  Simulator sim;
+  ServiceStation station(&sim, "s");
+  sim.ScheduleAt(0, [&] {
+    EXPECT_DOUBLE_EQ(station.CurrentDelay(), 0.0);
+    station.Submit(3.0, [] {});
+    EXPECT_DOUBLE_EQ(station.CurrentDelay(), 3.0);
+  });
+  sim.Run();
+}
+
+TEST(ServiceStationTest, ZeroServiceTimeCompletesAtSubmitTime) {
+  Simulator sim;
+  ServiceStation station(&sim, "s");
+  double finish = -1;
+  sim.ScheduleAt(2.0, [&] { station.Submit(0.0, [&] { finish = sim.Now(); }); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(finish, 2.0);
+}
+
+}  // namespace
+}  // namespace blockoptr

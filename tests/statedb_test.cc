@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "statedb/versioned_store.h"
+
+namespace blockoptr {
+namespace {
+
+TEST(VersionTest, OrderingAndEquality) {
+  Version a{1, 2};
+  Version b{1, 3};
+  Version c{2, 0};
+  EXPECT_EQ(a, (Version{1, 2}));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.ToString(), "1:2");
+}
+
+TEST(VersionedStoreTest, GetMissingReturnsNullopt) {
+  VersionedStore store;
+  EXPECT_FALSE(store.Get("nope").has_value());
+  EXPECT_FALSE(store.Contains("nope"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(VersionedStoreTest, ApplyThenGet) {
+  VersionedStore store;
+  store.Apply("k", "v1", false, Version{1, 0});
+  auto vv = store.Get("k");
+  ASSERT_TRUE(vv.has_value());
+  EXPECT_EQ(vv->value, "v1");
+  EXPECT_EQ(vv->version, (Version{1, 0}));
+}
+
+TEST(VersionedStoreTest, OverwriteBumpsVersion) {
+  VersionedStore store;
+  store.Apply("k", "v1", false, Version{1, 0});
+  store.Apply("k", "v2", false, Version{2, 5});
+  auto vv = store.Get("k");
+  ASSERT_TRUE(vv.has_value());
+  EXPECT_EQ(vv->value, "v2");
+  EXPECT_EQ(vv->version, (Version{2, 5}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(VersionedStoreTest, DeleteRemovesKey) {
+  VersionedStore store;
+  store.Apply("k", "v", false, Version{1, 0});
+  store.Apply("k", "", true, Version{2, 0});
+  EXPECT_FALSE(store.Contains("k"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(VersionedStoreTest, DeleteMissingKeyIsNoop) {
+  VersionedStore store;
+  store.Apply("k", "", true, Version{1, 0});
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(VersionedStoreTest, RangeIsOrderedAndHalfOpen) {
+  VersionedStore store;
+  for (const char* k : {"a", "b", "c", "d"}) {
+    store.Apply(k, std::string("v") + k, false, Version{1, 0});
+  }
+  auto range = store.Range("b", "d");
+  ASSERT_EQ(range.size(), 2u);
+  EXPECT_EQ(range[0].first, "b");
+  EXPECT_EQ(range[1].first, "c");
+}
+
+TEST(VersionedStoreTest, RangeWithEmptyEndScansToEnd) {
+  VersionedStore store;
+  store.Apply("a", "1", false, Version{1, 0});
+  store.Apply("z", "2", false, Version{1, 1});
+  auto range = store.Range("b", "");
+  ASSERT_EQ(range.size(), 1u);
+  EXPECT_EQ(range[0].first, "z");
+}
+
+TEST(VersionedStoreTest, RangeEmptyWhenNoMatch) {
+  VersionedStore store;
+  store.Apply("m", "1", false, Version{1, 0});
+  EXPECT_TRUE(store.Range("n", "z").empty());
+  EXPECT_TRUE(store.Range("a", "m").empty());  // end exclusive
+}
+
+TEST(VersionedStoreTest, RangeSeesLatestVersions) {
+  VersionedStore store;
+  store.Apply("k1", "old", false, Version{1, 0});
+  store.Apply("k1", "new", false, Version{3, 2});
+  auto range = store.Range("k", "l");
+  ASSERT_EQ(range.size(), 1u);
+  EXPECT_EQ(range[0].second.value, "new");
+  EXPECT_EQ(range[0].second.version, (Version{3, 2}));
+}
+
+TEST(VersionedStoreTest, AppliedHeightTracking) {
+  VersionedStore store;
+  EXPECT_EQ(store.applied_height(), 0u);
+  store.MarkBlockApplied(7);
+  EXPECT_EQ(store.applied_height(), 7u);
+}
+
+TEST(VersionedStoreTest, NamespacedKeysStayDisjoint) {
+  // Two chaincode namespaces writing "the same" key never collide — the
+  // property smart-contract partitioning relies on.
+  VersionedStore store;
+  store.Apply("drmplay~MUSIC_1", "5", false, Version{1, 0});
+  store.Apply("drmmeta~MUSIC_1", "meta", false, Version{1, 1});
+  EXPECT_EQ(store.Get("drmplay~MUSIC_1")->value, "5");
+  EXPECT_EQ(store.Get("drmmeta~MUSIC_1")->value, "meta");
+  EXPECT_EQ(store.Range("drmplay~", "drmplay\x7f").size(), 1u);
+}
+
+}  // namespace
+}  // namespace blockoptr

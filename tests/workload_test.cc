@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "contracts/scm.h"
+#include "driver/rate_controller.h"
+#include "workload/lap_log.h"
+#include "workload/spec.h"
+#include "workload/synthetic.h"
+#include "workload/usecase.h"
+
+namespace blockoptr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedule utilities
+// ---------------------------------------------------------------------------
+
+Schedule ThreeRequests() {
+  Schedule s;
+  for (int i = 0; i < 3; ++i) {
+    ClientRequest r;
+    r.request_id = static_cast<uint64_t>(i);
+    r.send_time = i * 0.1;
+    r.function = i == 1 ? "B" : "A";
+    s.push_back(r);
+  }
+  return s;
+}
+
+TEST(ScheduleTest, NormalizeSortsByTimeThenId) {
+  Schedule s = ThreeRequests();
+  std::swap(s[0], s[2]);
+  NormalizeSchedule(s);
+  EXPECT_EQ(s[0].request_id, 0u);
+  EXPECT_EQ(s[2].request_id, 2u);
+}
+
+TEST(ScheduleTest, RepaceSetsExactRate) {
+  Schedule s = ThreeRequests();
+  RepaceSchedule(s, 10.0);
+  EXPECT_DOUBLE_EQ(s[0].send_time, 0.0);
+  EXPECT_DOUBLE_EQ(s[1].send_time, 0.1);
+  EXPECT_DOUBLE_EQ(s[2].send_time, 0.2);
+  EXPECT_NEAR(ScheduleRate(s), 10.0, 1e-9);
+}
+
+TEST(ScheduleTest, ReorderActivitiesMovesToFrontAndBack) {
+  Schedule s = ThreeRequests();
+  ReorderActivities(s, /*first=*/{"B"}, /*last=*/{}, 10.0);
+  EXPECT_EQ(s[0].function, "B");
+  ReorderActivities(s, /*first=*/{}, /*last=*/{"B"}, 10.0);
+  EXPECT_EQ(s[2].function, "B");
+  // Relative order of the unmoved requests is stable.
+  EXPECT_EQ(s[0].request_id, 0u);
+  EXPECT_EQ(s[1].request_id, 2u);
+}
+
+TEST(RateControllerTest, CapRateClampsFastSchedules) {
+  Schedule s;
+  for (int i = 0; i < 5; ++i) {
+    ClientRequest r;
+    r.send_time = i * 0.001;  // 1000 TPS
+    s.push_back(r);
+  }
+  RateController::CapRate(s, 100.0);
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i].send_time - s[i - 1].send_time, 0.01 - 1e-12);
+  }
+}
+
+TEST(RateControllerTest, CapRateKeepsSlowGaps) {
+  Schedule s;
+  double times[] = {0.0, 5.0, 5.001};
+  for (double t : times) {
+    ClientRequest r;
+    r.send_time = t;
+    s.push_back(r);
+  }
+  RateController::CapRate(s, 100.0);
+  // The 5-second gap is preserved; only the fast gap stretches.
+  EXPECT_DOUBLE_EQ(s[1].send_time, 5.0);
+  EXPECT_DOUBLE_EQ(s[2].send_time, 5.01);
+}
+
+TEST(RateControllerTest, WindowedOnlyStretchesBursts) {
+  Schedule s;
+  double times[] = {0.0, 0.001, 10.0};
+  for (double t : times) {
+    ClientRequest r;
+    r.send_time = t;
+    s.push_back(r);
+  }
+  RateController::CapRateWindowed(s, 100.0);
+  EXPECT_DOUBLE_EQ(s[1].send_time, 0.01);
+  EXPECT_DOUBLE_EQ(s[2].send_time, 10.0);  // untouched
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator (Table 2)
+// ---------------------------------------------------------------------------
+
+std::map<std::string, int> FunctionCounts(const Schedule& s) {
+  std::map<std::string, int> counts;
+  for (const auto& r : s) ++counts[r.function];
+  return counts;
+}
+
+TEST(SyntheticTest, GeneratesRequestedCountAtRate) {
+  SyntheticConfig cfg;
+  cfg.num_txs = 1000;
+  cfg.send_rate = 200;
+  Schedule s = GenerateSynthetic(cfg);
+  ASSERT_EQ(s.size(), 1000u);
+  EXPECT_NEAR(ScheduleRate(s), 200, 1.0);
+  EXPECT_DOUBLE_EQ(s.front().send_time, 0.0);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticConfig cfg;
+  cfg.num_txs = 100;
+  Schedule a = GenerateSynthetic(cfg);
+  Schedule b = GenerateSynthetic(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].function, b[i].function);
+    EXPECT_EQ(a[i].args, b[i].args);
+  }
+  cfg.seed = 2;
+  Schedule c = GenerateSynthetic(cfg);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].function != c[i].function || a[i].args != c[i].args) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+class WorkloadMixSweep
+    : public ::testing::TestWithParam<SyntheticWorkloadType> {};
+
+TEST_P(WorkloadMixSweep, HeavyTypeDominatesAt70Percent) {
+  SyntheticConfig cfg;
+  cfg.type = GetParam();
+  cfg.num_txs = 4000;
+  auto counts = FunctionCounts(GenerateSynthetic(cfg));
+  const char* heavy_fn = nullptr;
+  switch (cfg.type) {
+    case SyntheticWorkloadType::kReadHeavy: heavy_fn = "Read"; break;
+    case SyntheticWorkloadType::kInsertHeavy: heavy_fn = "Write"; break;
+    case SyntheticWorkloadType::kUpdateHeavy: heavy_fn = "Update"; break;
+    case SyntheticWorkloadType::kRangeReadHeavy: heavy_fn = "RangeRead"; break;
+    default: return;  // uniform handled separately
+  }
+  EXPECT_NEAR(counts[heavy_fn], 2800, 150);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HeavyTypes, WorkloadMixSweep,
+    ::testing::Values(SyntheticWorkloadType::kReadHeavy,
+                      SyntheticWorkloadType::kInsertHeavy,
+                      SyntheticWorkloadType::kUpdateHeavy,
+                      SyntheticWorkloadType::kRangeReadHeavy));
+
+TEST(SyntheticTest, UniformMixCoversAllOperations) {
+  SyntheticConfig cfg;
+  cfg.num_txs = 4000;
+  auto counts = FunctionCounts(GenerateSynthetic(cfg));
+  for (const char* fn : {"Read", "Write", "Update", "RangeRead"}) {
+    EXPECT_NEAR(counts[fn], 900, 150) << fn;
+  }
+  EXPECT_NEAR(counts["Delete"], 400, 120);
+}
+
+TEST(SyntheticTest, TxDistSkewTargetsOrg1) {
+  SyntheticConfig cfg;
+  cfg.num_txs = 2000;
+  cfg.tx_dist_skew = 0.7;
+  Schedule s = GenerateSynthetic(cfg);
+  int org1 = 0;
+  for (const auto& r : s) {
+    if (r.target_org == 1) ++org1;
+  }
+  EXPECT_NEAR(org1, 2000 * 0.85, 60);  // 0.7 + 0.3/2 to Org1
+}
+
+TEST(SyntheticTest, NoSkewLeavesRoutingToDriver) {
+  SyntheticConfig cfg;
+  cfg.num_txs = 100;
+  for (const auto& r : GenerateSynthetic(cfg)) {
+    EXPECT_EQ(r.target_org, 0);
+  }
+}
+
+TEST(SyntheticTest, KeySkewConcentratesUpdates) {
+  SyntheticConfig uniform;
+  uniform.num_txs = 4000;
+  uniform.key_skew = 1.0;
+  SyntheticConfig skewed = uniform;
+  skewed.key_skew = 2.0;
+  auto top_key_count = [](const Schedule& s) {
+    std::map<std::string, int> counts;
+    for (const auto& r : s) {
+      if (r.function == "Update") ++counts[r.args[0]];
+    }
+    int best = 0;
+    for (const auto& [k, n] : counts) best = std::max(best, n);
+    return best;
+  };
+  EXPECT_GT(top_key_count(GenerateSynthetic(skewed)),
+            top_key_count(GenerateSynthetic(uniform)) * 5);
+}
+
+TEST(SyntheticTest, SeedStateCoversKeyspace) {
+  SyntheticConfig cfg;
+  cfg.keyspace = 100;
+  auto seeds = SyntheticSeedState(cfg);
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_EQ(seeds[0].first, "key000000");
+}
+
+// ---------------------------------------------------------------------------
+// Use-case generators (§5.1.2)
+// ---------------------------------------------------------------------------
+
+TEST(ScmWorkloadTest, PipelineStagesAreOrderedPerProduct) {
+  UseCaseConfig cfg;
+  cfg.num_txs = 2000;
+  Schedule s = GenerateScmWorkload(cfg);
+  ASSERT_EQ(s.size(), 2000u);
+  std::map<std::string, std::vector<std::string>> per_product;
+  for (const auto& r : s) {
+    if (r.function == "PushASN" || r.function == "Ship" ||
+        r.function == "QueryASN" || r.function == "Unload") {
+      per_product[r.args[0]].push_back(r.function);
+    }
+  }
+  ASSERT_GT(per_product.size(), 100u);
+  for (const auto& [product, stages] : per_product) {
+    ASSERT_EQ(stages.size(), 4u) << product;
+    EXPECT_EQ(stages[0], "PushASN");
+    EXPECT_EQ(stages[1], "Ship");
+    EXPECT_EQ(stages[2], "QueryASN");
+    EXPECT_EQ(stages[3], "Unload");
+  }
+}
+
+TEST(ScmWorkloadTest, IncludesRandomActivities) {
+  UseCaseConfig cfg;
+  cfg.num_txs = 2000;
+  auto counts = FunctionCounts(GenerateScmWorkload(cfg));
+  EXPECT_GT(counts["UpdateAuditInfo"], 100);
+  EXPECT_GT(counts["QueryProducts"], 100);
+}
+
+TEST(DrmWorkloadTest, PlayIs70Percent) {
+  UseCaseConfig cfg;
+  cfg.num_txs = 3000;
+  auto counts = FunctionCounts(GenerateDrmWorkload(cfg));
+  EXPECT_NEAR(counts["Play"], 2100, 120);
+  EXPECT_GT(counts["ViewMetaData"], 0);
+  EXPECT_GT(counts["CalcRevenue"], 0);
+}
+
+TEST(DrmWorkloadTest, PlayCarriesUuidForDeltaVariant) {
+  UseCaseConfig cfg;
+  cfg.num_txs = 500;
+  std::set<std::string> uuids;
+  for (const auto& r : GenerateDrmWorkload(cfg)) {
+    if (r.function == "Play") {
+      ASSERT_EQ(r.args.size(), 2u);
+      uuids.insert(r.args[1]);
+    }
+  }
+  // Every play gets a distinct uuid (unique delta keys).
+  EXPECT_GT(uuids.size(), 300u);
+}
+
+TEST(DrmWorkloadTest, SeedsCoverCatalog) {
+  auto seeds = DrmSeedState();
+  EXPECT_EQ(seeds.size(), static_cast<size_t>(kDrmCatalogSize));
+  EXPECT_EQ(seeds[0].first, "MUSIC_M0000");
+}
+
+TEST(EhrWorkloadTest, UpdateHeavyMix) {
+  UseCaseConfig cfg;
+  cfg.num_txs = 3000;
+  auto counts = FunctionCounts(GenerateEhrWorkload(cfg));
+  EXPECT_NEAR(counts["GrantAccess"] + counts["RevokeAccess"], 2100, 150);
+}
+
+TEST(DvWorkloadTest, PhasedStructure) {
+  UseCaseConfig cfg;
+  Schedule s = GenerateDvWorkload(cfg);
+  ASSERT_EQ(s.size(), 6002u);
+  // Phase 1: queries at 100 TPS.
+  EXPECT_EQ(s[0].function, "QueryParties");
+  EXPECT_EQ(s[999].function, "QueryParties");
+  EXPECT_NEAR(s[999].send_time, 9.99, 0.01);
+  // Phase 2: votes at 300 TPS.
+  EXPECT_EQ(s[1000].function, "Vote");
+  EXPECT_EQ(s[5999].function, "Vote");
+  EXPECT_NEAR(s[5999].send_time - s[1000].send_time, 4999.0 / 300.0, 0.01);
+  // Phase 3.
+  EXPECT_EQ(s[6000].function, "SeeResults");
+  EXPECT_EQ(s[6001].function, "EndElection");
+}
+
+TEST(DvWorkloadTest, VotersAreUnique) {
+  UseCaseConfig cfg;
+  std::set<std::string> voters;
+  for (const auto& r : GenerateDvWorkload(cfg)) {
+    if (r.function == "Vote") voters.insert(r.args[2]);
+  }
+  EXPECT_EQ(voters.size(), 5000u);
+}
+
+// ---------------------------------------------------------------------------
+// LAP event log (§5.1.3)
+// ---------------------------------------------------------------------------
+
+TEST(LapLogTest, GeneratesCappedEventCount) {
+  LapLogConfig cfg;
+  cfg.num_applications = 300;
+  cfg.num_events = 2500;
+  auto log = GenerateLapEventLog(cfg);
+  EXPECT_EQ(log.size(), 2500u);
+}
+
+TEST(LapLogTest, ApplicationsFollowTheProcessFlow) {
+  LapLogConfig cfg;
+  cfg.num_applications = 50;
+  cfg.num_events = 100000;  // no truncation
+  auto log = GenerateLapEventLog(cfg);
+  std::map<std::string, std::vector<std::string>> cases;
+  for (const auto& ev : log) cases[ev.application].push_back(ev.activity);
+  ASSERT_EQ(cases.size(), 50u);
+  for (const auto& [app, seq] : cases) {
+    EXPECT_EQ(seq.front(), "A_Create") << app;
+    const std::string& last = seq.back();
+    EXPECT_TRUE(last == "A_Pending" || last == "A_Denied" ||
+                last == "A_Cancelled")
+        << app << " ended with " << last;
+    // A_Submitted always directly follows A_Create.
+    EXPECT_EQ(seq[1], "A_Submitted");
+  }
+}
+
+TEST(LapLogTest, EmployeeLoadIsSkewed) {
+  LapLogConfig cfg;
+  cfg.num_applications = 500;
+  auto log = GenerateLapEventLog(cfg);
+  std::map<std::string, int> per_employee;
+  for (const auto& ev : log) ++per_employee[ev.employee];
+  int max_load = 0, total = 0;
+  for (const auto& [e, n] : per_employee) {
+    max_load = std::max(max_load, n);
+    total += n;
+  }
+  // The busiest employee handles a disproportionate share (the hotkey).
+  EXPECT_GT(max_load, total / 10);
+}
+
+TEST(LapLogTest, ScheduleUsesApplicationAsSecondArg) {
+  LapLogConfig cfg;
+  cfg.num_applications = 20;
+  cfg.num_events = 200;
+  auto log = GenerateLapEventLog(cfg);
+  Schedule s = LapScheduleFromLog(log, 10.0, "lap");
+  ASSERT_EQ(s.size(), log.size());
+  EXPECT_EQ(s[0].chaincode, "lap");
+  EXPECT_EQ(s[0].args[0], log[0].employee);
+  EXPECT_EQ(s[0].args[1], log[0].application);
+  EXPECT_NEAR(ScheduleRate(s), 10.0, 0.1);
+}
+
+TEST(LapLogTest, ActivityVocabularyIsKnown) {
+  LapLogConfig cfg;
+  cfg.num_applications = 100;
+  auto known = LapActivities();
+  for (const auto& ev : GenerateLapEventLog(cfg)) {
+    EXPECT_NE(std::find(known.begin(), known.end(), ev.activity), known.end())
+        << ev.activity;
+  }
+}
+
+}  // namespace
+}  // namespace blockoptr

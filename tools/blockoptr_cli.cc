@@ -1,0 +1,350 @@
+// blockoptr — command-line front end for the BlockOptR pipeline.
+//
+// Runs a workload on the simulated Fabric network, extracts the blockchain
+// log, derives metrics, prints the recommendation report, and (optionally)
+// applies the recommendations and re-runs — the complete paper workflow
+// from one command. Analysis-ready artefacts (CSV / JSON / XES / DOT) can
+// be exported for external tools.
+//
+// Examples:
+//   blockoptr run --workload=synthetic --type=rangeread --rate=300
+//   blockoptr run --workload=drm --apply
+//   blockoptr run --workload=lap --rate=10 --out-xes=lap.xes --mine
+//   blockoptr run --workload=synthetic --orgs=4 --policy=P1 --autotune
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "blockopt/apply/optimizer.h"
+#include "blockopt/eventlog/event_log.h"
+#include "blockopt/eventlog/xes_export.h"
+#include "blockopt/log/export.h"
+#include "blockopt/log/preprocess.h"
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/autotune.h"
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/recommend/report.h"
+#include "driver/experiment.h"
+#include "mining/alpha_miner.h"
+#include "mining/conformance.h"
+#include "mining/dot_export.h"
+#include "workload/event_log_csv.h"
+#include "workload/lap_log.h"
+#include "workload/synthetic.h"
+#include "workload/usecase.h"
+
+namespace blockoptr {
+namespace {
+
+struct CliArgs {
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
+                                                      nullptr);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end()
+               ? fallback
+               : static_cast<int>(std::strtol(it->second.c_str(), nullptr,
+                                              10));
+  }
+};
+
+int Usage() {
+  std::printf(
+      "usage: blockoptr run [options]\n"
+      "\n"
+      "workload selection:\n"
+      "  --workload=synthetic|scm|drm|ehr|dv|lap|csv  (default synthetic)\n"
+      "  --csv=FILE       external event log (with --workload=csv); columns\n"
+      "                   case,activity[,resource,amount,type]\n"
+      "  --type=uniform|read|insert|update|rangeread  synthetic mix\n"
+      "  --txs=N          transactions (default 10000)\n"
+      "  --rate=R         send rate in TPS (default 300)\n"
+      "  --key-skew=X     synthetic key skew factor (default 1)\n"
+      "  --tx-skew=F      fraction of txs through Org1 (default 0)\n"
+      "  --seed=N         workload/network seed (default 1)\n"
+      "\n"
+      "network configuration (paper Table 2):\n"
+      "  --orgs=N         organizations (default 2)\n"
+      "  --policy=P1|P2|P3|P4 or a policy expression (default P3)\n"
+      "  --block-count=N  orderer batch size (default 300)\n"
+      "  --block-timeout=S  batch timeout seconds (default 1)\n"
+      "  --endorser-skew=W  endorser distribution skew (default 0)\n"
+      "  --scheduler=fabricpp|fabricsharp   orderer reordering baseline\n"
+      "\n"
+      "analysis / actions:\n"
+      "  --autotune       derive thresholds from the log (vs paper defaults)\n"
+      "  --apply          apply the recommendations and re-run\n"
+      "  --mine           mine the process model (Alpha) and report fitness\n"
+      "  --out-log=F.csv  export the blockchain log as CSV\n"
+      "  --out-json=F     export the blockchain log as JSON\n"
+      "  --out-xes=F      export the event log as XES (ProM/Disco)\n"
+      "  --out-dot=F      export the mined Petri net as Graphviz DOT\n");
+  return 2;
+}
+
+Result<SyntheticWorkloadType> ParseType(const std::string& name) {
+  if (name == "uniform") return SyntheticWorkloadType::kUniform;
+  if (name == "read") return SyntheticWorkloadType::kReadHeavy;
+  if (name == "insert") return SyntheticWorkloadType::kInsertHeavy;
+  if (name == "update") return SyntheticWorkloadType::kUpdateHeavy;
+  if (name == "rangeread") return SyntheticWorkloadType::kRangeReadHeavy;
+  return Status::InvalidArgument("unknown workload type '" + name + "'");
+}
+
+Result<EndorsementPolicy> ParsePolicyFlag(const std::string& text,
+                                          int num_orgs) {
+  if (text.size() == 2 && text[0] == 'P' && text[1] >= '1' && text[1] <= '4') {
+    return EndorsementPolicy::Preset(text[1] - '0', num_orgs);
+  }
+  return EndorsementPolicy::Parse(text);
+}
+
+Result<ExperimentConfig> BuildExperiment(const CliArgs& args) {
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.network.num_orgs = args.GetInt("orgs", 2);
+  cfg.network.seed = static_cast<uint64_t>(args.GetInt("seed", 1)) + 41;
+  cfg.network.endorser_dist_skew = args.GetDouble("endorser-skew", 0);
+  cfg.network.block_cutting.max_tx_count =
+      static_cast<uint32_t>(args.GetInt("block-count", 300));
+  cfg.network.block_cutting.timeout_s = args.GetDouble("block-timeout", 1.0);
+  auto policy =
+      ParsePolicyFlag(args.Get("policy", "P3"), cfg.network.num_orgs);
+  if (!policy.ok()) return policy.status();
+  cfg.network.endorsement_policy = *policy;
+  cfg.orderer_scheduler = args.Get("scheduler", "");
+
+  const std::string workload = args.Get("workload", "synthetic");
+  const int txs = args.GetInt("txs", 10000);
+  const double rate = args.GetDouble("rate", 300);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+
+  if (workload == "synthetic") {
+    SyntheticConfig wl;
+    auto type = ParseType(args.Get("type", "uniform"));
+    if (!type.ok()) return type.status();
+    wl.type = *type;
+    wl.num_txs = txs;
+    wl.send_rate = rate;
+    wl.key_skew = args.GetDouble("key-skew", 1.0);
+    wl.tx_dist_skew = args.GetDouble("tx-skew", 0);
+    wl.num_orgs = cfg.network.num_orgs;
+    wl.seed = seed;
+    cfg.chaincodes = {"genchain"};
+    for (auto& [k, v] : SyntheticSeedState(wl)) {
+      cfg.seeds.push_back(SeedEntry{"genchain", k, v});
+    }
+    cfg.schedule = GenerateSynthetic(wl);
+    return cfg;
+  }
+
+  UseCaseConfig uc;
+  uc.num_txs = txs;
+  uc.send_rate = rate;
+  uc.seed = seed;
+  if (workload == "scm") {
+    cfg.chaincodes = {"scm"};
+    cfg.schedule = GenerateScmWorkload(uc);
+  } else if (workload == "drm") {
+    cfg.chaincodes = {"drm"};
+    for (auto& [k, v] : DrmSeedState()) {
+      cfg.seeds.push_back(SeedEntry{"drm", k, v});
+    }
+    cfg.schedule = GenerateDrmWorkload(uc);
+  } else if (workload == "ehr") {
+    cfg.chaincodes = {"ehr"};
+    for (auto& [k, v] : EhrSeedState()) {
+      cfg.seeds.push_back(SeedEntry{"ehr", k, v});
+    }
+    cfg.schedule = GenerateEhrWorkload(uc);
+  } else if (workload == "dv") {
+    cfg.chaincodes = {"dv"};
+    for (auto& [k, v] : DvSeedState()) {
+      cfg.seeds.push_back(SeedEntry{"dv", k, v});
+    }
+    cfg.schedule = GenerateDvWorkload(uc);
+  } else if (workload == "lap") {
+    LapLogConfig lc;
+    lc.num_events = txs;
+    lc.num_applications = std::max(1, txs / 10);
+    lc.seed = seed;
+    cfg.chaincodes = {"lap"};
+    cfg.schedule = LapScheduleFromLog(GenerateLapEventLog(lc), rate);
+  } else if (workload == "csv") {
+    if (!args.Has("csv")) {
+      return Status::InvalidArgument("--workload=csv requires --csv=FILE");
+    }
+    auto events = LoadEventLogCsv(args.Get("csv", ""));
+    if (!events.ok()) return events.status();
+    cfg.chaincodes = {"lap"};
+    cfg.schedule = LapScheduleFromLog(*events, rate);
+  } else {
+    return Status::InvalidArgument("unknown workload '" + workload + "'");
+  }
+  return cfg;
+}
+
+Status WriteFileOrFail(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << content;
+  return Status::OK();
+}
+
+int RunCommand(const CliArgs& args) {
+  auto cfg = BuildExperiment(args);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "error: %s\n", cfg.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("running %zu transactions on %d orgs (policy %s)...\n",
+              cfg->schedule.size(), cfg->network.num_orgs,
+              cfg->network.endorsement_policy.ToString().c_str());
+  auto out = RunExperiment(*cfg);
+  if (!out.ok()) {
+    std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n\n", out->report.Summary().c_str());
+
+  BlockchainLog log = ExtractBlockchainLog(out->ledger);
+  LogMetrics metrics = ComputeMetrics(log, MetricsOptions{});
+  RecommenderOptions options;
+  if (args.Has("autotune")) {
+    options = AutoTuneThresholds(metrics, options);
+    std::printf("auto-tuned thresholds: Rt1=%.0f Et=%.2f It=%.2f\n\n",
+                options.rt1, options.et, options.it);
+  }
+  auto recs = Recommend(metrics, options);
+  std::printf("%s\n", FormatRecommendationReport(metrics, recs).c_str());
+
+  // ---- exports ---------------------------------------------------------
+  if (args.Has("out-log")) {
+    std::ofstream f(args.Get("out-log", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --out-log\n");
+      return 1;
+    }
+    WriteLogCsv(log, f);
+    std::printf("wrote blockchain log CSV: %s\n",
+                args.Get("out-log", "").c_str());
+  }
+  if (args.Has("out-json")) {
+    Status st = WriteFileOrFail(args.Get("out-json", ""),
+                                LogToJson(log).DumpPretty());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote blockchain log JSON: %s\n",
+                args.Get("out-json", "").c_str());
+  }
+
+  std::optional<EventLog> events;
+  if (args.Has("out-xes") || args.Has("mine") || args.Has("out-dot")) {
+    auto ev = EventLog::FromBlockchainLog(log, EventLogOptions{});
+    if (!ev.ok()) {
+      std::fprintf(stderr, "event-log error: %s\n",
+                   ev.status().ToString().c_str());
+      return 1;
+    }
+    events = std::move(*ev);
+  }
+  if (args.Has("out-xes")) {
+    std::ofstream f(args.Get("out-xes", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --out-xes\n");
+      return 1;
+    }
+    WriteXes(*events, f);
+    std::printf("wrote XES event log: %s\n", args.Get("out-xes", "").c_str());
+  }
+  if (args.Has("mine") || args.Has("out-dot")) {
+    PetriNet net = AlphaMiner::Mine(events->Traces());
+    if (args.Has("mine")) {
+      auto fit = ReplayTraces(net, events->Traces());
+      std::printf("mined Petri net: %zu transitions, %zu places; fitness "
+                  "%.3f over %llu traces\n",
+                  net.num_transitions(), net.num_places(), fit.Fitness(),
+                  static_cast<unsigned long long>(fit.traces_replayed));
+    }
+    if (args.Has("out-dot")) {
+      Status st = WriteFileOrFail(args.Get("out-dot", ""), PetriNetToDot(net));
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote DOT model: %s\n", args.Get("out-dot", "").c_str());
+    }
+  }
+
+  // ---- apply + rerun ---------------------------------------------------
+  if (args.Has("apply")) {
+    if (recs.empty()) {
+      std::printf("nothing to apply\n");
+      return 0;
+    }
+    auto optimized_cfg = ApplyOptimizations(*cfg, recs);
+    if (!optimized_cfg.ok()) {
+      std::fprintf(stderr, "apply error: %s\n",
+                   optimized_cfg.status().ToString().c_str());
+      return 1;
+    }
+    auto optimized = RunExperiment(*optimized_cfg);
+    if (!optimized.ok()) {
+      std::fprintf(stderr, "rerun error: %s\n",
+                   optimized.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nafter applying all recommendations:\n%s\n",
+                optimized->report.Summary().c_str());
+    std::printf("success %+0.1f%%, latency %+0.1f%%, throughput %+0.1f%%\n",
+                100 * RelativeImprovement(out->report.SuccessRate(),
+                                          optimized->report.SuccessRate()),
+                100 * RelativeImprovement(out->report.AvgLatency(),
+                                          optimized->report.AvgLatency(),
+                                          true),
+                100 * RelativeImprovement(out->report.Throughput(),
+                                          optimized->report.Throughput()));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "run") != 0) return Usage();
+  CliArgs args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args.flags[arg] = "";
+    } else {
+      args.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return RunCommand(args);
+}
+
+}  // namespace
+}  // namespace blockoptr
+
+int main(int argc, char** argv) { return blockoptr::Main(argc, argv); }

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blockcutting.dir/bench_ablation_blockcutting.cc.o"
+  "CMakeFiles/bench_ablation_blockcutting.dir/bench_ablation_blockcutting.cc.o.d"
+  "bench_ablation_blockcutting"
+  "bench_ablation_blockcutting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blockcutting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reorderers.dir/bench_ablation_reorderers.cc.o"
+  "CMakeFiles/bench_ablation_reorderers.dir/bench_ablation_reorderers.cc.o.d"
+  "bench_ablation_reorderers"
+  "bench_ablation_reorderers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reorderers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

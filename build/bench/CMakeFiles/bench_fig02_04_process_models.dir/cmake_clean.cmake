@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_04_process_models.dir/bench_fig02_04_process_models.cc.o"
+  "CMakeFiles/bench_fig02_04_process_models.dir/bench_fig02_04_process_models.cc.o.d"
+  "bench_fig02_04_process_models"
+  "bench_fig02_04_process_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_04_process_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

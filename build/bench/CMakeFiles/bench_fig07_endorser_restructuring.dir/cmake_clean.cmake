@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_endorser_restructuring.dir/bench_fig07_endorser_restructuring.cc.o"
+  "CMakeFiles/bench_fig07_endorser_restructuring.dir/bench_fig07_endorser_restructuring.cc.o.d"
+  "bench_fig07_endorser_restructuring"
+  "bench_fig07_endorser_restructuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_endorser_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_client_boost.dir/bench_fig08_client_boost.cc.o"
+  "CMakeFiles/bench_fig08_client_boost.dir/bench_fig08_client_boost.cc.o.d"
+  "bench_fig08_client_boost"
+  "bench_fig08_client_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_client_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_activity_reordering.dir/bench_fig11_activity_reordering.cc.o"
+  "CMakeFiles/bench_fig11_activity_reordering.dir/bench_fig11_activity_reordering.cc.o.d"
+  "bench_fig11_activity_reordering"
+  "bench_fig11_activity_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_activity_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_scm.dir/bench_fig13_scm.cc.o"
+  "CMakeFiles/bench_fig13_scm.dir/bench_fig13_scm.cc.o.d"
+  "bench_fig13_scm"
+  "bench_fig13_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

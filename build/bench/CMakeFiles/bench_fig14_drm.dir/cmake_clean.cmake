@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_drm.dir/bench_fig14_drm.cc.o"
+  "CMakeFiles/bench_fig14_drm.dir/bench_fig14_drm.cc.o.d"
+  "bench_fig14_drm"
+  "bench_fig14_drm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_drm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ehr.dir/bench_fig15_ehr.cc.o"
+  "CMakeFiles/bench_fig15_ehr.dir/bench_fig15_ehr.cc.o.d"
+  "bench_fig15_ehr"
+  "bench_fig15_ehr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ehr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

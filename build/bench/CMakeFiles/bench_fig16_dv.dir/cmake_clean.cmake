@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_dv.dir/bench_fig16_dv.cc.o"
+  "CMakeFiles/bench_fig16_dv.dir/bench_fig16_dv.cc.o.d"
+  "bench_fig16_dv"
+  "bench_fig16_dv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_dv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_lap.dir/bench_fig17_lap.cc.o"
+  "CMakeFiles/bench_fig17_lap.dir/bench_fig17_lap.cc.o.d"
+  "bench_fig17_lap"
+  "bench_fig17_lap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_lap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_fabricsharp.dir/bench_fig18_fabricsharp.cc.o"
+  "CMakeFiles/bench_fig18_fabricsharp.dir/bench_fig18_fabricsharp.cc.o.d"
+  "bench_fig18_fabricsharp"
+  "bench_fig18_fabricsharp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_fabricsharp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

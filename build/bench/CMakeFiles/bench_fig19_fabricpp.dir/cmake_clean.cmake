@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_fabricpp.dir/bench_fig19_fabricpp.cc.o"
+  "CMakeFiles/bench_fig19_fabricpp.dir/bench_fig19_fabricpp.cc.o.d"
+  "bench_fig19_fabricpp"
+  "bench_fig19_fabricpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_fabricpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

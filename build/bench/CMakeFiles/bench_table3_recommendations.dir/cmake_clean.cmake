@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_recommendations.dir/bench_table3_recommendations.cc.o"
+  "CMakeFiles/bench_table3_recommendations.dir/bench_table3_recommendations.cc.o.d"
+  "bench_table3_recommendations"
+  "bench_table3_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

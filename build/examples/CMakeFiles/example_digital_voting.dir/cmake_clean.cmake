@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_digital_voting.dir/digital_voting.cpp.o"
+  "CMakeFiles/example_digital_voting.dir/digital_voting.cpp.o.d"
+  "example_digital_voting"
+  "example_digital_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_digital_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

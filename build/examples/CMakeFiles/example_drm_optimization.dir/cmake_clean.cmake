@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_drm_optimization.dir/drm_optimization.cpp.o"
+  "CMakeFiles/example_drm_optimization.dir/drm_optimization.cpp.o.d"
+  "example_drm_optimization"
+  "example_drm_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drm_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

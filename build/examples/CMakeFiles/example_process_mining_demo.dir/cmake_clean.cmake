@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_process_mining_demo.dir/process_mining_demo.cpp.o"
+  "CMakeFiles/example_process_mining_demo.dir/process_mining_demo.cpp.o.d"
+  "example_process_mining_demo"
+  "example_process_mining_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_process_mining_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scm_pipeline.dir/scm_pipeline.cpp.o"
+  "CMakeFiles/example_scm_pipeline.dir/scm_pipeline.cpp.o.d"
+  "example_scm_pipeline"
+  "example_scm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

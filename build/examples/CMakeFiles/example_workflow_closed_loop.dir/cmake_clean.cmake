@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workflow_closed_loop.dir/workflow_closed_loop.cpp.o"
+  "CMakeFiles/example_workflow_closed_loop.dir/workflow_closed_loop.cpp.o.d"
+  "example_workflow_closed_loop"
+  "example_workflow_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workflow_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockopt/apply/optimizer.cc" "src/CMakeFiles/blockoptr.dir/blockopt/apply/optimizer.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/apply/optimizer.cc.o.d"
+  "/root/repo/src/blockopt/eventlog/case_id.cc" "src/CMakeFiles/blockoptr.dir/blockopt/eventlog/case_id.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/eventlog/case_id.cc.o.d"
+  "/root/repo/src/blockopt/eventlog/event_log.cc" "src/CMakeFiles/blockoptr.dir/blockopt/eventlog/event_log.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/eventlog/event_log.cc.o.d"
+  "/root/repo/src/blockopt/eventlog/xes_export.cc" "src/CMakeFiles/blockoptr.dir/blockopt/eventlog/xes_export.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/eventlog/xes_export.cc.o.d"
+  "/root/repo/src/blockopt/log/blockchain_log.cc" "src/CMakeFiles/blockoptr.dir/blockopt/log/blockchain_log.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/log/blockchain_log.cc.o.d"
+  "/root/repo/src/blockopt/log/export.cc" "src/CMakeFiles/blockoptr.dir/blockopt/log/export.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/log/export.cc.o.d"
+  "/root/repo/src/blockopt/log/preprocess.cc" "src/CMakeFiles/blockoptr.dir/blockopt/log/preprocess.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/log/preprocess.cc.o.d"
+  "/root/repo/src/blockopt/metrics/metrics.cc" "src/CMakeFiles/blockoptr.dir/blockopt/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/metrics/metrics.cc.o.d"
+  "/root/repo/src/blockopt/provenance.cc" "src/CMakeFiles/blockoptr.dir/blockopt/provenance.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/provenance.cc.o.d"
+  "/root/repo/src/blockopt/recommend/autotune.cc" "src/CMakeFiles/blockoptr.dir/blockopt/recommend/autotune.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/recommend/autotune.cc.o.d"
+  "/root/repo/src/blockopt/recommend/recommender.cc" "src/CMakeFiles/blockoptr.dir/blockopt/recommend/recommender.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/recommend/recommender.cc.o.d"
+  "/root/repo/src/blockopt/recommend/report.cc" "src/CMakeFiles/blockoptr.dir/blockopt/recommend/report.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/blockopt/recommend/report.cc.o.d"
+  "/root/repo/src/chaincode/chaincode.cc" "src/CMakeFiles/blockoptr.dir/chaincode/chaincode.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/chaincode/chaincode.cc.o.d"
+  "/root/repo/src/chaincode/tx_context.cc" "src/CMakeFiles/blockoptr.dir/chaincode/tx_context.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/chaincode/tx_context.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/blockoptr.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/blockoptr.dir/common/json.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/common/json.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/blockoptr.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/blockoptr.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/blockoptr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/blockoptr.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/common/string_util.cc.o.d"
+  "/root/repo/src/contracts/builtin.cc" "src/CMakeFiles/blockoptr.dir/contracts/builtin.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/builtin.cc.o.d"
+  "/root/repo/src/contracts/drm.cc" "src/CMakeFiles/blockoptr.dir/contracts/drm.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/drm.cc.o.d"
+  "/root/repo/src/contracts/dv.cc" "src/CMakeFiles/blockoptr.dir/contracts/dv.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/dv.cc.o.d"
+  "/root/repo/src/contracts/ehr.cc" "src/CMakeFiles/blockoptr.dir/contracts/ehr.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/ehr.cc.o.d"
+  "/root/repo/src/contracts/gen_chain.cc" "src/CMakeFiles/blockoptr.dir/contracts/gen_chain.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/gen_chain.cc.o.d"
+  "/root/repo/src/contracts/lap.cc" "src/CMakeFiles/blockoptr.dir/contracts/lap.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/lap.cc.o.d"
+  "/root/repo/src/contracts/scm.cc" "src/CMakeFiles/blockoptr.dir/contracts/scm.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/contracts/scm.cc.o.d"
+  "/root/repo/src/driver/client_manager.cc" "src/CMakeFiles/blockoptr.dir/driver/client_manager.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/driver/client_manager.cc.o.d"
+  "/root/repo/src/driver/experiment.cc" "src/CMakeFiles/blockoptr.dir/driver/experiment.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/driver/experiment.cc.o.d"
+  "/root/repo/src/driver/rate_controller.cc" "src/CMakeFiles/blockoptr.dir/driver/rate_controller.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/driver/rate_controller.cc.o.d"
+  "/root/repo/src/driver/report.cc" "src/CMakeFiles/blockoptr.dir/driver/report.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/driver/report.cc.o.d"
+  "/root/repo/src/fabric/client.cc" "src/CMakeFiles/blockoptr.dir/fabric/client.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/client.cc.o.d"
+  "/root/repo/src/fabric/config.cc" "src/CMakeFiles/blockoptr.dir/fabric/config.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/config.cc.o.d"
+  "/root/repo/src/fabric/endorsement_policy.cc" "src/CMakeFiles/blockoptr.dir/fabric/endorsement_policy.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/endorsement_policy.cc.o.d"
+  "/root/repo/src/fabric/endorser.cc" "src/CMakeFiles/blockoptr.dir/fabric/endorser.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/endorser.cc.o.d"
+  "/root/repo/src/fabric/network.cc" "src/CMakeFiles/blockoptr.dir/fabric/network.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/network.cc.o.d"
+  "/root/repo/src/fabric/orderer.cc" "src/CMakeFiles/blockoptr.dir/fabric/orderer.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/orderer.cc.o.d"
+  "/root/repo/src/fabric/peer.cc" "src/CMakeFiles/blockoptr.dir/fabric/peer.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/peer.cc.o.d"
+  "/root/repo/src/fabric/validator.cc" "src/CMakeFiles/blockoptr.dir/fabric/validator.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/fabric/validator.cc.o.d"
+  "/root/repo/src/ledger/block.cc" "src/CMakeFiles/blockoptr.dir/ledger/block.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/ledger/block.cc.o.d"
+  "/root/repo/src/ledger/ledger.cc" "src/CMakeFiles/blockoptr.dir/ledger/ledger.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/ledger/ledger.cc.o.d"
+  "/root/repo/src/ledger/rwset.cc" "src/CMakeFiles/blockoptr.dir/ledger/rwset.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/ledger/rwset.cc.o.d"
+  "/root/repo/src/ledger/transaction.cc" "src/CMakeFiles/blockoptr.dir/ledger/transaction.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/ledger/transaction.cc.o.d"
+  "/root/repo/src/mining/alpha_miner.cc" "src/CMakeFiles/blockoptr.dir/mining/alpha_miner.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/alpha_miner.cc.o.d"
+  "/root/repo/src/mining/conformance.cc" "src/CMakeFiles/blockoptr.dir/mining/conformance.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/conformance.cc.o.d"
+  "/root/repo/src/mining/dfg.cc" "src/CMakeFiles/blockoptr.dir/mining/dfg.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/dfg.cc.o.d"
+  "/root/repo/src/mining/dot_export.cc" "src/CMakeFiles/blockoptr.dir/mining/dot_export.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/dot_export.cc.o.d"
+  "/root/repo/src/mining/footprint.cc" "src/CMakeFiles/blockoptr.dir/mining/footprint.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/footprint.cc.o.d"
+  "/root/repo/src/mining/fuzzy_miner.cc" "src/CMakeFiles/blockoptr.dir/mining/fuzzy_miner.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/fuzzy_miner.cc.o.d"
+  "/root/repo/src/mining/heuristics_miner.cc" "src/CMakeFiles/blockoptr.dir/mining/heuristics_miner.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/heuristics_miner.cc.o.d"
+  "/root/repo/src/mining/petri_net.cc" "src/CMakeFiles/blockoptr.dir/mining/petri_net.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/petri_net.cc.o.d"
+  "/root/repo/src/mining/precision.cc" "src/CMakeFiles/blockoptr.dir/mining/precision.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/mining/precision.cc.o.d"
+  "/root/repo/src/raft/raft_cluster.cc" "src/CMakeFiles/blockoptr.dir/raft/raft_cluster.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/raft/raft_cluster.cc.o.d"
+  "/root/repo/src/raft/raft_log.cc" "src/CMakeFiles/blockoptr.dir/raft/raft_log.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/raft/raft_log.cc.o.d"
+  "/root/repo/src/raft/raft_node.cc" "src/CMakeFiles/blockoptr.dir/raft/raft_node.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/raft/raft_node.cc.o.d"
+  "/root/repo/src/reorder/conflict_graph.cc" "src/CMakeFiles/blockoptr.dir/reorder/conflict_graph.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/reorder/conflict_graph.cc.o.d"
+  "/root/repo/src/reorder/fabricpp.cc" "src/CMakeFiles/blockoptr.dir/reorder/fabricpp.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/reorder/fabricpp.cc.o.d"
+  "/root/repo/src/reorder/fabricsharp.cc" "src/CMakeFiles/blockoptr.dir/reorder/fabricsharp.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/reorder/fabricsharp.cc.o.d"
+  "/root/repo/src/sim/service_station.cc" "src/CMakeFiles/blockoptr.dir/sim/service_station.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/sim/service_station.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/blockoptr.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/statedb/versioned_store.cc" "src/CMakeFiles/blockoptr.dir/statedb/versioned_store.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/statedb/versioned_store.cc.o.d"
+  "/root/repo/src/workload/event_log_csv.cc" "src/CMakeFiles/blockoptr.dir/workload/event_log_csv.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/workload/event_log_csv.cc.o.d"
+  "/root/repo/src/workload/lap_log.cc" "src/CMakeFiles/blockoptr.dir/workload/lap_log.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/workload/lap_log.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/blockoptr.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/workload/spec.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/blockoptr.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/usecase.cc" "src/CMakeFiles/blockoptr.dir/workload/usecase.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/workload/usecase.cc.o.d"
+  "/root/repo/src/workload/workflow_engine.cc" "src/CMakeFiles/blockoptr.dir/workload/workflow_engine.cc.o" "gcc" "src/CMakeFiles/blockoptr.dir/workload/workflow_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

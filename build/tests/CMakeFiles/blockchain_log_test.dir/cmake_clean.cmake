@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_log_test.dir/blockchain_log_test.cc.o"
+  "CMakeFiles/blockchain_log_test.dir/blockchain_log_test.cc.o.d"
+  "blockchain_log_test"
+  "blockchain_log_test.pdb"
+  "blockchain_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

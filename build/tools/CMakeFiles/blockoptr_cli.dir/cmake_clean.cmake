@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockoptr_cli.dir/blockoptr_cli.cc.o"
+  "CMakeFiles/blockoptr_cli.dir/blockoptr_cli.cc.o.d"
+  "blockoptr"
+  "blockoptr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockoptr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blockoptr_cli.
+# This may be replaced when dependencies are built.

@@ -124,5 +124,14 @@ int main() {
               100 * avg.success_points / n);
   std::printf("\npaper reference: ~+20%% average success-rate improvement "
               "and ~+40%% average latency improvement.\n");
+
+  // Where the time actually goes: trace one representative workload and
+  // print the stage-level breakdown next to the headline figures.
+  auto defs = Table3Experiments(kPaperTxCount);
+  if (!defs.empty()) {
+    PrintStageBreakdown(
+        MakeSyntheticExperiment(defs[0].workload, defs[0].network),
+        defs[0].label);
+  }
   return 0;
 }

@@ -115,6 +115,23 @@ inline void PrintDelta(const std::string& label,
                                         /*lower_is_better=*/true));
 }
 
+/// Re-runs `cfg` with telemetry enabled and prints the per-stage latency
+/// breakdown derived from lifecycle spans. Kept separate from the
+/// figure-producing runs so those stay on the telemetry-off fast path.
+inline void PrintStageBreakdown(const ExperimentConfig& cfg,
+                                const std::string& label) {
+  ExperimentConfig traced = cfg;
+  traced.enable_telemetry = true;
+  auto out = RunExperiment(traced);
+  if (!out.ok()) {
+    std::fprintf(stderr, "traced run failed: %s\n",
+                 out.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n%s — per-stage latency breakdown:\n%s", label.c_str(),
+              out->report.StageBreakdownTable().c_str());
+}
+
 /// The paper's default experiment scale.
 inline constexpr int kPaperTxCount = 10000;
 

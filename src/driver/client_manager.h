@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "workload/spec.h"
 
 namespace blockoptr {
@@ -37,8 +38,11 @@ struct ClientManagerSettings {
 /// returns the effective schedule the clients will execute.
 class ClientManager {
  public:
+  /// `metrics`, when non-null, receives `client_manager.*` counters
+  /// describing which transformations actually ran.
   static Schedule Prepare(Schedule schedule,
-                          const ClientManagerSettings& settings);
+                          const ClientManagerSettings& settings,
+                          MetricsRegistry* metrics = nullptr);
 };
 
 }  // namespace blockoptr

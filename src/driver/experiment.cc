@@ -44,11 +44,17 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
   if (!scheduler.ok()) return scheduler.status();
   if (*scheduler != nullptr) network.SetReorderer(std::move(*scheduler));
 
-  // Client manager: apply reordering / rate control to the workload.
-  Schedule schedule =
-      ClientManager::Prepare(config.schedule, config.client_manager);
-
   ExperimentOutput output;
+  if (config.enable_telemetry) {
+    output.telemetry = std::make_unique<Telemetry>(&sim);
+    network.set_telemetry(output.telemetry.get());
+  }
+
+  // Client manager: apply reordering / rate control to the workload.
+  Schedule schedule = ClientManager::Prepare(
+      config.schedule, config.client_manager,
+      output.telemetry ? &output.telemetry->metrics() : nullptr);
+
   size_t completed = 0;
   double last_commit = 0;
   network.set_on_commit([&](const Transaction& tx) {
@@ -97,6 +103,10 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
   }
 
   output.report.Finish(last_commit);
+  if (output.telemetry) {
+    output.report.set_stage_breakdown(
+        ComputeStageBreakdown(output.telemetry->tracer()));
+  }
   output.ledger = network.ledger();
   output.endorsement_counts = network.endorsement_counts();
   output.network = config.network;

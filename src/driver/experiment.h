@@ -2,6 +2,7 @@
 #define BLOCKOPTR_DRIVER_EXPERIMENT_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "driver/report.h"
 #include "fabric/config.h"
 #include "ledger/ledger.h"
+#include "telemetry/telemetry.h"
 #include "workload/spec.h"
 
 namespace blockoptr {
@@ -43,6 +45,12 @@ struct ExperimentConfig {
 
   /// Safety valve: abort the run if virtual time exceeds this.
   double max_sim_time = 36000;
+
+  /// When true, the run records per-transaction lifecycle spans and
+  /// component metrics into `ExperimentOutput::telemetry` and attaches a
+  /// stage-latency breakdown to the report. Off by default: the disabled
+  /// path does no telemetry work.
+  bool enable_telemetry = false;
 };
 
 /// The result of a run: the performance report plus the artefacts
@@ -53,6 +61,12 @@ struct ExperimentOutput {
   std::map<std::string, uint64_t> endorsement_counts;
   NetworkConfig network;  // effective config (for metric extraction)
   double sim_end_time = 0;
+
+  /// Trace + metrics of the run; null unless
+  /// `ExperimentConfig::enable_telemetry` was set. The recorder's data
+  /// stays readable/exportable after the run even though the simulator is
+  /// gone.
+  std::unique_ptr<Telemetry> telemetry;
 };
 
 /// Runs the experiment to completion (every scheduled request committed or

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.h"
 #include "ledger/transaction.h"
+#include "telemetry/telemetry.h"
 
 namespace blockoptr {
 
@@ -46,10 +49,27 @@ class PerformanceReport {
   double MaxLatency() const { return latency_.max(); }
   double LatencyPercentile(double p) { return latency_pct_.Percentile(p); }
 
-  double duration() const { return end_time_ - first_send_; }
+  /// Wall span of the run (first client send -> Finish time); 0 when no
+  /// transaction was ever recorded, so an empty run never reports a
+  /// negative or garbage duration.
+  double duration() const { return saw_first_ ? end_time_ - first_send_ : 0; }
 
   /// One-line summary: "success=87.2% tput=261.4tps lat=0.413s ...".
   std::string Summary() const;
+
+  /// Per-stage latency breakdown derived from telemetry spans (empty when
+  /// the run had telemetry disabled).
+  void set_stage_breakdown(std::vector<StageLatency> stages) {
+    stage_breakdown_ = std::move(stages);
+  }
+  const std::vector<StageLatency>& stage_breakdown() const {
+    return stage_breakdown_;
+  }
+
+  /// Fixed-width table of the stage breakdown; "" when none was attached.
+  std::string StageBreakdownTable() const {
+    return FormatStageBreakdownTable(stage_breakdown_);
+  }
 
  private:
   uint64_t total_committed_ = 0;
@@ -63,6 +83,7 @@ class PerformanceReport {
   double first_send_ = 0;
   bool saw_first_ = false;
   double end_time_ = 0;
+  std::vector<StageLatency> stage_breakdown_;
 };
 
 /// Relative change helper for paper-style "% improvement" rows:

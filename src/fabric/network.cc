@@ -85,6 +85,13 @@ void FabricNetwork::SetReorderer(std::unique_ptr<BlockReorderer> reorderer) {
   orderer_->set_reorderer(std::move(reorderer));
 }
 
+void FabricNetwork::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  orderer_->set_telemetry(telemetry);
+  MetricsRegistry* metrics = telemetry ? &telemetry->metrics() : nullptr;
+  for (auto& peer : peers_) peer->set_metrics(metrics);
+}
+
 void FabricNetwork::UpdateEndorsementPolicy(const EndorsementPolicy& policy) {
   policy_ = policy;
   minimal_sets_ = policy_.MinimalSatisfyingSets();
@@ -220,6 +227,15 @@ Status FabricNetwork::Submit(const ClientRequest& request) {
   // Proposal creation occupies the client process.
   ClientProcess& cp = *clients_[static_cast<size_t>(
       pending_.at(id).client_index)];
+  if (telemetry_) {
+    // The submit span starts exactly at the recorded client timestamp, so
+    // span-derived end-to-end latency is identical to the ledger's.
+    pending_.at(id).submit_span = telemetry_->tracer().Begin(
+        trace_category::kSubmit, "submit", "client/" + cp.id(), id);
+    telemetry_->metrics().counter("client.requests_total").Increment();
+    telemetry_->metrics().gauge("client.queue_depth")
+        .Set(cp.station().CurrentDelay());
+  }
   cp.station().Submit(config_.latency.client_proposal_s,
                       [this, id]() { StartEndorsement(id); });
   return Status::OK();
@@ -229,6 +245,7 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
   auto it = pending_.find(pending_id);
   if (it == pending_.end()) return;
   PendingTx& pending = it->second;
+  if (telemetry_) telemetry_->tracer().End(pending.submit_span);
 
   std::vector<int> orgs = SelectEndorsingOrgs();
   pending.expected_responses = orgs.size();
@@ -240,6 +257,16 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
       OrgPeer& peer = *peers_[static_cast<size_t>(org - 1)];
       Chaincode* cc = FindChaincode(pit->second.request.chaincode);
       assert(cc != nullptr);
+      uint64_t endorse_span = 0;
+      if (telemetry_) {
+        // Covers queueing at the endorser plus chaincode execution.
+        endorse_span = telemetry_->tracer().Begin(
+            trace_category::kEndorse, "endorse@" + peer.org(),
+            "peer/" + peer.org() + "/endorser", pending_id);
+        telemetry_->metrics().counter("endorser.proposals_total").Increment();
+        telemetry_->metrics().gauge("endorser.queue_depth")
+            .Set(peer.endorser_station().CurrentDelay());
+      }
       // Execute against the peer's current (possibly stale) store. The
       // simulation cost scales with the number of state accesses.
       EndorseResult result =
@@ -256,8 +283,17 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
                     peer_scale_;
       std::string org_name = peer.org();
       peer.endorser_station().Submit(
-          cost, [this, pending_id, org_name = std::move(org_name),
+          cost, [this, pending_id, endorse_span,
+                 org_name = std::move(org_name),
                  result = std::move(result)]() mutable {
+            if (telemetry_) {
+              telemetry_->tracer().End(endorse_span);
+              if (!result.status.ok()) {
+                telemetry_->metrics()
+                    .counter("endorser.rejections_total")
+                    .Increment();
+              }
+            }
             sim_->ScheduleAfter(
                 NetworkDelay(),
                 [this, pending_id, org_name = std::move(org_name),
@@ -291,6 +327,14 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   if (ok_indices.empty()) {
     // Unanimous chaincode rejection: early abort, never ordered.
     ++early_aborts_;
+    if (telemetry_) {
+      ClientProcess& aborted_cp =
+          *clients_[static_cast<size_t>(pending.client_index)];
+      telemetry_->tracer().RecordInstant(trace_category::kAbort, "early_abort",
+                                         "client/" + aborted_cp.id(),
+                                         pending_id);
+      telemetry_->metrics().counter("client.early_aborts_total").Increment();
+    }
     if (on_early_abort_) {
       on_early_abort_(pending.request,
                       pending.responses.empty()
@@ -338,11 +382,19 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   uint64_t bytes = EstimateTxBytes(pending.request, canonical);
   pending_.erase(it);
 
+  uint64_t assemble_span = 0;
+  if (telemetry_) {
+    assemble_span = telemetry_->tracer().Begin(
+        trace_category::kAssemble, "assemble", "client/" + cp.id(),
+        pending_id);
+  }
+
   // Envelope assembly occupies the client, then the envelope travels to
   // the ordering service.
   cp.station().Submit(
       config_.latency.client_assemble_s,
-      [this, tx = std::move(tx), bytes]() mutable {
+      [this, assemble_span, tx = std::move(tx), bytes]() mutable {
+        if (telemetry_) telemetry_->tracer().End(assemble_span);
         sim_->ScheduleAfter(NetworkDelay(),
                             [this, tx = std::move(tx), bytes]() mutable {
                               orderer_->Submit(std::move(tx), bytes);
@@ -360,7 +412,9 @@ void FabricNetwork::DeliverBlock(Block block) {
 
   // Canonical validation: a pure function of block order and content,
   // identical on every peer (Fabric's deterministic validation).
-  ValidateAndApplyBlock(block, committed_state_, policy_);
+  BlockValidationStats vstats =
+      ValidateAndApplyBlock(block, committed_state_, policy_);
+  if (telemetry_) RecordValidationStats(vstats, telemetry_->metrics());
 
   auto shared = std::make_shared<Block>(std::move(block));
   auto remaining = std::make_shared<int>(config_.num_orgs);
@@ -373,15 +427,28 @@ void FabricNetwork::DeliverBlock(Block block) {
     org_delivery_horizon_[static_cast<size_t>(org - 1)] = arrival;
     sim_->ScheduleAt(arrival, [this, org, shared, remaining]() {
       OrgPeer& peer = *peers_[static_cast<size_t>(org - 1)];
+      uint64_t validate_span = 0;
+      if (telemetry_) {
+        // Covers queueing at the validator plus validate-and-commit work.
+        validate_span = telemetry_->tracer().Begin(
+            trace_category::kValidate, "validate@" + peer.org(),
+            "peer/" + peer.org() + "/validator");
+        telemetry_->tracer().Annotate(validate_span, "block",
+                                      std::to_string(shared->block_num));
+        telemetry_->tracer().Annotate(
+            validate_span, "txs",
+            std::to_string(shared->transactions.size()));
+      }
       double cost =
           (config_.latency.validate_block_overhead_s +
            config_.latency.validate_per_tx_s *
                static_cast<double>(shared->transactions.size()) +
            config_.latency.commit_per_block_s) *
           peer_scale_;
-      peer.validator_station().Submit(cost, [this, org, shared,
-                                             remaining]() {
+      peer.validator_station().Submit(cost, [this, org, validate_span,
+                                             shared, remaining]() {
         OrgPeer& p = *peers_[static_cast<size_t>(org - 1)];
+        if (telemetry_) telemetry_->tracer().End(validate_span);
         // Apply the (already stamped) block to this peer's store.
         uint32_t pos = 0;
         for (const auto& tx : shared->transactions) {
@@ -393,6 +460,7 @@ void FabricNetwork::DeliverBlock(Block block) {
           }
         }
         p.store().MarkBlockApplied(shared->block_num);
+        p.OnBlockApplied(shared->transactions.size());
         if (--*remaining == 0) {
           // All peers committed: stamp commit time, append to the ledger,
           // and notify the driver.
@@ -401,6 +469,21 @@ void FabricNetwork::DeliverBlock(Block block) {
           for (auto& tx : shared->transactions) tx.commit_timestamp = now;
           uint64_t num = ledger_.Append(std::move(*shared));
           const Block& appended = ledger_.GetBlock(num);
+          if (telemetry_) {
+            telemetry_->metrics().counter("ledger.blocks_total").Increment();
+            for (const auto& tx : appended.transactions) {
+              if (tx.is_config) continue;
+              // The commit span closes the transaction lifecycle: it ends
+              // exactly at the ledger's commit timestamp, spanning the
+              // block's cut-to-commit tail (Raft + all-peer validation).
+              telemetry_->tracer().RecordComplete(
+                  trace_category::kCommit, "commit", "ledger", tx.tx_id,
+                  appended.cut_timestamp, now);
+              telemetry_->metrics()
+                  .counter("ledger.txs_committed_total")
+                  .Increment();
+            }
+          }
           if (on_commit_) {
             for (const auto& tx : appended.transactions) on_commit_(tx);
           }

@@ -21,6 +21,7 @@
 #include "fabric/validator.h"
 #include "ledger/ledger.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "workload/spec.h"
 
 namespace blockoptr {
@@ -61,6 +62,12 @@ class FabricNetwork {
   /// Plugs a reordering scheduler (FabricSharp / Fabric++ baselines) into
   /// the ordering service.
   void SetReorderer(std::unique_ptr<BlockReorderer> reorderer);
+
+  /// Attaches transaction-lifecycle tracing + metrics. `telemetry` must
+  /// outlive the network; pass nullptr (the default state) to disable —
+  /// the off path does no recording work at all. Call before Start().
+  void set_telemetry(Telemetry* telemetry);
+  Telemetry* telemetry() { return telemetry_; }
 
   /// Live endorsement-policy change, applied immediately (used at setup;
   /// for an in-band change use SubmitPolicyUpdate).
@@ -118,6 +125,7 @@ class FabricNetwork {
     SimTime client_timestamp = 0;
     std::vector<std::pair<std::string, EndorseResult>> responses;
     size_t expected_responses = 0;
+    uint64_t submit_span = 0;  // open tracing span id (0 when disabled)
   };
 
   double NetworkDelay();
@@ -133,6 +141,7 @@ class FabricNetwork {
   NetworkConfig config_;
   Rng rng_;
   double peer_scale_ = 1.0;  // cluster resource contention (see config.h)
+  Telemetry* telemetry_ = nullptr;  // optional, not owned
 
   std::vector<std::unique_ptr<ClientProcess>> clients_;
   std::vector<std::vector<int>> org_client_indices_;  // per org (0-based)

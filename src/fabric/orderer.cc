@@ -1,5 +1,6 @@
 #include "fabric/orderer.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace blockoptr {
@@ -30,15 +31,36 @@ OrderingService::OrderingService(Simulator* sim, const NetworkConfig& config,
   raft_.set_on_commit([this](uint64_t payload) {
     auto it = inflight_.find(payload);
     if (it == inflight_.end()) return;
+    if (telemetry_) {
+      auto sit = raft_spans_.find(payload);
+      if (sit != raft_spans_.end()) {
+        telemetry_->tracer().End(sit->second);
+        raft_spans_.erase(sit);
+      }
+    }
     Block block = std::move(it->second);
     inflight_.erase(it);
     if (on_block_committed_) on_block_committed_(std::move(block));
   });
 }
 
+void OrderingService::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  raft_.set_metrics(telemetry ? &telemetry->metrics() : nullptr);
+}
+
 void OrderingService::Start() { raft_.Start(); }
 
 void OrderingService::Submit(Transaction tx, uint64_t tx_bytes) {
+  if (telemetry_) {
+    // The order span covers orderer queueing, batching wait, and block
+    // cutting: it closes when the transaction's block is cut.
+    order_spans_[tx.tx_id] = telemetry_->tracer().Begin(
+        trace_category::kOrder, "order", "orderer", tx.tx_id);
+    telemetry_->metrics().counter("orderer.txs_submitted_total").Increment();
+    telemetry_->metrics().gauge("orderer.queue_depth")
+        .Set(station_.CurrentDelay());
+  }
   // Per-transaction ordering work occupies the orderer CPU; batching
   // happens when that work completes.
   station_.Submit(latency_.order_per_tx_s,
@@ -50,6 +72,11 @@ void OrderingService::Submit(Transaction tx, uint64_t tx_bytes) {
 void OrderingService::SubmitConfig(Transaction tx) {
   tx.is_config = true;
   tx.status = TxStatus::kConfig;
+  if (telemetry_) {
+    order_spans_[tx.tx_id] = telemetry_->tracer().Begin(
+        trace_category::kOrder, "order_config", "orderer", tx.tx_id);
+    telemetry_->metrics().counter("orderer.config_txs_total").Increment();
+  }
   station_.Submit(latency_.order_per_tx_s, [this, tx = std::move(tx)]() {
     // A config transaction terminates the current batch and occupies its
     // own block (Fabric's config-update flow).
@@ -96,13 +123,43 @@ void OrderingService::CutBlock() {
   block.transactions = std::move(txs);
   ++blocks_cut_;
 
+  if (telemetry_) {
+    for (const auto& tx : block.transactions) {
+      auto sit = order_spans_.find(tx.tx_id);
+      if (sit != order_spans_.end()) {
+        telemetry_->tracer().End(sit->second);
+        order_spans_.erase(sit);
+      }
+    }
+    telemetry_->metrics().counter("orderer.blocks_cut_total").Increment();
+    telemetry_->metrics()
+        .histogram("orderer.block_fill_ratio", MetricsRegistry::RatioBounds())
+        .Observe(static_cast<double>(block.transactions.size()) /
+                 static_cast<double>(std::max(1u, cutting_.max_tx_count)));
+  }
+
   uint64_t payload = next_payload_id_++;
+  size_t block_txs = block.transactions.size();
   inflight_.emplace(payload, std::move(block));
 
   // Block assembly/signing occupies the orderer, then the block goes
   // through Raft consensus.
   station_.Submit(latency_.block_overhead_s + extra,
-                  [this, payload]() { raft_.Propose(payload); });
+                  [this, payload, block_txs]() {
+                    if (telemetry_) {
+                      // One raft span per block, from proposal to quorum
+                      // commit.
+                      uint64_t span = telemetry_->tracer().Begin(
+                          trace_category::kRaft, "raft_replicate",
+                          "orderer/raft");
+                      telemetry_->tracer().Annotate(span, "payload",
+                                                    std::to_string(payload));
+                      telemetry_->tracer().Annotate(span, "txs",
+                                                    std::to_string(block_txs));
+                      raft_spans_[payload] = span;
+                    }
+                    raft_.Propose(payload);
+                  });
 }
 
 }  // namespace blockoptr

@@ -14,6 +14,7 @@
 #include "raft/raft_cluster.h"
 #include "sim/service_station.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace blockoptr {
 
@@ -57,6 +58,10 @@ class OrderingService {
   }
   const BlockReorderer* reorderer() const { return reorderer_.get(); }
 
+  /// Attaches tracing + metrics (also wires the Raft cluster's metrics);
+  /// nullptr disables. `telemetry` must outlive the service.
+  void set_telemetry(Telemetry* telemetry);
+
   /// Starts the Raft cluster (elects the first leader).
   void Start();
 
@@ -99,6 +104,10 @@ class OrderingService {
   std::vector<Transaction> batch_;
   uint64_t batch_bytes_ = 0;
   uint64_t timeout_gen_ = 0;
+
+  Telemetry* telemetry_ = nullptr;          // optional, not owned
+  std::map<uint64_t, uint64_t> order_spans_;  // tx_id -> open span
+  std::map<uint64_t, uint64_t> raft_spans_;   // payload -> open span
 
   std::map<uint64_t, Block> inflight_;
   uint64_t next_payload_id_ = 1;

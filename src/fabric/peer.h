@@ -6,6 +6,7 @@
 
 #include "sim/service_station.h"
 #include "statedb/versioned_store.h"
+#include "telemetry/metrics.h"
 
 namespace blockoptr {
 
@@ -28,11 +29,19 @@ class OrgPeer {
   ServiceStation& endorser_station() { return *endorser_station_; }
   ServiceStation& validator_station() { return *validator_station_; }
 
+  /// Attaches per-peer metrics (`peer.<org>.*`); nullptr disables.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Records commit-side metrics after this peer applied a block. No-op
+  /// without a registry.
+  void OnBlockApplied(size_t num_txs);
+
  private:
   std::string org_;
   VersionedStore store_;
   std::unique_ptr<ServiceStation> endorser_station_;
   std::unique_ptr<ServiceStation> validator_station_;
+  MetricsRegistry* metrics_ = nullptr;  // optional, not owned
 };
 
 }  // namespace blockoptr

@@ -19,6 +19,7 @@ void RaftCluster::Start() {
 }
 
 void RaftCluster::Propose(uint64_t payload) {
+  if (metrics_) metrics_->counter("raft.proposals_total").Increment();
   pending_.push(payload);
   FlushPending();
 }
@@ -48,6 +49,7 @@ void RaftCluster::Send(int from, int to, RaftMessage msg) {
   (void)from;
   if (nodes_[static_cast<size_t>(to)]->stopped()) return;
   ++messages_sent_;
+  if (metrics_) metrics_->counter("raft.messages_total").Increment();
   double delay =
       options_.network_delay + rng_.NextDouble() * options_.network_jitter;
   sim_->ScheduleAfter(delay, [this, to, msg = std::move(msg)]() {
@@ -62,12 +64,14 @@ void RaftCluster::OnNodeCommit(const RaftNode& node) {
   while (applied_index_ < node.commit_index()) {
     ++applied_index_;
     uint64_t payload = node.log().At(applied_index_).payload;
+    if (metrics_) metrics_->counter("raft.commits_total").Increment();
     if (on_commit_) on_commit_(payload);
   }
 }
 
 void RaftCluster::OnLeaderElected(int leader_id) {
   (void)leader_id;
+  if (metrics_) metrics_->counter("raft.elections_total").Increment();
   if (!pending_.empty()) FlushPending();
 }
 

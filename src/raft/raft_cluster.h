@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "raft/raft_node.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 
 namespace blockoptr {
 
@@ -70,6 +71,9 @@ class RaftCluster {
 
   uint64_t messages_sent() const { return messages_sent_; }
 
+  /// Attaches consensus metrics (`raft.*`); nullptr disables.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   void FlushPending();
 
@@ -81,6 +85,7 @@ class RaftCluster {
   uint64_t applied_index_ = 0;  // cluster-wide highest payload delivered
   std::queue<uint64_t> pending_;
   uint64_t messages_sent_ = 0;
+  MetricsRegistry* metrics_ = nullptr;  // optional, not owned
 };
 
 }  // namespace blockoptr

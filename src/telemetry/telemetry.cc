@@ -1,0 +1,72 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/stats.h"
+
+namespace blockoptr {
+
+std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer) {
+  std::map<std::string, std::vector<double>> durations;
+  for (const auto& span : tracer.spans()) {
+    durations[span.category].push_back(span.duration());
+  }
+
+  // Pipeline stages first, everything else after in alphabetical order.
+  const char* pipeline[] = {
+      trace_category::kSubmit,  trace_category::kEndorse,
+      trace_category::kAssemble, trace_category::kOrder,
+      trace_category::kRaft,    trace_category::kValidate,
+      trace_category::kCommit};
+  std::vector<std::string> order;
+  for (const char* stage : pipeline) {
+    if (durations.count(stage)) order.push_back(stage);
+  }
+  for (const auto& [stage, _] : durations) {
+    if (std::find(order.begin(), order.end(), stage) == order.end()) {
+      order.push_back(stage);
+    }
+  }
+
+  std::vector<StageLatency> out;
+  for (const auto& stage : order) {
+    auto& samples = durations.at(stage);
+    StageLatency row;
+    row.stage = stage;
+    row.count = samples.size();
+    RunningStats stats;
+    PercentileTracker pct;
+    for (double d : samples) {
+      stats.Add(d);
+      pct.Add(d);
+    }
+    row.mean_s = stats.mean();
+    row.max_s = stats.max();
+    row.p50_s = pct.Percentile(50);
+    row.p95_s = pct.Percentile(95);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string FormatStageBreakdownTable(
+    const std::vector<StageLatency>& stages) {
+  if (stages.empty()) return "";
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %10s %12s %12s %12s %12s\n",
+                "stage", "spans", "mean(s)", "p50(s)", "p95(s)", "max(s)");
+  out += line;
+  for (const auto& s : stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-10s %10llu %12.6f %12.6f %12.6f %12.6f\n",
+                  s.stage.c_str(), static_cast<unsigned long long>(s.count),
+                  s.mean_s, s.p50_s, s.p95_s, s.max_s);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace blockoptr

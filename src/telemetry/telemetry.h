@@ -1,0 +1,58 @@
+#ifndef BLOCKOPTR_TELEMETRY_TELEMETRY_H_
+#define BLOCKOPTR_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace blockoptr {
+
+/// Bundles the per-run observability state: one trace recorder plus one
+/// metrics registry, shared by every simulated component of a network.
+///
+/// Components hold a nullable `Telemetry*` and guard every recording site
+/// with a null check — the disabled path does no work and allocates
+/// nothing, so telemetry-off runs behave exactly like the uninstrumented
+/// simulator.
+class Telemetry {
+ public:
+  /// `sim` must outlive all recording calls (exports may happen later).
+  explicit Telemetry(Simulator* sim) : tracer_(sim) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  TraceRecorder& tracer() { return tracer_; }
+  const TraceRecorder& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  TraceRecorder tracer_;
+  MetricsRegistry metrics_;
+};
+
+/// Latency summary of one pipeline stage (one span category).
+struct StageLatency {
+  std::string stage;
+  uint64_t count = 0;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double max_s = 0;
+};
+
+/// Groups finished spans by category and summarizes their durations, in
+/// pipeline order (submit, endorse, assemble, order, raft, validate,
+/// commit) followed by any other categories alphabetically.
+std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer);
+
+/// Paper-style fixed-width table of a stage breakdown; "" when empty.
+std::string FormatStageBreakdownTable(const std::vector<StageLatency>& stages);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_TELEMETRY_TELEMETRY_H_

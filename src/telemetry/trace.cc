@@ -1,0 +1,142 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/csv.h"
+#include "common/json.h"
+
+namespace blockoptr {
+
+namespace {
+
+constexpr double kMicrosPerSimSecond = 1e6;
+
+}  // namespace
+
+uint64_t TraceRecorder::Begin(std::string category, std::string name,
+                              std::string component, uint64_t tx_id) {
+  Span span;
+  span.span_id = next_id_++;
+  span.tx_id = tx_id;
+  span.category = std::move(category);
+  span.name = std::move(name);
+  span.component = std::move(component);
+  span.start = sim_->Now();
+  uint64_t id = span.span_id;
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void TraceRecorder::End(uint64_t span_id) {
+  auto it = open_.find(span_id);
+  if (it == open_.end()) return;
+  it->second.end = sim_->Now();
+  finished_.push_back(std::move(it->second));
+  open_.erase(it);
+}
+
+void TraceRecorder::Annotate(uint64_t span_id, std::string key,
+                             std::string value) {
+  auto it = open_.find(span_id);
+  if (it == open_.end()) return;
+  it->second.attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceRecorder::RecordComplete(std::string category, std::string name,
+                                   std::string component, uint64_t tx_id,
+                                   SimTime start, SimTime end) {
+  Span span;
+  span.span_id = next_id_++;
+  span.tx_id = tx_id;
+  span.category = std::move(category);
+  span.name = std::move(name);
+  span.component = std::move(component);
+  span.start = start;
+  span.end = end;
+  finished_.push_back(std::move(span));
+}
+
+void TraceRecorder::RecordInstant(std::string category, std::string name,
+                                  std::string component, uint64_t tx_id) {
+  SimTime now = sim_->Now();
+  RecordComplete(std::move(category), std::move(name), std::move(component),
+                 tx_id, now, now);
+}
+
+std::vector<const Span*> TraceRecorder::SpansForTx(uint64_t tx_id) const {
+  std::vector<const Span*> out;
+  for (const auto& span : finished_) {
+    if (span.tx_id == tx_id) out.push_back(&span);
+  }
+  return out;
+}
+
+std::vector<std::string> TraceRecorder::Categories() const {
+  std::set<std::string> seen;
+  for (const auto& span : finished_) seen.insert(span.category);
+  return {seen.begin(), seen.end()};
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  // Stable component -> pid mapping in first-seen order.
+  std::map<std::string, int> pids;
+  std::vector<const std::string*> pid_order;
+  for (const auto& span : finished_) {
+    if (pids.emplace(span.component, static_cast<int>(pids.size()) + 1)
+            .second) {
+      pid_order.push_back(&span.component);
+    }
+  }
+
+  JsonValue::Array events;
+  for (size_t i = 0; i < pid_order.size(); ++i) {
+    JsonValue::Object meta;
+    meta["ph"] = JsonValue("M");
+    meta["name"] = JsonValue("process_name");
+    meta["pid"] = JsonValue(static_cast<int>(i) + 1);
+    JsonValue::Object args;
+    args["name"] = JsonValue(*pid_order[i]);
+    meta["args"] = JsonValue(std::move(args));
+    events.push_back(JsonValue(std::move(meta)));
+  }
+  for (const auto& span : finished_) {
+    JsonValue::Object ev;
+    ev["ph"] = JsonValue("X");
+    ev["name"] = JsonValue(span.name);
+    ev["cat"] = JsonValue(span.category);
+    ev["pid"] = JsonValue(pids.at(span.component));
+    ev["tid"] = JsonValue(span.tx_id);
+    ev["ts"] = JsonValue(span.start * kMicrosPerSimSecond);
+    ev["dur"] = JsonValue(span.duration() * kMicrosPerSimSecond);
+    JsonValue::Object args;
+    args["tx_id"] = JsonValue(span.tx_id);
+    for (const auto& [k, v] : span.attrs) args[k] = JsonValue(v);
+    ev["args"] = JsonValue(std::move(args));
+    events.push_back(JsonValue(std::move(ev)));
+  }
+
+  JsonValue::Object root;
+  root["traceEvents"] = JsonValue(std::move(events));
+  root["displayTimeUnit"] = JsonValue("ms");
+  out << JsonValue(std::move(root)).Dump();
+}
+
+void TraceRecorder::WriteCsv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.WriteRow({"span_id", "tx_id", "category", "name", "component",
+                   "start_s", "end_s", "duration_s", "attrs"});
+  for (const auto& span : finished_) {
+    std::string attrs;
+    for (const auto& [k, v] : span.attrs) {
+      if (!attrs.empty()) attrs += ";";
+      attrs += k + "=" + v;
+    }
+    writer.WriteRow({std::to_string(span.span_id), std::to_string(span.tx_id),
+                     span.category, span.name, span.component,
+                     std::to_string(span.start), std::to_string(span.end),
+                     std::to_string(span.duration()), attrs});
+  }
+}
+
+}  // namespace blockoptr

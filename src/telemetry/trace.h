@@ -1,0 +1,102 @@
+#ifndef BLOCKOPTR_TELEMETRY_TRACE_H_
+#define BLOCKOPTR_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace blockoptr {
+
+/// Pipeline-stage categories, in execute-order-validate order. Every span
+/// recorded by the Fabric model uses one of these (plus "abort" for early
+/// aborts), which is what the per-stage latency breakdown groups by.
+namespace trace_category {
+inline constexpr const char* kSubmit = "submit";
+inline constexpr const char* kEndorse = "endorse";
+inline constexpr const char* kAssemble = "assemble";
+inline constexpr const char* kOrder = "order";
+inline constexpr const char* kRaft = "raft";
+inline constexpr const char* kValidate = "validate";
+inline constexpr const char* kCommit = "commit";
+inline constexpr const char* kAbort = "abort";
+}  // namespace trace_category
+
+/// One interval of work on a simulated component, keyed on virtual time.
+struct Span {
+  uint64_t span_id = 0;
+  uint64_t tx_id = 0;      // transaction correlation id; 0 = block-scoped
+  std::string category;    // pipeline stage (see trace_category)
+  std::string name;        // display name, e.g. "endorse@Org2"
+  std::string component;   // simulated process, e.g. "peer/Org2/endorser"
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  double duration() const { return end - start; }
+};
+
+/// Records a span per pipeline stage per transaction, stamped with virtual
+/// `SimTime`. Ground truth the blockchain-log analysis can be validated
+/// against: the ledger only sees client/commit timestamps, the trace sees
+/// every stage in between.
+class TraceRecorder {
+ public:
+  /// `sim` must outlive the recorder's Begin/End/RecordInstant calls
+  /// (finished spans remain readable afterwards).
+  explicit TraceRecorder(Simulator* sim) : sim_(sim) {}
+
+  /// Opens a span starting now; returns its id (never 0).
+  uint64_t Begin(std::string category, std::string name,
+                 std::string component, uint64_t tx_id = 0);
+
+  /// Closes an open span at the current virtual time. Unknown ids are
+  /// ignored (callers may hold 0 for "never started").
+  void End(uint64_t span_id);
+
+  /// Attaches a key/value attribute to an open span.
+  void Annotate(uint64_t span_id, std::string key, std::string value);
+
+  /// Records an already-bounded span (start/end known up front).
+  void RecordComplete(std::string category, std::string name,
+                      std::string component, uint64_t tx_id, SimTime start,
+                      SimTime end);
+
+  /// Records a zero-duration marker at the current virtual time.
+  void RecordInstant(std::string category, std::string name,
+                     std::string component, uint64_t tx_id);
+
+  /// Finished spans, in completion order.
+  const std::vector<Span>& spans() const { return finished_; }
+  size_t open_spans() const { return open_.size(); }
+
+  /// Finished spans of one transaction, in completion order.
+  std::vector<const Span*> SpansForTx(uint64_t tx_id) const;
+
+  /// Distinct categories seen so far (sorted).
+  std::vector<std::string> Categories() const;
+
+  /// Chrome trace_event JSON ("traceEvents" object format), loadable in
+  /// Perfetto / chrome://tracing. One "process" per simulated component;
+  /// the thread id is the transaction id. Virtual seconds map to trace
+  /// microseconds.
+  void WriteChromeTrace(std::ostream& out) const;
+
+  /// Flat CSV span dump: span_id,tx_id,category,name,component,start,end,
+  /// duration,attrs.
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  Simulator* sim_;
+  uint64_t next_id_ = 1;
+  std::vector<Span> finished_;
+  std::map<uint64_t, Span> open_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_TELEMETRY_TRACE_H_

@@ -413,6 +413,17 @@ TEST(PercentileTest, NearestRank) {
 TEST(PercentileTest, EmptyReturnsZero) {
   PercentileTracker p;
   EXPECT_EQ(p.Percentile(50), 0.0);
+  EXPECT_EQ(p.Percentile(0), 0.0);
+  EXPECT_EQ(p.Percentile(100), 0.0);
+}
+
+TEST(PercentileTest, SingleElementCoversWholeRange) {
+  PercentileTracker p;
+  p.Add(42.0);
+  EXPECT_EQ(p.Percentile(0), 42.0);
+  EXPECT_EQ(p.Percentile(50), 42.0);
+  EXPECT_EQ(p.Percentile(100), 42.0);
+  EXPECT_EQ(p.Median(), 42.0);
 }
 
 TEST(IntervalCounterTest, BucketsByInterval) {
@@ -439,6 +450,21 @@ TEST(IntervalCounterTest, NegativeTimesClampToZero) {
   IntervalCounter c(1.0);
   c.Add(-2.0);
   EXPECT_EQ(c.CountAt(0), 1u);
+}
+
+TEST(IntervalCounterTest, EmptyCounterHasNoIntervals) {
+  IntervalCounter c(1.0);
+  EXPECT_EQ(c.num_intervals(), 0u);
+  EXPECT_EQ(c.CountAt(0), 0u);
+  EXPECT_DOUBLE_EQ(c.RateAt(0), 0.0);
+}
+
+TEST(IntervalCounterTest, OutOfRangeIndexIsZeroNotUb) {
+  IntervalCounter c(2.0);
+  c.Add(1.0);
+  EXPECT_EQ(c.CountAt(1), 0u);
+  EXPECT_EQ(c.CountAt(1000000), 0u);
+  EXPECT_DOUBLE_EQ(c.RateAt(1000000), 0.0);
 }
 
 }  // namespace

@@ -57,6 +57,32 @@ TEST(ReportTest, EmptyReportIsZero) {
   EXPECT_DOUBLE_EQ(report.AvgLatency(), 0.0);
 }
 
+TEST(ReportTest, EmptyRunDurationIsZeroEvenAfterFinish) {
+  // Finish() on a run that never recorded a commit must not produce a
+  // negative duration (end_time - uninitialized first_send) or a bogus
+  // throughput from dividing by it.
+  PerformanceReport report;
+  report.Finish(7.5);
+  EXPECT_DOUBLE_EQ(report.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(report.Throughput(), 0.0);
+}
+
+TEST(ReportTest, EarlyAbortsAloneDoNotStartTheClock) {
+  PerformanceReport report;
+  report.RecordEarlyAbort();
+  report.Finish(3.0);
+  EXPECT_DOUBLE_EQ(report.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(report.Throughput(), 0.0);
+}
+
+TEST(ReportTest, DurationSpansEarliestSendToFinish) {
+  PerformanceReport report;
+  report.RecordCommit(CommittedTx(TxStatus::kValid, 2.0, 3.0));
+  report.RecordCommit(CommittedTx(TxStatus::kValid, 0.5, 4.0));
+  report.Finish(4.0);
+  EXPECT_DOUBLE_EQ(report.duration(), 3.5);
+}
+
 TEST(ReportTest, PercentilesFromLatencies) {
   PerformanceReport report;
   for (int i = 1; i <= 100; ++i) {

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/json.h"
+#include "driver/experiment.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "workload/synthetic.h"
+
+namespace blockoptr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry reg;
+  reg.counter("a.total").Increment();
+  reg.counter("a.total").Increment(4);
+  EXPECT_EQ(reg.counter("a.total").value(), 5u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(MetricsTest, RepeatedLookupReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("x");
+  reg.counter("y").Increment();  // map growth must not invalidate `first`
+  first.Increment();
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_EQ(&reg.counter("x"), &first);
+}
+
+TEST(MetricsTest, GaugeTracksExtremes) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.Set(3);
+  g.Set(10);
+  g.Set(5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_DOUBLE_EQ(g.min(), 3.0);
+  EXPECT_DOUBLE_EQ(g.max(), 10.0);
+  g.Add(-7);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+  EXPECT_DOUBLE_EQ(g.min(), -2.0);
+}
+
+TEST(MetricsTest, UntouchedGaugeIsAllZero) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.min(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.Observe(0.5);  // <= 1.0
+  h.Observe(1.0);  // exactly on a bound -> that bucket, not the next
+  h.Observe(1.5);  // <= 2.0
+  h.Observe(100);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 103.0 / 4.0);
+}
+
+TEST(MetricsTest, EmptyHistogramMeanIsZero) {
+  Histogram h(MetricsRegistry::RatioBounds());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("orderer.blocks_cut_total").Increment(3);
+  reg.gauge("endorser.queue_depth").Set(0.25);
+  reg.histogram("orderer.block_fill_ratio", MetricsRegistry::RatioBounds())
+      .Observe(0.5);
+
+  auto parsed = JsonValue::Parse(reg.SnapshotJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)["counters"]["orderer.blocks_cut_total"].as_number(), 3);
+  EXPECT_EQ((*parsed)["gauges"]["endorser.queue_depth"]["value"].as_number(),
+            0.25);
+  const JsonValue& hist = (*parsed)["histograms"]["orderer.block_fill_ratio"];
+  EXPECT_EQ(hist["count"].as_number(), 1);
+  EXPECT_EQ(hist["buckets"].as_array().size(),
+            hist["bounds"].as_array().size() + 1);
+}
+
+TEST(MetricsTest, EmptyRegistry) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  auto parsed = JsonValue::Parse(reg.SnapshotJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  reg.counter("c");
+  EXPECT_FALSE(reg.empty());
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, SpansAreStampedWithVirtualTime) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  uint64_t id = 0;
+  sim.ScheduleAt(1.0, [&] {
+    id = rec.Begin(trace_category::kEndorse, "endorse@Org1",
+                   "peer/Org1/endorser", 7);
+    rec.Annotate(id, "policy", "P3");
+  });
+  sim.ScheduleAt(1.5, [&] { rec.End(id); });
+  sim.Run();
+
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.open_spans(), 0u);
+  const Span& span = rec.spans()[0];
+  EXPECT_EQ(span.tx_id, 7u);
+  EXPECT_EQ(span.category, "endorse");
+  EXPECT_DOUBLE_EQ(span.start, 1.0);
+  EXPECT_DOUBLE_EQ(span.end, 1.5);
+  EXPECT_DOUBLE_EQ(span.duration(), 0.5);
+  ASSERT_EQ(span.attrs.size(), 1u);
+  EXPECT_EQ(span.attrs[0].first, "policy");
+}
+
+TEST(TraceRecorderTest, EndOfUnknownIdIsIgnored) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.End(0);    // the "never started" sentinel
+  rec.End(999);  // never issued
+  EXPECT_TRUE(rec.spans().empty());
+}
+
+TEST(TraceRecorderTest, UnfinishedSpansStayOpen) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.Begin(trace_category::kOrder, "order", "orderer", 1);
+  EXPECT_EQ(rec.open_spans(), 1u);
+  EXPECT_TRUE(rec.spans().empty());
+}
+
+TEST(TraceRecorderTest, RecordCompleteAndInstant) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.RecordComplete(trace_category::kCommit, "commit", "ledger", 3, 2.0, 4.5);
+  rec.RecordInstant(trace_category::kAbort, "early_abort", "client/c0", 4);
+  ASSERT_EQ(rec.spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.spans()[0].duration(), 2.5);
+  EXPECT_DOUBLE_EQ(rec.spans()[1].duration(), 0.0);
+  auto cats = rec.Categories();
+  EXPECT_EQ(cats, (std::vector<std::string>{"abort", "commit"}));
+}
+
+TEST(TraceRecorderTest, SpansForTxFiltersByCorrelationId) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.RecordComplete(trace_category::kSubmit, "submit", "client/a", 1, 0, 1);
+  rec.RecordComplete(trace_category::kSubmit, "submit", "client/a", 2, 0, 1);
+  rec.RecordComplete(trace_category::kCommit, "commit", "ledger", 1, 1, 2);
+  auto spans = rec.SpansForTx(1);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->category, "submit");
+  EXPECT_EQ(spans[1]->category, "commit");
+}
+
+TEST(TraceRecorderTest, ChromeTraceExportIsValidAndComplete) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.RecordComplete(trace_category::kSubmit, "submit", "client/c0", 1, 0.5,
+                     1.0);
+  rec.RecordComplete(trace_category::kCommit, "commit", "ledger", 1, 1.0, 2.0);
+
+  std::ostringstream out;
+  rec.WriteChromeTrace(out);
+  auto parsed = JsonValue::Parse(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EXPECT_EQ((*parsed)["displayTimeUnit"].as_string(), "ms");
+  const auto& events = (*parsed)["traceEvents"].as_array();
+  // 2 process_name metadata events + 2 complete events.
+  ASSERT_EQ(events.size(), 4u);
+  std::set<std::string> process_names;
+  size_t complete = 0;
+  for (const auto& ev : events) {
+    if (ev["ph"].as_string() == "M") {
+      EXPECT_EQ(ev["name"].as_string(), "process_name");
+      process_names.insert(ev["args"]["name"].as_string());
+    } else {
+      ASSERT_EQ(ev["ph"].as_string(), "X");
+      ++complete;
+      EXPECT_GT(ev["pid"].as_number(), 0);
+      EXPECT_EQ(ev["tid"].as_number(), 1);
+      EXPECT_FALSE(ev["cat"].as_string().empty());
+      EXPECT_GE(ev["dur"].as_number(), 0);
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(process_names,
+            (std::set<std::string>{"client/c0", "ledger"}));
+  // Virtual seconds map to microseconds.
+  EXPECT_EQ(events[2]["ts"].as_number(), 0.5e6);
+  EXPECT_EQ(events[2]["dur"].as_number(), 0.5e6);
+}
+
+TEST(TraceRecorderTest, CsvExportHasHeaderAndRows) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.RecordComplete(trace_category::kOrder, "order", "orderer", 9, 1.0, 2.0);
+  std::ostringstream out;
+  rec.WriteCsv(out);
+  std::string text = out.str();
+  EXPECT_EQ(text.rfind(
+                "span_id,tx_id,category,name,component,start_s,end_s,"
+                "duration_s,attrs\n",
+                0),
+            0u);
+  EXPECT_NE(text.find("order,order,orderer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stage breakdown
+// ---------------------------------------------------------------------------
+
+TEST(StageBreakdownTest, GroupsByCategoryInPipelineOrder) {
+  Simulator sim;
+  TraceRecorder rec(&sim);
+  rec.RecordComplete(trace_category::kValidate, "v", "peer", 0, 0, 2.0);
+  rec.RecordComplete(trace_category::kSubmit, "s", "client", 1, 0, 1.0);
+  rec.RecordComplete(trace_category::kSubmit, "s", "client", 2, 0, 3.0);
+  rec.RecordComplete("zzz_custom", "c", "x", 0, 0, 1.0);
+
+  auto rows = ComputeStageBreakdown(rec);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].stage, "submit");  // pipeline order, not alphabetical
+  EXPECT_EQ(rows[1].stage, "validate");
+  EXPECT_EQ(rows[2].stage, "zzz_custom");
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].mean_s, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].max_s, 3.0);
+
+  std::string table = FormatStageBreakdownTable(rows);
+  EXPECT_NE(table.find("stage"), std::string::npos);
+  EXPECT_NE(table.find("submit"), std::string::npos);
+  EXPECT_EQ(FormatStageBreakdownTable({}), "");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a traced experiment
+// ---------------------------------------------------------------------------
+
+ExperimentConfig SmallExperiment(int num_txs = 300) {
+  SyntheticConfig wl;
+  wl.num_txs = num_txs;
+  ExperimentConfig cfg;
+  cfg.network = NetworkConfig::Defaults();
+  cfg.chaincodes = {"genchain"};
+  for (auto& [k, v] : SyntheticSeedState(wl)) {
+    cfg.seeds.push_back(SeedEntry{"genchain", k, v});
+  }
+  cfg.schedule = GenerateSynthetic(wl);
+  return cfg;
+}
+
+TEST(TracedExperimentTest, CoversThePipelineStages) {
+  ExperimentConfig cfg = SmallExperiment();
+  cfg.enable_telemetry = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_NE(out->telemetry, nullptr);
+
+  auto cats = out->telemetry->tracer().Categories();
+  std::set<std::string> seen(cats.begin(), cats.end());
+  for (const char* required :
+       {trace_category::kSubmit, trace_category::kEndorse,
+        trace_category::kAssemble, trace_category::kOrder,
+        trace_category::kRaft, trace_category::kValidate,
+        trace_category::kCommit}) {
+    EXPECT_TRUE(seen.count(required)) << "missing category " << required;
+  }
+  EXPECT_GE(seen.size(), 5u);
+}
+
+TEST(TracedExperimentTest, SpanLatencyMatchesLedgerLatencyExactly) {
+  ExperimentConfig cfg = SmallExperiment();
+  cfg.enable_telemetry = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  const TraceRecorder& tracer = out->telemetry->tracer();
+  size_t checked = 0;
+  out->ledger.ForEachTransaction([&](const Block&, const Transaction& tx) {
+    if (tx.is_config || tx.status != TxStatus::kValid) return;
+    const Span* submit = nullptr;
+    const Span* commit = nullptr;
+    for (const Span* span : tracer.SpansForTx(tx.tx_id)) {
+      if (span->category == trace_category::kSubmit) submit = span;
+      if (span->category == trace_category::kCommit) commit = span;
+    }
+    ASSERT_NE(submit, nullptr) << "tx " << tx.tx_id;
+    ASSERT_NE(commit, nullptr) << "tx " << tx.tx_id;
+    // Span boundaries reuse the exact timestamps the ledger records, so
+    // this must hold with exact double equality, not just approximately.
+    EXPECT_EQ(submit->start, tx.client_timestamp);
+    EXPECT_EQ(commit->end, tx.commit_timestamp);
+    EXPECT_EQ(commit->end - submit->start,
+              tx.commit_timestamp - tx.client_timestamp);
+    ++checked;
+  });
+  EXPECT_EQ(checked, out->report.successful());
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(TracedExperimentTest, StageBreakdownAttachedToReport) {
+  ExperimentConfig cfg = SmallExperiment();
+  cfg.enable_telemetry = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_FALSE(out->report.stage_breakdown().empty());
+  EXPECT_NE(out->report.StageBreakdownTable().find("endorse"),
+            std::string::npos);
+}
+
+TEST(TracedExperimentTest, ComponentMetricsArePopulated) {
+  ExperimentConfig cfg = SmallExperiment();
+  cfg.enable_telemetry = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+
+  MetricsRegistry& m = out->telemetry->metrics();
+  EXPECT_EQ(m.counter("ledger.txs_committed_total").value(),
+            out->report.total_committed());
+  EXPECT_GT(m.counter("client.requests_total").value(), 0u);
+  EXPECT_GT(m.counter("endorser.proposals_total").value(), 0u);
+  EXPECT_GT(m.counter("orderer.blocks_cut_total").value(), 0u);
+  EXPECT_GT(m.counter("raft.proposals_total").value(), 0u);
+  EXPECT_GT(m.counter("raft.commits_total").value(), 0u);
+  EXPECT_GT(m.counter("validator.blocks_validated_total").value(), 0u);
+  EXPECT_GT(m.histogram("orderer.block_fill_ratio").count(), 0u);
+  EXPECT_EQ(m.counter("validator.valid_total").value() > 0 ||
+                m.counter("validator.mvcc_conflicts").value() > 0,
+            true);
+
+  auto parsed = JsonValue::Parse(m.SnapshotJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+}
+
+TEST(TracedExperimentTest, TelemetryDoesNotPerturbTheSimulation) {
+  ExperimentConfig cfg = SmallExperiment();
+  auto off = RunExperiment(cfg);
+  cfg.enable_telemetry = true;
+  auto on = RunExperiment(cfg);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(on.ok());
+  // The traced run must be byte-identical in outcome: telemetry only
+  // observes, it never schedules events or changes timing.
+  EXPECT_EQ(off->report.Summary(), on->report.Summary());
+  EXPECT_EQ(off->ledger.NumBlocks(), on->ledger.NumBlocks());
+  EXPECT_DOUBLE_EQ(off->sim_end_time, on->sim_end_time);
+  EXPECT_EQ(off->telemetry, nullptr);
+  EXPECT_TRUE(off->report.stage_breakdown().empty());
+}
+
+TEST(TracedExperimentTest, NoSpanLeftOpenAtTheEnd) {
+  ExperimentConfig cfg = SmallExperiment();
+  cfg.enable_telemetry = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->telemetry->tracer().open_spans(), 0u);
+}
+
+}  // namespace
+}  // namespace blockoptr

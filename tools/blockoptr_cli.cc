@@ -91,7 +91,13 @@ int Usage() {
       "  --out-log=F.csv  export the blockchain log as CSV\n"
       "  --out-json=F     export the blockchain log as JSON\n"
       "  --out-xes=F      export the event log as XES (ProM/Disco)\n"
-      "  --out-dot=F      export the mined Petri net as Graphviz DOT\n");
+      "  --out-dot=F      export the mined Petri net as Graphviz DOT\n"
+      "\n"
+      "observability (enables per-stage tracing for the run):\n"
+      "  --trace-out=F      export Chrome trace-event JSON (open in\n"
+      "                     Perfetto / chrome://tracing)\n"
+      "  --trace-csv=F      export the span dump as CSV\n"
+      "  --metrics-out=F    export the metrics registry snapshot as JSON\n");
   return 2;
 }
 
@@ -210,6 +216,8 @@ int RunCommand(const CliArgs& args) {
     std::fprintf(stderr, "error: %s\n", cfg.status().ToString().c_str());
     return 1;
   }
+  cfg->enable_telemetry = args.Has("trace-out") || args.Has("trace-csv") ||
+                          args.Has("metrics-out");
 
   std::printf("running %zu transactions on %d orgs (policy %s)...\n",
               cfg->schedule.size(), cfg->network.num_orgs,
@@ -220,6 +228,10 @@ int RunCommand(const CliArgs& args) {
     return 1;
   }
   std::printf("%s\n\n", out->report.Summary().c_str());
+  if (out->telemetry) {
+    std::printf("per-stage latency breakdown (from lifecycle spans):\n%s\n",
+                out->report.StageBreakdownTable().c_str());
+  }
 
   BlockchainLog log = ExtractBlockchainLog(out->ledger);
   LogMetrics metrics = ComputeMetrics(log, MetricsOptions{});
@@ -233,6 +245,36 @@ int RunCommand(const CliArgs& args) {
   std::printf("%s\n", FormatRecommendationReport(metrics, recs).c_str());
 
   // ---- exports ---------------------------------------------------------
+  if (args.Has("trace-out")) {
+    std::ofstream f(args.Get("trace-out", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --trace-out\n");
+      return 1;
+    }
+    out->telemetry->tracer().WriteChromeTrace(f);
+    std::printf("wrote Chrome trace (open in Perfetto): %s\n",
+                args.Get("trace-out", "").c_str());
+  }
+  if (args.Has("trace-csv")) {
+    std::ofstream f(args.Get("trace-csv", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --trace-csv\n");
+      return 1;
+    }
+    out->telemetry->tracer().WriteCsv(f);
+    std::printf("wrote span CSV: %s\n", args.Get("trace-csv", "").c_str());
+  }
+  if (args.Has("metrics-out")) {
+    Status st =
+        WriteFileOrFail(args.Get("metrics-out", ""),
+                        out->telemetry->metrics().SnapshotJson().DumpPretty());
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot: %s\n",
+                args.Get("metrics-out", "").c_str());
+  }
   if (args.Has("out-log")) {
     std::ofstream f(args.Get("out-log", ""));
     if (!f) {

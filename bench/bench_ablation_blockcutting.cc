@@ -5,31 +5,42 @@
 // vs timeout-driven cutting with oversized counts (transactions queue in
 // the cutter, widening the MVCC window). The sweet spot sits near
 // B_count == Tr * B_timeout.
+//
+// Pass --jobs=N to run the sweep points on N threads (identical output).
 #include "bench_util.h"
 
 using namespace blockoptr;
 using namespace blockoptr::bench;
 
-int main() {
-  std::printf("== Ablation: block cutting (send rate 300 TPS, timeout 1s) "
-              "==\n\n");
+int main(int argc, char** argv) {
+  const int jobs = ParseJobsFlag(argc, argv);
+  std::printf("== Ablation: block cutting (send rate 300 TPS, timeout 1s, "
+              "jobs=%d) ==\n\n",
+              jobs);
   SyntheticConfig wl;
   wl.num_txs = kPaperTxCount;
 
-  PrintRowHeader();
-  for (uint32_t count : {25u, 50u, 100u, 200u, 300u, 500u, 1000u, 2000u}) {
+  const std::vector<uint32_t> counts = {25u,  50u,  100u,  200u,
+                                        300u, 500u, 1000u, 2000u};
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(counts.size());
+  for (uint32_t count : counts) {
     NetworkConfig net = NetworkConfig::Defaults();
     net.block_cutting.max_tx_count = count;
-    ExperimentConfig cfg = MakeSyntheticExperiment(wl, net);
-    auto out = RunExperiment(cfg);
-    if (!out.ok()) {
-      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+    configs.push_back(MakeSyntheticExperiment(wl, net));
+  }
+  const auto outputs = SweepRunner(SweepOptions{jobs}).Run(configs);
+
+  PrintRowHeader();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (!outputs[i].ok()) {
+      std::fprintf(stderr, "%s\n", outputs[i].status().ToString().c_str());
       return 1;
     }
-    PrintRow("block count " + std::to_string(count), out->report);
+    PrintRow("block count " + std::to_string(counts[i]), outputs[i]->report);
     std::printf("%-28s   blocks=%llu avg_size=%.1f\n", "",
-                static_cast<unsigned long long>(out->ledger.NumBlocks()),
-                out->ledger.AverageBlockSize());
+                static_cast<unsigned long long>(outputs[i]->ledger.NumBlocks()),
+                outputs[i]->ledger.AverageBlockSize());
   }
   std::printf("\ntimeout-driven regime kicks in once count > 300 (the rate "
               "x timeout product); tiny blocks saturate the orderer.\n");

@@ -4,6 +4,9 @@
 // BlockOptR recommendation), and where they struggle — the update-heavy /
 // range-read-heavy weaknesses reported for Fabric++ and the insert-heavy
 // weakness reported for FabricSharp [13].
+//
+// Pass --jobs=N to run the 15 workload x scheduler cells on N threads
+// (identical output).
 #include "bench_util.h"
 
 #include "blockopt/log/preprocess.h"
@@ -11,8 +14,22 @@
 using namespace blockoptr;
 using namespace blockoptr::bench;
 
-int main() {
-  std::printf("== Ablation: ordering-service reordering strategies ==\n\n");
+namespace {
+
+struct Cell {
+  std::string label;
+  PerformanceReport report;
+  uint64_t intra_block = 0;
+  uint64_t inter_block = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = ParseJobsFlag(argc, argv);
+  std::printf("== Ablation: ordering-service reordering strategies "
+              "(jobs=%d) ==\n\n",
+              jobs);
   const SyntheticWorkloadType types[] = {
       SyntheticWorkloadType::kUniform, SyntheticWorkloadType::kReadHeavy,
       SyntheticWorkloadType::kInsertHeavy,
@@ -20,33 +37,44 @@ int main() {
       SyntheticWorkloadType::kRangeReadHeavy};
   const char* schedulers[] = {"", "fabricpp", "fabricsharp"};
 
-  PrintRowHeader();
+  std::vector<std::function<Cell()>> tasks;
   for (auto type : types) {
-    SyntheticConfig wl;
-    wl.type = type;
-    wl.num_txs = kPaperTxCount;
     for (const char* scheduler : schedulers) {
-      ExperimentConfig cfg =
-          MakeSyntheticExperiment(wl, NetworkConfig::Defaults());
-      cfg.orderer_scheduler = scheduler;
-      auto out = RunExperiment(cfg);
-      if (!out.ok()) {
-        std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
-        return 1;
-      }
-      std::string label = std::string(SyntheticWorkloadTypeName(type)) +
-                          " [" + (*scheduler ? scheduler : "vanilla") + "]";
-      PrintRow(label, out->report);
-      // Intra- vs inter-block split: intra-block reordering can only fix
-      // the former (the corP insight of paper §4.3 metric 8).
-      auto metrics = ComputeMetrics(ExtractBlockchainLog(out->ledger), {});
-      std::printf("%-28s   intra-block=%llu inter-block=%llu\n", "",
-                  static_cast<unsigned long long>(
-                      metrics.intra_block_conflicts),
-                  static_cast<unsigned long long>(
-                      metrics.inter_block_conflicts));
+      tasks.emplace_back([type, scheduler]() {
+        SyntheticConfig wl;
+        wl.type = type;
+        wl.num_txs = kPaperTxCount;
+        ExperimentConfig cfg =
+            MakeSyntheticExperiment(wl, NetworkConfig::Defaults());
+        cfg.orderer_scheduler = scheduler;
+        auto out = RunExperiment(cfg);
+        if (!out.ok()) {
+          std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+          std::exit(1);
+        }
+        Cell cell;
+        cell.label = std::string(SyntheticWorkloadTypeName(type)) + " [" +
+                     (*scheduler ? scheduler : "vanilla") + "]";
+        cell.report = out->report;
+        // Intra- vs inter-block split: intra-block reordering can only fix
+        // the former (the corP insight of paper §4.3 metric 8).
+        auto metrics = ComputeMetrics(ExtractBlockchainLog(out->ledger), {});
+        cell.intra_block = metrics.intra_block_conflicts;
+        cell.inter_block = metrics.inter_block_conflicts;
+        return cell;
+      });
     }
-    std::printf("\n");
+  }
+  const auto cells = RunAll<Cell>(jobs, std::move(tasks));
+
+  PrintRowHeader();
+  size_t i = 0;
+  for (const auto& cell : cells) {
+    PrintRow(cell.label, cell.report);
+    std::printf("%-28s   intra-block=%llu inter-block=%llu\n", "",
+                static_cast<unsigned long long>(cell.intra_block),
+                static_cast<unsigned long long>(cell.inter_block));
+    if (++i % 3 == 0) std::printf("\n");
   }
   return 0;
 }

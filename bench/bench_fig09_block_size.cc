@@ -3,40 +3,72 @@
 // send rate 300) — setting the block count to the transaction rate
 // derived from the log. Paper shape: up to +93% throughput and +85%
 // success at block count 50.
+//
+// Pass --jobs=N to run the baseline and what-if runs on N threads
+// (identical output).
+#include <optional>
+
 #include "bench_experiments.h"
 
 using namespace blockoptr;
 using namespace blockoptr::bench;
 
-int main() {
-  std::printf("== Figure 9: block size adaptation ==\n\n");
+int main(int argc, char** argv) {
+  const int jobs = ParseJobsFlag(argc, argv);
+  std::printf("== Figure 9: block size adaptation (jobs=%d) ==\n\n", jobs);
+
+  // The figure's x-axis entries: the experiments with a block-size
+  // recommendation (9: block count 50; 8: key skew 2; 13/14: send
+  // rates whose derived rate diverges from the block size).
+  std::vector<SyntheticExperimentDef> defs;
   for (const auto& def : Table3Experiments(kPaperTxCount)) {
-    // The figure's x-axis entries: the experiments with a block-size
-    // recommendation (9: block count 50; 8: key skew 2; 13/14: send
-    // rates whose derived rate diverges from the block size).
-    if (def.number != 9 && def.number != 8 && def.number != 13 &&
-        def.number != 14) {
-      continue;
+    if (def.number == 8 || def.number == 9 || def.number == 13 ||
+        def.number == 14) {
+      defs.push_back(def);
     }
-    ExperimentConfig cfg = MakeSyntheticExperiment(def.workload, def.network);
-    AnalyzedRun baseline = RunAndAnalyze(cfg);
+  }
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(defs.size());
+  for (const auto& def : defs) {
+    configs.push_back(MakeSyntheticExperiment(def.workload, def.network));
+  }
+  const auto baselines = RunAndAnalyzeAll(configs, jobs);
+
+  // Second phase: the adapted re-runs (only where the rule fired), again
+  // fanned out over the worker threads.
+  std::vector<std::function<std::optional<PerformanceReport>()>> reruns;
+  for (size_t i = 0; i < defs.size(); ++i) {
+    reruns.emplace_back([&configs, &baselines, i]() {
+      std::optional<PerformanceReport> optimized;
+      if (FindRecommendation(baselines[i].recommendations,
+                             RecommendationType::kBlockSizeAdaptation)) {
+        optimized = RunWithOptimizations(
+            configs[i], baselines[i].recommendations,
+            {RecommendationType::kBlockSizeAdaptation});
+      }
+      return optimized;
+    });
+  }
+  const auto optimized =
+      RunAll<std::optional<PerformanceReport>>(jobs, std::move(reruns));
+
+  for (size_t i = 0; i < defs.size(); ++i) {
+    const auto& def = defs[i];
     const Recommendation* adapt = FindRecommendation(
-        baseline.recommendations, RecommendationType::kBlockSizeAdaptation);
+        baselines[i].recommendations,
+        RecommendationType::kBlockSizeAdaptation);
     std::printf("%s  (B_count=%u, Tr=%.0f tps, B_sizeavg=%.0f)\n",
                 def.label.c_str(), def.network.block_cutting.max_tx_count,
-                baseline.metrics.tr, baseline.metrics.b_sizeavg);
+                baselines[i].metrics.tr, baselines[i].metrics.b_sizeavg);
     if (adapt == nullptr) {
       std::printf("  block size adaptation not recommended here\n\n");
       continue;
     }
     std::printf("  suggested block count: %u\n", adapt->suggested_block_count);
-    PerformanceReport optimized =
-        RunWithOptimizations(cfg, baseline.recommendations,
-                             {RecommendationType::kBlockSizeAdaptation});
     PrintRowHeader();
-    PrintRow("  baseline", baseline.report);
-    PrintRow("  adapted", optimized);
-    PrintDelta("  delta", baseline.report, optimized);
+    PrintRow("  baseline", baselines[i].report);
+    PrintRow("  adapted", *optimized[i]);
+    PrintDelta("  delta", baselines[i].report, *optimized[i]);
     std::printf("\n");
   }
   std::printf("paper reference: up to +93%% throughput / +85%% success at "

@@ -2,27 +2,50 @@
 // it is recommended. The client send rate is capped at 100 TPS (Table 4).
 // Paper shape: up to -87% latency and +36% success (send rate 1000);
 // throughput intentionally drops toward the sustainable rate (§6 note).
+//
+// Pass --jobs=N to run the baseline and capped runs on N threads
+// (identical output).
+#include <optional>
+
 #include "bench_experiments.h"
 
 using namespace blockoptr;
 using namespace blockoptr::bench;
 
-int main() {
-  std::printf("== Figure 10: transaction rate control ==\n\n");
+int main(int argc, char** argv) {
+  const int jobs = ParseJobsFlag(argc, argv);
+  std::printf("== Figure 10: transaction rate control (jobs=%d) ==\n\n",
+              jobs);
+  const auto defs = Table3Experiments(kPaperTxCount);
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(defs.size());
+  for (const auto& def : defs) {
+    configs.push_back(MakeSyntheticExperiment(def.workload, def.network));
+  }
+  const auto baselines = RunAndAnalyzeAll(configs, jobs);
+
+  std::vector<std::function<std::optional<PerformanceReport>()>> reruns;
+  for (size_t i = 0; i < defs.size(); ++i) {
+    reruns.emplace_back([&configs, &baselines, i]() {
+      std::optional<PerformanceReport> capped;
+      if (HasRecommendation(baselines[i].recommendations,
+                            RecommendationType::kTransactionRateControl)) {
+        capped = RunWithOptimizations(
+            configs[i], baselines[i].recommendations,
+            {RecommendationType::kTransactionRateControl});
+      }
+      return capped;
+    });
+  }
+  const auto capped =
+      RunAll<std::optional<PerformanceReport>>(jobs, std::move(reruns));
+
   PrintRowHeader();
-  for (const auto& def : Table3Experiments(kPaperTxCount)) {
-    ExperimentConfig cfg = MakeSyntheticExperiment(def.workload, def.network);
-    AnalyzedRun baseline = RunAndAnalyze(cfg);
-    if (!HasRecommendation(baseline.recommendations,
-                           RecommendationType::kTransactionRateControl)) {
-      continue;
-    }
-    PerformanceReport optimized =
-        RunWithOptimizations(cfg, baseline.recommendations,
-                             {RecommendationType::kTransactionRateControl});
-    PrintRow(def.label + " [base]", baseline.report);
-    PrintRow(def.label + " [100tps]", optimized);
-    PrintDelta(def.label, baseline.report, optimized);
+  for (size_t i = 0; i < defs.size(); ++i) {
+    if (!capped[i].has_value()) continue;
+    PrintRow(defs[i].label + " [base]", baselines[i].report);
+    PrintRow(defs[i].label + " [100tps]", *capped[i]);
+    PrintDelta(defs[i].label, baselines[i].report, *capped[i]);
   }
   std::printf("\npaper reference: up to -87%% latency / +36%% success; "
               "throughput moves toward the sustainable rate.\n");

@@ -1,23 +1,35 @@
 // Reproduces Table 3: the recommendations BlockOptR emits for each of the
 // 15 synthetic experiments. Compare the rightmost column against the
 // paper's "Optimizations recommended" column (see EXPERIMENTS.md).
+//
+// Pass --jobs=N to run the 15 experiments on N threads (0 = all cores);
+// the rows are identical for every N (driver/sweep.h determinism
+// contract), only the wall-clock changes.
 #include "bench_experiments.h"
 
 using namespace blockoptr;
 using namespace blockoptr::bench;
 
-int main() {
-  std::printf("== Table 3: synthetic experiments -> recommendations ==\n\n");
+int main(int argc, char** argv) {
+  const int jobs = ParseJobsFlag(argc, argv);
+  std::printf("== Table 3: synthetic experiments -> recommendations "
+              "(jobs=%d) ==\n\n",
+              jobs);
   std::printf("%-4s %-28s %-9s %s\n", "#", "control variable", "success",
               "recommendations");
   std::printf("%-4s %-28s %-9s %s\n", "--", "----------------", "-------",
               "---------------");
-  for (const auto& def : Table3Experiments(kPaperTxCount)) {
-    ExperimentConfig cfg = MakeSyntheticExperiment(def.workload, def.network);
-    AnalyzedRun run = RunAndAnalyze(cfg);
-    std::printf("%-4d %-28s %7.1f%%  %s\n", def.number, def.label.c_str(),
-                100 * run.report.SuccessRate(),
-                RecommendationNames(run.recommendations).c_str());
+  const auto defs = Table3Experiments(kPaperTxCount);
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(defs.size());
+  for (const auto& def : defs) {
+    configs.push_back(MakeSyntheticExperiment(def.workload, def.network));
+  }
+  const auto runs = RunAndAnalyzeAll(configs, jobs);
+  for (size_t i = 0; i < defs.size(); ++i) {
+    std::printf("%-4d %-28s %7.1f%%  %s\n", defs[i].number,
+                defs[i].label.c_str(), 100 * runs[i].report.SuccessRate(),
+                RecommendationNames(runs[i].recommendations).c_str());
   }
   std::printf(
       "\npaper reference (Table 3): 1 Endorser restructuring+Reordering; "

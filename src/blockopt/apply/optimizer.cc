@@ -1,6 +1,9 @@
 #include "blockopt/apply/optimizer.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "driver/sweep.h"
 
 namespace blockoptr {
 
@@ -172,6 +175,39 @@ Result<ExperimentConfig> ApplyOptimizations(
     }
   }
   return config;
+}
+
+Result<WhatIfReport> EvaluateWhatIf(const ExperimentConfig& base,
+                                    const std::vector<Recommendation>& recs,
+                                    const WhatIfOptions& options) {
+  // Materialize every optimized configuration up front (cheap, and any
+  // invalid recommendation fails before a single run starts), then hand
+  // the batch to the sweep engine: one config per single-recommendation
+  // run plus the all-recommendations config last.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(recs.size() + 1);
+  for (const auto& rec : recs) {
+    BLOCKOPTR_ASSIGN_OR_RETURN(
+        auto cfg, ApplyOptimizations(base, {rec}, options.apply));
+    configs.push_back(std::move(cfg));
+  }
+  BLOCKOPTR_ASSIGN_OR_RETURN(auto combined_cfg,
+                             ApplyOptimizations(base, recs, options.apply));
+  configs.push_back(std::move(combined_cfg));
+
+  SweepRunner runner(SweepOptions{options.jobs});
+  auto outputs = runner.Run(configs);
+
+  WhatIfReport report;
+  report.individual.reserve(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (!outputs[i].ok()) return outputs[i].status();
+    report.individual.push_back(
+        WhatIfEntry{recs[i], std::move(outputs[i]->report)});
+  }
+  if (!outputs.back().ok()) return outputs.back().status();
+  report.combined = std::move(outputs.back()->report);
+  return report;
 }
 
 }  // namespace blockoptr

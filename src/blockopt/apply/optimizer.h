@@ -57,6 +57,38 @@ Result<ExperimentConfig> ApplyOptimizations(
     const ExperimentConfig& base, const std::vector<Recommendation>& recs,
     const ApplySettings& settings = ApplySettings());
 
+/// One what-if re-run: the performance the base experiment reaches with
+/// only this recommendation applied (a per-optimization bar of the
+/// paper's Figures 7-11).
+struct WhatIfEntry {
+  Recommendation recommendation;
+  PerformanceReport report;
+};
+
+/// The full what-if evaluation of a recommendation set.
+struct WhatIfReport {
+  /// One entry per input recommendation, in input order.
+  std::vector<WhatIfEntry> individual;
+  /// All recommendations applied at once (the paper's "combined" bar).
+  PerformanceReport combined;
+};
+
+struct WhatIfOptions {
+  ApplySettings apply;
+  /// Worker threads for the re-runs (SweepOptions::jobs convention:
+  /// 1 = serial, <= 0 = all hardware threads). The re-runs are fully
+  /// independent experiments, so results are identical for any value.
+  int jobs = 1;
+};
+
+/// Re-runs `base` once per recommendation (each applied alone) plus once
+/// with all of them, distributing the runs over `options.jobs` threads.
+/// Deterministic: the report for each entry is byte-identical to a serial
+/// ApplyOptimizations + RunExperiment of that subset.
+Result<WhatIfReport> EvaluateWhatIf(
+    const ExperimentConfig& base, const std::vector<Recommendation>& recs,
+    const WhatIfOptions& options = WhatIfOptions());
+
 }  // namespace blockoptr
 
 #endif  // BLOCKOPTR_BLOCKOPT_APPLY_OPTIMIZER_H_

@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace blockoptr {
+
+namespace {
+
+/// The pool whose worker is currently executing on this thread, if any.
+/// Used only to reject nested submission into the *same* pool.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
+
+int ThreadPool::ResolveThreads(int jobs) {
+  if (jobs > 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = ResolveThreads(threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::CheckNotWorker() const {
+  if (current_worker_pool == this) {
+    throw std::logic_error(
+        "ThreadPool: nested Submit from a worker of the same pool is not "
+        "supported (it can deadlock once all workers block on futures)");
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int threads = ThreadPool::ResolveThreads(jobs);
+  if (threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(std::min(static_cast<size_t>(threads), n)));
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::future<void>> done;
+  done.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    done.push_back(pool.Submit([&fn, &errors, i]() {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace blockoptr

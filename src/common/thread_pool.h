@@ -1,0 +1,117 @@
+#ifndef BLOCKOPTR_COMMON_THREAD_POOL_H_
+#define BLOCKOPTR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace blockoptr {
+
+/// A fixed-size, work-stealing-free thread pool: one shared FIFO task
+/// queue drained by N worker threads. Built for the experiment engine's
+/// workload shape — dozens of coarse, independent, seconds-long simulation
+/// runs — where a shared queue is contention-free in practice and keeps
+/// the completion semantics trivial to reason about.
+///
+/// Nested submission (calling Submit from inside a pool task) is
+/// *rejected* with std::logic_error rather than supported: a task waiting
+/// on a future of the same pool can deadlock once all workers block, and
+/// no caller in this codebase needs it. Spawning a *separate* pool inside
+/// a task is allowed (the guard is per-pool).
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins the workers after draining all queued tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Maps the `jobs` convention used across the engine to a thread count:
+  /// jobs > 0 is taken literally, jobs <= 0 means "all hardware threads".
+  static int ResolveThreads(int jobs);
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by the task are captured and rethrown by future::get(). Throws
+  /// std::logic_error when called from one of this pool's own workers
+  /// (see class comment).
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    CheckNotWorker();
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void WorkerLoop();
+  /// Throws std::logic_error if the calling thread is one of our workers.
+  void CheckNotWorker() const;
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs fn(0) ... fn(n-1), distributing indices over up to `jobs` worker
+/// threads (ThreadPool::ResolveThreads convention). With jobs == 1 or
+/// n <= 1 everything runs inline on the calling thread — the serial mode
+/// shares no code with threading at all, which is what the determinism
+/// harness compares against. If tasks throw, every task still runs and
+/// the exception of the *lowest* index is rethrown, so the error a caller
+/// observes does not depend on thread timing.
+void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& fn);
+
+/// Runs every task and returns their results *in submission order*,
+/// regardless of completion order. Same jobs convention, inline fast path,
+/// and lowest-index-first exception semantics as ParallelFor.
+template <typename T>
+std::vector<T> RunAll(int jobs, std::vector<std::function<T()>> tasks) {
+  std::vector<T> results;
+  results.reserve(tasks.size());
+  const int threads = ThreadPool::ResolveThreads(jobs);
+  if (threads <= 1 || tasks.size() <= 1) {
+    for (auto& task : tasks) results.push_back(task());
+    return results;
+  }
+  std::vector<std::optional<T>> slots(tasks.size());
+  std::vector<std::exception_ptr> errors(tasks.size());
+  ParallelFor(threads, tasks.size(), [&](size_t i) {
+    try {
+      slots[i].emplace(tasks[i]());
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,97 @@
+#include "driver/presets.h"
+
+#include <utility>
+
+namespace blockoptr {
+
+ExperimentConfig MakeSyntheticExperiment(const SyntheticConfig& workload,
+                                         const NetworkConfig& network) {
+  ExperimentConfig cfg;
+  cfg.network = network;
+  cfg.chaincodes = {"genchain"};
+  for (auto& [k, v] : SyntheticSeedState(workload)) {
+    cfg.seeds.push_back(SeedEntry{"genchain", k, v});
+  }
+  cfg.schedule = GenerateSynthetic(workload);
+  return cfg;
+}
+
+std::vector<SyntheticExperimentDef> Table3Experiments(int num_txs) {
+  SyntheticConfig wl;
+  wl.num_txs = num_txs;
+  NetworkConfig net = NetworkConfig::Defaults();
+
+  std::vector<SyntheticExperimentDef> defs;
+  auto add = [&](int number, std::string label, SyntheticConfig w,
+                 NetworkConfig n) {
+    defs.push_back({number, std::move(label), std::move(w), std::move(n)});
+  };
+
+  {  // 1: endorsement policy P1 (4 orgs).
+    NetworkConfig n = net;
+    n.num_orgs = 4;
+    n.endorsement_policy = EndorsementPolicy::Preset(1, 4);
+    SyntheticConfig w = wl;
+    w.num_orgs = 4;
+    add(1, "Endorsement policy P1", w, n);
+  }
+  {  // 2: policy P2 + endorser distribution skew 6.
+    NetworkConfig n = net;
+    n.num_orgs = 4;
+    n.endorsement_policy = EndorsementPolicy::Preset(2, 4);
+    n.endorser_dist_skew = 6;
+    SyntheticConfig w = wl;
+    w.num_orgs = 4;
+    add(2, "Policy P2 / skew 6", w, n);
+  }
+  {  // 3: four organizations.
+    NetworkConfig n = net;
+    n.num_orgs = 4;
+    n.endorsement_policy = EndorsementPolicy::Preset(3, 4);
+    SyntheticConfig w = wl;
+    w.num_orgs = 4;
+    add(3, "No. of orgs 4", w, n);
+  }
+  {  // 4-7: workload types.
+    SyntheticConfig w = wl;
+    w.type = SyntheticWorkloadType::kReadHeavy;
+    add(4, "Workload Read-heavy", w, net);
+    w.type = SyntheticWorkloadType::kUpdateHeavy;
+    add(5, "Workload Update-heavy", w, net);
+    w.type = SyntheticWorkloadType::kInsertHeavy;
+    add(6, "Workload Insert-heavy", w, net);
+    w.type = SyntheticWorkloadType::kRangeReadHeavy;
+    add(7, "Workload RangeRead-heavy", w, net);
+  }
+  {  // 8: key distribution skew 2.
+    SyntheticConfig w = wl;
+    w.key_skew = 2;
+    add(8, "Key distribution skew 2", w, net);
+  }
+  {  // 9-11: block count.
+    NetworkConfig n = net;
+    n.block_cutting.max_tx_count = 50;
+    add(9, "Block count 50", wl, n);
+    n.block_cutting.max_tx_count = 300;
+    add(10, "Block count 300", wl, n);
+    n.block_cutting.max_tx_count = 1000;
+    add(11, "Block count 1000", wl, n);
+  }
+  {  // 12-14: send rate.
+    SyntheticConfig w = wl;
+    w.send_rate = 50;
+    add(12, "Send rate 50", w, net);
+    w.send_rate = 300;
+    add(13, "Send rate 300", w, net);
+    w.send_rate = 1000;
+    add(14, "Send rate 1000", w, net);
+  }
+  {  // 15: transaction distribution skew 70%.
+    SyntheticConfig w = wl;
+    w.tx_dist_skew = 0.7;
+    add(15, "Tx distribution skew 70%", w, net);
+  }
+  return defs;
+}
+
+}  // namespace blockoptr

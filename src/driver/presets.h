@@ -1,0 +1,40 @@
+#ifndef BLOCKOPTR_DRIVER_PRESETS_H_
+#define BLOCKOPTR_DRIVER_PRESETS_H_
+
+// Shared experiment definitions: the paper's Table 3 synthetic experiment
+// set and the helper that turns a synthetic workload + network into a
+// runnable ExperimentConfig. Lives in the library (not the bench tree) so
+// the figure benches, the CLI `sweep` mode, and the determinism-equivalence
+// tests all iterate over the *same* configurations.
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "workload/synthetic.h"
+
+namespace blockoptr {
+
+/// One Table 3 experiment: the Table 2 defaults with exactly one control
+/// variable changed.
+struct SyntheticExperimentDef {
+  int number;
+  std::string label;
+  SyntheticConfig workload;
+  NetworkConfig network;
+};
+
+/// The 15 synthetic experiments of the paper's Table 3, scaled to
+/// `num_txs` transactions each. Every experiment starts from the Table 2
+/// defaults (Uniform workload, P3 endorsement, 2 orgs, block count 300,
+/// send rate 300, no skews) and varies exactly one control variable.
+std::vector<SyntheticExperimentDef> Table3Experiments(int num_txs);
+
+/// Builds the runnable experiment for a synthetic workload: installs
+/// genchain, seeds its state, and generates the schedule.
+ExperimentConfig MakeSyntheticExperiment(const SyntheticConfig& workload,
+                                         const NetworkConfig& network);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_PRESETS_H_

@@ -1,0 +1,26 @@
+#include "driver/sweep.h"
+
+#include <functional>
+#include <utility>
+
+#include "chaincode/chaincode.h"
+#include "common/thread_pool.h"
+
+namespace blockoptr {
+
+std::vector<Result<ExperimentOutput>> SweepRunner::Run(
+    const std::vector<ExperimentConfig>& configs) const {
+  // Warm the lazily-initialized process-wide tables on this thread so
+  // workers only ever read them (magic-static init is thread-safe, but
+  // doing it up front keeps the first parallel run off that path).
+  (void)ChaincodeRegistry::Global();
+
+  std::vector<std::function<Result<ExperimentOutput>()>> tasks;
+  tasks.reserve(configs.size());
+  for (const auto& config : configs) {
+    tasks.emplace_back([&config]() { return RunExperiment(config); });
+  }
+  return RunAll<Result<ExperimentOutput>>(options_.jobs, std::move(tasks));
+}
+
+}  // namespace blockoptr

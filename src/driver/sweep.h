@@ -1,0 +1,51 @@
+#ifndef BLOCKOPTR_DRIVER_SWEEP_H_
+#define BLOCKOPTR_DRIVER_SWEEP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "driver/experiment.h"
+
+namespace blockoptr {
+
+/// Options for a parallel experiment sweep.
+struct SweepOptions {
+  /// Worker threads. 1 (the default) runs every experiment inline on the
+  /// calling thread — byte-identical to a hand-written serial loop. Values
+  /// > 1 run experiments concurrently; <= 0 uses all hardware threads.
+  int jobs = 1;
+};
+
+/// Runs batches of independent experiments, optionally in parallel.
+///
+/// Determinism contract: every experiment run owns *all* of its mutable
+/// state — simulator, RNG streams, network, ledger, and (when enabled)
+/// telemetry are constructed inside RunExperiment per run, and nothing is
+/// shared between concurrent runs except immutable process-wide tables
+/// (the chaincode registry and contract-variant maps, which are warmed
+/// before workers start and only read afterwards). Results are gathered
+/// in submission order. Consequence: the result vector is field-for-field
+/// identical for any `jobs` value, and across repeated runs — simulation
+/// outputs depend only on each config, never on thread scheduling.
+/// This is enforced by tests/sweep_test.cc.
+///
+/// Callers must not mutate ChaincodeRegistry::Global() while a sweep is
+/// in flight.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = SweepOptions())
+      : options_(options) {}
+
+  /// Runs every config to completion; result i corresponds to configs[i].
+  std::vector<Result<ExperimentOutput>> Run(
+      const std::vector<ExperimentConfig>& configs) const;
+
+  int jobs() const { return options_.jobs; }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_SWEEP_H_

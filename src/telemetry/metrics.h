@@ -66,6 +66,13 @@ class Histogram {
 /// register/look up metrics by dotted name (`orderer.block_fill_ratio`);
 /// repeated lookups return the same instance, so hot paths can cache the
 /// reference.
+///
+/// Thread-safety contract: a registry is *single-threaded by design* — it
+/// holds no locks and no static mutable state. The parallel experiment
+/// engine (driver/sweep.h) relies on exactly this: each concurrent run
+/// instantiates its own registry (inside its own Telemetry), so distinct
+/// instances may be used from distinct threads freely, while one instance
+/// must never be shared across threads.
 class MetricsRegistry {
  public:
   Counter& counter(const std::string& name);

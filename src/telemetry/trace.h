@@ -44,6 +44,11 @@ struct Span {
 /// `SimTime`. Ground truth the blockchain-log analysis can be validated
 /// against: the ledger only sees client/commit timestamps, the trace sees
 /// every stage in between.
+///
+/// Thread-safety contract: like MetricsRegistry, a recorder is
+/// single-threaded by design (no locks, no static mutable state; span ids
+/// are per-instance). Concurrent experiment runs each own a private
+/// recorder via their per-run Telemetry — see driver/sweep.h.
 class TraceRecorder {
  public:
   /// `sim` must outlive the recorder's Begin/End/RecordInstant calls

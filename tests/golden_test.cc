@@ -1,0 +1,130 @@
+// Golden-file regression test for the Table 3 recommendation output.
+//
+// The paper's headline artifact is the mapping "experiment -> which of the
+// nine optimizations BlockOptR recommends" (Table 3). This test renders
+// that mapping (plus the key numeric parameters of each recommendation)
+// for the full experiment set and compares it line-for-line against
+// tests/golden/table3_recommendations.txt. Any change to the simulator,
+// the metrics pipeline, or the detection rules that shifts a
+// recommendation shows up as a readable diff here.
+//
+// To regenerate after an intentional change:
+//   BLOCKOPTR_REGEN_GOLDEN=1 ./build/tests/golden_test
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blockopt/log/preprocess.h"
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/recommend/report.h"
+#include "driver/presets.h"
+#include "driver/sweep.h"
+
+namespace blockoptr {
+namespace {
+
+// Matches the determinism tests: small enough to run fast, large enough
+// that every failure-driven rule can fire.
+constexpr int kTxsPerExperiment = 300;
+
+std::string GoldenPath() {
+  return std::string(BLOCKOPTR_TEST_DATA_DIR) +
+         "/golden/table3_recommendations.txt";
+}
+
+std::string FormatRecommendationLine(const Recommendation& rec) {
+  std::ostringstream os;
+  os << "  - " << RecommendationNames({rec});
+  if (rec.suggested_block_count > 0) {
+    os << " block_count=" << rec.suggested_block_count;
+  }
+  if (rec.suggested_rate_tps > 0) {
+    os << " rate_tps=" << rec.suggested_rate_tps;
+  }
+  if (!rec.orgs.empty()) {
+    os << " orgs=";
+    for (size_t i = 0; i < rec.orgs.size(); ++i) {
+      os << (i ? "," : "") << rec.orgs[i];
+    }
+  }
+  if (!rec.activities.empty()) {
+    os << " activities=" << rec.activities.size();
+  }
+  if (!rec.keys.empty()) {
+    os << " keys=" << rec.keys.size();
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string RenderTable3Recommendations() {
+  std::ostringstream os;
+  os << "# Golden Table 3 recommendations (" << kTxsPerExperiment
+     << " txs per experiment).\n"
+     << "# Regenerate: BLOCKOPTR_REGEN_GOLDEN=1 ./build/tests/golden_test\n";
+  const auto defs = Table3Experiments(kTxsPerExperiment);
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(defs.size());
+  for (const auto& def : defs) {
+    configs.push_back(MakeSyntheticExperiment(def.workload, def.network));
+  }
+  auto outputs = SweepRunner(SweepOptions{1}).Run(configs);
+  for (size_t i = 0; i < defs.size(); ++i) {
+    EXPECT_TRUE(outputs[i].ok()) << outputs[i].status();
+    if (!outputs[i].ok()) continue;
+    const auto recs = RecommendFromLog(
+        ExtractBlockchainLog(outputs[i]->ledger), RecommenderOptions{});
+    os << "#" << defs[i].number << " " << defs[i].label << "\n";
+    if (recs.empty()) {
+      os << "  - (none)\n";
+    } else {
+      for (const auto& rec : recs) os << FormatRecommendationLine(rec);
+    }
+  }
+  return os.str();
+}
+
+TEST(GoldenTest, Table3RecommendationsMatchGoldenFile) {
+  const std::string actual = RenderTable3Recommendations();
+  const std::string path = GoldenPath();
+
+  if (std::getenv("BLOCKOPTR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with BLOCKOPTR_REGEN_GOLDEN=1 ./build/tests/golden_test";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  if (expected != actual) {
+    // Line-by-line diff keeps the failure actionable.
+    std::istringstream ea(expected), aa(actual);
+    std::string el, al;
+    int line = 0;
+    while (true) {
+      const bool have_e = static_cast<bool>(std::getline(ea, el));
+      const bool have_a = static_cast<bool>(std::getline(aa, al));
+      ++line;
+      if (!have_e && !have_a) break;
+      EXPECT_EQ(have_e ? el : "<eof>", have_a ? al : "<eof>")
+          << "golden mismatch at line " << line;
+    }
+    FAIL() << "recommendations diverged from " << path
+           << " — if intentional, regenerate with BLOCKOPTR_REGEN_GOLDEN=1";
+  }
+}
+
+}  // namespace
+}  // namespace blockoptr

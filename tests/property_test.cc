@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "blockopt/log/preprocess.h"
@@ -10,6 +11,8 @@
 #include "driver/experiment.h"
 #include "fabric/endorsement_policy.h"
 #include "reorder/conflict_graph.h"
+#include "sim/service_station.h"
+#include "sim/simulator.h"
 #include "workload/synthetic.h"
 
 namespace blockoptr {
@@ -245,6 +248,107 @@ TEST(ConflictGraphProperty, SerializableOrderRespectsPrecedence) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// ServiceStation queueing invariants
+// ---------------------------------------------------------------------------
+
+TEST(ServiceStationInvariants, FifoCompletionOrderUnderEqualServiceTimes) {
+  // With equal service times, a FIFO station must complete jobs in
+  // submission order regardless of the number of servers.
+  for (int servers : {1, 2, 3}) {
+    Simulator sim;
+    ServiceStation station(&sim, "peer", servers);
+    std::vector<int> completion_order;
+    const int n = 12;
+    for (int i = 0; i < n; ++i) {
+      station.Submit(2.5, [&completion_order, i]() {
+        completion_order.push_back(i);
+      });
+    }
+    sim.Run();
+    ASSERT_EQ(completion_order.size(), static_cast<size_t>(n))
+        << "servers=" << servers;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(completion_order[static_cast<size_t>(i)], i)
+          << "servers=" << servers;
+    }
+    EXPECT_EQ(station.jobs_completed(), static_cast<uint64_t>(n));
+  }
+}
+
+TEST(ServiceStationInvariants, BusyTimeEqualsSumOfServiceTimes) {
+  // busy_time() is a conservation quantity: queueing delays change when
+  // work happens, never how much of it there is.
+  Rng rng(7);
+  Simulator sim;
+  ServiceStation station(&sim, "endorser", 2);
+  double expected = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double service = 0.001 + rng.NextDouble() * 0.5;
+    expected += service;
+    station.Submit(service, []() {});
+  }
+  sim.Run();
+  EXPECT_DOUBLE_EQ(station.busy_time(), expected);
+  EXPECT_EQ(station.jobs_completed(), 50u);
+}
+
+TEST(ServiceStationInvariants, CurrentDelayIsZeroWhenIdle) {
+  Simulator sim;
+  ServiceStation station(&sim, "orderer", 1);
+  EXPECT_EQ(station.CurrentDelay(), 0.0);  // nothing ever submitted
+
+  station.Submit(4.0, []() {});
+  station.Submit(4.0, []() {});
+  EXPECT_GT(station.CurrentDelay(), 0.0);  // backlogged now
+
+  sim.Run();  // drain; Now() advances past the last completion
+  EXPECT_EQ(station.CurrentDelay(), 0.0);
+}
+
+TEST(ServiceStationInvariants, GrowMidStreamOnlyAffectsLaterSubmissions) {
+  // One server, two 10s jobs at t=0 (A done at 10, B at 20). At t=5 the
+  // station grows to two servers and receives C (10s): the new server is
+  // free immediately, so C completes at 15 — while A and B keep their
+  // original schedule.
+  Simulator sim;
+  ServiceStation station(&sim, "client", 1);
+  std::map<std::string, SimTime> done_at;
+  station.Submit(10.0, [&]() { done_at["A"] = sim.Now(); });
+  station.Submit(10.0, [&]() { done_at["B"] = sim.Now(); });
+  sim.ScheduleAt(5.0, [&]() {
+    station.set_servers(2);
+    station.Submit(10.0, [&]() { done_at["C"] = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done_at.at("A"), 10.0);
+  EXPECT_DOUBLE_EQ(done_at.at("B"), 20.0);
+  EXPECT_DOUBLE_EQ(done_at.at("C"), 15.0);
+}
+
+TEST(ServiceStationInvariants, ShrinkMidStreamOnlyAffectsLaterSubmissions) {
+  // Three servers take three 10s jobs at t=0 (all done at 10). At t=1 the
+  // station shrinks to one server; a fourth job must wait for the one
+  // remaining server (free at 10) instead of running immediately — and
+  // the in-flight jobs still complete on their original schedule.
+  Simulator sim;
+  ServiceStation station(&sim, "peer", 3);
+  std::vector<SimTime> first_three;
+  for (int i = 0; i < 3; ++i) {
+    station.Submit(10.0, [&]() { first_three.push_back(sim.Now()); });
+  }
+  SimTime d_done = -1;
+  sim.ScheduleAt(1.0, [&]() {
+    station.set_servers(1);
+    EXPECT_EQ(station.servers(), 1);
+    station.Submit(10.0, [&]() { d_done = sim.Now(); });
+  });
+  sim.Run();
+  ASSERT_EQ(first_three.size(), 3u);
+  for (SimTime t : first_three) EXPECT_DOUBLE_EQ(t, 10.0);
+  EXPECT_DOUBLE_EQ(d_done, 20.0);
 }
 
 }  // namespace

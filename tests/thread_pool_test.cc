@@ -1,0 +1,204 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace blockoptr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool::Submit
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndReturnsValue) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  auto fut = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesTaskException) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([]() -> int {
+    throw std::runtime_error("boom in task");
+  });
+  EXPECT_THROW(
+      {
+        try {
+          fut.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom in task");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreadsNotCaller) {
+  ThreadPool pool(1);
+  auto fut = pool.Submit([]() { return std::this_thread::get_id(); });
+  EXPECT_NE(fut.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, NestedSubmissionIntoSamePoolIsRejected) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([&pool]() {
+    // Submitting into the pool we are running on must throw (deadlock
+    // guard); the logic_error propagates through our future.
+    pool.Submit([]() {});
+  });
+  EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPoolTest, SubmitIntoADifferentPoolFromATaskIsAllowed) {
+  ThreadPool outer(1);
+  auto fut = outer.Submit([]() {
+    ThreadPool inner(1);
+    return inner.Submit([]() { return 7; }).get();
+  });
+  EXPECT_EQ(fut.get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool joins after the queue is drained
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsConvention) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(4), 4);
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);   // hardware concurrency
+  EXPECT_GE(ThreadPool::ResolveThreads(-3), 1);  // negative = hardware too
+}
+
+// ---------------------------------------------------------------------------
+// ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(4, hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroTasksIsANoOp) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, OneJobRunsInlineOnTheCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  ParallelFor(1, seen.size(),
+              [&seen](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForTest, SingleTaskRunsInlineEvenWithManyJobs) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  ParallelFor(8, 1, [&seen](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, LowestIndexExceptionWinsDeterministically) {
+  // Indices 3 and 7 throw; every other index must still run, and the
+  // rethrown error must be index 3's regardless of thread timing.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::vector<std::atomic<int>> hits(10);
+    try {
+      ParallelFor(4, hits.size(), [&hits](size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 7) throw std::runtime_error("err-7");
+        if (i == 3) throw std::runtime_error("err-3");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "err-3");
+    }
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RunAll
+// ---------------------------------------------------------------------------
+
+TEST(RunAllTest, ResultsComeBackInSubmissionOrderDespiteSkewedDurations) {
+  // Early tasks sleep longest, so completion order is roughly reversed —
+  // the gathered results must still be in submission order.
+  std::vector<std::function<int()>> tasks;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    tasks.emplace_back([i]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds((n - i) * 5));
+      return i;
+    });
+  }
+  auto results = RunAll<int>(4, std::move(tasks));
+  ASSERT_EQ(results.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(results[i], i);
+}
+
+TEST(RunAllTest, EmptyTaskListYieldsEmptyResults) {
+  EXPECT_TRUE(RunAll<int>(4, {}).empty());
+}
+
+TEST(RunAllTest, MoveOnlyishResultsAreSupported) {
+  std::vector<std::function<std::unique_ptr<int>()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.emplace_back([i]() { return std::make_unique<int>(i); });
+  }
+  auto results = RunAll<std::unique_ptr<int>>(2, std::move(tasks));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(*results[i], i);
+}
+
+TEST(RunAllTest, PropagatesLowestIndexException) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.emplace_back([i]() -> int {
+      if (i == 1) throw std::runtime_error("first");
+      if (i == 4) throw std::runtime_error("later");
+      return i;
+    });
+  }
+  try {
+    RunAll<int>(3, std::move(tasks));
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(RunAllTest, SerialAndParallelProduceIdenticalResults) {
+  auto make_tasks = []() {
+    std::vector<std::function<uint64_t()>> tasks;
+    for (uint64_t i = 0; i < 12; ++i) {
+      tasks.emplace_back([i]() {
+        uint64_t acc = i;
+        for (int k = 0; k < 1000; ++k) acc = acc * 6364136223846793005ULL + 1;
+        return acc;
+      });
+    }
+    return tasks;
+  };
+  auto serial = RunAll<uint64_t>(1, make_tasks());
+  auto parallel = RunAll<uint64_t>(4, make_tasks());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -8,15 +8,18 @@
 //
 // Examples:
 //   blockoptr run --workload=synthetic --type=rangeread --rate=300
-//   blockoptr run --workload=drm --apply
+//   blockoptr run --workload=drm --apply --jobs=4
 //   blockoptr run --workload=lap --rate=10 --out-xes=lap.xes --mine
 //   blockoptr run --workload=synthetic --orgs=4 --policy=P1 --autotune
+//   blockoptr sweep --set=table3 --jobs=0
+//   blockoptr sweep --block-counts=50,300,1000 --jobs=4
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "blockopt/apply/optimizer.h"
 #include "blockopt/eventlog/event_log.h"
@@ -27,7 +30,11 @@
 #include "blockopt/recommend/autotune.h"
 #include "blockopt/recommend/recommender.h"
 #include "blockopt/recommend/report.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "driver/experiment.h"
+#include "driver/presets.h"
+#include "driver/sweep.h"
 #include "mining/alpha_miner.h"
 #include "mining/conformance.h"
 #include "mining/dot_export.h"
@@ -64,6 +71,7 @@ struct CliArgs {
 int Usage() {
   std::printf(
       "usage: blockoptr run [options]\n"
+      "       blockoptr sweep [options]\n"
       "\n"
       "workload selection:\n"
       "  --workload=synthetic|scm|drm|ehr|dv|lap|csv  (default synthetic)\n"
@@ -86,7 +94,11 @@ int Usage() {
       "\n"
       "analysis / actions:\n"
       "  --autotune       derive thresholds from the log (vs paper defaults)\n"
-      "  --apply          apply the recommendations and re-run\n"
+      "  --apply          apply the recommendations and re-run: one what-if\n"
+      "                   run per recommendation plus the combined run\n"
+      "  --jobs=N         worker threads for sweep / what-if re-runs\n"
+      "                   (default 1 = serial, 0 = all cores; results are\n"
+      "                   identical for every N)\n"
       "  --mine           mine the process model (Alpha) and report fitness\n"
       "  --out-log=F.csv  export the blockchain log as CSV\n"
       "  --out-json=F     export the blockchain log as JSON\n"
@@ -97,7 +109,14 @@ int Usage() {
       "  --trace-out=F      export Chrome trace-event JSON (open in\n"
       "                     Perfetto / chrome://tracing)\n"
       "  --trace-csv=F      export the span dump as CSV\n"
-      "  --metrics-out=F    export the metrics registry snapshot as JSON\n");
+      "  --metrics-out=F    export the metrics registry snapshot as JSON\n"
+      "\n"
+      "sweep mode (runs a batch of experiments, optionally in parallel):\n"
+      "  --set=table3       the paper's 15 Table 3 experiments (default)\n"
+      "  --rates=A,B,...    sweep the send rate over the base config\n"
+      "  --block-counts=A,B,...  sweep the orderer batch size\n"
+      "  all `run` workload/network flags set the sweep's base config;\n"
+      "  --jobs=N picks the worker threads (rows identical for every N)\n");
   return 2;
 }
 
@@ -334,40 +353,138 @@ int RunCommand(const CliArgs& args) {
     }
   }
 
-  // ---- apply + rerun ---------------------------------------------------
+  // ---- apply: per-recommendation what-if + combined rerun --------------
   if (args.Has("apply")) {
     if (recs.empty()) {
       std::printf("nothing to apply\n");
       return 0;
     }
-    auto optimized_cfg = ApplyOptimizations(*cfg, recs);
-    if (!optimized_cfg.ok()) {
+    WhatIfOptions options;
+    options.jobs = args.GetInt("jobs", 1);
+    auto whatif = EvaluateWhatIf(*cfg, recs, options);
+    if (!whatif.ok()) {
       std::fprintf(stderr, "apply error: %s\n",
-                   optimized_cfg.status().ToString().c_str());
+                   whatif.status().ToString().c_str());
       return 1;
     }
-    auto optimized = RunExperiment(*optimized_cfg);
-    if (!optimized.ok()) {
-      std::fprintf(stderr, "rerun error: %s\n",
-                   optimized.status().ToString().c_str());
-      return 1;
+    std::printf("\nwhat-if: each recommendation applied alone "
+                "(jobs=%d):\n",
+                ThreadPool::ResolveThreads(options.jobs));
+    for (const auto& entry : whatif->individual) {
+      std::printf("  %-28s success %+0.1f%%, latency %+0.1f%%, "
+                  "throughput %+0.1f%%\n",
+                  std::string(RecommendationTypeName(
+                                  entry.recommendation.type))
+                      .c_str(),
+                  100 * RelativeImprovement(out->report.SuccessRate(),
+                                            entry.report.SuccessRate()),
+                  100 * RelativeImprovement(out->report.AvgLatency(),
+                                            entry.report.AvgLatency(), true),
+                  100 * RelativeImprovement(out->report.Throughput(),
+                                            entry.report.Throughput()));
     }
+    const PerformanceReport& combined = whatif->combined;
     std::printf("\nafter applying all recommendations:\n%s\n",
-                optimized->report.Summary().c_str());
+                combined.Summary().c_str());
     std::printf("success %+0.1f%%, latency %+0.1f%%, throughput %+0.1f%%\n",
                 100 * RelativeImprovement(out->report.SuccessRate(),
-                                          optimized->report.SuccessRate()),
+                                          combined.SuccessRate()),
                 100 * RelativeImprovement(out->report.AvgLatency(),
-                                          optimized->report.AvgLatency(),
-                                          true),
+                                          combined.AvgLatency(), true),
                 100 * RelativeImprovement(out->report.Throughput(),
-                                          optimized->report.Throughput()));
+                                          combined.Throughput()));
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// sweep mode: a batch of experiments through the parallel engine
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  std::string label;
+  ExperimentConfig config;
+};
+
+Result<std::vector<SweepCase>> BuildSweepCases(const CliArgs& args) {
+  std::vector<SweepCase> cases;
+  if (args.Has("rates") || args.Has("block-counts")) {
+    for (const auto& field : Split(args.Get("rates", ""), ',')) {
+      if (field.empty()) continue;
+      CliArgs point = args;
+      point.flags["rate"] = field;
+      BLOCKOPTR_ASSIGN_OR_RETURN(auto cfg, BuildExperiment(point));
+      cases.push_back(SweepCase{"send rate " + field, std::move(cfg)});
+    }
+    for (const auto& field : Split(args.Get("block-counts", ""), ',')) {
+      if (field.empty()) continue;
+      CliArgs point = args;
+      point.flags["block-count"] = field;
+      BLOCKOPTR_ASSIGN_OR_RETURN(auto cfg, BuildExperiment(point));
+      cases.push_back(SweepCase{"block count " + field, std::move(cfg)});
+    }
+    if (cases.empty()) {
+      return Status::InvalidArgument(
+          "--rates / --block-counts given but no values parsed");
+    }
+    return cases;
+  }
+  const std::string set = args.Get("set", "table3");
+  if (set != "table3") {
+    return Status::InvalidArgument("unknown sweep set '" + set +
+                                   "' (supported: table3)");
+  }
+  for (const auto& def : Table3Experiments(args.GetInt("txs", 10000))) {
+    cases.push_back(SweepCase{
+        def.label, MakeSyntheticExperiment(def.workload, def.network)});
+  }
+  return cases;
+}
+
+int SweepCommand(const CliArgs& args) {
+  auto cases = BuildSweepCases(args);
+  if (!cases.ok()) {
+    std::fprintf(stderr, "error: %s\n", cases.status().ToString().c_str());
+    return 1;
+  }
+  const int jobs = args.GetInt("jobs", 1);
+
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(cases->size());
+  for (const auto& c : *cases) configs.push_back(c.config);
+
+  // Progress goes to stderr: stdout carries only the result table, which
+  // is byte-identical for every --jobs value and therefore diffable.
+  std::fprintf(stderr, "sweeping %zu experiments (jobs=%d)...\n",
+               configs.size(), ThreadPool::ResolveThreads(jobs));
+  auto outputs = SweepRunner(SweepOptions{jobs}).Run(configs);
+
+  std::printf("%-28s %10s %9s %11s  %s\n", "experiment", "tput(tps)",
+              "success", "latency(s)", "recommendations");
+  std::printf("%-28s %10s %9s %11s  %s\n", "----------", "---------",
+              "-------", "----------", "---------------");
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (!outputs[i].ok()) {
+      std::fprintf(stderr, "%-28s failed: %s\n", (*cases)[i].label.c_str(),
+                   outputs[i].status().ToString().c_str());
+      return 1;
+    }
+    const auto& report = outputs[i]->report;
+    auto recs = RecommendFromLog(ExtractBlockchainLog(outputs[i]->ledger),
+                                 RecommenderOptions{});
+    std::printf("%-28s %10.1f %8.1f%% %11.3f  %s\n",
+                (*cases)[i].label.c_str(), report.Throughput(),
+                100 * report.SuccessRate(), report.AvgLatency(),
+                RecommendationNames(recs).c_str());
   }
   return 0;
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2 || std::strcmp(argv[1], "run") != 0) return Usage();
+  if (argc < 2 || (std::strcmp(argv[1], "run") != 0 &&
+                   std::strcmp(argv[1], "sweep") != 0)) {
+    return Usage();
+  }
   CliArgs args;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -383,6 +500,7 @@ int Main(int argc, char** argv) {
       args.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
     }
   }
+  if (std::strcmp(argv[1], "sweep") == 0) return SweepCommand(args);
   return RunCommand(args);
 }
 

@@ -6,12 +6,17 @@
 // changes, so the *shape* of every figure can be compared against the
 // paper (absolute numbers come from the simulator, see DESIGN.md).
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "common/json.h"
 
 #include "blockopt/apply/optimizer.h"
 #include "blockopt/log/preprocess.h"
@@ -159,6 +164,105 @@ inline void PrintStageBreakdown(const ExperimentConfig& cfg,
 
 /// The paper's default experiment scale.
 inline constexpr int kPaperTxCount = 10000;
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf trajectory (--json-out)
+// ---------------------------------------------------------------------------
+
+/// Extracts (and strips) a `--json-out=PATH` flag so the remaining argv can
+/// be handed to benchmark::Initialize untouched. Returns "" when absent.
+inline std::string ParseJsonOutFlag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      path = argv[i] + 11;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+/// The current git revision (short hash), or "unknown" outside a checkout.
+/// Stamped into BENCH_*.json so perf points are attributable to commits.
+inline std::string GitRevision() {
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string rev;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) rev = buf;
+  ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+/// Console reporter that additionally collects every run so the suite can
+/// be dumped as a BENCH_<suite>.json trajectory point. Schema (v1):
+///   { "schema": "blockoptr-bench-v1", "suite": "<suite>",
+///     "git_rev": "<short-hash>", "benchmarks": [
+///       { "name": "BM_X/1000", "scale": 1000,
+///         "ns_per_op": 123.4, "items_per_second": 8.1e6 }, ... ] }
+/// `scale` is the trailing /N benchmark argument (0 when absent);
+/// `items_per_second` is 0 for benches that do not SetItemsProcessed.
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      auto slash = e.name.rfind('/');
+      if (slash != std::string::npos) {
+        e.scale = std::strtoll(e.name.c_str() + slash + 1, nullptr, 10);
+      }
+      e.ns_per_op = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.items_per_second = it->second;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  /// Writes the collected runs to `path`; exits non-zero on I/O failure so
+  /// CI catches a silently missing artifact.
+  void WriteJson(const std::string& path, const std::string& suite) const {
+    JsonValue::Array benchmarks;
+    for (const Entry& e : entries_) {
+      JsonValue::Object o;
+      o["name"] = e.name;
+      o["scale"] = static_cast<int64_t>(e.scale);
+      o["ns_per_op"] = e.ns_per_op;
+      o["items_per_second"] = e.items_per_second;
+      benchmarks.push_back(std::move(o));
+    }
+    JsonValue::Object root;
+    root["schema"] = "blockoptr-bench-v1";
+    root["suite"] = suite;
+    root["git_rev"] = GitRevision();
+    root["benchmarks"] = std::move(benchmarks);
+    std::ofstream out(path);
+    out << JsonValue(std::move(root)).DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s (%zu benchmarks)\n", path.c_str(), entries_.size());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    long long scale = 0;
+    double ns_per_op = 0;
+    double items_per_second = 0;
+  };
+  std::vector<Entry> entries_;
+};
 
 }  // namespace blockoptr::bench
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <unordered_map>
 
+#include "common/interner.h"
 #include "common/stats.h"
 
 namespace blockoptr {
@@ -34,12 +36,23 @@ bool IsIntegerDelta(const std::string& a, const std::string& b) {
 
 bool WriteSetsDisjoint(const BlockchainLogEntry& x,
                        const BlockchainLogEntry& y) {
-  auto wx = x.WriteKeys();
-  auto wy = y.WriteKeys();
-  std::vector<std::string> inter;
-  std::set_intersection(wx.begin(), wx.end(), wy.begin(), wy.end(),
-                        std::back_inserter(inter));
-  return inter.empty();
+  // Merge walk over the cached sorted ID views: no allocation, and the
+  // first common element exits early (the old version materialized the
+  // whole intersection just to check emptiness).
+  const std::vector<KeyId>& wx = x.WriteKeyIds();
+  const std::vector<KeyId>& wy = y.WriteKeyIds();
+  auto i = wx.begin();
+  auto j = wy.begin();
+  while (i != wx.end() && j != wy.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -111,18 +124,37 @@ LogMetrics ComputeMetrics(const BlockchainLog& log,
   m.num_activities = activities.size();
 
   // ---- Key metrics (Kfreq over failures, Ksig over activities) --------
+  // Accumulate per KeyId in a hash map (one O(1) probe per access, no
+  // per-entry re-sort or key-vector allocation), then materialize the
+  // string-keyed result maps in a single pass. The results are
+  // order-insensitive, so walking in ID order changes nothing.
+  struct KeyAgg {
+    uint64_t fail_freq = 0;
+    std::map<std::string, LogMetrics::KeyAccessorStats> accessors;
+  };
+  std::unordered_map<KeyId, KeyAgg> key_agg;
   for (const auto& e : log.entries()) {
-    auto write_keys = e.WriteKeys();
-    for (const auto& key : e.AccessedKeys()) {
-      m.key_activities[key].insert(e.activity);
-      if (e.failed()) ++m.key_freq[key];
-      auto& stats = m.key_accessors[key][e.activity];
+    const std::vector<KeyId>& write_ids = e.WriteKeyIds();
+    for (KeyId id : e.AccessedKeyIds()) {
+      KeyAgg& agg = key_agg[id];
+      if (e.failed()) ++agg.fail_freq;
+      auto& stats = agg.accessors[e.activity];
       ++stats.accesses;
       if (e.failed()) ++stats.failures;
-      if (std::binary_search(write_keys.begin(), write_keys.end(), key)) {
+      if (std::binary_search(write_ids.begin(), write_ids.end(), id)) {
         stats.writes = true;
       }
     }
+  }
+  const Interner& interner = GlobalKeyInterner();
+  for (auto& [id, agg] : key_agg) {
+    std::string key(interner.KeyForId(id));
+    auto& activities_of_key = m.key_activities[key];
+    for (const auto& [activity, stats] : agg.accessors) {
+      activities_of_key.insert(activity);
+    }
+    if (agg.fail_freq > 0) m.key_freq[key] = agg.fail_freq;
+    m.key_accessors[key] = std::move(agg.accessors);
   }
   // A key is hot when its failure frequency clears both the absolute
   // floor and the fraction-of-all-failures threshold (user-configurable,

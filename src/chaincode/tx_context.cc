@@ -26,9 +26,10 @@ void TxContext::RecordRead(const std::string& full_key,
 
 std::optional<std::string> TxContext::GetState(std::string_view key) {
   std::string full = Namespaced(key);
-  auto vv = store_->Get(full);
-  RecordRead(full, vv ? std::optional<Version>(vv->version) : std::nullopt);
-  if (!vv) return std::nullopt;
+  const VersionedValue* vv = store_->Peek(full);
+  RecordRead(full, vv != nullptr ? std::optional<Version>(vv->version)
+                                 : std::nullopt);
+  if (vv == nullptr) return std::nullopt;
   return vv->value;
 }
 
@@ -72,11 +73,18 @@ std::vector<std::pair<std::string, std::string>> TxContext::GetStateByRange(
   rq.end_key = full_end;
 
   std::vector<std::pair<std::string, std::string>> out;
-  for (const auto& [k, vv] : store_->Range(full_start, full_end)) {
-    rq.results.push_back(ReadItem{k, vv.version});
-    // Strip the namespace prefix for the contract's view.
-    out.emplace_back(k.substr(ns_stack_.back().size() + 1), vv.value);
-  }
+  // Visit the range in place: the old Range() call materialized every
+  // (key, value, version) into a temporary vector just to copy it again.
+  const size_t ns_prefix = ns_stack_.back().size() + 1;
+  store_->RangeVisit(full_start, full_end,
+                     [&](std::string_view k, const VersionedValue& vv) {
+                       rq.results.push_back(
+                           ReadItem{std::string(k), vv.version});
+                       // Strip the namespace prefix for the contract's view.
+                       out.emplace_back(std::string(k.substr(ns_prefix)),
+                                        vv.value);
+                       return true;
+                     });
   rwset_.range_queries.push_back(std::move(rq));
   return out;
 }

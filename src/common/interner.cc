@@ -1,0 +1,44 @@
+#include "common/interner.h"
+
+#include <mutex>
+
+namespace blockoptr {
+
+KeyId Interner::Intern(std::string_view key) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  // Re-check: another thread may have interned between the locks.
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  KeyId id = static_cast<KeyId>(keys_.size());
+  keys_.emplace_back(key);
+  ids_.emplace(std::string_view(keys_.back()), id);
+  return id;
+}
+
+KeyId Interner::Lookup(std::string_view key) const {
+  std::shared_lock lock(mu_);
+  auto it = ids_.find(key);
+  return it == ids_.end() ? kInvalidKeyId : it->second;
+}
+
+std::string_view Interner::KeyForId(KeyId id) const {
+  std::shared_lock lock(mu_);
+  return keys_[id];
+}
+
+size_t Interner::size() const {
+  std::shared_lock lock(mu_);
+  return keys_.size();
+}
+
+Interner& GlobalKeyInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+}  // namespace blockoptr

@@ -194,23 +194,24 @@ EndorsementPolicy EndorsementPolicy::Preset(int preset, int num_orgs) {
 // Evaluation
 // ---------------------------------------------------------------------------
 
-bool EndorsementPolicy::Eval(const Node& node,
-                             const std::set<std::string>& orgs) {
+bool EndorsementPolicy::Eval(
+    const Node& node, const std::vector<std::string_view>& sorted_orgs) {
   switch (node.kind) {
     case Node::kNone:
       return false;
     case Node::kOrg:
-      return orgs.count(node.org) > 0;
+      return std::binary_search(sorted_orgs.begin(), sorted_orgs.end(),
+                                std::string_view(node.org));
     case Node::kAnd:
       return std::all_of(node.children.begin(), node.children.end(),
-                         [&](const Node& c) { return Eval(c, orgs); });
+                         [&](const Node& c) { return Eval(c, sorted_orgs); });
     case Node::kOr:
       return std::any_of(node.children.begin(), node.children.end(),
-                         [&](const Node& c) { return Eval(c, orgs); });
+                         [&](const Node& c) { return Eval(c, sorted_orgs); });
     case Node::kOutOf: {
       int satisfied = 0;
       for (const auto& c : node.children) {
-        if (Eval(c, orgs)) ++satisfied;
+        if (Eval(c, sorted_orgs)) ++satisfied;
       }
       return satisfied >= node.n;
     }
@@ -220,6 +221,14 @@ bool EndorsementPolicy::Eval(const Node& node,
 
 bool EndorsementPolicy::IsSatisfiedBy(
     const std::set<std::string>& endorsing_orgs) const {
+  // std::set iterates in sorted order, so the view vector needs no sort.
+  std::vector<std::string_view> sorted(endorsing_orgs.begin(),
+                                       endorsing_orgs.end());
+  return Eval(node_, sorted);
+}
+
+bool EndorsementPolicy::IsSatisfiedBy(
+    const std::vector<std::string_view>& endorsing_orgs) const {
   return Eval(node_, endorsing_orgs);
 }
 

@@ -41,6 +41,12 @@ class EndorsementPolicy {
   /// satisfy the policy.
   bool IsSatisfiedBy(const std::set<std::string>& endorsing_orgs) const;
 
+  /// Allocation-free overload for the validation hot path: `endorsing_orgs`
+  /// must be sorted and unique (the views may point into transaction
+  /// storage; nothing is copied).
+  bool IsSatisfiedBy(
+      const std::vector<std::string_view>& endorsing_orgs) const;
+
   /// All organizations mentioned anywhere in the policy (sorted, unique).
   std::vector<std::string> Organizations() const;
 
@@ -67,7 +73,8 @@ class EndorsementPolicy {
     std::vector<Node> children;
   };
 
-  static bool Eval(const Node& node, const std::set<std::string>& orgs);
+  static bool Eval(const Node& node,
+                   const std::vector<std::string_view>& sorted_orgs);
   static void CollectOrgs(const Node& node, std::set<std::string>& out);
   static std::string NodeToString(const Node& node);
 

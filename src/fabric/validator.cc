@@ -1,28 +1,46 @@
 #include "fabric/validator.h"
 
-#include <set>
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
 
 namespace blockoptr {
 
 namespace {
 
 bool ReadItemCurrent(const ReadItem& r, const VersionedStore& state) {
-  auto vv = state.Get(r.key);
-  if (!vv) return !r.version.has_value();
+  // Intern once per item; every later check (re-validation, other peers'
+  // stores) skips the string hash. Interning a key the store doesn't hold
+  // is fine — ids are process-global, not per-store.
+  if (r.cached_id == kInvalidKeyId) {
+    r.cached_id = GlobalKeyInterner().Intern(r.key);
+  }
+  const VersionedValue* vv = state.PeekById(r.cached_id);
+  if (vv == nullptr) return !r.version.has_value();
   return r.version.has_value() && *r.version == vv->version;
 }
 
 bool RangeQueryCurrent(const RangeQueryInfo& rq, const VersionedStore& state) {
-  auto current = state.Range(rq.start_key, rq.end_key);
-  if (current.size() != rq.results.size()) return false;
-  for (size_t i = 0; i < current.size(); ++i) {
-    if (current[i].first != rq.results[i].key) return false;
-    if (!rq.results[i].version.has_value() ||
-        *rq.results[i].version != current[i].second.version) {
-      return false;
-    }
-  }
-  return true;
+  // Re-executes the range as a version-only scan: no key or value is ever
+  // copied, and the first divergence stops the walk.
+  size_t i = 0;
+  bool matches = true;
+  state.RangeVersions(
+      rq.start_key, rq.end_key,
+      [&](std::string_view key, const Version& version) {
+        if (i >= rq.results.size() || rq.results[i].key != key ||
+            !rq.results[i].version.has_value() ||
+            *rq.results[i].version != version) {
+          matches = false;
+          return false;
+        }
+        ++i;
+        return true;
+      });
+  // A shorter current range (deleted keys) must also be a phantom.
+  return matches && i == rq.results.size();
 }
 
 bool PointReadsCurrent(const ReadWriteSet& rwset, const VersionedStore& state) {
@@ -42,7 +60,10 @@ bool RangeReadsCurrent(const ReadWriteSet& rwset, const VersionedStore& state) {
 void ApplyWrites(const ReadWriteSet& rwset, VersionedStore& state,
                  Version version) {
   for (const auto& w : rwset.writes) {
-    state.Apply(w.key, w.value, w.is_delete, version);
+    if (w.cached_id == kInvalidKeyId) {
+      w.cached_id = GlobalKeyInterner().Intern(w.key);
+    }
+    state.ApplyById(w.cached_id, w.key, w.value, w.is_delete, version);
   }
 }
 
@@ -56,6 +77,9 @@ BlockValidationStats ValidateAndApplyBlock(Block& block, VersionedStore& state,
                                            const EndorsementPolicy& policy) {
   BlockValidationStats stats;
   uint32_t tx_pos = 0;
+  // Reused across transactions so the signer check allocates at most once
+  // per block (endorser lists are a handful of org names).
+  std::vector<std::string_view> signers;
   for (auto& tx : block.transactions) {
     const uint32_t pos = tx_pos++;
     if (tx.is_config) {
@@ -78,7 +102,9 @@ BlockValidationStats ValidateAndApplyBlock(Block& block, VersionedStore& state,
       continue;
     }
     // 1. VSCC: signature set must satisfy the endorsement policy.
-    std::set<std::string> signers(tx.endorsers.begin(), tx.endorsers.end());
+    signers.assign(tx.endorsers.begin(), tx.endorsers.end());
+    std::sort(signers.begin(), signers.end());
+    signers.erase(std::unique(signers.begin(), signers.end()), signers.end());
     if (!policy.IsSatisfiedBy(signers)) {
       tx.status = TxStatus::kEndorsementPolicyFailure;
       ++stats.endorsement_failures;

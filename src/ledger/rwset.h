@@ -1,10 +1,12 @@
 #ifndef BLOCKOPTR_LEDGER_RWSET_H_
 #define BLOCKOPTR_LEDGER_RWSET_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "statedb/versioned_store.h"
 
 namespace blockoptr {
@@ -14,8 +16,14 @@ namespace blockoptr {
 struct ReadItem {
   std::string key;
   std::optional<Version> version;
+  /// Lazily cached interned id of `key` (ids are process-stable, so a
+  /// cached value never goes stale; copies may carry it). Filled by the
+  /// validator's first lookup; excluded from equality.
+  mutable KeyId cached_id = kInvalidKeyId;
 
-  friend bool operator==(const ReadItem&, const ReadItem&) = default;
+  friend bool operator==(const ReadItem& a, const ReadItem& b) {
+    return a.key == b.key && a.version == b.version;
+  }
 };
 
 /// One key written (or deleted) by the transaction.
@@ -23,8 +31,12 @@ struct WriteItem {
   std::string key;
   std::string value;
   bool is_delete = false;
+  /// Same contract as ReadItem::cached_id.
+  mutable KeyId cached_id = kInvalidKeyId;
 
-  friend bool operator==(const WriteItem&, const WriteItem&) = default;
+  friend bool operator==(const WriteItem& a, const WriteItem& b) {
+    return a.key == b.key && a.value == b.value && a.is_delete == b.is_delete;
+  }
 };
 
 /// A range query executed during endorsement: the bounds plus the exact
@@ -47,7 +59,29 @@ struct ReadWriteSet {
   std::vector<WriteItem> writes;
   std::vector<RangeQueryInfo> range_queries;
 
-  friend bool operator==(const ReadWriteSet&, const ReadWriteSet&) = default;
+  /// Lazily built, cached sorted-unique KeyId views over the same key
+  /// sets as ReadKeys()/WriteKeys()/AccessedKeys(). Invalidated by size:
+  /// the cache is rebuilt whenever the number of reads, writes, range
+  /// queries, or range results has changed since it was built (every
+  /// mutation path in the codebase appends items; replacing a key
+  /// in place without changing any count is not supported). Not
+  /// thread-safe: views must be built and read from the owning thread.
+  struct KeyIdViews {
+    std::vector<KeyId> read_ids;
+    std::vector<KeyId> write_ids;
+    std::vector<KeyId> accessed_ids;
+    size_t reads_seen = static_cast<size_t>(-1);
+    size_t writes_seen = static_cast<size_t>(-1);
+    size_t ranges_seen = static_cast<size_t>(-1);
+    size_t range_results_seen = static_cast<size_t>(-1);
+  };
+  mutable KeyIdViews id_views;
+
+  // Equality is over the recorded data only, never the derived ID cache.
+  friend bool operator==(const ReadWriteSet& a, const ReadWriteSet& b) {
+    return a.reads == b.reads && a.writes == b.writes &&
+           a.range_queries == b.range_queries;
+  }
 
   /// All keys accessed (reads, writes, and range-query results), deduped,
   /// sorted. This is RWS(x) in the paper's formalization.
@@ -59,8 +93,20 @@ struct ReadWriteSet {
   /// Keys in the write set: WS(x).
   std::vector<std::string> WriteKeys() const;
 
+  /// Interned-ID views of RS(x)/WS(x)/RWS(x): sorted by KeyId, deduped,
+  /// cached across calls (the string accessors above re-sort on every
+  /// call and allocate a fresh vector; the hot loops use these instead).
+  /// ID sort order is NOT lexicographic key order — use the views for
+  /// membership, merge, and intersection only.
+  const std::vector<KeyId>& ReadKeyIds() const;
+  const std::vector<KeyId>& WriteKeyIds() const;
+  const std::vector<KeyId>& AccessedKeyIds() const;
+
   bool HasWriteTo(const std::string& key) const;
   bool HasReadOf(const std::string& key) const;
+
+ private:
+  void EnsureIdViews() const;
 };
 
 }  // namespace blockoptr

@@ -1,8 +1,9 @@
 #include "reorder/conflict_graph.h"
 
 #include <algorithm>
-#include <map>
-#include <string>
+#include <utility>
+
+#include "common/interner.h"
 
 namespace blockoptr {
 
@@ -11,23 +12,77 @@ ConflictGraph::ConflictGraph(const std::vector<const ReadWriteSet*>& rwsets) {
   adj_.assign(n, {});
   removed_.assign(n, false);
 
-  // Index: key -> transactions reading it / writing it.
-  std::map<std::string, std::vector<int>> readers;
+  // Readers and writers as two flat sorted (key, tx) arrays over the
+  // cached interned-ID views, intersected with one sequential co-walk:
+  // no string-keyed map, no per-key vectors, no per-writer binary
+  // searches. A first co-walk pass counts each writer's matches so every
+  // adjacency list is allocated exactly once. The adjacency result is
+  // identical to the old string-keyed index — it only depends on which
+  // key *sets* intersect, and each adjacency list is canonicalized by
+  // the final sort + unique.
+  size_t total_reads = 0;
+  size_t total_writes = 0;
   for (size_t j = 0; j < n; ++j) {
-    for (const auto& key : rwsets[j]->ReadKeys()) {
-      readers[key].push_back(static_cast<int>(j));
+    total_reads += rwsets[j]->ReadKeyIds().size();
+    total_writes += rwsets[j]->WriteKeyIds().size();
+  }
+  std::vector<std::pair<KeyId, int>> readers;
+  std::vector<std::pair<KeyId, int>> writers;
+  readers.reserve(total_reads);
+  writers.reserve(total_writes);
+  for (size_t j = 0; j < n; ++j) {
+    for (KeyId key : rwsets[j]->ReadKeyIds()) {
+      readers.emplace_back(key, static_cast<int>(j));
+    }
+    for (KeyId key : rwsets[j]->WriteKeyIds()) {
+      writers.emplace_back(key, static_cast<int>(j));
     }
   }
-  for (size_t i = 0; i < n; ++i) {
-    for (const auto& w : rwsets[i]->writes) {
-      auto it = readers.find(w.key);
-      if (it == readers.end()) continue;
-      for (int j : it->second) {
-        if (j != static_cast<int>(i)) {
-          adj_[i].push_back(j);
-        }
+  std::sort(readers.begin(), readers.end());
+  std::sort(writers.begin(), writers.end());
+
+  // Both passes walk the same per-key (writer run × reader run) blocks.
+  auto for_each_conflict_block = [&](auto&& block) {
+    size_t r = 0;
+    size_t w = 0;
+    while (r < readers.size() && w < writers.size()) {
+      if (readers[r].first < writers[w].first) {
+        ++r;
+      } else if (writers[w].first < readers[r].first) {
+        ++w;
+      } else {
+        const KeyId key = readers[r].first;
+        size_t r_end = r;
+        while (r_end < readers.size() && readers[r_end].first == key) ++r_end;
+        size_t w_end = w;
+        while (w_end < writers.size() && writers[w_end].first == key) ++w_end;
+        block(r, r_end, w, w_end);
+        r = r_end;
+        w = w_end;
       }
     }
+  };
+
+  std::vector<uint32_t> match_count(n, 0);
+  for_each_conflict_block([&](size_t r0, size_t r1, size_t w0, size_t w1) {
+    const uint32_t run = static_cast<uint32_t>(r1 - r0);
+    for (size_t w = w0; w < w1; ++w) {
+      match_count[static_cast<size_t>(writers[w].second)] += run;
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    adj_[i].reserve(match_count[i]);
+  }
+  for_each_conflict_block([&](size_t r0, size_t r1, size_t w0, size_t w1) {
+    for (size_t w = w0; w < w1; ++w) {
+      const int i = writers[w].second;
+      for (size_t r = r0; r < r1; ++r) {
+        const int j = readers[r].second;
+        if (j != i) adj_[static_cast<size_t>(i)].push_back(j);
+      }
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
     std::sort(adj_[i].begin(), adj_[i].end());
     adj_[i].erase(std::unique(adj_[i].begin(), adj_[i].end()), adj_[i].end());
   }

@@ -6,7 +6,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/interner.h"
 
 namespace blockoptr {
 
@@ -35,11 +38,44 @@ struct VersionedValue {
 /// in the simulated network owns one store; peers may lag behind the chain
 /// tip (they apply blocks with queueing delay), which is what creates
 /// endorsement-time staleness.
+///
+/// Two indexes share one copy of the data:
+///  * an ordered map (key -> VersionedValue) backing Range()/RangeVisit(),
+///    the same trade RocksDB's sorted memtable makes for iterator support;
+///  * a KeyId-direct point-read index (Peek()/Get()/Contains()), because
+///    the point read is the MVCC inner loop. KeyIds are dense (the
+///    interner assigns 0,1,2,...), so the index is a flat
+///    vector<VersionedValue*> subscripted by id — one string hash in the
+///    interner, one array load, instead of O(log n) string comparisons
+///    over shared-prefix keys. Slots for keys this store never held are
+///    nullptr; memory is bounded by the process-wide distinct-key count
+///    (8 bytes per key).
+/// Apply() keeps both in sync; the index holds pointers into the
+/// ordered map's nodes (node-based, so stable until erased).
 class VersionedStore {
  public:
   VersionedStore() = default;
+  // Copies rebuild the hash index: copied pointers would refer into the
+  // source map's nodes. Moves keep it: map nodes survive a move.
+  VersionedStore(const VersionedStore& other);
+  VersionedStore& operator=(const VersionedStore& other);
+  VersionedStore(VersionedStore&&) = default;
+  VersionedStore& operator=(VersionedStore&&) = default;
 
-  /// Latest committed value for `key`, or nullopt if absent.
+  /// Latest committed entry for `key` without copying the value, or
+  /// nullptr if absent. The pointer is valid until the key is deleted or
+  /// the store destroyed. This is the validation hot path.
+  const VersionedValue* Peek(std::string_view key) const;
+
+  /// Peek() for a caller that already holds the key's interned id (e.g.
+  /// cached on a ReadItem): a single bounds-checked array load, no string
+  /// hash. Passing kInvalidKeyId is allowed and returns nullptr.
+  const VersionedValue* PeekById(KeyId id) const {
+    return id < index_.size() ? index_[id] : nullptr;
+  }
+
+  /// Latest committed value for `key`, or nullopt if absent (copies the
+  /// value; prefer Peek() in hot loops).
   std::optional<VersionedValue> Get(std::string_view key) const;
 
   /// True if the key currently exists.
@@ -50,9 +86,39 @@ class VersionedStore {
   std::vector<std::pair<std::string, VersionedValue>> Range(
       std::string_view start_key, std::string_view end_key) const;
 
+  /// Copy-free ordered scan of [start_key, end_key): calls
+  /// `visit(key, versioned_value)` per entry until it returns false or the
+  /// range is exhausted. Phantom re-validation and endorsement-time range
+  /// simulation use this instead of materializing Range() vectors.
+  template <typename Visitor>
+  void RangeVisit(std::string_view start_key, std::string_view end_key,
+                  Visitor&& visit) const {
+    auto it = map_.lower_bound(start_key);
+    auto end = end_key.empty() ? map_.end() : map_.lower_bound(end_key);
+    for (; it != end; ++it) {
+      if (!visit(std::string_view(it->first), it->second)) return;
+    }
+  }
+
+  /// RangeVisit() narrowed to versions: `visit(key, version)`. The MVCC
+  /// phantom check only compares versions, so no value ever gets touched.
+  template <typename Visitor>
+  void RangeVersions(std::string_view start_key, std::string_view end_key,
+                     Visitor&& visit) const {
+    RangeVisit(start_key, end_key,
+               [&](std::string_view key, const VersionedValue& vv) {
+                 return visit(key, vv.version);
+               });
+  }
+
   /// Writes or deletes a single key at `version` (used by block commit).
   void Apply(std::string_view key, std::string_view value, bool is_delete,
              Version version);
+
+  /// Apply() for a caller that already interned `key` as `id` — skips the
+  /// interner probe. `id` MUST be the interned id of `key`.
+  void ApplyById(KeyId id, std::string_view key, std::string_view value,
+                 bool is_delete, Version version);
 
   /// Height of the last block applied via MarkBlockApplied.
   uint64_t applied_height() const { return applied_height_; }
@@ -61,9 +127,13 @@ class VersionedStore {
   size_t size() const { return map_.size(); }
 
  private:
-  // std::map (not unordered) so Range() is a simple ordered scan — the
-  // same trade RocksDB's sorted memtable makes for iterator support.
+  void RebuildIndex();
+  // Grows index_ so `id` is addressable (geometric growth: appending n
+  // distinct keys costs O(n) total, not O(n^2) of per-id resizes).
+  void EnsureIndexSlot(KeyId id);
+
   std::map<std::string, VersionedValue, std::less<>> map_;
+  std::vector<VersionedValue*> index_;  // subscript: KeyId; nullptr = absent
   uint64_t applied_height_ = 0;
 };
 

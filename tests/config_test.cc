@@ -13,7 +13,8 @@ TEST(NetworkConfigTest, DefaultsMatchThePaper) {
   EXPECT_DOUBLE_EQ(cfg.block_cutting.timeout_s, 1.0);
   // Default policy: Majority over the orgs (P3).
   EXPECT_EQ(cfg.endorsement_policy.Organizations().size(), 2u);
-  EXPECT_FALSE(cfg.endorsement_policy.IsSatisfiedBy({{"Org1"}}));
+  EXPECT_FALSE(
+      cfg.endorsement_policy.IsSatisfiedBy(std::set<std::string>{"Org1"}));
 }
 
 TEST(NetworkConfigTest, OrgNames) {

@@ -117,7 +117,7 @@ TEST_P(PresetSweep, PresetsParseAndMentionAllOrgs) {
   for (int i = 1; i <= num_orgs; ++i) all.insert("Org" + std::to_string(i));
   EXPECT_TRUE(p.IsSatisfiedBy(all));
   // The empty set never does.
-  EXPECT_FALSE(p.IsSatisfiedBy({}));
+  EXPECT_FALSE(p.IsSatisfiedBy(std::set<std::string>{}));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPresets, PresetSweep,

@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/rng.h"
 #include "statedb/versioned_store.h"
 
 namespace blockoptr {
@@ -98,6 +105,133 @@ TEST(VersionedStoreTest, AppliedHeightTracking) {
   EXPECT_EQ(store.applied_height(), 0u);
   store.MarkBlockApplied(7);
   EXPECT_EQ(store.applied_height(), 7u);
+}
+
+TEST(VersionedStoreTest, PeekReturnsStablePointerWithoutCopy) {
+  VersionedStore store;
+  store.Apply("k", "v1", false, Version{1, 0});
+  const VersionedValue* vv = store.Peek("k");
+  ASSERT_NE(vv, nullptr);
+  EXPECT_EQ(vv->value, "v1");
+  // Overwrite updates in place: the node (and pointer) survives.
+  store.Apply("k", "v2", false, Version{2, 0});
+  EXPECT_EQ(vv->value, "v2");
+  EXPECT_EQ(vv->version, (Version{2, 0}));
+  EXPECT_EQ(store.Peek("never-written"), nullptr);
+}
+
+TEST(VersionedStoreTest, RangeVisitMatchesRangeAndStopsEarly) {
+  VersionedStore store;
+  for (int i = 0; i < 8; ++i) {
+    store.Apply("rv~k" + std::to_string(i), "v" + std::to_string(i), false,
+                Version{1, static_cast<uint32_t>(i)});
+  }
+  std::vector<std::pair<std::string, VersionedValue>> visited;
+  store.RangeVisit("rv~k2", "rv~k6",
+                   [&](std::string_view k, const VersionedValue& vv) {
+                     visited.emplace_back(std::string(k), vv);
+                     return true;
+                   });
+  auto materialized = store.Range("rv~k2", "rv~k6");
+  ASSERT_EQ(visited.size(), materialized.size());
+  for (size_t i = 0; i < visited.size(); ++i) {
+    EXPECT_EQ(visited[i].first, materialized[i].first);
+    EXPECT_EQ(visited[i].second.value, materialized[i].second.value);
+    EXPECT_EQ(visited[i].second.version, materialized[i].second.version);
+  }
+  int count = 0;
+  store.RangeVersions("rv~k0", "",
+                      [&](std::string_view, const Version&) {
+                        return ++count < 3;  // stop after three entries
+                      });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(VersionedStoreTest, CopiedStoreAnswersFromItsOwnIndex) {
+  VersionedStore store;
+  store.Apply("copy~a", "1", false, Version{1, 0});
+  store.Apply("copy~b", "2", false, Version{1, 1});
+  VersionedStore copy = store;
+  // Diverge the two stores; each index must follow its own map.
+  store.Apply("copy~a", "", true, Version{2, 0});
+  copy.Apply("copy~b", "22", false, Version{2, 1});
+  EXPECT_EQ(store.Peek("copy~a"), nullptr);
+  ASSERT_NE(copy.Peek("copy~a"), nullptr);
+  EXPECT_EQ(copy.Peek("copy~a")->value, "1");
+  EXPECT_EQ(store.Peek("copy~b")->value, "2");
+  EXPECT_EQ(copy.Peek("copy~b")->value, "22");
+  VersionedStore assigned;
+  assigned.Apply("copy~old", "x", false, Version{1, 0});
+  assigned = copy;
+  EXPECT_EQ(assigned.Peek("copy~old"), nullptr);
+  EXPECT_EQ(assigned.Peek("copy~b")->value, "22");
+}
+
+TEST(VersionedStoreTest, ByIdEntryPointsMatchStringOnes) {
+  VersionedStore store;
+  Interner& interner = GlobalKeyInterner();
+  KeyId id = interner.Intern("byid~k");
+  store.ApplyById(id, "byid~k", "v1", false, Version{1, 0});
+  EXPECT_EQ(store.Peek("byid~k"), store.PeekById(id));
+  ASSERT_NE(store.PeekById(id), nullptr);
+  EXPECT_EQ(store.PeekById(id)->value, "v1");
+  EXPECT_EQ(store.PeekById(kInvalidKeyId), nullptr);
+  store.ApplyById(id, "byid~k", "", true, Version{2, 0});
+  EXPECT_EQ(store.PeekById(id), nullptr);
+  EXPECT_FALSE(store.Contains("byid~k"));
+}
+
+// Property: after any randomized Apply/delete sequence, the KeyId-hashed
+// point-read index and the ordered map answer identically — Peek/Get/
+// Contains against every key ever touched agree with a reference model,
+// and the full Range scan (served by the ordered map) lists exactly the
+// keys the point-read path (served by the hash index) says exist.
+TEST(VersionedStoreProperty, HashIndexAgreesWithOrderedMap) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    VersionedStore store;
+    std::map<std::string, VersionedValue> reference;
+    const uint64_t key_space = 40;
+    for (int step = 0; step < 400; ++step) {
+      std::string key =
+          "prop~key" + std::to_string(rng.NextBelow(key_space));
+      Version version{static_cast<uint64_t>(step), 0};
+      if (rng.NextBool(0.25)) {
+        store.Apply(key, "", true, version);
+        reference.erase(key);
+      } else {
+        std::string value = "v" + std::to_string(step);
+        store.Apply(key, value, false, version);
+        reference[key] = VersionedValue{value, version};
+      }
+    }
+    ASSERT_EQ(store.size(), reference.size());
+    for (uint64_t k = 0; k < key_space; ++k) {
+      std::string key = "prop~key" + std::to_string(k);
+      auto it = reference.find(key);
+      const VersionedValue* peeked = store.Peek(key);
+      auto got = store.Get(key);
+      ASSERT_EQ(store.Contains(key), it != reference.end()) << key;
+      if (it == reference.end()) {
+        EXPECT_EQ(peeked, nullptr) << key;
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        ASSERT_NE(peeked, nullptr) << key;
+        EXPECT_EQ(peeked->value, it->second.value) << key;
+        EXPECT_EQ(peeked->version, it->second.version) << key;
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(got->value, it->second.value) << key;
+      }
+    }
+    auto range = store.Range("", "");
+    ASSERT_EQ(range.size(), reference.size());
+    size_t i = 0;
+    for (const auto& [key, vv] : reference) {
+      EXPECT_EQ(range[i].first, key);
+      EXPECT_EQ(range[i].second.version, vv.version);
+      ++i;
+    }
+  }
 }
 
 TEST(VersionedStoreTest, NamespacedKeysStayDisjoint) {

@@ -41,8 +41,9 @@ PerformanceReport RunDirect(NetworkConfig net, const Schedule& schedule,
   network.set_on_early_abort(
       [&](const ClientRequest&, const Status&) { ++completed; });
 
+  // `schedule` outlives the run loop below; no per-request copy.
   for (const auto& req : schedule) {
-    sim.ScheduleAt(req.send_time, [&network, req] {
+    sim.ScheduleAt(req.send_time, [&network, &req] {
       (void)network.Submit(req);
     });
   }

@@ -1,0 +1,58 @@
+#ifndef BLOCKOPTR_COMMON_CHUNK_POOL_H_
+#define BLOCKOPTR_COMMON_CHUNK_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace blockoptr {
+
+/// A grow-only pool with *stable element addresses*: storage is a vector
+/// of fixed-size contiguous chunks, so growing never relocates existing
+/// elements (unlike std::vector) and costs one allocation per
+/// `kChunkSize` elements (unlike std::deque, which with large elements
+/// degenerates to one allocation — and one scattered node — per element).
+/// Built for the scheduler's callback slot pools, where elements are
+/// invoked in place and may grow the pool mid-invocation.
+///
+/// Elements are value-initialized on growth and never destroyed until the
+/// pool itself dies; vacancy is managed by the caller (free lists of
+/// indices).
+template <typename T, std::size_t kChunkSizeLog2 = 10>
+class ChunkPool {
+ public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkSizeLog2;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  std::size_t size() const { return size_; }
+
+  T& operator[](std::size_t i) {
+    return chunks_[i >> kChunkSizeLog2][i & kChunkMask];
+  }
+  const T& operator[](std::size_t i) const {
+    return chunks_[i >> kChunkSizeLog2][i & kChunkMask];
+  }
+
+  /// Appends a value-initialized element and returns its index.
+  std::size_t emplace_back() {
+    if ((size_ & kChunkMask) == 0 && (size_ >> kChunkSizeLog2) ==
+                                         chunks_.size()) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+    return size_++;
+  }
+
+  /// Pre-grows to at least `n` elements (see emplace_back for the
+  /// initialization contract).
+  void Grow(std::size_t n) {
+    while (size_ < n) emplace_back();
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_COMMON_CHUNK_POOL_H_

@@ -46,7 +46,7 @@ void ThreadPool::CheckNotWorker() const {
 void ThreadPool::WorkerLoop() {
   current_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    InlineCallback task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });

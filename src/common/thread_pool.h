@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/inline_callback.h"
+
 namespace blockoptr {
 
 /// A fixed-size, work-stealing-free thread pool: one shared FIFO task
@@ -49,15 +51,20 @@ class ThreadPool {
   /// by the task are captured and rethrown by future::get(). Throws
   /// std::logic_error when called from one of this pool's own workers
   /// (see class comment).
+  ///
+  /// One allocation per task: the packaged_task's shared state. The task
+  /// itself is move-captured into the queue's InlineCallback (move-only
+  /// callables are fine there, unlike std::function, which forced the old
+  /// implementation through an extra make_shared<packaged_task> hop).
   template <typename F>
   auto Submit(F fn) -> std::future<std::invoke_result_t<F&>> {
     using R = std::invoke_result_t<F&>;
     CheckNotWorker();
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
-    std::future<R> result = task->get_future();
+    std::packaged_task<R()> task(std::move(fn));
+    std::future<R> result = task.get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push([task]() { (*task)(); });
+      queue_.push(InlineCallback([t = std::move(task)]() mutable { t(); }));
     }
     cv_.notify_one();
     return result;
@@ -69,7 +76,7 @@ class ThreadPool {
   void CheckNotWorker() const;
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<InlineCallback> queue_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

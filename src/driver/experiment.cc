@@ -69,14 +69,8 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
     ++completed;
   });
 
-  for (const auto& req : schedule) {
-    sim.ScheduleAt(req.send_time, [&network, req]() {
-      // Installation is checked below before the run; Submit cannot fail.
-      (void)network.Submit(req);
-    });
-  }
-
-  // Fail fast if the schedule references a missing contract.
+  // Fail fast if the schedule references a missing contract (checked
+  // before anything is scheduled, so Submit below cannot fail).
   for (const auto& req : schedule) {
     bool found =
         std::find(config.chaincodes.begin(), config.chaincodes.end(),
@@ -86,6 +80,15 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
                                      req.chaincode +
                                      "' which is not installed");
     }
+  }
+
+  // The whole schedule sits in the event queue up front; pre-size the
+  // engine for it. Requests are captured by reference — `schedule`
+  // outlives the run loop — so arrival events carry no per-request copy.
+  sim.Reserve(schedule.size() + 64);
+  for (const auto& req : schedule) {
+    sim.ScheduleAt(req.send_time,
+                   [&network, &req]() { (void)network.Submit(req); });
   }
 
   network.Start();
@@ -106,11 +109,20 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
   if (output.telemetry) {
     output.report.set_stage_breakdown(
         ComputeStageBreakdown(output.telemetry->tracer()));
+    // Engine-level gauges: how many events the run cost and how deep the
+    // queue got. Both are deterministic per config, so they are safe to
+    // snapshot (the sweep determinism harness compares full snapshots).
+    output.telemetry->metrics().gauge("sim.events_processed")
+        .Set(static_cast<double>(sim.num_processed()));
+    output.telemetry->metrics().gauge("sim.queue_peak")
+        .Set(static_cast<double>(sim.queue_peak()));
   }
   output.ledger = network.ledger();
   output.endorsement_counts = network.endorsement_counts();
   output.network = config.network;
   output.sim_end_time = sim.Now();
+  output.events_processed = sim.num_processed();
+  output.queue_peak = sim.queue_peak();
   return output;
 }
 

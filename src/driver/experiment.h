@@ -62,6 +62,13 @@ struct ExperimentOutput {
   NetworkConfig network;  // effective config (for metric extraction)
   double sim_end_time = 0;
 
+  /// Engine statistics: total discrete events executed by the run and the
+  /// event queue's high-water mark (also exported as the
+  /// `sim.events_processed` / `sim.queue_peak` gauges when telemetry is
+  /// on). events/sec of a bench run is `events_processed` over wall time.
+  uint64_t events_processed = 0;
+  size_t queue_peak = 0;
+
   /// Trace + metrics of the run; null unless
   /// `ExperimentConfig::enable_telemetry` was set. The recorder's data
   /// stays readable/exportable after the run even though the simulator is

@@ -222,15 +222,14 @@ Status FabricNetwork::Submit(const ClientRequest& request) {
   pending.request = request;
   pending.client_index = PickClient(request);
   pending.client_timestamp = sim_->Now();
-  pending_.emplace(id, std::move(pending));
+  PendingTx& entry = pending_.emplace(id, std::move(pending)).first->second;
 
   // Proposal creation occupies the client process.
-  ClientProcess& cp = *clients_[static_cast<size_t>(
-      pending_.at(id).client_index)];
+  ClientProcess& cp = *clients_[static_cast<size_t>(entry.client_index)];
   if (telemetry_) {
     // The submit span starts exactly at the recorded client timestamp, so
     // span-derived end-to-end latency is identical to the ledger's.
-    pending_.at(id).submit_span = telemetry_->tracer().Begin(
+    entry.submit_span = telemetry_->tracer().Begin(
         trace_category::kSubmit, "submit", "client/" + cp.id(), id);
     telemetry_->metrics().counter("client.requests_total").Increment();
     telemetry_->metrics().gauge("client.queue_depth")
@@ -366,7 +365,6 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   tx.tx_id = pending_id;
   tx.chaincode = pending.request.chaincode;
   tx.activity = pending.request.function;
-  tx.args = pending.request.args;
   ClientProcess& cp = *clients_[static_cast<size_t>(pending.client_index)];
   tx.invoker =
       Invoker{cp.id(), NetworkConfig::OrgName(cp.org_index())};
@@ -376,10 +374,14 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
     }
   }
   std::sort(tx.endorsers.begin(), tx.endorsers.end());
-  tx.rwset = canonical;
   tx.client_timestamp = pending.client_timestamp;
 
+  // All reads of the pending entry are done: steal the args and the
+  // canonical read-write set instead of copying them (the entry is erased
+  // next; the bytes estimate above consumed both while still intact).
   uint64_t bytes = EstimateTxBytes(pending.request, canonical);
+  tx.args = std::move(pending.request.args);
+  tx.rwset = std::move(pending.responses[best].second.rwset);
   pending_.erase(it);
 
   uint64_t assemble_span = 0;
@@ -416,8 +418,11 @@ void FabricNetwork::DeliverBlock(Block block) {
       ValidateAndApplyBlock(block, committed_state_, policy_);
   if (telemetry_) RecordValidationStats(vstats, telemetry_->metrics());
 
-  auto shared = std::make_shared<Block>(std::move(block));
-  auto remaining = std::make_shared<int>(config_.num_orgs);
+  // One shared, immutable-during-fan-out commit payload per block: the
+  // validated block and the all-peers countdown ride in a single
+  // allocation, and every per-org event captures just {this, org, ptr}.
+  auto shared = std::make_shared<CommitFanout>(
+      CommitFanout{std::move(block), config_.num_orgs});
 
   for (int org = 1; org <= config_.num_orgs; ++org) {
     // Blocks travel over an ordered channel (TCP): delivery to a peer
@@ -425,8 +430,9 @@ void FabricNetwork::DeliverBlock(Block block) {
     SimTime arrival = std::max(sim_->Now() + NetworkDelay(),
                                org_delivery_horizon_[static_cast<size_t>(org - 1)]);
     org_delivery_horizon_[static_cast<size_t>(org - 1)] = arrival;
-    sim_->ScheduleAt(arrival, [this, org, shared, remaining]() {
+    sim_->ScheduleAt(arrival, [this, org, shared]() {
       OrgPeer& peer = *peers_[static_cast<size_t>(org - 1)];
+      const Block& blk = shared->block;
       uint64_t validate_span = 0;
       if (telemetry_) {
         // Covers queueing at the validator plus validate-and-commit work.
@@ -434,40 +440,43 @@ void FabricNetwork::DeliverBlock(Block block) {
             trace_category::kValidate, "validate@" + peer.org(),
             "peer/" + peer.org() + "/validator");
         telemetry_->tracer().Annotate(validate_span, "block",
-                                      std::to_string(shared->block_num));
+                                      std::to_string(blk.block_num));
         telemetry_->tracer().Annotate(
             validate_span, "txs",
-            std::to_string(shared->transactions.size()));
+            std::to_string(blk.transactions.size()));
       }
       double cost =
           (config_.latency.validate_block_overhead_s +
            config_.latency.validate_per_tx_s *
-               static_cast<double>(shared->transactions.size()) +
+               static_cast<double>(blk.transactions.size()) +
            config_.latency.commit_per_block_s) *
           peer_scale_;
       peer.validator_station().Submit(cost, [this, org, validate_span,
-                                             shared, remaining]() {
+                                             shared]() {
         OrgPeer& p = *peers_[static_cast<size_t>(org - 1)];
         if (telemetry_) telemetry_->tracer().End(validate_span);
         // Apply the (already stamped) block to this peer's store.
+        const Block& blk = shared->block;
         uint32_t pos = 0;
-        for (const auto& tx : shared->transactions) {
+        for (const auto& tx : blk.transactions) {
           uint32_t tx_pos = pos++;
           if (tx.status != TxStatus::kValid) continue;
           for (const auto& w : tx.rwset.writes) {
             p.store().Apply(w.key, w.value, w.is_delete,
-                            Version{shared->block_num, tx_pos});
+                            Version{blk.block_num, tx_pos});
           }
         }
-        p.store().MarkBlockApplied(shared->block_num);
-        p.OnBlockApplied(shared->transactions.size());
-        if (--*remaining == 0) {
+        p.store().MarkBlockApplied(blk.block_num);
+        p.OnBlockApplied(blk.transactions.size());
+        if (--shared->remaining == 0) {
           // All peers committed: stamp commit time, append to the ledger,
           // and notify the driver.
           SimTime now = sim_->Now();
-          shared->commit_timestamp = now;
-          for (auto& tx : shared->transactions) tx.commit_timestamp = now;
-          uint64_t num = ledger_.Append(std::move(*shared));
+          shared->block.commit_timestamp = now;
+          for (auto& tx : shared->block.transactions) {
+            tx.commit_timestamp = now;
+          }
+          uint64_t num = ledger_.Append(std::move(shared->block));
           const Block& appended = ledger_.GetBlock(num);
           if (telemetry_) {
             telemetry_->metrics().counter("ledger.blocks_total").Increment();

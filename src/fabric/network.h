@@ -119,6 +119,15 @@ class FabricNetwork {
   uint64_t early_aborts() const { return early_aborts_; }
 
  private:
+  /// The per-block commit payload shared by every org's delivery and
+  /// validation event: the validated block plus the all-peers countdown in
+  /// one allocation. The block is immutable during the fan-out; the last
+  /// peer to commit stamps timestamps and moves it into the ledger.
+  struct CommitFanout {
+    Block block;
+    int remaining;
+  };
+
   struct PendingTx {
     ClientRequest request;
     int client_index = 0;

@@ -77,13 +77,14 @@ void OrderingService::SubmitConfig(Transaction tx) {
         trace_category::kOrder, "order_config", "orderer", tx.tx_id);
     telemetry_->metrics().counter("orderer.config_txs_total").Increment();
   }
-  station_.Submit(latency_.order_per_tx_s, [this, tx = std::move(tx)]() {
-    // A config transaction terminates the current batch and occupies its
-    // own block (Fabric's config-update flow).
-    Flush();
-    batch_.push_back(tx);
-    CutBlock();
-  });
+  station_.Submit(latency_.order_per_tx_s,
+                  [this, tx = std::move(tx)]() mutable {
+                    // A config transaction terminates the current batch and
+                    // occupies its own block (Fabric's config-update flow).
+                    Flush();
+                    batch_.push_back(std::move(tx));
+                    CutBlock();
+                  });
 }
 
 void OrderingService::AddToBatch(Transaction tx, uint64_t tx_bytes) {

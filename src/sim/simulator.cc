@@ -1,13 +1,36 @@
 #include "sim/simulator.h"
 
+#include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 namespace blockoptr {
 
-void Simulator::ScheduleAt(SimTime at, Callback cb) {
+uint32_t Simulator::AcquireVacantSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  uint32_t slot = static_cast<uint32_t>(slots_.emplace_back());
+  if (slot > kSlotMask) std::abort();  // > ~16.7M pending events
+  return slot;
+}
+
+void Simulator::Commit(SimTime at, uint32_t slot) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(cb)});
+  // +0.0 canonicalizes a negative zero, keeping the bit-pattern order of
+  // non-negative doubles identical to their numeric order.
+  uint64_t time_bits = std::bit_cast<uint64_t>(at + 0.0);
+  queue_.Push(EventRef{time_bits, (next_seq_++ << kSlotBits) | slot});
+  if (queue_.size() > queue_peak_) queue_peak_ = queue_.size();
+}
+
+void Simulator::ScheduleAt(SimTime at, Callback cb) {
+  uint32_t slot = AcquireVacantSlot();
+  slots_[slot].cb = std::move(cb);
+  Commit(at, slot);
 }
 
 void Simulator::ScheduleAfter(SimTime delay, Callback cb) {
@@ -15,15 +38,31 @@ void Simulator::ScheduleAfter(SimTime delay, Callback cb) {
   ScheduleAt(now_ + delay, std::move(cb));
 }
 
+void Simulator::Reserve(size_t events) {
+  queue_.Reserve(events);
+  // Pre-grow the slot pool and chain the new slots into the free list.
+  while (slots_.size() < events) {
+    uint32_t slot = static_cast<uint32_t>(slots_.emplace_back());
+    slots_[slot].next_free = free_head_;
+    free_head_ = slot;
+  }
+}
+
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via a copy of
-  // the handle before pop. Events are small (one std::function).
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
+  EventRef ref = queue_.PopMin();
+  now_ = std::bit_cast<double>(ref.time);
   ++processed_;
-  ev.cb();
+  // Invoke in place — no move-out, however large the closure. The slot
+  // reference stays valid even if the callback schedules (chunk-pool
+  // growth never relocates slots), and the slot is recycled only
+  // afterwards, so nothing can overwrite the callback while it runs.
+  uint32_t index = static_cast<uint32_t>(ref.seq) & kSlotMask;
+  Slot& slot = slots_[index];
+  slot.cb();
+  slot.cb.Reset();
+  slot.next_free = free_head_;
+  free_head_ = index;
   return true;
 }
 
@@ -33,7 +72,8 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!queue_.empty() &&
+         std::bit_cast<double>(queue_.Min().time) <= until) {
     Step();
   }
   if (now_ < until) now_ = until;

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/csv.h"
+#include "common/inline_callback.h"
 #include "common/json.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -465,6 +469,97 @@ TEST(IntervalCounterTest, OutOfRangeIndexIsZeroNotUb) {
   EXPECT_EQ(c.CountAt(1), 0u);
   EXPECT_EQ(c.CountAt(1000000), 0u);
   EXPECT_DOUBLE_EQ(c.RateAt(1000000), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// InlineCallback
+// ---------------------------------------------------------------------------
+
+TEST(InlineCallbackTest, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallbackTest, InvokesStoredCallable) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MutableLambdaKeepsStateAcrossCalls) {
+  int observed = 0;
+  InlineCallback cb([n = 0, &observed]() mutable { observed = ++n; });
+  cb();
+  cb();
+  cb();
+  EXPECT_EQ(observed, 3);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, MoveAssignReplacesAndDestroysOldTarget) {
+  auto tracker = std::make_shared<int>(0);
+  int hits = 0;
+  InlineCallback a([t = tracker] { (void)t; });
+  EXPECT_EQ(tracker.use_count(), 2);
+  InlineCallback b([&hits] { ++hits; });
+  a = std::move(b);
+  // The old target (holding the shared_ptr) was destroyed by the
+  // assignment.
+  EXPECT_EQ(tracker.use_count(), 1);
+  a();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, DestructionReleasesCapturedState) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    InlineCallback cb([t = tracker] { (void)t; });
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineCallbackTest, HoldsMoveOnlyCallables) {
+  auto value = std::make_unique<int>(41);
+  int got = 0;
+  InlineCallback cb([v = std::move(value), &got] { got = *v + 1; });
+  cb();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(InlineCallbackTest, AcceptsStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  InlineCallback cb(std::move(fn));
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallbackTest, CapacityFitsPipelineClosures) {
+  // The engine-wide contract: anything up to the inline capacity stores
+  // without a heap allocation (there is no heap fallback — oversized
+  // callables fail to compile).
+  struct Big {
+    unsigned char payload[kInlineCallbackCapacity - 2 * sizeof(void*)];
+  };
+  Big big{};
+  big.payload[0] = 7;
+  int got = 0;
+  InlineCallback cb([big, &got] { got = big.payload[0]; });
+  cb();
+  EXPECT_EQ(got, 7);
 }
 
 }  // namespace

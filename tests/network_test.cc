@@ -42,7 +42,9 @@ struct Harness {
   }
 
   void SubmitAt(double t, ClientRequest req) {
-    sim.ScheduleAt(t, [this, req] { ASSERT_TRUE(network.Submit(req).ok()); });
+    sim.ScheduleAt(t, [this, req = std::move(req)] {
+      ASSERT_TRUE(network.Submit(req).ok());
+    });
   }
 
   void RunToCompletion(size_t expected, double max_time = 300) {

@@ -1,0 +1,146 @@
+// Allocation accounting for the event core. The headline acceptance
+// criterion of the engine overhaul is that steady-state scheduling is
+// allocation-free: once the event heap and the callback slot pool have
+// grown to a run's high-water mark, schedule/fire cycles must not touch
+// the heap at all.
+//
+// The global operator new/delete are replaced with counting versions.
+// This binary is dedicated to allocation tests so the hook cannot
+// interfere with the rest of the suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "sim/service_station.h"
+#include "sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded != 0 ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace blockoptr {
+namespace {
+
+std::uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+/// Self-rescheduling event: each firing schedules its successor through
+/// ScheduleAfter until `remaining` hits zero — the workload shape of
+/// timers, retries, and station completions.
+struct ChurnEvent {
+  Simulator* sim;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) {
+      sim->ScheduleAfter(0.5, ChurnEvent{sim, remaining});
+    }
+  }
+};
+
+/// A burst of concurrent events (exercises heap and slot-pool breadth)
+/// plus a long self-rescheduling chain (exercises slot recycling), run to
+/// completion.
+void RunChurn(Simulator& sim, int chain_events, int burst) {
+  for (int i = 0; i < burst; ++i) {
+    sim.ScheduleAfter(0.25 * (i % 7), [] {});
+  }
+  int remaining = chain_events;
+  sim.ScheduleAfter(0.0, ChurnEvent{&sim, &remaining});
+  sim.Run();
+}
+
+TEST(SimAllocTest, SteadyStateSchedulingIsAllocationFree) {
+  Simulator sim;
+  RunChurn(sim, 1000, 64);  // warm-up: grows the heap and the slot pool
+  const std::uint64_t before = AllocationCount();
+  RunChurn(sim, 1000, 64);  // identical churn on the warm engine
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(SimAllocTest, ReservedColdStartIsAllocationFree) {
+  Simulator sim;
+  sim.Reserve(512);
+  const std::uint64_t before = AllocationCount();
+  RunChurn(sim, 1000, 256);  // peak pending = 257 <= 512 reserved
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+}
+
+TEST(SimAllocTest, WarmServiceStationSubmitIsAllocationFree) {
+  Simulator sim;
+  ServiceStation station(&sim, "station", 2);
+  std::uint64_t done = 0;
+  auto churn = [&sim, &station, &done] {
+    for (int i = 0; i < 256; ++i) {
+      station.Submit(0.25, [&done] { ++done; });
+    }
+    sim.Run();
+  };
+  churn();  // warm-up: grows the station's parked-job pool
+  const std::uint64_t before = AllocationCount();
+  churn();
+  const std::uint64_t delta = AllocationCount() - before;
+  EXPECT_EQ(delta, 0u);
+  EXPECT_EQ(done, 512u);
+}
+
+TEST(ThreadPoolAllocTest, SubmitCostsAtMostThreeAllocationsPerTask) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([] { return 0; }).get();  // warm-up (thread-local state)
+  }
+  constexpr int kTasks = 256;
+  const std::uint64_t before = AllocationCount();
+  int sum = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    sum += pool.Submit([i] { return i; }).get();
+  }
+  const std::uint64_t delta = AllocationCount() - before;
+  // Per task: the packaged_task's two internal allocations (task state and
+  // result slot) plus one queue node. The old std::function-based queue
+  // added an extra make_shared<packaged_task> hop and a heap-allocated
+  // function target on top — five per task instead of three.
+  EXPECT_LE(delta, 3u * kTasks + 16);
+  EXPECT_EQ(sum, kTasks * (kTasks - 1) / 2);
+}
+
+}  // namespace
+}  // namespace blockoptr

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
+#include "sim/event_heap.h"
 #include "sim/service_station.h"
 #include "sim/simulator.h"
 
@@ -86,6 +92,247 @@ TEST(SimulatorTest, EventsCanCascade) {
   sim.Run();
   EXPECT_EQ(depth, 100);
   EXPECT_NEAR(sim.Now(), 0.99, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// FourAryEventHeap — property-pinned against std::priority_queue
+// ---------------------------------------------------------------------------
+
+struct TestHandle {
+  double time;
+  uint64_t seq;
+};
+
+struct HandleLater {
+  bool operator()(const TestHandle& a, const TestHandle& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+// Randomized push/pop schedules with heavy equal-time ties: the 4-ary heap
+// must produce the exact pop sequence of the old binary priority_queue —
+// the (time, insertion-seq) ordering contract, bit for bit.
+TEST(EventHeapTest, MatchesPriorityQueueOnRandomizedSchedules) {
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    Rng rng(1000 + trial);
+    FourAryEventHeap<TestHandle> heap;
+    std::priority_queue<TestHandle, std::vector<TestHandle>, HandleLater> ref;
+    uint64_t seq = 0;
+    for (int op = 0; op < 2000; ++op) {
+      // 60% pushes; times from a coarse grid so ties are the common case.
+      if (ref.empty() || rng.NextBelow(10) < 6) {
+        TestHandle h{static_cast<double>(rng.NextBelow(16)) * 0.25, seq++};
+        heap.Push(h);
+        ref.push(h);
+      } else {
+        ASSERT_FALSE(heap.empty());
+        TestHandle got = heap.PopMin();
+        TestHandle want = ref.top();
+        ref.pop();
+        ASSERT_EQ(got.time, want.time);
+        ASSERT_EQ(got.seq, want.seq);
+      }
+      ASSERT_EQ(heap.size(), ref.size());
+    }
+    while (!ref.empty()) {
+      TestHandle got = heap.PopMin();
+      ASSERT_EQ(got.seq, ref.top().seq);
+      ASSERT_EQ(got.time, ref.top().time);
+      ref.pop();
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+TEST(EventHeapTest, ReservePreventsReallocation) {
+  FourAryEventHeap<TestHandle> heap;
+  heap.Reserve(100);
+  size_t cap = heap.capacity();
+  EXPECT_GE(cap, 100u);
+  for (uint64_t i = 0; i < 100; ++i) heap.Push(TestHandle{1.0, i});
+  EXPECT_EQ(heap.capacity(), cap);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator — engine-level contracts of the rebuilt core
+// ---------------------------------------------------------------------------
+
+/// A verbatim copy of the pre-overhaul event core (type-erased
+/// std::function events through a binary priority_queue, with the
+/// copy-before-pop in Step). Randomized schedules must fire identically on
+/// both engines — this pins the rebuilt core to the old semantics.
+class ReferenceSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  void ScheduleAt(SimTime at, Callback cb) {
+    if (at < now_) at = now_;
+    queue_.push(Event{at, next_seq_++, std::move(cb)});
+  }
+  void ScheduleAfter(SimTime delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+  bool Step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    return true;
+  }
+  void RunUntil(SimTime until) {
+    while (!queue_.empty() && queue_.top().time <= until) Step();
+    if (now_ < until) now_ = until;
+  }
+  size_t num_pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Runs a deterministic stress script on `sim`: root events on a coarse
+/// time grid (equal-time ties), cascading children, schedule-in-the-past
+/// clamping, zero delays — driven through an interleaved RunUntil/Step
+/// pattern. Returns the (id, fire-time) log.
+template <typename Sim>
+std::vector<std::pair<int, double>> RunStressScript(Sim& sim, uint64_t seed) {
+  std::vector<std::pair<int, double>> log;
+  // `fire` outlives every scheduled event (the run loop below drains the
+  // queue before this function returns), so events capture it by
+  // reference.
+  std::function<void(int)> fire = [&sim, &log, &fire](int id) {
+    log.emplace_back(id, sim.Now());
+    if (id >= 10000) return;  // children do not cascade further
+    if (id % 3 == 0) {
+      int child = id + 10000;
+      sim.ScheduleAfter(static_cast<double>(id % 5) * 0.25,
+                        [child, &fire]() { fire(child); });
+    }
+    if (id % 4 == 0) {
+      // Schedules in the past; must clamp to Now() and fire after
+      // already-queued events at the current time.
+      int child = id + 20000;
+      sim.ScheduleAt(sim.Now() - 1.0, [child, &fire]() { fire(child); });
+    }
+    if (id % 7 == 0) {
+      int child = id + 30000;
+      sim.ScheduleAfter(0.0, [child, &fire]() { fire(child); });
+    }
+  };
+  Rng rng(seed);
+  for (int i = 0; i < 200; ++i) {
+    double t = static_cast<double>(rng.NextBelow(16)) * 0.5;
+    sim.ScheduleAt(t, [i, &fire]() { fire(i); });
+  }
+  // Interleave RunUntil windows with single Steps, like the experiment
+  // driver and the Raft tests do.
+  double horizon = 0.0;
+  while (sim.num_pending() > 0) {
+    horizon += 0.75;
+    sim.RunUntil(horizon);
+    sim.Step();
+    sim.Step();
+  }
+  log.emplace_back(-1, sim.Now());
+  return log;
+}
+
+TEST(SimulatorTest, RandomizedSchedulesMatchReferenceEngine) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator sim;
+    ReferenceSimulator ref;
+    auto got = RunStressScript(sim, seed);
+    auto want = RunStressScript(ref, seed);
+    ASSERT_EQ(got, want) << "divergence at seed " << seed;
+  }
+}
+
+/// Counts copies and moves through the scheduling pipeline. Copyable on
+/// purpose: a copy anywhere in the engine would compile fine and only this
+/// counter would catch it.
+struct CountingCallable {
+  int* copies;
+  int* moves;
+  int* fired;
+  CountingCallable(int* c, int* m, int* f) : copies(c), moves(m), fired(f) {}
+  CountingCallable(const CountingCallable& o)
+      : copies(o.copies), moves(o.moves), fired(o.fired) {
+    ++*copies;
+  }
+  CountingCallable(CountingCallable&& o) noexcept
+      : copies(o.copies), moves(o.moves), fired(o.fired) {
+    ++*moves;
+  }
+  CountingCallable& operator=(const CountingCallable&) = delete;
+  CountingCallable& operator=(CountingCallable&&) = delete;
+  void operator()() { ++*fired; }
+};
+
+// Regression for the old copy-before-pop in Simulator::Step (the
+// priority_queue top()-then-pop dance copied every callback once).
+TEST(SimulatorTest, EventCallbacksAreMovedNotCopied) {
+  Simulator sim;
+  int copies = 0, moves = 0, fired = 0;
+  sim.ScheduleAt(1.0, CountingCallable(&copies, &moves, &fired));
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(copies, 0);
+  EXPECT_GT(moves, 0);
+}
+
+TEST(SimulatorTest, StationCallbacksAreMovedNotCopied) {
+  Simulator sim;
+  ServiceStation station(&sim, "s");
+  int copies = 0, moves = 0, fired = 0;
+  sim.ScheduleAt(0, [&] {
+    station.Submit(1.0, CountingCallable(&copies, &moves, &fired));
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(copies, 0);
+  EXPECT_GT(moves, 0);
+}
+
+// Move-only callables must schedule and fire (they could not even be
+// stored in the old std::function-based event).
+TEST(SimulatorTest, MoveOnlyCallbacksAreSupported) {
+  Simulator sim;
+  auto flag = std::make_unique<bool>(false);
+  bool* raw = flag.get();
+  sim.ScheduleAt(1.0, [flag = std::move(flag)]() { *flag = true; });
+  sim.Run();
+  EXPECT_TRUE(*raw);
+}
+
+TEST(SimulatorTest, QueuePeakTracksHighWaterMark) {
+  Simulator sim;
+  EXPECT_EQ(sim.queue_peak(), 0u);
+  sim.ScheduleAt(1.0, [&] {
+    // Two more while the other two roots are still pending: peak 4.
+    sim.ScheduleAfter(1.0, [] {});
+    sim.ScheduleAfter(2.0, [] {});
+  });
+  sim.ScheduleAt(2.0, [] {});
+  sim.ScheduleAt(3.0, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.queue_peak(), 4u);
+  EXPECT_EQ(sim.num_processed(), 5u);
 }
 
 // ---------------------------------------------------------------------------

@@ -21,8 +21,10 @@
 #include "blockopt/apply/optimizer.h"
 #include "blockopt/log/preprocess.h"
 #include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/evidence.h"
 #include "blockopt/recommend/recommender.h"
 #include "blockopt/recommend/report.h"
+#include "telemetry/bottleneck.h"
 #include "common/thread_pool.h"
 #include "driver/experiment.h"
 #include "driver/presets.h"
@@ -146,8 +148,11 @@ inline void PrintDelta(const std::string& label,
 }
 
 /// Re-runs `cfg` with telemetry enabled and prints the per-stage latency
-/// breakdown derived from lifecycle spans. Kept separate from the
-/// figure-producing runs so those stay on the telemetry-off fast path.
+/// breakdown derived from lifecycle spans, then the continuous-sampler
+/// bottleneck attribution (which station saturated, over which evidence
+/// window) and the recommendations with their observed evidence attached.
+/// Kept separate from the figure-producing runs so those stay on the
+/// telemetry-off fast path.
 inline void PrintStageBreakdown(const ExperimentConfig& cfg,
                                 const std::string& label) {
   ExperimentConfig traced = cfg;
@@ -160,6 +165,24 @@ inline void PrintStageBreakdown(const ExperimentConfig& cfg,
   }
   std::printf("\n%s — per-stage latency breakdown:\n%s", label.c_str(),
               out->report.StageBreakdownTable().c_str());
+
+  BottleneckReport bottleneck =
+      ComputeBottleneckReport(*out->telemetry, out->sim_end_time);
+  std::string table = FormatBottleneckTable(bottleneck);
+  if (!table.empty()) {
+    std::printf("\n%s — bottleneck attribution:\n%s", label.c_str(),
+                table.c_str());
+  }
+  std::printf("=> %s\n", bottleneck.summary.c_str());
+
+  auto recs = RecommendFromLog(ExtractBlockchainLog(out->ledger),
+                               RecommenderOptions{});
+  AttachTelemetryEvidence(recs, bottleneck);
+  for (const auto& rec : recs) {
+    std::printf("  %s: %s\n",
+                std::string(RecommendationTypeName(rec.type)).c_str(),
+                rec.detail.c_str());
+  }
 }
 
 /// The paper's default experiment scale.

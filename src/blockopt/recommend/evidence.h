@@ -1,0 +1,29 @@
+#ifndef BLOCKOPTR_BLOCKOPT_RECOMMEND_EVIDENCE_H_
+#define BLOCKOPTR_BLOCKOPT_RECOMMEND_EVIDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "blockopt/recommend/recommender.h"
+#include "telemetry/bottleneck.h"
+
+namespace blockoptr {
+
+/// The observed telemetry evidence supporting one recommendation: the
+/// station / series / window in the BottleneckReport that the
+/// recommendation's detection rule corresponds to, e.g.
+/// "peer/Org2/endorser util 0.97 over [40.0s,80.0s]". Returns "" when the
+/// report carries no evidence relevant to this recommendation type (e.g.
+/// the sampler was disabled).
+std::string TelemetryEvidenceFor(const Recommendation& rec,
+                                 const BottleneckReport& report);
+
+/// Appends the evidence ("— observed: ...") to every recommendation's
+/// rationale in place. Recommendations with no relevant evidence are left
+/// untouched.
+void AttachTelemetryEvidence(std::vector<Recommendation>& recs,
+                             const BottleneckReport& report);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_RECOMMEND_EVIDENCE_H_

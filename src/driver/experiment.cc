@@ -46,7 +46,8 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
 
   ExperimentOutput output;
   if (config.enable_telemetry) {
-    output.telemetry = std::make_unique<Telemetry>(&sim);
+    output.telemetry =
+        std::make_unique<Telemetry>(&sim, config.telemetry_options);
     network.set_telemetry(output.telemetry.get());
   }
 
@@ -92,6 +93,11 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
   }
 
   network.Start();
+  if (output.telemetry && output.telemetry->sampler()) {
+    // The continuous monitor: one self-re-arming tick per period. Started
+    // after network setup so the first window covers real run time.
+    output.telemetry->sampler()->Start();
+  }
 
   const size_t total = schedule.size();
   while (completed < total) {
@@ -106,9 +112,26 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
   }
 
   output.report.Finish(last_commit);
+  if (output.telemetry && output.telemetry->sampler()) {
+    // Snapshot whole-run station totals and detach from the network —
+    // the network and simulator die with this function, the telemetry
+    // does not.
+    output.telemetry->sampler()->Finalize();
+  }
   if (output.telemetry) {
-    output.report.set_stage_breakdown(
-        ComputeStageBreakdown(output.telemetry->tracer()));
+    if (output.telemetry->options().tracing) {
+      output.report.set_stage_breakdown(
+          ComputeStageBreakdown(output.telemetry->tracer()));
+      // Feed every finished span into a per-stage latency histogram, so
+      // quantiles are also available through the histogram path
+      // (Histogram::Quantile) — e.g. in the Prometheus exposition, where
+      // raw spans do not travel.
+      for (const auto& span : output.telemetry->tracer().spans()) {
+        output.telemetry->metrics()
+            .histogram("stage." + span.category + ".seconds")
+            .Observe(span.duration());
+      }
+    }
     // Engine-level gauges: how many events the run cost and how deep the
     // queue got. Both are deterministic per config, so they are safe to
     // snapshot (the sweep determinism harness compares full snapshots).

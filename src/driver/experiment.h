@@ -46,11 +46,18 @@ struct ExperimentConfig {
   /// Safety valve: abort the run if virtual time exceeds this.
   double max_sim_time = 36000;
 
-  /// When true, the run records per-transaction lifecycle spans and
-  /// component metrics into `ExperimentOutput::telemetry` and attaches a
-  /// stage-latency breakdown to the report. Off by default: the disabled
-  /// path does no telemetry work.
+  /// When true, the run records observability data into
+  /// `ExperimentOutput::telemetry` (per `telemetry_options`: lifecycle
+  /// spans, component metrics, continuous sampler time series) and
+  /// attaches a stage-latency breakdown to the report. Off by default:
+  /// the disabled path does no telemetry work and schedules no telemetry
+  /// events.
   bool enable_telemetry = false;
+
+  /// Which telemetry aspects a telemetry-enabled run records (ignored
+  /// when `enable_telemetry` is false). `TelemetryOptions::SamplerOnly()`
+  /// is the low-overhead continuous-monitoring profile.
+  TelemetryOptions telemetry_options;
 };
 
 /// The result of a run: the performance report plus the artefacts

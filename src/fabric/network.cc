@@ -87,9 +87,46 @@ void FabricNetwork::SetReorderer(std::unique_ptr<BlockReorderer> reorderer) {
 
 void FabricNetwork::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;
+  tracer_ = telemetry ? telemetry->tracing() : nullptr;
+  event_metrics_ = telemetry ? telemetry->event_metrics() : nullptr;
   orderer_->set_telemetry(telemetry);
-  MetricsRegistry* metrics = telemetry ? &telemetry->metrics() : nullptr;
-  for (auto& peer : peers_) peer->set_metrics(metrics);
+  for (auto& peer : peers_) peer->set_metrics(event_metrics_);
+
+  Sampler* sampler = telemetry ? telemetry->sampler() : nullptr;
+  if (sampler == nullptr) return;
+  // Pipeline-level series read the always-on cumulative totals.
+  sampler->AddRate("pipeline.commit_tps",
+                   [this]() { return totals_.valid_txs; });
+  sampler->AddRate("pipeline.mvcc_conflicts_per_s", [this]() {
+    return totals_.mvcc_conflicts + totals_.phantom_conflicts;
+  });
+  sampler->AddRate("pipeline.endorsement_failures_per_s",
+                   [this]() { return totals_.endorsement_failures; });
+  sampler->AddRate("pipeline.early_aborts_per_s",
+                   [this]() { return early_aborts_; });
+  sampler->AddRate("orderer.blocks_per_s",
+                   [this]() { return totals_.blocks_committed; });
+  sampler->AddWindowMean(
+      "orderer.block_fill", [this]() { return totals_.block_fill_sum; },
+      [this]() { return totals_.blocks_committed; });
+  sampler->AddRate("raft.messages_per_s",
+                   [this]() { return orderer_->raft().messages_sent(); });
+  // Every ServiceStation in the network becomes a bottleneck candidate:
+  // per-org endorsers and validators, the orderer, and the clients.
+  for (auto& peer : peers_) {
+    sampler->AddStation("peer/" + peer->org() + "/endorser",
+                        trace_category::kEndorse,
+                        &peer->endorser_station());
+    sampler->AddStation("peer/" + peer->org() + "/validator",
+                        trace_category::kValidate,
+                        &peer->validator_station());
+  }
+  sampler->AddStation("orderer", trace_category::kOrder,
+                      &orderer_->station());
+  for (auto& client : clients_) {
+    sampler->AddStation("client/" + client->id(), trace_category::kSubmit,
+                        &client->station());
+  }
 }
 
 void FabricNetwork::UpdateEndorsementPolicy(const EndorsementPolicy& policy) {
@@ -226,13 +263,15 @@ Status FabricNetwork::Submit(const ClientRequest& request) {
 
   // Proposal creation occupies the client process.
   ClientProcess& cp = *clients_[static_cast<size_t>(entry.client_index)];
-  if (telemetry_) {
+  if (tracer_) {
     // The submit span starts exactly at the recorded client timestamp, so
     // span-derived end-to-end latency is identical to the ledger's.
-    entry.submit_span = telemetry_->tracer().Begin(
+    entry.submit_span = tracer_->Begin(
         trace_category::kSubmit, "submit", "client/" + cp.id(), id);
-    telemetry_->metrics().counter("client.requests_total").Increment();
-    telemetry_->metrics().gauge("client.queue_depth")
+  }
+  if (event_metrics_) {
+    event_metrics_->counter("client.requests_total").Increment();
+    event_metrics_->gauge("client.queue_depth")
         .Set(cp.station().CurrentDelay());
   }
   cp.station().Submit(config_.latency.client_proposal_s,
@@ -244,7 +283,7 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
   auto it = pending_.find(pending_id);
   if (it == pending_.end()) return;
   PendingTx& pending = it->second;
-  if (telemetry_) telemetry_->tracer().End(pending.submit_span);
+  if (tracer_) tracer_->End(pending.submit_span);
 
   std::vector<int> orgs = SelectEndorsingOrgs();
   pending.expected_responses = orgs.size();
@@ -257,13 +296,15 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
       Chaincode* cc = FindChaincode(pit->second.request.chaincode);
       assert(cc != nullptr);
       uint64_t endorse_span = 0;
-      if (telemetry_) {
+      if (tracer_) {
         // Covers queueing at the endorser plus chaincode execution.
-        endorse_span = telemetry_->tracer().Begin(
+        endorse_span = tracer_->Begin(
             trace_category::kEndorse, "endorse@" + peer.org(),
             "peer/" + peer.org() + "/endorser", pending_id);
-        telemetry_->metrics().counter("endorser.proposals_total").Increment();
-        telemetry_->metrics().gauge("endorser.queue_depth")
+      }
+      if (event_metrics_) {
+        event_metrics_->counter("endorser.proposals_total").Increment();
+        event_metrics_->gauge("endorser.queue_depth")
             .Set(peer.endorser_station().CurrentDelay());
       }
       // Execute against the peer's current (possibly stale) store. The
@@ -285,13 +326,10 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
           cost, [this, pending_id, endorse_span,
                  org_name = std::move(org_name),
                  result = std::move(result)]() mutable {
-            if (telemetry_) {
-              telemetry_->tracer().End(endorse_span);
-              if (!result.status.ok()) {
-                telemetry_->metrics()
-                    .counter("endorser.rejections_total")
-                    .Increment();
-              }
+            if (tracer_) tracer_->End(endorse_span);
+            if (event_metrics_ && !result.status.ok()) {
+              event_metrics_->counter("endorser.rejections_total")
+                  .Increment();
             }
             sim_->ScheduleAfter(
                 NetworkDelay(),
@@ -326,13 +364,14 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   if (ok_indices.empty()) {
     // Unanimous chaincode rejection: early abort, never ordered.
     ++early_aborts_;
-    if (telemetry_) {
+    if (tracer_) {
       ClientProcess& aborted_cp =
           *clients_[static_cast<size_t>(pending.client_index)];
-      telemetry_->tracer().RecordInstant(trace_category::kAbort, "early_abort",
-                                         "client/" + aborted_cp.id(),
-                                         pending_id);
-      telemetry_->metrics().counter("client.early_aborts_total").Increment();
+      tracer_->RecordInstant(trace_category::kAbort, "early_abort",
+                             "client/" + aborted_cp.id(), pending_id);
+    }
+    if (event_metrics_) {
+      event_metrics_->counter("client.early_aborts_total").Increment();
     }
     if (on_early_abort_) {
       on_early_abort_(pending.request,
@@ -385,8 +424,8 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   pending_.erase(it);
 
   uint64_t assemble_span = 0;
-  if (telemetry_) {
-    assemble_span = telemetry_->tracer().Begin(
+  if (tracer_) {
+    assemble_span = tracer_->Begin(
         trace_category::kAssemble, "assemble", "client/" + cp.id(),
         pending_id);
   }
@@ -396,7 +435,7 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   cp.station().Submit(
       config_.latency.client_assemble_s,
       [this, assemble_span, tx = std::move(tx), bytes]() mutable {
-        if (telemetry_) telemetry_->tracer().End(assemble_span);
+        if (tracer_) tracer_->End(assemble_span);
         sim_->ScheduleAfter(NetworkDelay(),
                             [this, tx = std::move(tx), bytes]() mutable {
                               orderer_->Submit(std::move(tx), bytes);
@@ -416,7 +455,17 @@ void FabricNetwork::DeliverBlock(Block block) {
   // identical on every peer (Fabric's deterministic validation).
   BlockValidationStats vstats =
       ValidateAndApplyBlock(block, committed_state_, policy_);
-  if (telemetry_) RecordValidationStats(vstats, telemetry_->metrics());
+  if (event_metrics_) RecordValidationStats(vstats, *event_metrics_);
+  // Always-on totals (a handful of integer adds per *block*): these feed
+  // the sampler's throughput / conflict-rate / fill series.
+  totals_.valid_txs += vstats.valid;
+  totals_.mvcc_conflicts += vstats.mvcc_conflicts;
+  totals_.phantom_conflicts += vstats.phantom_conflicts;
+  totals_.endorsement_failures += vstats.endorsement_failures;
+  ++totals_.blocks_committed;
+  totals_.block_fill_sum +=
+      static_cast<double>(block.transactions.size()) /
+      static_cast<double>(std::max(1u, config_.block_cutting.max_tx_count));
 
   // One shared, immutable-during-fan-out commit payload per block: the
   // validated block and the all-peers countdown ride in a single
@@ -434,16 +483,15 @@ void FabricNetwork::DeliverBlock(Block block) {
       OrgPeer& peer = *peers_[static_cast<size_t>(org - 1)];
       const Block& blk = shared->block;
       uint64_t validate_span = 0;
-      if (telemetry_) {
+      if (tracer_) {
         // Covers queueing at the validator plus validate-and-commit work.
-        validate_span = telemetry_->tracer().Begin(
+        validate_span = tracer_->Begin(
             trace_category::kValidate, "validate@" + peer.org(),
             "peer/" + peer.org() + "/validator");
-        telemetry_->tracer().Annotate(validate_span, "block",
-                                      std::to_string(blk.block_num));
-        telemetry_->tracer().Annotate(
-            validate_span, "txs",
-            std::to_string(blk.transactions.size()));
+        tracer_->Annotate(validate_span, "block",
+                          std::to_string(blk.block_num));
+        tracer_->Annotate(validate_span, "txs",
+                          std::to_string(blk.transactions.size()));
       }
       double cost =
           (config_.latency.validate_block_overhead_s +
@@ -454,7 +502,7 @@ void FabricNetwork::DeliverBlock(Block block) {
       peer.validator_station().Submit(cost, [this, org, validate_span,
                                              shared]() {
         OrgPeer& p = *peers_[static_cast<size_t>(org - 1)];
-        if (telemetry_) telemetry_->tracer().End(validate_span);
+        if (tracer_) tracer_->End(validate_span);
         // Apply the (already stamped) block to this peer's store.
         const Block& blk = shared->block;
         uint32_t pos = 0;
@@ -478,19 +526,24 @@ void FabricNetwork::DeliverBlock(Block block) {
           }
           uint64_t num = ledger_.Append(std::move(shared->block));
           const Block& appended = ledger_.GetBlock(num);
-          if (telemetry_) {
-            telemetry_->metrics().counter("ledger.blocks_total").Increment();
+          if (event_metrics_) {
+            event_metrics_->counter("ledger.blocks_total").Increment();
+          }
+          if (tracer_ || event_metrics_) {
             for (const auto& tx : appended.transactions) {
               if (tx.is_config) continue;
               // The commit span closes the transaction lifecycle: it ends
               // exactly at the ledger's commit timestamp, spanning the
               // block's cut-to-commit tail (Raft + all-peer validation).
-              telemetry_->tracer().RecordComplete(
-                  trace_category::kCommit, "commit", "ledger", tx.tx_id,
-                  appended.cut_timestamp, now);
-              telemetry_->metrics()
-                  .counter("ledger.txs_committed_total")
-                  .Increment();
+              if (tracer_) {
+                tracer_->RecordComplete(trace_category::kCommit, "commit",
+                                        "ledger", tx.tx_id,
+                                        appended.cut_timestamp, now);
+              }
+              if (event_metrics_) {
+                event_metrics_->counter("ledger.txs_committed_total")
+                    .Increment();
+              }
             }
           }
           if (on_commit_) {

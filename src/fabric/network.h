@@ -63,11 +63,28 @@ class FabricNetwork {
   /// the ordering service.
   void SetReorderer(std::unique_ptr<BlockReorderer> reorderer);
 
-  /// Attaches transaction-lifecycle tracing + metrics. `telemetry` must
-  /// outlive the network; pass nullptr (the default state) to disable —
-  /// the off path does no recording work at all. Call before Start().
+  /// Attaches transaction-lifecycle tracing, metrics, and the continuous
+  /// sampler (registering pipeline series + every ServiceStation as
+  /// sampler sources). `telemetry` must outlive the network; pass nullptr
+  /// (the default state) to disable — the off path does no recording work
+  /// at all. Individual aspects follow `telemetry->options()`: the
+  /// network caches per-aspect pointers, so a disabled aspect costs one
+  /// null check per site. Call before Start().
   void set_telemetry(Telemetry* telemetry);
   Telemetry* telemetry() { return telemetry_; }
+
+  /// Always-on cumulative pipeline outcome counts (cheap integer adds per
+  /// block): the sampler's throughput / conflict-rate sources read these,
+  /// and they are maintained even with telemetry off.
+  struct PipelineTotals {
+    uint64_t valid_txs = 0;
+    uint64_t mvcc_conflicts = 0;
+    uint64_t phantom_conflicts = 0;
+    uint64_t endorsement_failures = 0;
+    uint64_t blocks_committed = 0;
+    double block_fill_sum = 0;  // sum of per-block fill ratios
+  };
+  const PipelineTotals& totals() const { return totals_; }
 
   /// Live endorsement-policy change, applied immediately (used at setup;
   /// for an in-band change use SubmitPolicyUpdate).
@@ -151,6 +168,11 @@ class FabricNetwork {
   Rng rng_;
   double peer_scale_ = 1.0;  // cluster resource contention (see config.h)
   Telemetry* telemetry_ = nullptr;  // optional, not owned
+  // Cached per-aspect handles (null when the aspect is disabled), so
+  // recording sites pay one pointer check and sampler-only runs skip the
+  // per-transaction span/metric work entirely.
+  TraceRecorder* tracer_ = nullptr;         // not owned
+  MetricsRegistry* event_metrics_ = nullptr;  // not owned
 
   std::vector<std::unique_ptr<ClientProcess>> clients_;
   std::vector<std::vector<int>> org_client_indices_;  // per org (0-based)
@@ -177,6 +199,7 @@ class FabricNetwork {
 
   std::map<std::string, uint64_t> endorsement_counts_;
   uint64_t early_aborts_ = 0;
+  PipelineTotals totals_;
 
   CommitCallback on_commit_;
   EarlyAbortCallback on_early_abort_;

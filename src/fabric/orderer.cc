@@ -31,10 +31,10 @@ OrderingService::OrderingService(Simulator* sim, const NetworkConfig& config,
   raft_.set_on_commit([this](uint64_t payload) {
     auto it = inflight_.find(payload);
     if (it == inflight_.end()) return;
-    if (telemetry_) {
+    if (tracer_) {
       auto sit = raft_spans_.find(payload);
       if (sit != raft_spans_.end()) {
-        telemetry_->tracer().End(sit->second);
+        tracer_->End(sit->second);
         raft_spans_.erase(sit);
       }
     }
@@ -45,21 +45,23 @@ OrderingService::OrderingService(Simulator* sim, const NetworkConfig& config,
 }
 
 void OrderingService::set_telemetry(Telemetry* telemetry) {
-  telemetry_ = telemetry;
-  raft_.set_metrics(telemetry ? &telemetry->metrics() : nullptr);
+  tracer_ = telemetry ? telemetry->tracing() : nullptr;
+  metrics_ = telemetry ? telemetry->event_metrics() : nullptr;
+  raft_.set_metrics(metrics_);
 }
 
 void OrderingService::Start() { raft_.Start(); }
 
 void OrderingService::Submit(Transaction tx, uint64_t tx_bytes) {
-  if (telemetry_) {
+  if (tracer_) {
     // The order span covers orderer queueing, batching wait, and block
     // cutting: it closes when the transaction's block is cut.
-    order_spans_[tx.tx_id] = telemetry_->tracer().Begin(
+    order_spans_[tx.tx_id] = tracer_->Begin(
         trace_category::kOrder, "order", "orderer", tx.tx_id);
-    telemetry_->metrics().counter("orderer.txs_submitted_total").Increment();
-    telemetry_->metrics().gauge("orderer.queue_depth")
-        .Set(station_.CurrentDelay());
+  }
+  if (metrics_) {
+    metrics_->counter("orderer.txs_submitted_total").Increment();
+    metrics_->gauge("orderer.queue_depth").Set(station_.CurrentDelay());
   }
   // Per-transaction ordering work occupies the orderer CPU; batching
   // happens when that work completes.
@@ -72,10 +74,12 @@ void OrderingService::Submit(Transaction tx, uint64_t tx_bytes) {
 void OrderingService::SubmitConfig(Transaction tx) {
   tx.is_config = true;
   tx.status = TxStatus::kConfig;
-  if (telemetry_) {
-    order_spans_[tx.tx_id] = telemetry_->tracer().Begin(
+  if (tracer_) {
+    order_spans_[tx.tx_id] = tracer_->Begin(
         trace_category::kOrder, "order_config", "orderer", tx.tx_id);
-    telemetry_->metrics().counter("orderer.config_txs_total").Increment();
+  }
+  if (metrics_) {
+    metrics_->counter("orderer.config_txs_total").Increment();
   }
   station_.Submit(latency_.order_per_tx_s,
                   [this, tx = std::move(tx)]() mutable {
@@ -124,17 +128,19 @@ void OrderingService::CutBlock() {
   block.transactions = std::move(txs);
   ++blocks_cut_;
 
-  if (telemetry_) {
+  if (tracer_) {
     for (const auto& tx : block.transactions) {
       auto sit = order_spans_.find(tx.tx_id);
       if (sit != order_spans_.end()) {
-        telemetry_->tracer().End(sit->second);
+        tracer_->End(sit->second);
         order_spans_.erase(sit);
       }
     }
-    telemetry_->metrics().counter("orderer.blocks_cut_total").Increment();
-    telemetry_->metrics()
-        .histogram("orderer.block_fill_ratio", MetricsRegistry::RatioBounds())
+  }
+  if (metrics_) {
+    metrics_->counter("orderer.blocks_cut_total").Increment();
+    metrics_
+        ->histogram("orderer.block_fill_ratio", MetricsRegistry::RatioBounds())
         .Observe(static_cast<double>(block.transactions.size()) /
                  static_cast<double>(std::max(1u, cutting_.max_tx_count)));
   }
@@ -147,16 +153,16 @@ void OrderingService::CutBlock() {
   // through Raft consensus.
   station_.Submit(latency_.block_overhead_s + extra,
                   [this, payload, block_txs]() {
-                    if (telemetry_) {
+                    if (tracer_) {
                       // One raft span per block, from proposal to quorum
                       // commit.
-                      uint64_t span = telemetry_->tracer().Begin(
+                      uint64_t span = tracer_->Begin(
                           trace_category::kRaft, "raft_replicate",
                           "orderer/raft");
-                      telemetry_->tracer().Annotate(span, "payload",
-                                                    std::to_string(payload));
-                      telemetry_->tracer().Annotate(span, "txs",
-                                                    std::to_string(block_txs));
+                      tracer_->Annotate(span, "payload",
+                                        std::to_string(payload));
+                      tracer_->Annotate(span, "txs",
+                                        std::to_string(block_txs));
                       raft_spans_[payload] = span;
                     }
                     raft_.Propose(payload);

@@ -105,7 +105,10 @@ class OrderingService {
   uint64_t batch_bytes_ = 0;
   uint64_t timeout_gen_ = 0;
 
-  Telemetry* telemetry_ = nullptr;          // optional, not owned
+  // Per-aspect telemetry handles, cached from Telemetry::options() (null
+  // when disabled — see FabricNetwork's pointer-guard discipline).
+  TraceRecorder* tracer_ = nullptr;    // optional, not owned
+  MetricsRegistry* metrics_ = nullptr;  // optional, not owned
   std::map<uint64_t, uint64_t> order_spans_;  // tx_id -> open span
   std::map<uint64_t, uint64_t> raft_spans_;   // payload -> open span
 

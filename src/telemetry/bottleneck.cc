@@ -1,0 +1,234 @@
+#include "telemetry/bottleneck.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace blockoptr {
+
+namespace {
+
+/// Near-peak threshold for evidence windows: the longest stretch where the
+/// series stays within 10% of its peak (but never below half of it, so a
+/// noisy low-peak series does not produce a run-wide "window").
+double EvidenceThreshold(double peak) {
+  return std::max(0.5 * peak, 0.9 * peak - 1e-12);
+}
+
+}  // namespace
+
+const StationAttribution* BottleneckReport::ForStage(
+    const std::string& stage) const {
+  for (const auto& st : stations) {
+    if (st.stage == stage) return &st;  // stations are sorted by util desc
+  }
+  return nullptr;
+}
+
+std::string FormatEvidenceWindow(double start_s, double end_s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.1fs,%.1fs]", start_s, end_s);
+  return buf;
+}
+
+BottleneckReport ComputeBottleneckReport(const Telemetry& telemetry,
+                                         double run_duration_s) {
+  BottleneckReport report;
+
+  // Critical-path evidence: total span time per stage.
+  report.stages = ComputeStageBreakdown(telemetry.tracer());
+  double total_span_time = 0;
+  double dominant_time = 0;
+  std::string dominant_stage;
+  for (const auto& stage : report.stages) {
+    double t = stage.mean_s * static_cast<double>(stage.count);
+    total_span_time += t;
+    if (t > dominant_time) {
+      dominant_time = t;
+      dominant_stage = stage.stage;
+    }
+  }
+  if (total_span_time > 0) {
+    report.dominant_stage_share = dominant_time / total_span_time;
+  }
+
+  // Queueing evidence: per-station utilization with evidence windows.
+  const Sampler* sampler = telemetry.sampler();
+  if (sampler != nullptr) {
+    for (const auto& track : sampler->stations()) {
+      StationAttribution attr;
+      attr.station = track.name;
+      attr.stage = track.stage;
+      // Whole-run totals come from the Finalize() snapshots, not the
+      // ServiceStation pointer: the simulated network is destroyed when
+      // the run returns, while the telemetry stays readable.
+      if (run_duration_s > 0) {
+        attr.utilization = std::clamp(
+            track.total_busy_s /
+                (run_duration_s * static_cast<double>(track.servers)),
+            0.0, 1.0);
+      }
+      attr.peak_utilization = track.utilization.Max();
+      TimeSeries::Window w = track.utilization.LongestWindowAbove(
+          EvidenceThreshold(attr.peak_utilization));
+      if (w.found) {
+        attr.window_start = w.start;
+        attr.window_end = w.end;
+      }
+      attr.mean_wait_s = track.total_wait_mean_s;
+      attr.mean_service_s =
+          track.total_jobs
+              ? track.total_busy_s / static_cast<double>(track.total_jobs)
+              : 0.0;
+      attr.queue_peak_s = track.queue_depth_s.Max();
+      report.stations.push_back(std::move(attr));
+    }
+    std::sort(report.stations.begin(), report.stations.end(),
+              [](const StationAttribution& a, const StationAttribution& b) {
+                if (a.utilization != b.utilization) {
+                  return a.utilization > b.utilization;
+                }
+                return a.station < b.station;
+              });
+
+    for (const auto& series : sampler->series()) {
+      SeriesSummary s;
+      s.name = series.name();
+      s.mean = series.Mean();
+      s.peak = series.Max();
+      TimeSeries::Window w =
+          series.LongestWindowAbove(EvidenceThreshold(s.peak));
+      if (w.found) {
+        s.window_start = w.start;
+        s.window_end = w.end;
+      }
+      report.series.push_back(std::move(s));
+    }
+  }
+
+  // Attribution: a saturated station wins; otherwise fall back to the
+  // dominant span stage (the run is latency-bound, not capacity-bound).
+  const StationAttribution* top = report.Top();
+  if (top != nullptr && top->utilization >= kSaturationThreshold) {
+    report.saturated = true;
+    report.bottleneck_station = top->station;
+    report.bottleneck_stage = top->stage;
+    report.bottleneck_utilization = top->utilization;
+    report.window_start = top->window_start;
+    report.window_end = top->window_end;
+  } else if (!dominant_stage.empty()) {
+    report.bottleneck_stage = dominant_stage;
+    const StationAttribution* st = report.ForStage(dominant_stage);
+    if (st != nullptr) {
+      report.bottleneck_station = st->station;
+      report.bottleneck_utilization = st->utilization;
+      report.window_start = st->window_start;
+      report.window_end = st->window_end;
+    }
+  } else if (top != nullptr) {
+    report.bottleneck_station = top->station;
+    report.bottleneck_stage = top->stage;
+    report.bottleneck_utilization = top->utilization;
+    report.window_start = top->window_start;
+    report.window_end = top->window_end;
+  }
+
+  char buf[256];
+  if (report.saturated) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s saturated: utilization %.2f over %s (stage: %s)",
+                  report.bottleneck_station.c_str(),
+                  report.bottleneck_utilization,
+                  FormatEvidenceWindow(report.window_start,
+                                       report.window_end)
+                      .c_str(),
+                  report.bottleneck_stage.c_str());
+    report.summary = buf;
+  } else if (!report.bottleneck_stage.empty()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "no station saturated (top utilization %.2f); stage '%s' dominates "
+        "end-to-end time (%.0f%% of span time)",
+        top != nullptr ? top->utilization : 0.0,
+        report.bottleneck_stage.c_str(), 100.0 * report.dominant_stage_share);
+    report.summary = buf;
+  } else {
+    report.summary = "no telemetry evidence recorded";
+  }
+  return report;
+}
+
+std::string FormatBottleneckTable(const BottleneckReport& report) {
+  if (report.stations.empty()) return "";
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %-9s %6s %6s %10s %10s  %s\n",
+                "station", "stage", "util", "peak", "wait(s)", "svc(s)",
+                "evidence window");
+  out += line;
+  for (const auto& st : report.stations) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %-9s %6.3f %6.3f %10.6f %10.6f  %s\n",
+                  st.station.c_str(), st.stage.c_str(), st.utilization,
+                  st.peak_utilization, st.mean_wait_s, st.mean_service_s,
+                  FormatEvidenceWindow(st.window_start, st.window_end)
+                      .c_str());
+    out += line;
+  }
+  return out;
+}
+
+JsonValue BottleneckToJson(const BottleneckReport& report) {
+  JsonValue::Object root;
+  root["saturated"] = JsonValue(report.saturated);
+  root["bottleneck_station"] = JsonValue(report.bottleneck_station);
+  root["bottleneck_stage"] = JsonValue(report.bottleneck_stage);
+  root["bottleneck_utilization"] = JsonValue(report.bottleneck_utilization);
+  root["window_start"] = JsonValue(report.window_start);
+  root["window_end"] = JsonValue(report.window_end);
+  root["dominant_stage_share"] = JsonValue(report.dominant_stage_share);
+  root["summary"] = JsonValue(report.summary);
+
+  JsonValue::Array stations;
+  for (const auto& st : report.stations) {
+    JsonValue::Object entry;
+    entry["station"] = JsonValue(st.station);
+    entry["stage"] = JsonValue(st.stage);
+    entry["utilization"] = JsonValue(st.utilization);
+    entry["peak_utilization"] = JsonValue(st.peak_utilization);
+    entry["window_start"] = JsonValue(st.window_start);
+    entry["window_end"] = JsonValue(st.window_end);
+    entry["mean_wait_s"] = JsonValue(st.mean_wait_s);
+    entry["mean_service_s"] = JsonValue(st.mean_service_s);
+    entry["queue_peak_s"] = JsonValue(st.queue_peak_s);
+    stations.push_back(JsonValue(std::move(entry)));
+  }
+  root["stations"] = JsonValue(std::move(stations));
+
+  JsonValue::Array series;
+  for (const auto& s : report.series) {
+    JsonValue::Object entry;
+    entry["name"] = JsonValue(s.name);
+    entry["mean"] = JsonValue(s.mean);
+    entry["peak"] = JsonValue(s.peak);
+    entry["window_start"] = JsonValue(s.window_start);
+    entry["window_end"] = JsonValue(s.window_end);
+    series.push_back(JsonValue(std::move(entry)));
+  }
+  root["series"] = JsonValue(std::move(series));
+
+  JsonValue::Array stages;
+  for (const auto& st : report.stages) {
+    JsonValue::Object entry;
+    entry["stage"] = JsonValue(st.stage);
+    entry["count"] = JsonValue(st.count);
+    entry["mean_s"] = JsonValue(st.mean_s);
+    entry["p50_s"] = JsonValue(st.p50_s);
+    entry["p95_s"] = JsonValue(st.p95_s);
+    entry["max_s"] = JsonValue(st.max_s);
+    stages.push_back(JsonValue(std::move(entry)));
+  }
+  root["stages"] = JsonValue(std::move(stages));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace blockoptr

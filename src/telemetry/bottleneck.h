@@ -1,0 +1,90 @@
+#ifndef BLOCKOPTR_TELEMETRY_BOTTLENECK_H_
+#define BLOCKOPTR_TELEMETRY_BOTTLENECK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "telemetry/telemetry.h"
+
+namespace blockoptr {
+
+/// How much one ServiceStation contributed to the run, with the evidence
+/// window where it was hottest.
+struct StationAttribution {
+  std::string station;  // display name, e.g. "peer/Org2/endorser"
+  std::string stage;    // pipeline stage the station implements
+  double utilization = 0;       // whole-run busy share across servers
+  double peak_utilization = 0;  // hottest sampled window
+  /// Longest contiguous stretch of near-peak utilization (the evidence
+  /// window cited in recommendation rationales). Zero-width when the
+  /// station never did work.
+  double window_start = 0;
+  double window_end = 0;
+  double mean_wait_s = 0;     // whole-run mean queue wait
+  double mean_service_s = 0;  // whole-run mean service time
+  double queue_peak_s = 0;    // deepest sampled backlog, in seconds
+};
+
+/// Peak behaviour of one pipeline-level sampled series (throughput,
+/// conflict rate, block fill, ...).
+struct SeriesSummary {
+  std::string name;
+  double mean = 0;
+  double peak = 0;
+  double window_start = 0;  // longest near-peak stretch
+  double window_end = 0;
+};
+
+/// The run's bottleneck attribution: queueing evidence (station
+/// utilization over sampled windows) joined with critical-path evidence
+/// (which span stage dominates end-to-end time). `saturated` is set when
+/// the top station's whole-run utilization crosses the saturation
+/// threshold — then the named station *is* the bottleneck; otherwise the
+/// dominant span stage is named and the run is latency- rather than
+/// capacity-bound.
+struct BottleneckReport {
+  std::vector<StageLatency> stages;          // empty when tracing was off
+  std::vector<StationAttribution> stations;  // sorted by utilization desc
+  std::vector<SeriesSummary> series;         // pipeline-level series
+  bool saturated = false;
+  std::string bottleneck_station;  // "" when no station evidence
+  std::string bottleneck_stage;
+  double bottleneck_utilization = 0;
+  double window_start = 0;
+  double window_end = 0;
+  /// Share of total span time spent in the dominant stage (0 when tracing
+  /// was off).
+  double dominant_stage_share = 0;
+  /// One-sentence human-readable attribution.
+  std::string summary;
+
+  /// Highest-utilization station of `stage`; null when none.
+  const StationAttribution* ForStage(const std::string& stage) const;
+  const StationAttribution* Top() const {
+    return stations.empty() ? nullptr : &stations.front();
+  }
+};
+
+/// Whole-run utilization at/above which a station counts as saturated.
+inline constexpr double kSaturationThreshold = 0.8;
+
+/// Builds the attribution from a finished run's telemetry.
+/// `run_duration_s` is the run's virtual end time (used for whole-run
+/// utilization). Works with any subset of aspects enabled: span analysis
+/// needs tracing, station/series analysis needs the sampler.
+BottleneckReport ComputeBottleneckReport(const Telemetry& telemetry,
+                                         double run_duration_s);
+
+/// Fixed-width station-attribution table (evidence windows included);
+/// "" when there is no station evidence.
+std::string FormatBottleneckTable(const BottleneckReport& report);
+
+JsonValue BottleneckToJson(const BottleneckReport& report);
+
+/// "[40.0s,80.0s]" — the evidence-window notation used in rationales.
+std::string FormatEvidenceWindow(double start_s, double end_s);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_TELEMETRY_BOTTLENECK_H_

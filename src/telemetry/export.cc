@@ -1,0 +1,251 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace blockoptr {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots, slashes and
+/// anything else collapse to '_'.
+std::string PromName(const std::string& name) {
+  std::string out = "blockoptr_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PromDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+/// One inline SVG line chart of a series (no-op figure when empty).
+void WriteSvgChart(std::ostream& out, const std::string& caption,
+                   const TimeSeries& series) {
+  constexpr double kW = 640, kH = 120, kPadL = 56, kPadR = 10, kPadT = 8,
+                   kPadB = 20;
+  out << "<figure><figcaption>" << HtmlEscape(caption) << "</figcaption>";
+  const auto& pts = series.points();
+  if (pts.empty()) {
+    out << "<p class=\"empty\">(no samples)</p></figure>\n";
+    return;
+  }
+  double t0 = pts.front().t, t1 = pts.back().t;
+  double vmin = pts.front().v, vmax = pts.front().v;
+  for (const auto& p : pts) {
+    vmin = std::min(vmin, p.v);
+    vmax = std::max(vmax, p.v);
+  }
+  if (vmax - vmin < 1e-12) {  // flat series: pad the range so it centers
+    vmax = vmin + (vmin == 0 ? 1.0 : std::abs(vmin) * 0.5 + 1e-9);
+    vmin = vmin - (vmax - vmin);
+  }
+  double tspan = std::max(t1 - t0, 1e-12);
+  out << "<svg viewBox=\"0 0 " << kW << " " << kH
+      << "\" width=\"" << kW << "\" height=\"" << kH
+      << "\" role=\"img\">";
+  // Frame + y extremes + x extremes.
+  out << "<rect x=\"" << kPadL << "\" y=\"" << kPadT << "\" width=\""
+      << (kW - kPadL - kPadR) << "\" height=\"" << (kH - kPadT - kPadB)
+      << "\" class=\"frame\"/>";
+  out << "<text x=\"" << (kPadL - 4) << "\" y=\"" << (kPadT + 10)
+      << "\" class=\"ylab\">" << Fmt("%.4g", vmax) << "</text>";
+  out << "<text x=\"" << (kPadL - 4) << "\" y=\"" << (kH - kPadB)
+      << "\" class=\"ylab\">" << Fmt("%.4g", vmin) << "</text>";
+  out << "<text x=\"" << kPadL << "\" y=\"" << (kH - 6)
+      << "\" class=\"xlab\">" << Fmt("%.1fs", t0) << "</text>";
+  out << "<text x=\"" << (kW - kPadR) << "\" y=\"" << (kH - 6)
+      << "\" class=\"xlab xend\">" << Fmt("%.1fs", t1) << "</text>";
+  out << "<polyline class=\"line\" points=\"";
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double x = kPadL + (pts[i].t - t0) / tspan * (kW - kPadL - kPadR);
+    double y = kPadT +
+               (1.0 - (pts[i].v - vmin) / (vmax - vmin)) *
+                   (kH - kPadT - kPadB);
+    if (i) out << ' ';
+    out << Fmt("%.2f", x) << ',' << Fmt("%.2f", y);
+  }
+  out << "\"/></svg></figure>\n";
+}
+
+}  // namespace
+
+void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
+  const MetricsRegistry& metrics = telemetry.metrics();
+  for (const auto& [name, c] : metrics.counters()) {
+    std::string p = PromName(name);
+    out << "# TYPE " << p << " counter\n" << p << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : metrics.gauges()) {
+    std::string p = PromName(name);
+    out << "# TYPE " << p << " gauge\n" << p << ' ' << PromDouble(g.value())
+        << '\n';
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    std::string p = PromName(name);
+    out << "# TYPE " << p << " histogram\n";
+    uint64_t cumulative = 0;
+    const auto& counts = h.bucket_counts();
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += counts[i];
+      out << p << "_bucket{le=\"" << PromDouble(h.bounds()[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    out << p << "_sum " << PromDouble(h.sum()) << '\n';
+    out << p << "_count " << h.count() << '\n';
+  }
+  const Sampler* sampler = telemetry.sampler();
+  if (sampler == nullptr) return;
+  // Last sampled value of every series, exposed as gauges so a scrape of
+  // the finished run still carries the continuous-monitoring signals.
+  for (const auto& s : sampler->series()) {
+    std::string p = PromName("ts." + s.name());
+    out << "# TYPE " << p << " gauge\n" << p << ' ' << PromDouble(s.Last())
+        << '\n';
+  }
+  for (const auto& tr : sampler->stations()) {
+    const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
+                                  &tr.wait_mean_s, &tr.service_mean_s};
+    for (const TimeSeries* series : tracks) {
+      std::string p =
+          PromName("station." + tr.name + "." + series->name());
+      out << "# TYPE " << p << " gauge\n" << p << ' '
+          << PromDouble(series->Last()) << '\n';
+    }
+  }
+}
+
+JsonValue TelemetrySnapshotJson(const Telemetry& telemetry,
+                                const BottleneckReport* bottleneck) {
+  JsonValue root = telemetry.metrics().SnapshotJson();
+  JsonValue::Object& obj = root.as_object();
+  if (const Sampler* sampler = telemetry.sampler()) {
+    obj["timeseries"] = sampler->ToJson();
+  }
+  if (bottleneck != nullptr) {
+    obj["bottleneck"] = BottleneckToJson(*bottleneck);
+  }
+  return root;
+}
+
+void WriteHtmlReport(std::ostream& out, const std::string& title,
+                     const HtmlSummaryRows& summary,
+                     const Telemetry& telemetry,
+                     const BottleneckReport& bottleneck) {
+  out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+         "<meta charset=\"utf-8\">\n<title>"
+      << HtmlEscape(title)
+      << "</title>\n<style>\n"
+         "body{font:14px/1.45 system-ui,sans-serif;margin:24px;"
+         "color:#1f2937;max-width:760px}\n"
+         "h1{font-size:20px}h2{font-size:16px;margin-top:28px}\n"
+         "table{border-collapse:collapse;margin:8px 0}\n"
+         "th,td{border:1px solid #d1d5db;padding:3px 8px;text-align:right}\n"
+         "th:first-child,td:first-child{text-align:left}\n"
+         "figure{margin:12px 0}\n"
+         "figcaption{font-size:12px;color:#6b7280;margin-bottom:2px}\n"
+         ".frame{fill:none;stroke:#e5e7eb}\n"
+         ".line{fill:none;stroke:#2563eb;stroke-width:1.5}\n"
+         ".ylab{font-size:10px;fill:#6b7280;text-anchor:end}\n"
+         ".xlab{font-size:10px;fill:#6b7280}\n"
+         ".xend{text-anchor:end}\n"
+         ".verdict{background:#eff6ff;border:1px solid #bfdbfe;"
+         "padding:8px 12px;border-radius:4px}\n"
+         ".empty{color:#9ca3af;font-size:12px}\n"
+         "</style>\n</head>\n<body>\n<h1>"
+      << HtmlEscape(title) << "</h1>\n";
+
+  if (!summary.empty()) {
+    out << "<h2>Run summary</h2>\n<table>\n";
+    for (const auto& [key, value] : summary) {
+      out << "<tr><td>" << HtmlEscape(key) << "</td><td>"
+          << HtmlEscape(value) << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  out << "<h2>Bottleneck attribution</h2>\n<p class=\"verdict\">"
+      << HtmlEscape(bottleneck.summary) << "</p>\n";
+  if (!bottleneck.stations.empty()) {
+    out << "<table>\n<tr><th>station</th><th>stage</th><th>util</th>"
+           "<th>peak</th><th>wait mean (s)</th><th>service mean (s)</th>"
+           "<th>queue peak (s)</th><th>evidence window</th></tr>\n";
+    for (const auto& st : bottleneck.stations) {
+      out << "<tr><td>" << HtmlEscape(st.station) << "</td><td>"
+          << HtmlEscape(st.stage) << "</td><td>"
+          << Fmt("%.3f", st.utilization) << "</td><td>"
+          << Fmt("%.3f", st.peak_utilization) << "</td><td>"
+          << Fmt("%.6f", st.mean_wait_s) << "</td><td>"
+          << Fmt("%.6f", st.mean_service_s) << "</td><td>"
+          << Fmt("%.4f", st.queue_peak_s) << "</td><td>"
+          << HtmlEscape(
+                 FormatEvidenceWindow(st.window_start, st.window_end))
+          << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+  if (!bottleneck.stages.empty()) {
+    out << "<h2>Stage latency (spans)</h2>\n"
+           "<table>\n<tr><th>stage</th><th>spans</th><th>mean (s)</th>"
+           "<th>p50 (s)</th><th>p95 (s)</th><th>max (s)</th></tr>\n";
+    for (const auto& st : bottleneck.stages) {
+      out << "<tr><td>" << HtmlEscape(st.stage) << "</td><td>" << st.count
+          << "</td><td>" << Fmt("%.6f", st.mean_s) << "</td><td>"
+          << Fmt("%.6f", st.p50_s) << "</td><td>" << Fmt("%.6f", st.p95_s)
+          << "</td><td>" << Fmt("%.6f", st.max_s) << "</td></tr>\n";
+    }
+    out << "</table>\n";
+  }
+
+  const Sampler* sampler = telemetry.sampler();
+  if (sampler != nullptr &&
+      (!sampler->series().empty() || !sampler->stations().empty())) {
+    out << "<h2>Time series</h2>\n";
+    for (const auto& s : sampler->series()) {
+      WriteSvgChart(out, s.name(), s);
+    }
+    for (const auto& tr : sampler->stations()) {
+      const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
+                                    &tr.wait_mean_s, &tr.service_mean_s};
+      for (const TimeSeries* series : tracks) {
+        WriteSvgChart(out, tr.name + " \xc2\xb7 " + series->name(),
+                      *series);
+      }
+    }
+  } else {
+    out << "<p class=\"empty\">sampler disabled: no time series "
+           "recorded</p>\n";
+  }
+  out << "</body>\n</html>\n";
+}
+
+}  // namespace blockoptr

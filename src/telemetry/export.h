@@ -1,0 +1,46 @@
+#ifndef BLOCKOPTR_TELEMETRY_EXPORT_H_
+#define BLOCKOPTR_TELEMETRY_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "telemetry/bottleneck.h"
+#include "telemetry/telemetry.h"
+
+namespace blockoptr {
+
+/// Prometheus text exposition of the run's metrics: counters, gauges, and
+/// histograms (cumulative `_bucket{le=...}` / `_sum` / `_count` form),
+/// plus the last sampled value of every sampler series as a gauge. Names
+/// are prefixed `blockoptr_` and sanitized to the Prometheus charset.
+/// Byte-deterministic: registry maps are ordered and sampler order is
+/// registration order.
+void WritePrometheusText(const Telemetry& telemetry, std::ostream& out);
+
+/// The run's full machine-readable snapshot: the MetricsRegistry snapshot
+/// (counters/gauges/histograms) extended with a "timeseries" section
+/// (sampler series + station tracks) and, when given, a "bottleneck"
+/// section. This is what `--metrics-out` writes.
+JsonValue TelemetrySnapshotJson(const Telemetry& telemetry,
+                                const BottleneckReport* bottleneck = nullptr);
+
+/// Key/value rows rendered at the top of the HTML report (throughput,
+/// success rate, ...).
+using HtmlSummaryRows = std::vector<std::pair<std::string, std::string>>;
+
+/// A self-contained single-file HTML report: run summary, bottleneck
+/// attribution (summary sentence + station table + stage table), and one
+/// inline SVG chart per sampled series (pipeline series first, then every
+/// station's utilization / queue-depth / wait / service series). No
+/// external assets, no scripts; byte-deterministic for a given run.
+void WriteHtmlReport(std::ostream& out, const std::string& title,
+                     const HtmlSummaryRows& summary,
+                     const Telemetry& telemetry,
+                     const BottleneckReport& bottleneck);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_TELEMETRY_EXPORT_H_

@@ -32,6 +32,36 @@ void Histogram::Observe(double v) {
   sum_ += v;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil): the value below which
+  // at least q of the mass lies.
+  double target = q * static_cast<double>(count_);
+  if (target < 1.0) target = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    uint64_t in_bucket = counts_[i];
+    if (in_bucket == 0) continue;
+    double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached + 1e-9 < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket: unbounded above, clamp to the last finite bound
+      // (or the mean for a degenerate bounds-free histogram).
+      return bounds_.empty() ? Mean() : bounds_.back();
+    }
+    double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    double upper = bounds_[i];
+    double frac = (target - static_cast<double>(cumulative)) /
+                  static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds_.empty() ? Mean() : bounds_.back();
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
 }
@@ -65,8 +95,10 @@ JsonValue MetricsRegistry::SnapshotJson() const {
   for (const auto& [name, g] : gauges_) {
     JsonValue::Object entry;
     entry["value"] = JsonValue(g.value());
-    entry["min"] = JsonValue(g.min());
-    entry["max"] = JsonValue(g.max());
+    // A gauge that was never set has no extremes: emit null, not 0.0, so
+    // consumers can tell "absent" from "observed zero".
+    entry["min"] = g.seen() ? JsonValue(g.min()) : JsonValue();
+    entry["max"] = g.seen() ? JsonValue(g.max()) : JsonValue();
     gauges[name] = JsonValue(std::move(entry));
   }
   JsonValue::Object histograms;

@@ -31,6 +31,9 @@ class Gauge {
   double value() const { return value_; }
   double min() const { return seen_ ? min_ : 0.0; }
   double max() const { return seen_ ? max_ : 0.0; }
+  /// Whether the gauge was ever set. Snapshots emit `min`/`max` as JSON
+  /// null for never-set gauges, so "absent" and "genuinely zero" differ.
+  bool seen() const { return seen_; }
 
  private:
   double value_ = 0;
@@ -51,6 +54,15 @@ class Histogram {
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double Mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Bucket-interpolated quantile estimate, `q` in [0, 1]: finds the
+  /// bucket holding the q-th observation and interpolates linearly within
+  /// its [lower, upper] bound range (Prometheus `histogram_quantile`
+  /// semantics; the first bucket's lower bound is 0 for these
+  /// non-negative latency/ratio histograms). Quantiles that land in the
+  /// unbounded overflow bucket clamp to the last finite bound. Returns 0
+  /// for an empty histogram.
+  double Quantile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<uint64_t>& bucket_counts() const { return counts_; }

@@ -1,0 +1,148 @@
+#include "telemetry/sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace blockoptr {
+
+Sampler::Sampler(Simulator* sim, SamplerConfig config)
+    : sim_(sim), config_(config) {}
+
+void Sampler::AddRate(std::string name, std::function<uint64_t()> cumulative) {
+  if (!enabled()) return;
+  Source src;
+  src.kind = Source::Kind::kRate;
+  src.count = std::move(cumulative);
+  sources_.push_back(std::move(src));
+  series_.emplace_back(std::move(name), config_.series_capacity);
+}
+
+void Sampler::AddGauge(std::string name, std::function<double()> value) {
+  if (!enabled()) return;
+  Source src;
+  src.kind = Source::Kind::kGauge;
+  src.value = std::move(value);
+  sources_.push_back(std::move(src));
+  series_.emplace_back(std::move(name), config_.series_capacity);
+}
+
+void Sampler::AddWindowMean(std::string name, std::function<double()> sum,
+                            std::function<uint64_t()> count) {
+  if (!enabled()) return;
+  Source src;
+  src.kind = Source::Kind::kWindowMean;
+  src.value = std::move(sum);
+  src.count = std::move(count);
+  sources_.push_back(std::move(src));
+  series_.emplace_back(std::move(name), config_.series_capacity);
+}
+
+void Sampler::AddStation(std::string name, std::string stage,
+                         const ServiceStation* station) {
+  if (!enabled()) return;
+  StationTrack track{std::move(name),
+                     std::move(stage),
+                     station,
+                     TimeSeries("utilization", config_.series_capacity),
+                     TimeSeries("queue_depth_s", config_.series_capacity),
+                     TimeSeries("wait_mean_s", config_.series_capacity),
+                     TimeSeries("service_mean_s", config_.series_capacity)};
+  stations_.push_back(std::move(track));
+}
+
+void Sampler::Start() {
+  if (!enabled() || started_) return;
+  started_ = true;
+  sim_->ScheduleAfter(config_.period_s, [this]() { Tick(); });
+}
+
+void Sampler::Finalize() {
+  for (StationTrack& tr : stations_) {
+    if (tr.station == nullptr) continue;
+    tr.total_busy_s = tr.station->busy_time();
+    tr.total_wait_mean_s = tr.station->wait_stats().mean();
+    tr.total_jobs = tr.station->wait_stats().count();
+    tr.servers = tr.station->servers();
+    tr.station = nullptr;
+  }
+  sim_ = nullptr;
+}
+
+void Sampler::Tick() {
+  const double now = sim_->Now();
+  const double period = config_.period_s;
+
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    Source& src = sources_[i];
+    double sample = 0;
+    switch (src.kind) {
+      case Source::Kind::kRate: {
+        uint64_t total = src.count();
+        sample = static_cast<double>(total - src.prev_count) / period;
+        src.prev_count = total;
+        break;
+      }
+      case Source::Kind::kGauge:
+        sample = src.value();
+        break;
+      case Source::Kind::kWindowMean: {
+        double sum = src.value();
+        uint64_t count = src.count();
+        uint64_t dc = count - src.prev_count;
+        sample = dc ? (sum - src.prev_sum) / static_cast<double>(dc) : 0.0;
+        src.prev_sum = sum;
+        src.prev_count = count;
+        break;
+      }
+    }
+    series_[i].Record(now, sample);
+  }
+
+  for (StationTrack& tr : stations_) {
+    const ServiceStation& st = *tr.station;
+    double busy = st.busy_time();
+    double wait_sum = st.wait_stats().sum();
+    uint64_t jobs = st.wait_stats().count();  // jobs *submitted* so far
+
+    double util = (busy - tr.prev_busy) /
+                  (period * static_cast<double>(st.servers()));
+    tr.utilization.Record(now, std::clamp(util, 0.0, 1.0));
+    tr.queue_depth_s.Record(now, st.CurrentDelay());
+
+    uint64_t dj = jobs - tr.prev_jobs;
+    double dwait = wait_sum - tr.prev_wait_sum;
+    double dbusy = busy - tr.prev_busy;
+    tr.wait_mean_s.Record(now, dj ? dwait / static_cast<double>(dj) : 0.0);
+    tr.service_mean_s.Record(now, dj ? dbusy / static_cast<double>(dj) : 0.0);
+
+    tr.prev_busy = busy;
+    tr.prev_wait_sum = wait_sum;
+    tr.prev_jobs = jobs;
+  }
+
+  ++ticks_;
+  sim_->ScheduleAfter(period, [this]() { Tick(); });
+}
+
+JsonValue Sampler::ToJson() const {
+  JsonValue::Object root;
+  root["period_s"] = JsonValue(config_.period_s);
+  root["ticks"] = JsonValue(ticks_);
+  JsonValue::Object series;
+  for (const TimeSeries& s : series_) series[s.name()] = s.ToJson();
+  root["series"] = JsonValue(std::move(series));
+  JsonValue::Object stations;
+  for (const StationTrack& tr : stations_) {
+    JsonValue::Object entry;
+    entry["stage"] = JsonValue(tr.stage);
+    entry["utilization"] = tr.utilization.ToJson();
+    entry["queue_depth_s"] = tr.queue_depth_s.ToJson();
+    entry["wait_mean_s"] = tr.wait_mean_s.ToJson();
+    entry["service_mean_s"] = tr.service_mean_s.ToJson();
+    stations[tr.name] = JsonValue(std::move(entry));
+  }
+  root["stations"] = JsonValue(std::move(stations));
+  return JsonValue(std::move(root));
+}
+
+}  // namespace blockoptr

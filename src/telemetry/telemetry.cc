@@ -8,13 +8,12 @@
 
 namespace blockoptr {
 
-std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer) {
-  std::map<std::string, std::vector<double>> durations;
-  for (const auto& span : tracer.spans()) {
-    durations[span.category].push_back(span.duration());
-  }
+namespace {
 
-  // Pipeline stages first, everything else after in alphabetical order.
+/// Pipeline stages first, everything else after in alphabetical order
+/// (callers pass the categories present; `present` is already sorted
+/// because it comes from a std::map).
+std::vector<std::string> StageOrder(const std::vector<std::string>& present) {
   const char* pipeline[] = {
       trace_category::kSubmit,  trace_category::kEndorse,
       trace_category::kAssemble, trace_category::kOrder,
@@ -22,13 +21,29 @@ std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer) {
       trace_category::kCommit};
   std::vector<std::string> order;
   for (const char* stage : pipeline) {
-    if (durations.count(stage)) order.push_back(stage);
+    if (std::find(present.begin(), present.end(), stage) != present.end()) {
+      order.push_back(stage);
+    }
   }
-  for (const auto& [stage, _] : durations) {
+  for (const auto& stage : present) {
     if (std::find(order.begin(), order.end(), stage) == order.end()) {
       order.push_back(stage);
     }
   }
+  return order;
+}
+
+}  // namespace
+
+std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer) {
+  std::map<std::string, std::vector<double>> durations;
+  for (const auto& span : tracer.spans()) {
+    durations[span.category].push_back(span.duration());
+  }
+
+  std::vector<std::string> present;
+  for (const auto& [stage, _] : durations) present.push_back(stage);
+  std::vector<std::string> order = StageOrder(present);
 
   std::vector<StageLatency> out;
   for (const auto& stage : order) {
@@ -46,6 +61,45 @@ std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer) {
     row.max_s = stats.max();
     row.p50_s = pct.Percentile(50);
     row.p95_s = pct.Percentile(95);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<StageLatency> ComputeStageBreakdown(
+    const MetricsRegistry& metrics) {
+  const std::string prefix = "stage.";
+  const std::string suffix = ".seconds";
+  std::vector<std::string> present;
+  for (const auto& [name, _] : metrics.histograms()) {
+    if (name.size() > prefix.size() + suffix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      present.push_back(
+          name.substr(prefix.size(),
+                      name.size() - prefix.size() - suffix.size()));
+    }
+  }
+  std::vector<StageLatency> out;
+  for (const auto& stage : StageOrder(present)) {
+    const Histogram& h =
+        metrics.histograms().at(prefix + stage + suffix);
+    StageLatency row;
+    row.stage = stage;
+    row.count = h.count();
+    row.mean_s = h.Mean();
+    row.p50_s = h.Quantile(0.5);
+    row.p95_s = h.Quantile(0.95);
+    // Bucket-resolution max: the upper bound of the highest occupied
+    // bucket (the last finite bound when the overflow bucket is occupied).
+    const auto& counts = h.bucket_counts();
+    for (size_t i = counts.size(); i > 0 && !h.bounds().empty(); --i) {
+      if (counts[i - 1] == 0) continue;
+      row.max_s = i - 1 < h.bounds().size() ? h.bounds()[i - 1]
+                                            : h.bounds().back();
+      break;
+    }
     out.push_back(std::move(row));
   }
   return out;

@@ -2,37 +2,91 @@
 #define BLOCKOPTR_TELEMETRY_TELEMETRY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "telemetry/metrics.h"
+#include "telemetry/sampler.h"
 #include "telemetry/trace.h"
 
 namespace blockoptr {
 
-/// Bundles the per-run observability state: one trace recorder plus one
-/// metrics registry, shared by every simulated component of a network.
+/// Which aspects of a telemetry-enabled run are recorded. The three
+/// aspects are independent so high-frequency runs can keep the cheap
+/// continuous sampler while shedding the per-transaction costs:
+///   - tracing:       per-transaction lifecycle spans (string-keyed; the
+///                    most expensive aspect at ~6 spans per transaction).
+///   - event_metrics: per-event counter/gauge updates at every pipeline
+///                    touch point (map lookups by dotted name).
+///   - sampling:      the continuous Sampler — one tick per period
+///                    regardless of load, so its cost is O(sim-time), not
+///                    O(transactions).
+struct TelemetryOptions {
+  bool tracing = true;
+  bool event_metrics = true;
+  /// Sampler period in virtual seconds; <= 0 disables the sampler.
+  double sample_period_s = 0.5;
+  /// Point capacity of each sampled TimeSeries.
+  size_t series_capacity = 512;
+
+  /// Continuous monitoring only: spans and per-event metrics off, sampler
+  /// on. The always-on low-overhead profile.
+  static TelemetryOptions SamplerOnly() {
+    TelemetryOptions opts;
+    opts.tracing = false;
+    opts.event_metrics = false;
+    return opts;
+  }
+};
+
+/// Bundles the per-run observability state: one trace recorder, one
+/// metrics registry, and one continuous sampler, shared by every simulated
+/// component of a network.
 ///
-/// Components hold a nullable `Telemetry*` and guard every recording site
-/// with a null check — the disabled path does no work and allocates
-/// nothing, so telemetry-off runs behave exactly like the uninstrumented
-/// simulator.
+/// Components hold a nullable `Telemetry*` and cache per-aspect pointers
+/// (`TraceRecorder*` / `MetricsRegistry*`, null when that aspect is
+/// disabled), guarding every recording site with a null check — the
+/// disabled path does no work and allocates nothing, so telemetry-off runs
+/// behave exactly like the uninstrumented simulator.
 class Telemetry {
  public:
   /// `sim` must outlive all recording calls (exports may happen later).
-  explicit Telemetry(Simulator* sim) : tracer_(sim) {}
+  explicit Telemetry(Simulator* sim, TelemetryOptions options = {})
+      : options_(options), tracer_(sim) {
+    if (options_.sample_period_s > 0) {
+      sampler_ = std::make_unique<Sampler>(
+          sim, SamplerConfig{options_.sample_period_s,
+                             options_.series_capacity});
+    }
+  }
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
+
+  const TelemetryOptions& options() const { return options_; }
 
   TraceRecorder& tracer() { return tracer_; }
   const TraceRecorder& tracer() const { return tracer_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// The per-aspect accessors components cache: null when disabled.
+  TraceRecorder* tracing() {
+    return options_.tracing ? &tracer_ : nullptr;
+  }
+  MetricsRegistry* event_metrics() {
+    return options_.event_metrics ? &metrics_ : nullptr;
+  }
+  /// Null when `sample_period_s <= 0`.
+  Sampler* sampler() { return sampler_.get(); }
+  const Sampler* sampler() const { return sampler_.get(); }
+
  private:
+  TelemetryOptions options_;
   TraceRecorder tracer_;
   MetricsRegistry metrics_;
+  std::unique_ptr<Sampler> sampler_;
 };
 
 /// Latency summary of one pipeline stage (one span category).
@@ -49,6 +103,14 @@ struct StageLatency {
 /// pipeline order (submit, endorse, assemble, order, raft, validate,
 /// commit) followed by any other categories alphabetically.
 std::vector<StageLatency> ComputeStageBreakdown(const TraceRecorder& tracer);
+
+/// Histogram-backed variant: reads the `stage.<category>.seconds`
+/// histograms (recorded by the experiment driver after a traced run) and
+/// derives p50/p95 via Histogram::Quantile. max_s is the upper bound of
+/// the highest occupied bucket — a bucket-resolution estimate, unlike the
+/// exact span-derived value.
+std::vector<StageLatency> ComputeStageBreakdown(
+    const MetricsRegistry& metrics);
 
 /// Paper-style fixed-width table of a stage breakdown; "" when empty.
 std::string FormatStageBreakdownTable(const std::vector<StageLatency>& stages);

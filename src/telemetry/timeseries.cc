@@ -1,0 +1,95 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace blockoptr {
+
+TimeSeries::TimeSeries(std::string name, size_t capacity)
+    : name_(std::move(name)), capacity_(std::max<size_t>(capacity, 2)) {
+  if (capacity_ % 2 != 0) ++capacity_;
+  points_.reserve(capacity_);
+}
+
+void TimeSeries::Record(double t, double v) {
+  ++raw_count_;
+  last_value_ = v;
+  pending_sum_ += v;
+  if (++pending_count_ < merge_factor_) return;
+
+  points_.push_back({t, pending_sum_ / static_cast<double>(pending_count_)});
+  pending_sum_ = 0;
+  pending_count_ = 0;
+
+  if (points_.size() < capacity_) return;
+  // Halve the resolution: merge adjacent pairs, keeping the later
+  // timestamp so every point still marks the *end* of the interval it
+  // covers. capacity_ is even, so no half-merged point is left over.
+  size_t half = points_.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    points_[i] = {points_[2 * i + 1].t,
+                  (points_[2 * i].v + points_[2 * i + 1].v) / 2.0};
+  }
+  points_.resize(half);
+  merge_factor_ *= 2;
+}
+
+double TimeSeries::Max() const {
+  double best = 0;
+  for (const Point& p : points_) best = std::max(best, p.v);
+  return best;
+}
+
+double TimeSeries::Mean() const {
+  if (points_.empty()) return 0;
+  double sum = 0;
+  for (const Point& p : points_) sum += p.v;
+  return sum / static_cast<double>(points_.size());
+}
+
+TimeSeries::Window TimeSeries::LongestWindowAbove(double threshold) const {
+  Window best;
+  Window cur;
+  size_t cur_len = 0;
+  size_t best_len = 0;
+  double cur_sum = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (p.v >= threshold) {
+      if (cur_len == 0) {
+        cur.found = true;
+        cur.start = i == 0 ? 0 : points_[i - 1].t;
+        cur.peak = p.v;
+        cur_sum = 0;
+      }
+      cur.end = p.t;
+      cur.peak = std::max(cur.peak, p.v);
+      cur_sum += p.v;
+      ++cur_len;
+      if (cur_len > best_len) {
+        best_len = cur_len;
+        best = cur;
+        best.mean = cur_sum / static_cast<double>(cur_len);
+      }
+    } else {
+      cur_len = 0;
+    }
+  }
+  return best;
+}
+
+JsonValue TimeSeries::ToJson() const {
+  JsonValue::Object obj;
+  obj["samples_per_point"] = JsonValue(samples_per_point());
+  JsonValue::Array ts;
+  JsonValue::Array vs;
+  for (const Point& p : points_) {
+    ts.push_back(JsonValue(p.t));
+    vs.push_back(JsonValue(p.v));
+  }
+  obj["t"] = JsonValue(std::move(ts));
+  obj["v"] = JsonValue(std::move(vs));
+  return JsonValue(std::move(obj));
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,79 @@
+#ifndef BLOCKOPTR_TELEMETRY_TIMESERIES_H_
+#define BLOCKOPTR_TELEMETRY_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace blockoptr {
+
+/// A bounded time series of (virtual time, value) samples. The buffer has
+/// a fixed point capacity: when it fills up, adjacent point pairs are
+/// merged (value-averaged, keeping the later timestamp) and the effective
+/// resolution halves — every stored point then represents
+/// `samples_per_point()` raw samples. A whole run therefore always fits in
+/// O(capacity) memory while keeping uniform resolution, and the merge rule
+/// is purely arithmetic, so identical sample streams produce identical
+/// series (the sweep-determinism contract extends to telemetry exports).
+class TimeSeries {
+ public:
+  struct Point {
+    double t = 0;
+    double v = 0;
+  };
+
+  /// Longest contiguous stretch of points with value >= a threshold.
+  /// `start` is the timestamp of the point *before* the stretch (the left
+  /// edge of the first qualifying window; 0 when the stretch starts at the
+  /// first point), `end` the timestamp of its last point.
+  struct Window {
+    bool found = false;
+    double start = 0;
+    double end = 0;
+    double peak = 0;
+    double mean = 0;
+  };
+
+  /// `capacity` is rounded up to an even number and clamped to >= 2.
+  TimeSeries(std::string name, size_t capacity);
+
+  /// Appends one raw sample. O(1) amortized; merges in place at capacity.
+  void Record(double t, double v);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  /// Raw samples recorded over the series' lifetime.
+  uint64_t raw_count() const { return raw_count_; }
+  /// How many raw samples each stored point aggregates (a power of two).
+  uint64_t samples_per_point() const { return merge_factor_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Max / mean over the stored points (0 when empty).
+  double Max() const;
+  double Mean() const;
+  /// Value of the most recent raw sample (0 when none).
+  double Last() const { return last_value_; }
+
+  Window LongestWindowAbove(double threshold) const;
+
+  /// {"samples_per_point": n, "t": [...], "v": [...]}.
+  JsonValue ToJson() const;
+
+ private:
+  std::string name_;
+  size_t capacity_;
+  std::vector<Point> points_;
+  uint64_t merge_factor_ = 1;
+  // Partial aggregate of the next point (fewer than merge_factor_ raw
+  // samples seen so far).
+  double pending_sum_ = 0;
+  uint64_t pending_count_ = 0;
+  uint64_t raw_count_ = 0;
+  double last_value_ = 0;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_TELEMETRY_TIMESERIES_H_

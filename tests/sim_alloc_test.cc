@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "sim/service_station.h"
 #include "sim/simulator.h"
+#include "telemetry/sampler.h"
 
 namespace {
 
@@ -120,6 +121,27 @@ TEST(SimAllocTest, WarmServiceStationSubmitIsAllocationFree) {
   const std::uint64_t delta = AllocationCount() - before;
   EXPECT_EQ(delta, 0u);
   EXPECT_EQ(done, 512u);
+}
+
+TEST(SimAllocTest, DisabledSamplerSchedulesNothingAndAllocatesNothing) {
+  Simulator sim;
+  ServiceStation station(&sim, "station", 1);
+  Sampler sampler(&sim, SamplerConfig{0.0, 64});  // period 0 = disabled
+  std::uint64_t count = 0;
+  // Registration is a no-op when disabled: no sources, no series.
+  sampler.AddRate("pipeline.commit_tps", [&count] { return count; });
+  sampler.AddGauge("depth", [] { return 1.0; });
+  sampler.AddStation("station", "endorse", &station);
+  RunChurn(sim, 1000, 64);  // warm-up
+  const std::uint64_t before = AllocationCount();
+  sampler.Start();
+  EXPECT_EQ(sim.num_pending(), 0u);  // no tick event was scheduled
+  RunChurn(sim, 1000, 64);
+  EXPECT_EQ(sampler.ticks(), 0u);
+  EXPECT_TRUE(sampler.series().empty());
+  EXPECT_TRUE(sampler.stations().empty());
+  // The telemetry-off path does zero telemetry work and zero allocation.
+  EXPECT_EQ(AllocationCount() - before, 0u);
 }
 
 TEST(ThreadPoolAllocTest, SubmitCostsAtMostThreeAllocationsPerTask) {

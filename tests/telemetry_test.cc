@@ -79,6 +79,56 @@ TEST(MetricsTest, EmptyHistogramMeanIsZero) {
   EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
 }
 
+TEST(MetricsTest, EmptyHistogramQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinABucket) {
+  Histogram h({1.0, 2.0, 5.0});
+  // 10 observations, all in the (1, 2] bucket.
+  for (int i = 0; i < 10; ++i) h.Observe(1.5);
+  // The q-th observation interpolates across the bucket's [1, 2] range.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+  EXPECT_NEAR(h.Quantile(0.1), 1.1, 1e-9);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1), h.Quantile(0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2), h.Quantile(1));
+}
+
+TEST(MetricsTest, QuantileFirstBucketInterpolatesFromZero) {
+  Histogram h({4.0, 8.0});
+  h.Observe(1);
+  h.Observe(2);  // both land in the first bucket: [0, 4]
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);  // 0 + 4 * (1/2)
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
+TEST(MetricsTest, QuantileInOverflowBucketClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(100);  // overflow bucket, unbounded above
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+  // A quantile resolved below the overflow bucket still interpolates.
+  EXPECT_LE(h.Quantile(0.25), 1.0);
+}
+
+TEST(MetricsTest, GaugeSnapshotEmitsNullExtremesWhenNeverSet) {
+  MetricsRegistry reg;
+  reg.gauge("never.set");
+  reg.gauge("set.to.zero").Set(0);
+  auto parsed = JsonValue::Parse(reg.SnapshotJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  // Never-set: min/max are null, so "absent" and "genuinely 0" differ.
+  EXPECT_TRUE((*parsed)["gauges"]["never.set"]["min"].is_null());
+  EXPECT_TRUE((*parsed)["gauges"]["never.set"]["max"].is_null());
+  // Set-to-zero: real numeric extremes.
+  EXPECT_TRUE((*parsed)["gauges"]["set.to.zero"]["min"].is_number());
+  EXPECT_EQ((*parsed)["gauges"]["set.to.zero"]["max"].as_number(), 0);
+}
+
 TEST(MetricsTest, SnapshotJsonRoundTrips) {
   MetricsRegistry reg;
   reg.counter("orderer.blocks_cut_total").Increment(3);
@@ -363,7 +413,8 @@ TEST(TracedExperimentTest, TelemetryDoesNotPerturbTheSimulation) {
   ASSERT_TRUE(off.ok());
   ASSERT_TRUE(on.ok());
   // The traced run must be byte-identical in outcome: telemetry only
-  // observes, it never schedules events or changes timing.
+  // observes — the sampler's tick events read state but never change
+  // component behavior or timing.
   EXPECT_EQ(off->report.Summary(), on->report.Summary());
   EXPECT_EQ(off->ledger.NumBlocks(), on->ledger.NumBlocks());
   EXPECT_DOUBLE_EQ(off->sim_end_time, on->sim_end_time);

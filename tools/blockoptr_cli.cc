@@ -28,6 +28,7 @@
 #include "blockopt/log/preprocess.h"
 #include "blockopt/metrics/metrics.h"
 #include "blockopt/recommend/autotune.h"
+#include "blockopt/recommend/evidence.h"
 #include "blockopt/recommend/recommender.h"
 #include "blockopt/recommend/report.h"
 #include "common/string_util.h"
@@ -35,6 +36,8 @@
 #include "driver/experiment.h"
 #include "driver/presets.h"
 #include "driver/sweep.h"
+#include "telemetry/bottleneck.h"
+#include "telemetry/export.h"
 #include "mining/alpha_miner.h"
 #include "mining/conformance.h"
 #include "mining/dot_export.h"
@@ -105,18 +108,26 @@ int Usage() {
       "  --out-xes=F      export the event log as XES (ProM/Disco)\n"
       "  --out-dot=F      export the mined Petri net as Graphviz DOT\n"
       "\n"
-      "observability (enables per-stage tracing for the run):\n"
+      "observability (any of these enables telemetry for the run):\n"
       "  --trace-out=F      export Chrome trace-event JSON (open in\n"
       "                     Perfetto / chrome://tracing)\n"
       "  --trace-csv=F      export the span dump as CSV\n"
-      "  --metrics-out=F    export the metrics registry snapshot as JSON\n"
+      "  --metrics-out=F    export metrics + time series + bottleneck\n"
+      "                     attribution as JSON\n"
+      "  --prom-out=F       export Prometheus text exposition\n"
+      "  --report-out=F     export a self-contained HTML report (inline\n"
+      "                     SVG charts + bottleneck attribution)\n"
+      "  --sample-period=S  continuous-sampler period in sim seconds\n"
+      "                     (default 0.5; 0 disables the sampler)\n"
       "\n"
       "sweep mode (runs a batch of experiments, optionally in parallel):\n"
       "  --set=table3       the paper's 15 Table 3 experiments (default)\n"
       "  --rates=A,B,...    sweep the send rate over the base config\n"
       "  --block-counts=A,B,...  sweep the orderer batch size\n"
       "  all `run` workload/network flags set the sweep's base config;\n"
-      "  --jobs=N picks the worker threads (rows identical for every N)\n");
+      "  --jobs=N picks the worker threads (rows identical for every N);\n"
+      "  --trace-out/--metrics-out write one suffixed file per sweep\n"
+      "  point (metrics.json -> metrics-3.json for point 3)\n");
   return 2;
 }
 
@@ -229,14 +240,40 @@ Status WriteFileOrFail(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
+/// Whether the run needs telemetry, and with which aspects.
+bool WantsTelemetry(const CliArgs& args) {
+  return args.Has("trace-out") || args.Has("trace-csv") ||
+         args.Has("metrics-out") || args.Has("prom-out") ||
+         args.Has("report-out") || args.Has("sample-period");
+}
+
+TelemetryOptions TelemetryOptionsFromArgs(const CliArgs& args) {
+  TelemetryOptions opts;
+  opts.sample_period_s = args.GetDouble("sample-period", 0.5);
+  return opts;
+}
+
+/// "metrics.json" + index 3 -> "metrics-3.json" (suffix appended when the
+/// basename has no extension). Used by sweep mode's per-point exports.
+std::string SuffixedPath(const std::string& path, size_t index) {
+  size_t slash = path.find_last_of('/');
+  size_t dot = path.find_last_of('.');
+  std::string suffix = "-" + std::to_string(index);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + suffix;
+  }
+  return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
 int RunCommand(const CliArgs& args) {
   auto cfg = BuildExperiment(args);
   if (!cfg.ok()) {
     std::fprintf(stderr, "error: %s\n", cfg.status().ToString().c_str());
     return 1;
   }
-  cfg->enable_telemetry = args.Has("trace-out") || args.Has("trace-csv") ||
-                          args.Has("metrics-out");
+  cfg->enable_telemetry = WantsTelemetry(args);
+  cfg->telemetry_options = TelemetryOptionsFromArgs(args);
 
   std::printf("running %zu transactions on %d orgs (policy %s)...\n",
               cfg->schedule.size(), cfg->network.num_orgs,
@@ -247,9 +284,18 @@ int RunCommand(const CliArgs& args) {
     return 1;
   }
   std::printf("%s\n\n", out->report.Summary().c_str());
+  std::optional<BottleneckReport> bottleneck;
   if (out->telemetry) {
     std::printf("per-stage latency breakdown (from lifecycle spans):\n%s\n",
                 out->report.StageBreakdownTable().c_str());
+    bottleneck =
+        ComputeBottleneckReport(*out->telemetry, out->sim_end_time);
+    std::string table = FormatBottleneckTable(*bottleneck);
+    if (!table.empty()) {
+      std::printf("bottleneck attribution (sampled every %.2fs):\n%s",
+                  out->telemetry->sampler()->period(), table.c_str());
+    }
+    std::printf("=> %s\n\n", bottleneck->summary.c_str());
   }
 
   BlockchainLog log = ExtractBlockchainLog(out->ledger);
@@ -261,6 +307,10 @@ int RunCommand(const CliArgs& args) {
                 options.rt1, options.et, options.it);
   }
   auto recs = Recommend(metrics, options);
+  if (bottleneck) {
+    // Every recommendation cites its observed evidence window.
+    AttachTelemetryEvidence(recs, *bottleneck);
+  }
   std::printf("%s\n", FormatRecommendationReport(metrics, recs).c_str());
 
   // ---- exports ---------------------------------------------------------
@@ -284,15 +334,52 @@ int RunCommand(const CliArgs& args) {
     std::printf("wrote span CSV: %s\n", args.Get("trace-csv", "").c_str());
   }
   if (args.Has("metrics-out")) {
-    Status st =
-        WriteFileOrFail(args.Get("metrics-out", ""),
-                        out->telemetry->metrics().SnapshotJson().DumpPretty());
+    Status st = WriteFileOrFail(
+        args.Get("metrics-out", ""),
+        TelemetrySnapshotJson(*out->telemetry,
+                              bottleneck ? &*bottleneck : nullptr)
+            .DumpPretty());
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
     }
     std::printf("wrote metrics snapshot: %s\n",
                 args.Get("metrics-out", "").c_str());
+  }
+  if (args.Has("prom-out")) {
+    std::ofstream f(args.Get("prom-out", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --prom-out\n");
+      return 1;
+    }
+    WritePrometheusText(*out->telemetry, f);
+    std::printf("wrote Prometheus exposition: %s\n",
+                args.Get("prom-out", "").c_str());
+  }
+  if (args.Has("report-out")) {
+    std::ofstream f(args.Get("report-out", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --report-out\n");
+      return 1;
+    }
+    char num[64];
+    HtmlSummaryRows rows;
+    std::snprintf(num, sizeof(num), "%zu", cfg->schedule.size());
+    rows.emplace_back("transactions", num);
+    std::snprintf(num, sizeof(num), "%.1f tps",
+                  out->report.Throughput());
+    rows.emplace_back("throughput", num);
+    std::snprintf(num, sizeof(num), "%.1f%%",
+                  100 * out->report.SuccessRate());
+    rows.emplace_back("success rate", num);
+    std::snprintf(num, sizeof(num), "%.3f s", out->report.AvgLatency());
+    rows.emplace_back("avg latency", num);
+    std::snprintf(num, sizeof(num), "%.1f s", out->sim_end_time);
+    rows.emplace_back("sim end time", num);
+    WriteHtmlReport(f, "BlockOptR run report", rows, *out->telemetry,
+                    *bottleneck);
+    std::printf("wrote HTML report: %s\n",
+                args.Get("report-out", "").c_str());
   }
   if (args.Has("out-log")) {
     std::ofstream f(args.Get("out-log", ""));
@@ -448,10 +535,17 @@ int SweepCommand(const CliArgs& args) {
     return 1;
   }
   const int jobs = args.GetInt("jobs", 1);
+  const bool telemetry = WantsTelemetry(args);
 
   std::vector<ExperimentConfig> configs;
   configs.reserve(cases->size());
-  for (const auto& c : *cases) configs.push_back(c.config);
+  for (const auto& c : *cases) {
+    configs.push_back(c.config);
+    if (telemetry) {
+      configs.back().enable_telemetry = true;
+      configs.back().telemetry_options = TelemetryOptionsFromArgs(args);
+    }
+  }
 
   // Progress goes to stderr: stdout carries only the result table, which
   // is byte-identical for every --jobs value and therefore diffable.
@@ -476,6 +570,33 @@ int SweepCommand(const CliArgs& args) {
                 (*cases)[i].label.c_str(), report.Throughput(),
                 100 * report.SuccessRate(), report.AvgLatency(),
                 RecommendationNames(recs).c_str());
+    // Per-point observability exports ("metrics.json" -> "metrics-3.json"
+    // for point 3). Progress lines go to stderr so stdout stays diffable.
+    if (outputs[i]->telemetry != nullptr) {
+      if (args.Has("trace-out")) {
+        std::string path = SuffixedPath(args.Get("trace-out", ""), i + 1);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        outputs[i]->telemetry->tracer().WriteChromeTrace(f);
+        std::fprintf(stderr, "wrote Chrome trace: %s\n", path.c_str());
+      }
+      if (args.Has("metrics-out")) {
+        std::string path = SuffixedPath(args.Get("metrics-out", ""), i + 1);
+        BottleneckReport bottleneck = ComputeBottleneckReport(
+            *outputs[i]->telemetry, outputs[i]->sim_end_time);
+        Status st = WriteFileOrFail(
+            path, TelemetrySnapshotJson(*outputs[i]->telemetry, &bottleneck)
+                      .DumpPretty());
+        if (!st.ok()) {
+          std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "wrote metrics snapshot: %s\n", path.c_str());
+      }
+    }
   }
   return 0;
 }

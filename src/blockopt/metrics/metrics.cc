@@ -2,21 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <unordered_map>
 
 #include "common/interner.h"
-#include "common/stats.h"
 
 namespace blockoptr {
 
 namespace {
-
-/// Tracks the latest committed writer of each key while replaying the log
-/// in commit order, to attribute each failure to its cause (corDV).
-struct LastWriter {
-  size_t entry_index;
-  std::string value;  // written value (for delta detection)
-};
 
 /// True when both values are counter-like — an integer prefix followed by
 /// identical payloads — and the counters differ by at most one. Catches
@@ -34,13 +25,10 @@ bool IsIntegerDelta(const std::string& a, const std::string& b) {
   return d >= -1 && d <= 1;
 }
 
-bool WriteSetsDisjoint(const BlockchainLogEntry& x,
-                       const BlockchainLogEntry& y) {
-  // Merge walk over the cached sorted ID views: no allocation, and the
-  // first common element exits early (the old version materialized the
-  // whole intersection just to check emptiness).
-  const std::vector<KeyId>& wx = x.WriteKeyIds();
-  const std::vector<KeyId>& wy = y.WriteKeyIds();
+/// Merge walk over two sorted ID views: no allocation, and the first
+/// common element exits early.
+bool SortedIdsDisjoint(const std::vector<KeyId>& wx,
+                       const std::vector<KeyId>& wy) {
   auto i = wx.begin();
   auto j = wy.begin();
   while (i != wx.end() && j != wy.end()) {
@@ -57,111 +45,324 @@ bool WriteSetsDisjoint(const BlockchainLogEntry& x,
 
 }  // namespace
 
-LogMetrics ComputeMetrics(const BlockchainLog& log,
-                          const MetricsOptions& options) {
-  LogMetrics m;
-  if (log.empty()) return m;
+MetricsRow RowFromEntry(const BlockchainLogEntry& e) {
+  Interner& keys = GlobalKeyInterner();
+  Interner& names = GlobalNameInterner();
+  MetricsRow r;
+  r.client_timestamp = e.client_timestamp;
+  r.commit_timestamp = e.commit_timestamp;
+  r.commit_order = e.commit_order;
+  r.block_num = e.block_num;
+  r.status = e.status;
+  r.tx_type = e.tx_type;
+  r.activity = names.Intern(e.activity);
+  r.invoker_client = names.Intern(e.invoker_client);
+  r.invoker_org = names.Intern(e.invoker_org);
+  r.endorsers.reserve(e.endorsers.size());
+  for (const auto& org : e.endorsers) r.endorsers.push_back(names.Intern(org));
+  r.read_ids.reserve(e.read_keys.size());
+  for (const auto& k : e.read_keys) r.read_ids.push_back(keys.Intern(k));
+  std::sort(r.read_ids.begin(), r.read_ids.end());  // already deduped
+  r.write_ids = e.WriteKeyIds();
+  r.accessed_ids = e.AccessedKeyIds();
+  r.value_write_ids.reserve(e.writes.size());
+  for (const auto& [k, v] : e.writes) {
+    (void)v;
+    r.value_write_ids.push_back(keys.Intern(k));
+  }
+  r.delete_ids.reserve(e.delete_keys.size());
+  for (const auto& k : e.delete_keys) r.delete_ids.push_back(keys.Intern(k));
+  r.range_bounds = e.range_bounds;
+  r.num_value_writes = static_cast<uint32_t>(e.writes.size());
+  r.has_deletes = !e.delete_keys.empty();
+  if (e.writes.size() == 1) r.single_write_value = e.writes[0].second;
+  return r;
+}
 
-  // ---- Rate and failure metrics --------------------------------------
-  double min_ts = log[0].client_timestamp;
-  double max_ts = log[0].client_timestamp;
-  IntervalCounter tx_intervals(options.interval_s);
-  IntervalCounter fail_intervals(options.interval_s);
-  std::set<uint64_t> blocks;
-  std::set<std::string> activities;
+MetricsRow RowFromTransaction(const Block& block, const Transaction& tx) {
+  MetricsRow row;
+  RowFromTransactionInto(block, tx, row);
+  return row;
+}
 
-  for (const auto& e : log.entries()) {
-    ++m.total_txs;
-    min_ts = std::min(min_ts, e.client_timestamp);
-    max_ts = std::max(max_ts, e.client_timestamp);
-    tx_intervals.Add(e.client_timestamp);
-    blocks.insert(e.block_num);
-    activities.insert(e.activity);
-    ++m.activity_tx_types[e.activity][e.tx_type];
-
-    switch (e.status) {
-      case TxStatus::kMvccReadConflict:
-        ++m.mvcc_failures;
-        break;
-      case TxStatus::kPhantomReadConflict:
-        ++m.phantom_failures;
-        break;
-      case TxStatus::kEndorsementPolicyFailure:
-        ++m.endorsement_failures;
-        break;
-      default:
-        break;
+void RowFromTransactionInto(const Block& block, const Transaction& tx,
+                            MetricsRow& r) {
+  Interner& keys = GlobalKeyInterner();
+  Interner& names = GlobalNameInterner();
+  r.endorsers.clear();
+  r.value_write_ids.clear();
+  r.delete_ids.clear();
+  r.range_bounds.clear();
+  r.num_value_writes = 0;
+  r.has_deletes = false;
+  r.single_write_value.clear();
+  r.commit_order = 0;
+  r.client_timestamp = tx.client_timestamp;
+  r.commit_timestamp = tx.commit_timestamp;
+  r.block_num = block.block_num;
+  r.status = tx.status;
+  r.tx_type = DeriveTxType(tx.rwset);
+  r.activity = names.Intern(tx.activity);
+  r.invoker_client = names.Intern(tx.invoker.client_id);
+  r.invoker_org = names.Intern(tx.invoker.org);
+  r.endorsers.reserve(tx.endorsers.size());
+  for (const auto& org : tx.endorsers) {
+    r.endorsers.push_back(names.Intern(org));
+  }
+  r.read_ids = tx.rwset.ReadKeyIds();
+  r.write_ids = tx.rwset.WriteKeyIds();
+  r.accessed_ids = tx.rwset.AccessedKeyIds();
+  for (const auto& w : tx.rwset.writes) {
+    if (w.cached_id == kInvalidKeyId) w.cached_id = keys.Intern(w.key);
+    if (w.is_delete) {
+      r.delete_ids.push_back(w.cached_id);
+      r.has_deletes = true;
+    } else {
+      r.value_write_ids.push_back(w.cached_id);
+      ++r.num_value_writes;
     }
-    if (e.failed()) {
-      ++m.failed_txs;
-      fail_intervals.Add(e.client_timestamp);
-    }
-
-    for (const auto& org : e.endorsers) ++m.endorser_sig[org];
-    ++m.invoker_sig[e.invoker_client];
-    ++m.invoker_org_sig[e.invoker_org];
   }
-
-  m.duration_s = max_ts - min_ts;
-  m.tr = m.duration_s > 0
-             ? static_cast<double>(m.total_txs) / m.duration_s
-             : static_cast<double>(m.total_txs);
-  m.tfr = m.duration_s > 0
-              ? static_cast<double>(m.failed_txs) / m.duration_s
-              : static_cast<double>(m.failed_txs);
-  for (size_t i = 0; i < tx_intervals.num_intervals(); ++i) {
-    m.trd.push_back(tx_intervals.RateAt(i));
-  }
-  for (size_t i = 0; i < fail_intervals.num_intervals(); ++i) {
-    m.frd.push_back(fail_intervals.RateAt(i));
-  }
-  m.frd.resize(m.trd.size(), 0.0);  // align interval vectors
-
-  m.num_blocks = blocks.size();
-  m.b_sizeavg = m.num_blocks > 0 ? static_cast<double>(m.total_txs) /
-                                       static_cast<double>(m.num_blocks)
-                                 : 0;
-  m.num_activities = activities.size();
-
-  // ---- Key metrics (Kfreq over failures, Ksig over activities) --------
-  // Accumulate per KeyId in a hash map (one O(1) probe per access, no
-  // per-entry re-sort or key-vector allocation), then materialize the
-  // string-keyed result maps in a single pass. The results are
-  // order-insensitive, so walking in ID order changes nothing.
-  struct KeyAgg {
-    uint64_t fail_freq = 0;
-    std::map<std::string, LogMetrics::KeyAccessorStats> accessors;
-  };
-  std::unordered_map<KeyId, KeyAgg> key_agg;
-  for (const auto& e : log.entries()) {
-    const std::vector<KeyId>& write_ids = e.WriteKeyIds();
-    for (KeyId id : e.AccessedKeyIds()) {
-      KeyAgg& agg = key_agg[id];
-      if (e.failed()) ++agg.fail_freq;
-      auto& stats = agg.accessors[e.activity];
-      ++stats.accesses;
-      if (e.failed()) ++stats.failures;
-      if (std::binary_search(write_ids.begin(), write_ids.end(), id)) {
-        stats.writes = true;
+  if (r.num_value_writes == 1) {
+    for (const auto& w : tx.rwset.writes) {
+      if (!w.is_delete) {
+        r.single_write_value = w.value;
+        break;
       }
     }
   }
+  for (const auto& rq : tx.rwset.range_queries) {
+    r.range_bounds.emplace_back(rq.start_key, rq.end_key);
+  }
+}
+
+MetricsAccumulator::MetricsAccumulator(const MetricsOptions& options)
+    : options_(options),
+      tx_intervals_(options.interval_s),
+      fail_intervals_(options.interval_s) {}
+
+void MetricsAccumulator::OnEntry(const BlockchainLogEntry& e) {
+  OnRow(RowFromEntry(e));
+}
+
+void MetricsAccumulator::OnRow(const MetricsRow& e) {
+  // ---- Rate and failure metrics --------------------------------------
+  if (total_txs_ == 0) {
+    min_ts_ = e.client_timestamp;
+    max_ts_ = e.client_timestamp;
+  } else {
+    min_ts_ = std::min(min_ts_, e.client_timestamp);
+    max_ts_ = std::max(max_ts_, e.client_timestamp);
+  }
+  ++total_txs_;
+  tx_intervals_.Add(e.client_timestamp);
+  blocks_.insert(e.block_num);
+  activities_.insert(e.activity);
+  ++activity_tx_types_[e.activity][e.tx_type];
+
+  switch (e.status) {
+    case TxStatus::kMvccReadConflict:
+      ++mvcc_failures_;
+      break;
+    case TxStatus::kPhantomReadConflict:
+      ++phantom_failures_;
+      break;
+    case TxStatus::kEndorsementPolicyFailure:
+      ++endorsement_failures_;
+      break;
+    default:
+      break;
+  }
+  if (e.failed()) {
+    ++failed_txs_;
+    fail_intervals_.Add(e.client_timestamp);
+  }
+
+  for (const auto& org : e.endorsers) ++endorser_sig_[org];
+  ++invoker_sig_[e.invoker_client];
+  ++invoker_org_sig_[e.invoker_org];
+
+  // ---- Key metrics (Kfreq over failures, Ksig over activities) --------
+  // Accumulate per KeyId in a hash map (one O(1) probe per access, no
+  // per-entry re-sort or key-vector allocation); strings materialize in
+  // Snapshot(). The results are order-insensitive.
+  const std::vector<KeyId>& write_ids = e.write_ids;
+  for (KeyId id : e.accessed_ids) {
+    KeyAgg& agg = key_agg_[id];
+    if (e.failed()) ++agg.fail_freq;
+    auto& stats = agg.accessors[e.activity];
+    ++stats.accesses;
+    if (e.failed()) ++stats.failures;
+    if (std::binary_search(write_ids.begin(), write_ids.end(), id)) {
+      stats.writes = true;
+    }
+  }
+
+  // ---- Correlation metrics: replay in commit order --------------------
+  // For every failed transaction x, the cause y is the most recent valid
+  // transaction (by arrival order) whose write invalidated one of x's
+  // reads — including a write into one of x's queried ranges (phantom).
+  const uint64_t seq = next_seq_++;
+  if (e.failed() && (e.status == TxStatus::kMvccReadConflict ||
+                     e.status == TxStatus::kPhantomReadConflict)) {
+    // Candidate causes over x's read keys, visited in lexicographic key
+    // order (ties between keys last written by the same transaction must
+    // resolve to the lexicographically first key, as a string-keyed walk
+    // would).
+    const Interner& interner = GlobalKeyInterner();
+    std::vector<std::pair<std::string_view, KeyId>> reads_by_name;
+    reads_by_name.reserve(e.read_ids.size());
+    for (KeyId id : e.read_ids) {
+      reads_by_name.emplace_back(interner.KeyForId(id), id);
+    }
+    std::sort(reads_by_name.begin(), reads_by_name.end());
+    const CauseRecord* cause = nullptr;
+    std::string_view contended_key;
+    for (const auto& [key, id] : reads_by_name) {
+      auto it = last_writer_.find(key);
+      if (it == last_writer_.end()) continue;
+      if (cause == nullptr || it->second->seq > cause->seq) {
+        cause = it->second.get();
+        contended_key = key;
+      }
+    }
+    // …and over writes that landed inside x's queried ranges (the map is
+    // ordered by key string, so bound strings locate directly).
+    for (const auto& [start, end] : e.range_bounds) {
+      auto it = last_writer_.lower_bound(std::string_view(start));
+      auto stop = end.empty()
+                      ? last_writer_.end()
+                      : last_writer_.lower_bound(std::string_view(end));
+      for (; it != stop; ++it) {
+        if (cause == nullptr || it->second->seq > cause->seq) {
+          cause = it->second.get();
+          contended_key = it->first;
+        }
+      }
+    }
+    if (cause != nullptr) {
+      const Interner& names = GlobalNameInterner();
+      ConflictPair pair;
+      pair.failed_commit_order = e.commit_order;
+      pair.cause_commit_order = cause->commit_order;
+      pair.failed_activity = std::string(names.KeyForId(e.activity));
+      pair.cause_activity = std::string(names.KeyForId(cause->activity));
+      pair.key = std::string(contended_key);
+      pair.distance = e.commit_order - cause->commit_order;
+      pair.same_block = e.block_num == cause->block_num;
+      pair.reorderable = SortedIdsDisjoint(e.write_ids, cause->write_ids);
+      pair.same_activity = e.activity == cause->activity;
+
+      // Delta-write candidate (Table 1): adjacent same-activity
+      // conflict, MVCC status, both single-key counter writes with a
+      // ±1 value difference.
+      if (pair.same_activity && e.status == TxStatus::kMvccReadConflict &&
+          e.num_value_writes == 1 && !e.has_deletes &&
+          cause->num_writes == 1 && !cause->has_deletes &&
+          e.value_write_ids[0] == cause->single_write_key &&
+          IsIntegerDelta(e.single_write_value, cause->single_write_value)) {
+        pair.delta_candidate = true;
+        ++delta_candidates_;
+      }
+      if (pair.same_activity && pair.distance == 1) {
+        ++adjacent_same_activity_conflicts_;
+      }
+      if (pair.same_block) {
+        ++intra_block_conflicts_;
+      } else {
+        ++inter_block_conflicts_;
+      }
+      if (pair.reorderable) ++reorderable_conflicts_;
+      ++activity_conflicts_[{pair.failed_activity, pair.cause_activity}];
+      conflicts_.push_back(std::move(pair));
+    }
+  }
+  if (e.status == TxStatus::kValid && e.num_value_writes > 0) {
+    // One shared cause record per committing transaction, referenced by
+    // every key it wrote — O(live keys) memory, no log retention.
+    auto record = std::make_shared<CauseRecord>();
+    record->seq = seq;
+    record->commit_order = e.commit_order;
+    record->block_num = e.block_num;
+    record->activity = e.activity;
+    record->write_ids = e.write_ids;
+    record->num_writes = e.num_value_writes;
+    record->has_deletes = e.has_deletes;
+    if (e.num_value_writes == 1) {
+      record->single_write_key = e.value_write_ids[0];
+      record->single_write_value = e.single_write_value;
+    }
+    const Interner& keys = GlobalKeyInterner();
+    for (KeyId id : e.value_write_ids) {
+      last_writer_[keys.KeyForId(id)] = record;
+    }
+  }
+  if (e.status == TxStatus::kValid && !e.delete_ids.empty()) {
+    const Interner& keys = GlobalKeyInterner();
+    for (KeyId id : e.delete_ids) last_writer_.erase(keys.KeyForId(id));
+  }
+}
+
+LogMetrics MetricsAccumulator::Snapshot() const {
+  LogMetrics m;
+  if (total_txs_ == 0) return m;
+
+  m.total_txs = total_txs_;
+  m.failed_txs = failed_txs_;
+  m.mvcc_failures = mvcc_failures_;
+  m.phantom_failures = phantom_failures_;
+  m.endorsement_failures = endorsement_failures_;
+  // Name ids resolve to strings here, once per snapshot — never per row.
+  const Interner& names = GlobalNameInterner();
+  for (const auto& [sym, per_type] : activity_tx_types_) {
+    m.activity_tx_types[std::string(names.KeyForId(sym))] = per_type;
+  }
+  for (const auto& [sym, n] : endorser_sig_) {
+    m.endorser_sig[std::string(names.KeyForId(sym))] = n;
+  }
+  for (const auto& [sym, n] : invoker_sig_) {
+    m.invoker_sig[std::string(names.KeyForId(sym))] = n;
+  }
+  for (const auto& [sym, n] : invoker_org_sig_) {
+    m.invoker_org_sig[std::string(names.KeyForId(sym))] = n;
+  }
+
+  m.duration_s = max_ts_ - min_ts_;
+  m.tr = m.duration_s > 0 ? static_cast<double>(m.total_txs) / m.duration_s
+                          : static_cast<double>(m.total_txs);
+  m.tfr = m.duration_s > 0 ? static_cast<double>(m.failed_txs) / m.duration_s
+                           : static_cast<double>(m.failed_txs);
+  for (size_t i = 0; i < tx_intervals_.num_intervals(); ++i) {
+    m.trd.push_back(tx_intervals_.RateAt(i));
+  }
+  for (size_t i = 0; i < fail_intervals_.num_intervals(); ++i) {
+    m.frd.push_back(fail_intervals_.RateAt(i));
+  }
+  m.frd.resize(m.trd.size(), 0.0);  // align interval vectors
+
+  m.num_blocks = blocks_.size();
+  m.b_sizeavg = m.num_blocks > 0 ? static_cast<double>(m.total_txs) /
+                                       static_cast<double>(m.num_blocks)
+                                 : 0;
+  m.num_activities = activities_.size();
+
   const Interner& interner = GlobalKeyInterner();
-  for (auto& [id, agg] : key_agg) {
+  for (const auto& [id, agg] : key_agg_) {
     std::string key(interner.KeyForId(id));
     auto& activities_of_key = m.key_activities[key];
-    for (const auto& [activity, stats] : agg.accessors) {
+    auto& accessors_of_key = m.key_accessors[key];
+    for (const auto& [activity_sym, stats] : agg.accessors) {
+      std::string activity(names.KeyForId(activity_sym));
       activities_of_key.insert(activity);
+      accessors_of_key[std::move(activity)] = stats;
     }
     if (agg.fail_freq > 0) m.key_freq[key] = agg.fail_freq;
-    m.key_accessors[key] = std::move(agg.accessors);
   }
   // A key is hot when its failure frequency clears both the absolute
   // floor and the fraction-of-all-failures threshold (user-configurable,
   // paper §4.3 metric 6).
   const uint64_t hot_threshold = std::max<uint64_t>(
-      options.hotkey_min_failures,
-      static_cast<uint64_t>(options.hotkey_failure_fraction *
+      options_.hotkey_min_failures,
+      static_cast<uint64_t>(options_.hotkey_failure_fraction *
                             static_cast<double>(m.failed_txs)));
   for (const auto& [key, freq] : m.key_freq) {
     if (freq >= hot_threshold) m.hot_keys.push_back(key);
@@ -174,86 +375,22 @@ LogMetrics ComputeMetrics(const BlockchainLog& log,
               return a < b;
             });
 
-  // ---- Correlation metrics: replay in commit order --------------------
-  // For every failed transaction x, the cause y is the most recent valid
-  // transaction (by commit order) whose write invalidated one of x's
-  // reads — including a write into one of x's queried ranges (phantom).
-  std::map<std::string, LastWriter> last_writer;
-  for (size_t i = 0; i < log.size(); ++i) {
-    const BlockchainLogEntry& e = log[i];
-    if (e.failed() && (e.status == TxStatus::kMvccReadConflict ||
-                       e.status == TxStatus::kPhantomReadConflict)) {
-      // Candidate causes over x's read keys…
-      const LastWriter* cause = nullptr;
-      std::string contended_key;
-      for (const auto& key : e.read_keys) {
-        auto it = last_writer.find(key);
-        if (it == last_writer.end()) continue;
-        if (cause == nullptr ||
-            it->second.entry_index > cause->entry_index) {
-          cause = &it->second;
-          contended_key = key;
-        }
-      }
-      // …and over writes that landed inside x's queried ranges.
-      for (const auto& [start, end] : e.range_bounds) {
-        auto it = last_writer.lower_bound(start);
-        auto stop = end.empty() ? last_writer.end()
-                                : last_writer.lower_bound(end);
-        for (; it != stop; ++it) {
-          if (cause == nullptr ||
-              it->second.entry_index > cause->entry_index) {
-            cause = &it->second;
-            contended_key = it->first;
-          }
-        }
-      }
-      if (cause != nullptr) {
-        const BlockchainLogEntry& y = log[cause->entry_index];
-        ConflictPair pair;
-        pair.failed_commit_order = e.commit_order;
-        pair.cause_commit_order = y.commit_order;
-        pair.failed_activity = e.activity;
-        pair.cause_activity = y.activity;
-        pair.key = contended_key;
-        pair.distance = e.commit_order - y.commit_order;
-        pair.same_block = e.block_num == y.block_num;
-        pair.reorderable = WriteSetsDisjoint(e, y);
-        pair.same_activity = e.activity == y.activity;
-
-        // Delta-write candidate (Table 1): adjacent same-activity
-        // conflict, MVCC status, both single-key counter writes with a
-        // ±1 value difference.
-        if (pair.same_activity && e.status == TxStatus::kMvccReadConflict &&
-            e.writes.size() == 1 && e.delete_keys.empty() &&
-            y.writes.size() == 1 && y.delete_keys.empty() &&
-            e.writes[0].first == y.writes[0].first &&
-            IsIntegerDelta(e.writes[0].second, y.writes[0].second)) {
-          pair.delta_candidate = true;
-          ++m.delta_candidates;
-        }
-        if (pair.same_activity && pair.distance == 1) {
-          ++m.adjacent_same_activity_conflicts;
-        }
-        if (pair.same_block) {
-          ++m.intra_block_conflicts;
-        } else {
-          ++m.inter_block_conflicts;
-        }
-        if (pair.reorderable) ++m.reorderable_conflicts;
-        ++m.activity_conflicts[{pair.failed_activity, pair.cause_activity}];
-        m.conflicts.push_back(std::move(pair));
-      }
-    }
-    if (e.status == TxStatus::kValid) {
-      for (const auto& [key, value] : e.writes) {
-        last_writer[key] = LastWriter{i, value};
-      }
-      for (const auto& key : e.delete_keys) last_writer.erase(key);
-    }
-  }
+  m.conflicts = conflicts_;
+  m.activity_conflicts = activity_conflicts_;
+  m.intra_block_conflicts = intra_block_conflicts_;
+  m.inter_block_conflicts = inter_block_conflicts_;
+  m.adjacent_same_activity_conflicts = adjacent_same_activity_conflicts_;
+  m.delta_candidates = delta_candidates_;
+  m.reorderable_conflicts = reorderable_conflicts_;
 
   return m;
+}
+
+LogMetrics ComputeMetrics(const BlockchainLog& log,
+                          const MetricsOptions& options) {
+  MetricsAccumulator acc(options);
+  for (const auto& e : log.entries()) acc.OnEntry(e);
+  return acc.Snapshot();
 }
 
 }  // namespace blockoptr

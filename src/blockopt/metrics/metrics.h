@@ -3,11 +3,18 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "blockopt/log/blockchain_log.h"
+#include "common/interner.h"
+#include "common/stats.h"
 
 namespace blockoptr {
 
@@ -107,6 +114,170 @@ struct LogMetrics {
 /// Derives every §4.3 metric from a preprocessed blockchain log.
 LogMetrics ComputeMetrics(const BlockchainLog& log,
                           const MetricsOptions& options = MetricsOptions());
+
+/// Id-interned projection of one log row: exactly the attributes metric
+/// derivation reads, with every repeated string — activity, invoker,
+/// endorser orgs, state keys — replaced by an interner id (keys in
+/// GlobalKeyInterner, names in GlobalNameInterner). The streaming engine
+/// builds rows directly from committed transactions, so its commit hot
+/// path materializes no strings; the batch pass converts each
+/// BlockchainLogEntry. Both feed MetricsAccumulator::OnRow — one
+/// implementation, so streaming and batch metrics agree by construction.
+struct MetricsRow {
+  double client_timestamp = 0;
+  double commit_timestamp = 0;
+  uint64_t commit_order = 0;
+  uint64_t block_num = 0;
+  TxStatus status = TxStatus::kValid;
+  TxType tx_type = TxType::kRead;
+
+  KeyId activity = kInvalidKeyId;        // name id
+  KeyId invoker_client = kInvalidKeyId;  // name id
+  KeyId invoker_org = kInvalidKeyId;     // name id
+  std::vector<KeyId> endorsers;          // name ids, one per signature
+
+  std::vector<KeyId> read_ids;      // RS(x): sorted by id, deduped
+  std::vector<KeyId> write_ids;     // WS(x) incl. deletes: sorted, deduped
+  std::vector<KeyId> accessed_ids;  // RWS(x): sorted by id, deduped
+  std::vector<KeyId> value_write_ids;  // non-delete write keys, rwset order
+  std::vector<KeyId> delete_ids;       // deleted keys, rwset order
+  /// Range-query bounds. Bounds are arbitrary strings (not necessarily
+  /// live keys), so they are kept as-is; range queries are sparse enough
+  /// that the copies stay off the common path.
+  std::vector<std::pair<std::string, std::string>> range_bounds;
+
+  uint32_t num_value_writes = 0;
+  bool has_deletes = false;
+  /// The written value when num_value_writes == 1 (delta-write analysis).
+  std::string single_write_value;
+
+  bool failed() const {
+    return status == TxStatus::kMvccReadConflict ||
+           status == TxStatus::kPhantomReadConflict ||
+           status == TxStatus::kEndorsementPolicyFailure;
+  }
+};
+
+/// Converts a batch log row into the id-interned form.
+MetricsRow RowFromEntry(const BlockchainLogEntry& entry);
+
+/// Builds a row straight from a committed transaction, reusing the
+/// rwset's cached KeyId views — no string materialization. The caller
+/// stamps `commit_order` (the streaming engine numbers non-config rows
+/// densely, the same numbering the batch log cleaner assigns).
+MetricsRow RowFromTransaction(const Block& block, const Transaction& tx);
+
+/// In-place variant: clears and refills `row`, keeping its vectors'
+/// capacity. Feeding a recycled row makes steady-state streaming
+/// derivation allocation-free.
+void RowFromTransactionInto(const Block& block, const Transaction& tx,
+                            MetricsRow& row);
+
+/// Incremental metric derivation: feed log rows one at a time, in commit
+/// order, and snapshot the full §4.3 metric set at any point. This is the
+/// single implementation of the metric semantics — `ComputeMetrics` is a
+/// loop over `OnEntry` plus one `Snapshot()` — so the streaming analysis
+/// engine (fed at block-commit time) and the batch pipeline (fed from the
+/// finished ledger) agree field-for-field by construction.
+///
+/// Memory is O(live keys + conflicts), the same order as the batch pass's
+/// working state; it does not retain the log rows themselves. Key
+/// aggregation runs on interned KeyIds (no per-entry string
+/// materialization); strings are materialized once, in `Snapshot()`.
+class MetricsAccumulator {
+ public:
+  explicit MetricsAccumulator(const MetricsOptions& options = MetricsOptions());
+
+  /// Folds one row into the accumulator. Rows must arrive in commit order
+  /// (the correlation metrics attribute each failure to the most recent
+  /// committed writer seen so far). Equivalent to
+  /// `OnRow(RowFromEntry(entry))`.
+  void OnEntry(const BlockchainLogEntry& entry);
+
+  /// Folds one id-interned row (same ordering contract as OnEntry). This
+  /// is the implementation both pipelines share; the streaming engine
+  /// calls it directly with rows built from committed transactions.
+  void OnRow(const MetricsRow& row);
+
+  /// Materializes the full metric set over everything seen so far.
+  /// Field-for-field identical to `ComputeMetrics` over the same rows.
+  LogMetrics Snapshot() const;
+
+  // Cheap cumulative counters for continuous monitoring (no snapshot
+  // needed): the streaming engine's windowed series read these per tick.
+  uint64_t total_txs() const { return total_txs_; }
+  uint64_t failed_txs() const { return failed_txs_; }
+  uint64_t mvcc_failures() const { return mvcc_failures_; }
+  uint64_t phantom_failures() const { return phantom_failures_; }
+  uint64_t endorsement_failures() const { return endorsement_failures_; }
+  uint64_t conflicts_detected() const { return conflicts_.size(); }
+  uint64_t intra_block_conflicts() const { return intra_block_conflicts_; }
+  uint64_t inter_block_conflicts() const { return inter_block_conflicts_; }
+  uint64_t reorderable_conflicts() const { return reorderable_conflicts_; }
+  uint64_t delta_candidates() const { return delta_candidates_; }
+
+ private:
+  /// Compact record of the latest committed writer of a key: everything
+  /// the correlation metrics need from the cause transaction y without
+  /// retaining the log row itself. Shared between all keys y wrote.
+  struct CauseRecord {
+    uint64_t seq = 0;  // arrival index; orders "most recent" comparisons
+    uint64_t commit_order = 0;
+    uint64_t block_num = 0;
+    KeyId activity = kInvalidKeyId;  // name id
+    std::vector<KeyId> write_ids;    // sorted-unique WS(y) view
+    size_t num_writes = 0;           // writes (value-carrying, no deletes)
+    bool has_deletes = false;
+    KeyId single_write_key = kInvalidKeyId;  // set when num_writes == 1
+    std::string single_write_value;
+  };
+
+  MetricsOptions options_;
+
+  // Rate / failure / significance state (loop-1 of the batch pass).
+  uint64_t total_txs_ = 0;
+  double min_ts_ = 0;
+  double max_ts_ = 0;
+  IntervalCounter tx_intervals_;
+  IntervalCounter fail_intervals_;
+  // Per-row state is hash-keyed (O(1) per row); Snapshot() resolves ids
+  // and rebuilds the string-ordered output maps, so ordering cost is
+  // paid once per snapshot, never per row.
+  std::unordered_set<uint64_t> blocks_;
+  std::unordered_set<KeyId> activities_;  // name ids
+  std::unordered_map<KeyId, std::map<TxType, uint64_t>> activity_tx_types_;
+  uint64_t failed_txs_ = 0;
+  uint64_t mvcc_failures_ = 0;
+  uint64_t phantom_failures_ = 0;
+  uint64_t endorsement_failures_ = 0;
+  std::unordered_map<KeyId, uint64_t> endorser_sig_;     // name-id keyed
+  std::unordered_map<KeyId, uint64_t> invoker_sig_;
+  std::unordered_map<KeyId, uint64_t> invoker_org_sig_;
+
+  // Key aggregation by interned id (loop-2 of the batch pass).
+  struct KeyAgg {
+    uint64_t fail_freq = 0;
+    std::unordered_map<KeyId, LogMetrics::KeyAccessorStats>
+        accessors;  // by activity name id
+  };
+  std::unordered_map<KeyId, KeyAgg> key_agg_;
+
+  // Correlation replay state (loop-3 of the batch pass). Keyed by the
+  // interned key's string_view — stable for the process lifetime
+  // (interner storage is append-only) — so the map stays ordered by key
+  // *string* (id order is not lexicographic: phantom range scans must
+  // see the same candidates in the same order as a string-keyed map)
+  // while each map operation resolves the id exactly once.
+  std::map<std::string_view, std::shared_ptr<CauseRecord>> last_writer_;
+  uint64_t next_seq_ = 0;
+  std::vector<ConflictPair> conflicts_;
+  std::map<std::pair<std::string, std::string>, uint64_t> activity_conflicts_;
+  uint64_t intra_block_conflicts_ = 0;
+  uint64_t inter_block_conflicts_ = 0;
+  uint64_t adjacent_same_activity_conflicts_ = 0;
+  uint64_t delta_candidates_ = 0;
+  uint64_t reorderable_conflicts_ = 0;
+};
 
 }  // namespace blockoptr
 

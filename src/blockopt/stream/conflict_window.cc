@@ -1,0 +1,91 @@
+#include "blockopt/stream/conflict_window.h"
+
+namespace blockoptr {
+
+WindowedConflictGraph::WindowedConflictGraph(size_t max_nodes)
+    : max_nodes_(max_nodes == 0 ? 1 : max_nodes) {}
+
+uint64_t WindowedConflictGraph::AddNode(const std::vector<KeyId>& read_ids,
+                                        const std::vector<KeyId>& write_ids) {
+  if (nodes_.size() >= max_nodes_) EvictOldest();
+
+  const uint64_t seq = next_seq_++;
+  Node node;
+  node.seq = seq;
+  node.read_ids = read_ids;
+  node.write_ids = write_ids;
+
+  // Existing writers of keys this node reads invalidate it: w -> seq.
+  for (KeyId id : read_ids) {
+    auto it = writers_.find(id);
+    if (it == writers_.end()) continue;
+    for (uint64_t w : it->second) {
+      if (NodeForSeq(w).out.insert(seq).second) {
+        node.in.insert(w);
+        ++edge_count_;
+      }
+    }
+  }
+  // This node's writes invalidate existing readers: seq -> r. The node is
+  // not yet registered in any posting, so no self-edge can form.
+  for (KeyId id : write_ids) {
+    auto it = readers_.find(id);
+    if (it == readers_.end()) continue;
+    for (uint64_t r : it->second) {
+      if (node.out.insert(r).second) {
+        NodeForSeq(r).in.insert(seq);
+        ++edge_count_;
+      }
+    }
+  }
+
+  for (KeyId id : node.read_ids) readers_[id].push_back(seq);
+  for (KeyId id : node.write_ids) writers_[id].push_back(seq);
+  nodes_.push_back(std::move(node));
+  return seq;
+}
+
+void WindowedConflictGraph::EvictOldest() {
+  if (nodes_.empty()) return;
+  Node& victim = nodes_.front();
+  const uint64_t seq = victim.seq;
+
+  // The oldest live node has the globally smallest seq, so its posting
+  // entries sit at the front of each ascending list.
+  for (KeyId id : victim.read_ids) {
+    auto it = readers_.find(id);
+    if (it != readers_.end() && !it->second.empty() &&
+        it->second.front() == seq) {
+      it->second.pop_front();
+      if (it->second.empty()) readers_.erase(it);
+    }
+  }
+  for (KeyId id : victim.write_ids) {
+    auto it = writers_.find(id);
+    if (it != writers_.end() && !it->second.empty() &&
+        it->second.front() == seq) {
+      it->second.pop_front();
+      if (it->second.empty()) writers_.erase(it);
+    }
+  }
+
+  edge_count_ -= victim.out.size() + victim.in.size();
+  for (uint64_t t : victim.out) NodeForSeq(t).in.erase(seq);
+  for (uint64_t s : victim.in) NodeForSeq(s).out.erase(seq);
+  nodes_.pop_front();
+}
+
+std::vector<std::vector<int>> WindowedConflictGraph::Adjacency() const {
+  std::vector<std::vector<int>> adj(nodes_.size());
+  if (nodes_.empty()) return adj;
+  const uint64_t base = nodes_.front().seq;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    adj[i].reserve(nodes_[i].out.size());
+    for (uint64_t t : nodes_[i].out) {
+      adj[i].push_back(static_cast<int>(t - base));
+    }
+  }
+  return adj;
+}
+
+}  // namespace blockoptr

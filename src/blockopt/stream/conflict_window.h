@@ -1,0 +1,84 @@
+#ifndef BLOCKOPTR_BLOCKOPT_STREAM_CONFLICT_WINDOW_H_
+#define BLOCKOPTR_BLOCKOPT_STREAM_CONFLICT_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace blockoptr {
+
+/// Incrementally maintained conflict graph over a sliding window of
+/// transactions. Same edge semantics as `reorder::ConflictGraph`: an edge
+/// i -> j exists when i *writes* a key that j *reads* (range results
+/// included), i != j. Instead of rebuilding the flat sorted (key, tx)
+/// arrays per batch, per-key reader/writer posting lists are updated as
+/// each transaction arrives and trimmed as the oldest falls out of the
+/// window — O(keys + touched postings) per add/evict rather than
+/// O(window log window) per block.
+///
+/// Capacity-bounded: at most `max_nodes` live transactions; adding beyond
+/// that evicts the oldest (FIFO). `Adjacency()` returns window-relative
+/// indices directly comparable to a from-scratch `ConflictGraph` built
+/// over the same transactions in arrival order.
+class WindowedConflictGraph {
+ public:
+  explicit WindowedConflictGraph(size_t max_nodes);
+
+  /// Adds one transaction with its sorted-unique RS/WS id views (the
+  /// cached `ReadKeyIds()`/`WriteKeyIds()` of a ReadWriteSet or log
+  /// entry). Returns the node's stable sequence number. Evicts the oldest
+  /// node first when the window is full.
+  uint64_t AddNode(const std::vector<KeyId>& read_ids,
+                   const std::vector<KeyId>& write_ids);
+
+  /// Removes the oldest live node and every edge incident to it.
+  void EvictOldest();
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  size_t max_nodes() const { return max_nodes_; }
+  /// Directed edges currently live.
+  size_t EdgeCount() const { return edge_count_; }
+  /// Sequence number of the oldest live node (0 when empty).
+  uint64_t OldestSeq() const { return nodes_.empty() ? 0 : nodes_.front().seq; }
+  uint64_t NextSeq() const { return next_seq_; }
+
+  /// Window-relative adjacency (index 0 = oldest live node), each list
+  /// sorted ascending — field-for-field comparable to
+  /// `ConflictGraph::InvalidatedBy` over the same transactions.
+  std::vector<std::vector<int>> Adjacency() const;
+
+ private:
+  struct Node {
+    uint64_t seq = 0;
+    // Kept so eviction knows which postings to trim.
+    std::vector<KeyId> read_ids;
+    std::vector<KeyId> write_ids;
+    std::set<uint64_t> out;  // this node's writes invalidate these readers
+    std::set<uint64_t> in;   // these writers invalidate this node's reads
+  };
+
+  Node& NodeForSeq(uint64_t seq) {
+    // Seqs are consecutive across the deque (evictions only pop the
+    // front), so the offset from the front seq is the index.
+    return nodes_[static_cast<size_t>(seq - nodes_.front().seq)];
+  }
+
+  size_t max_nodes_;
+  uint64_t next_seq_ = 0;
+  std::deque<Node> nodes_;
+  // Per-key posting lists of live node seqs, ascending (push_back on add,
+  // pop_front on evict).
+  std::unordered_map<KeyId, std::deque<uint64_t>> readers_;
+  std::unordered_map<KeyId, std::deque<uint64_t>> writers_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_STREAM_CONFLICT_WINDOW_H_

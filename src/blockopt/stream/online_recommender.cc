@@ -1,0 +1,86 @@
+#include "blockopt/stream/online_recommender.h"
+
+#include <utility>
+
+namespace blockoptr {
+
+namespace {
+
+bool SameAdvice(const Recommendation& a, const Recommendation& b) {
+  return a.type == b.type && a.detail == b.detail &&
+         a.activities == b.activities && a.keys == b.keys &&
+         a.orgs == b.orgs &&
+         a.suggested_block_count == b.suggested_block_count &&
+         a.suggested_rate_tps == b.suggested_rate_tps;
+}
+
+}  // namespace
+
+std::string_view RecommendationEventKindName(RecommendationEventKind k) {
+  switch (k) {
+    case RecommendationEventKind::kAppeared:
+      return "appeared";
+    case RecommendationEventKind::kUpdated:
+      return "updated";
+    case RecommendationEventKind::kWithdrawn:
+      return "withdrawn";
+  }
+  return "unknown";
+}
+
+OnlineRecommender::OnlineRecommender(const RecommenderOptions& options,
+                                     size_t max_events)
+    : options_(options), max_events_(max_events == 0 ? 1 : max_events) {}
+
+const std::vector<Recommendation>& OnlineRecommender::Evaluate(
+    const LogMetrics& window_metrics, double window_start,
+    double window_end) {
+  ++evaluations_;
+  std::vector<Recommendation> next = Recommend(window_metrics, options_);
+
+  // Diff against the previous active set by type. `Recommend` emits at
+  // most one recommendation per type, ordered by type value, so a single
+  // merge walk finds every appearance, change, and withdrawal.
+  auto MakeEvent = [&](RecommendationEventKind kind,
+                       const Recommendation& rec) {
+    RecommendationEvent event;
+    event.kind = kind;
+    event.sim_time = window_end;
+    event.window_start = window_start;
+    event.window_end = window_end;
+    event.recommendation = rec;
+    PushEvent(std::move(event));
+  };
+
+  size_t i = 0;  // over active_ (old)
+  size_t j = 0;  // over next (new)
+  while (i < active_.size() || j < next.size()) {
+    if (j == next.size() ||
+        (i < active_.size() && active_[i].type < next[j].type)) {
+      MakeEvent(RecommendationEventKind::kWithdrawn, active_[i]);
+      ++i;
+    } else if (i == active_.size() || next[j].type < active_[i].type) {
+      MakeEvent(RecommendationEventKind::kAppeared, next[j]);
+      ++j;
+    } else {
+      if (!SameAdvice(active_[i], next[j])) {
+        MakeEvent(RecommendationEventKind::kUpdated, next[j]);
+      }
+      ++i;
+      ++j;
+    }
+  }
+
+  active_ = std::move(next);
+  return active_;
+}
+
+void OnlineRecommender::PushEvent(RecommendationEvent event) {
+  if (events_.size() >= max_events_) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+}  // namespace blockoptr

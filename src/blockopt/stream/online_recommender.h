@@ -1,0 +1,72 @@
+#ifndef BLOCKOPTR_BLOCKOPT_STREAM_ONLINE_RECOMMENDER_H_
+#define BLOCKOPTR_BLOCKOPT_STREAM_ONLINE_RECOMMENDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "blockopt/recommend/recommender.h"
+
+namespace blockoptr {
+
+/// What changed about a recommendation between two window evaluations.
+enum class RecommendationEventKind {
+  kAppeared = 0,  // type newly fired
+  kUpdated,       // type still firing, but the advice changed
+  kWithdrawn,     // type stopped firing
+};
+
+std::string_view RecommendationEventKindName(RecommendationEventKind k);
+
+/// One recommendation state change, with the evidence window that
+/// produced it.
+struct RecommendationEvent {
+  RecommendationEventKind kind = RecommendationEventKind::kAppeared;
+  double sim_time = 0;      // evaluation time (window end)
+  double window_start = 0;  // evidence window
+  double window_end = 0;
+  /// The recommendation after the change (for kWithdrawn: the last
+  /// active one before it disappeared).
+  Recommendation recommendation;
+};
+
+/// Re-evaluates the nine §4.4 recommendation rules over sliding-window
+/// metrics and turns the resulting advice into a bounded event stream:
+/// instead of one batch verdict at the end of the run, each evaluation
+/// diffs the firing set against the previous one and emits
+/// appeared/updated/withdrawn events with their evidence windows.
+class OnlineRecommender {
+ public:
+  OnlineRecommender(const RecommenderOptions& options, size_t max_events);
+
+  /// Runs the batch rules against one window's metrics and diffs the
+  /// result against the currently active set. Returns the active
+  /// recommendations after the update (ordered by level then type, same
+  /// as `Recommend`).
+  const std::vector<Recommendation>& Evaluate(const LogMetrics& window_metrics,
+                                              double window_start,
+                                              double window_end);
+
+  const std::vector<Recommendation>& active() const { return active_; }
+  const std::deque<RecommendationEvent>& events() const { return events_; }
+  uint64_t evaluations() const { return evaluations_; }
+  /// Events discarded because the bounded buffer was full (oldest first).
+  uint64_t events_dropped() const { return events_dropped_; }
+  size_t max_events() const { return max_events_; }
+
+ private:
+  void PushEvent(RecommendationEvent event);
+
+  RecommenderOptions options_;
+  size_t max_events_;
+  std::vector<Recommendation> active_;
+  std::deque<RecommendationEvent> events_;
+  uint64_t evaluations_ = 0;
+  uint64_t events_dropped_ = 0;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_STREAM_ONLINE_RECOMMENDER_H_

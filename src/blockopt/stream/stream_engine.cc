@@ -1,0 +1,161 @@
+#include "blockopt/stream/stream_engine.h"
+
+#include <algorithm>
+
+namespace blockoptr {
+
+StreamEngine::StreamEngine(const StreamOptions& options)
+    : options_(options),
+      cumulative_(options.recommender.metrics),
+      recommender_(options.recommender, options.max_events),
+      graph_(options.conflict_window),
+      topk_(options.topk_capacity),
+      commit_tps_("stream.commit_tps", options.series_capacity),
+      failures_per_s_("stream.failures_per_s", options.series_capacity),
+      mvcc_per_s_("stream.mvcc_per_s", options.series_capacity),
+      phantom_per_s_("stream.phantom_per_s", options.series_capacity),
+      endorsement_per_s_("stream.endorsement_per_s",
+                         options.series_capacity),
+      conflicts_per_s_("stream.conflicts_per_s", options.series_capacity),
+      window_failure_rate_("stream.window_failure_rate",
+                           options.series_capacity),
+      hot_key_count_("stream.hot_key_count", options.series_capacity),
+      commit_latency_s_("stream.commit_latency_s", options.series_capacity),
+      active_recommendations_("stream.active_recommendations",
+                              options.series_capacity),
+      block_fill_("stream.block_fill", options.series_capacity),
+      conflict_edges_("stream.conflict_edges", options.series_capacity) {}
+
+void StreamEngine::OnBlockCommit(const Block& block) {
+  ++blocks_seen_;
+  uint32_t non_config = 0;
+  for (const Transaction& tx : block.transactions) {
+    if (tx.is_config || tx.status == TxStatus::kConfig) continue;
+    // Id-interned row straight from the transaction (reusing the rwset's
+    // cached KeyId views) — the commit hot path materializes no strings.
+    // Recycling the evicted row's vector capacity makes the steady-state
+    // feed allocation-free as well.
+    MetricsRow row;
+    if (ring_.size() >= options_.ring_capacity) {
+      row = std::move(ring_.front());
+      ring_.pop_front();
+      ++ring_overflow_;
+    }
+    RowFromTransactionInto(block, tx, row);
+    // Dense commit order over non-config rows — the same numbering
+    // CleanLog assigns post-mortem.
+    row.commit_order = next_commit_order_++;
+    ++entries_seen_;
+    ++non_config;
+
+    latency_sum_ += row.commit_timestamp - row.client_timestamp;
+    ++latency_count_;
+
+    cumulative_.OnRow(row);
+    if (row.failed()) {
+      for (KeyId id : row.accessed_ids) topk_.Offer(id);
+    }
+    // Conflict-graph nodes use the transaction's rwset views (RS needs
+    // read-only keys, which the log row folds into RWS).
+    graph_.AddNode(tx.rwset.ReadKeyIds(), tx.rwset.WriteKeyIds());
+
+    ring_.push_back(std::move(row));
+  }
+
+  const double t = block.commit_timestamp;
+  block_fill_.Record(t, static_cast<double>(non_config));
+  conflict_edges_.Record(t, static_cast<double>(graph_.EdgeCount()));
+
+  if (!have_anchor_) {
+    have_anchor_ = true;
+    last_eval_t_ = t;
+  } else if (t - last_eval_t_ >= options_.window_s) {
+    Evaluate(t);
+  }
+}
+
+void StreamEngine::Evaluate(double t) {
+  const double dt = t - last_eval_t_;
+  if (dt <= 0) return;
+
+  const auto rate = [&](uint64_t now, uint64_t before) {
+    return static_cast<double>(now - before) / dt;
+  };
+  commit_tps_.Record(t, rate(cumulative_.total_txs(), prev_.total));
+  failures_per_s_.Record(t, rate(cumulative_.failed_txs(), prev_.failed));
+  mvcc_per_s_.Record(t, rate(cumulative_.mvcc_failures(), prev_.mvcc));
+  phantom_per_s_.Record(t,
+                        rate(cumulative_.phantom_failures(), prev_.phantom));
+  endorsement_per_s_.Record(
+      t, rate(cumulative_.endorsement_failures(), prev_.endorsement));
+  conflicts_per_s_.Record(
+      t, rate(cumulative_.conflicts_detected(), prev_.conflicts));
+
+  const uint64_t lat_n = latency_count_ - prev_.latency_count;
+  commit_latency_s_.Record(
+      t, lat_n > 0 ? (latency_sum_ - prev_.latency_sum) /
+                         static_cast<double>(lat_n)
+                   : 0.0);
+
+  // Age out rows that left the evidence window, then re-derive window
+  // metrics from the retained rows. O(window) per evaluation, not per
+  // commit.
+  const double window_start = std::max(0.0, t - options_.window_s);
+  while (!ring_.empty() && ring_.front().commit_timestamp < window_start) {
+    ring_.pop_front();
+  }
+  MetricsAccumulator window_acc(options_.recommender.metrics);
+  for (const MetricsRow& e : ring_) {
+    if (e.commit_timestamp <= t) window_acc.OnRow(e);
+  }
+  const LogMetrics wm = window_acc.Snapshot();
+
+  window_failure_rate_.Record(
+      t, wm.total_txs > 0 ? static_cast<double>(wm.failed_txs) /
+                                static_cast<double>(wm.total_txs)
+                          : 0.0);
+  hot_key_count_.Record(t, static_cast<double>(wm.hot_keys.size()));
+
+  const std::vector<Recommendation>& active =
+      recommender_.Evaluate(wm, window_start, t);
+  active_recommendations_.Record(t, static_cast<double>(active.size()));
+
+  if (options_.apply && !applied_ && apply_hook_) {
+    for (const Recommendation& rec : active) {
+      if (apply_hook_(rec)) {
+        applied_ = true;
+        apply_time_ = t;
+        applied_rec_ = rec;
+        break;
+      }
+    }
+  }
+
+  prev_.total = cumulative_.total_txs();
+  prev_.failed = cumulative_.failed_txs();
+  prev_.mvcc = cumulative_.mvcc_failures();
+  prev_.phantom = cumulative_.phantom_failures();
+  prev_.endorsement = cumulative_.endorsement_failures();
+  prev_.conflicts = cumulative_.conflicts_detected();
+  prev_.latency_sum = latency_sum_;
+  prev_.latency_count = latency_count_;
+  last_eval_t_ = t;
+}
+
+void StreamEngine::Finalize(double end_time) {
+  if (finalized_) return;
+  finalized_ = true;
+  if (have_anchor_ && end_time > last_eval_t_) Evaluate(end_time);
+  apply_hook_ = nullptr;
+}
+
+std::vector<const TimeSeries*> StreamEngine::AllSeries() const {
+  return {&commit_tps_,          &failures_per_s_,
+          &mvcc_per_s_,          &phantom_per_s_,
+          &endorsement_per_s_,   &conflicts_per_s_,
+          &window_failure_rate_, &hot_key_count_,
+          &commit_latency_s_,    &active_recommendations_,
+          &block_fill_,          &conflict_edges_};
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,171 @@
+#ifndef BLOCKOPTR_BLOCKOPT_STREAM_STREAM_ENGINE_H_
+#define BLOCKOPTR_BLOCKOPT_STREAM_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "blockopt/metrics/metrics.h"
+#include "blockopt/recommend/recommender.h"
+#include "blockopt/stream/conflict_window.h"
+#include "blockopt/stream/online_recommender.h"
+#include "blockopt/stream/topk.h"
+#include "ledger/block.h"
+#include "telemetry/timeseries.h"
+
+namespace blockoptr {
+
+/// Configuration for the streaming analysis engine. Every buffer is
+/// capacity-bounded, so engine memory is O(ring + window + top-K +
+/// series + events) regardless of run length.
+struct StreamOptions {
+  bool enabled = false;
+  /// Sliding evidence window (simulated seconds) for the online
+  /// recommender; also the evaluation cadence.
+  double window_s = 5.0;
+  /// Apply the top active recommendation mid-run via the driver's
+  /// live-reconfig hook (at most once per run).
+  bool apply = false;
+  /// Max log rows retained for window re-analysis.
+  size_t ring_capacity = 8192;
+  /// Space-saving counters for the hot-key sketch.
+  size_t topk_capacity = 32;
+  /// Max transactions in the incremental conflict graph window. Per-key
+  /// posting lists (and so per-commit scan cost) grow with this, which
+  /// is why the default stays at a few blocks' worth.
+  size_t conflict_window = 256;
+  /// Point capacity per stream time series.
+  size_t series_capacity = 512;
+  /// Max retained recommendation events.
+  size_t max_events = 256;
+  RecommenderOptions recommender;
+};
+
+/// Online BlockOptR: the batch ledger → log → metrics → recommendations
+/// pipeline run continuously while the experiment executes. The peer's
+/// commit path feeds every committed block in; the engine incrementally
+/// derives log rows (same semantics as ExtractBlockchainLog: config
+/// transactions occupy a block position but never a commit order),
+/// folds them into a cumulative MetricsAccumulator, a hot-key
+/// space-saving sketch, and a windowed conflict graph, and periodically
+/// re-runs the nine recommendation rules over the sliding window —
+/// emitting events when advice appears, changes, or withdraws, and
+/// optionally applying the top recommendation through a driver-supplied
+/// hook.
+///
+/// The engine is passive and allocation-bounded: it schedules no
+/// simulator events and its state depends only on the committed block
+/// sequence, so streaming exports inherit the sweep-determinism
+/// contract.
+class StreamEngine {
+ public:
+  explicit StreamEngine(const StreamOptions& options);
+
+  /// Driver-supplied applier: receives an active recommendation and
+  /// returns true if it was applied (the engine stops trying after the
+  /// first success). Must be released before the target network dies —
+  /// Finalize() does that.
+  void set_apply_hook(std::function<bool(const Recommendation&)> hook) {
+    apply_hook_ = std::move(hook);
+  }
+
+  /// Feeds one committed block (called from the peer commit path).
+  void OnBlockCommit(const Block& block);
+
+  /// Runs a final window evaluation at `end_time` and drops the apply
+  /// hook. Idempotent.
+  void Finalize(double end_time);
+
+  // ---- Inspection ----------------------------------------------------
+  const StreamOptions& options() const { return options_; }
+  /// Cumulative whole-run metrics (field-for-field equal to the batch
+  /// pipeline over the same ledger).
+  const MetricsAccumulator& cumulative() const { return cumulative_; }
+  LogMetrics CumulativeSnapshot() const { return cumulative_.Snapshot(); }
+  const OnlineRecommender& recommender() const { return recommender_; }
+  const WindowedConflictGraph& conflict_graph() const { return graph_; }
+  const SpaceSavingTopK& hot_keys() const { return topk_; }
+  /// Id-interned rows currently retained for window re-analysis.
+  const std::deque<MetricsRow>& window_entries() const { return ring_; }
+
+  uint64_t blocks_seen() const { return blocks_seen_; }
+  uint64_t entries_seen() const { return entries_seen_; }
+  /// Rows evicted because the ring hit capacity while still inside the
+  /// evidence window (the window was truncated).
+  uint64_t ring_overflow() const { return ring_overflow_; }
+  uint64_t evaluations() const { return recommender_.evaluations(); }
+
+  bool applied() const { return applied_; }
+  double apply_time() const { return apply_time_; }
+  /// The recommendation that was applied (valid only when applied()).
+  const Recommendation& applied_recommendation() const {
+    return applied_rec_;
+  }
+
+  /// All stream time series, for export (stable order).
+  std::vector<const TimeSeries*> AllSeries() const;
+
+  const TimeSeries& commit_tps() const { return commit_tps_; }
+  const TimeSeries& block_fill() const { return block_fill_; }
+  const TimeSeries& conflict_edges() const { return conflict_edges_; }
+
+ private:
+  void Evaluate(double t);
+
+  StreamOptions options_;
+  std::function<bool(const Recommendation&)> apply_hook_;
+
+  MetricsAccumulator cumulative_;
+  OnlineRecommender recommender_;
+  WindowedConflictGraph graph_;
+  SpaceSavingTopK topk_;
+  std::deque<MetricsRow> ring_;
+
+  uint64_t next_commit_order_ = 0;
+  uint64_t blocks_seen_ = 0;
+  uint64_t entries_seen_ = 0;
+  uint64_t ring_overflow_ = 0;
+
+  bool have_anchor_ = false;
+  double last_eval_t_ = 0;
+  double latency_sum_ = 0;
+  uint64_t latency_count_ = 0;
+
+  // Cumulative counter values at the previous evaluation, for per-window
+  // rate deltas.
+  struct EvalSnapshot {
+    uint64_t total = 0;
+    uint64_t failed = 0;
+    uint64_t mvcc = 0;
+    uint64_t phantom = 0;
+    uint64_t endorsement = 0;
+    uint64_t conflicts = 0;
+    double latency_sum = 0;
+    uint64_t latency_count = 0;
+  };
+  EvalSnapshot prev_;
+
+  bool applied_ = false;
+  double apply_time_ = 0;
+  Recommendation applied_rec_;
+  bool finalized_ = false;
+
+  // Windowed series (bounded; see StreamOptions::series_capacity).
+  TimeSeries commit_tps_;
+  TimeSeries failures_per_s_;
+  TimeSeries mvcc_per_s_;
+  TimeSeries phantom_per_s_;
+  TimeSeries endorsement_per_s_;
+  TimeSeries conflicts_per_s_;
+  TimeSeries window_failure_rate_;
+  TimeSeries hot_key_count_;
+  TimeSeries commit_latency_s_;
+  TimeSeries active_recommendations_;
+  TimeSeries block_fill_;
+  TimeSeries conflict_edges_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_STREAM_STREAM_ENGINE_H_

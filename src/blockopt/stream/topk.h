@@ -1,0 +1,92 @@
+#ifndef BLOCKOPTR_BLOCKOPT_STREAM_TOPK_H_
+#define BLOCKOPTR_BLOCKOPT_STREAM_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace blockoptr {
+
+/// Space-saving heavy-hitter sketch (Metwally et al.) over interned key
+/// ids: at most `capacity` counters, O(1) expected update, deterministic
+/// eviction (smallest count, then smallest id — no hashing order leaks
+/// into results, so the sweep-determinism contract holds). Each counter
+/// carries the classic overestimation bound `error`: the true frequency
+/// of `id` lies in [count - error, count].
+class SpaceSavingTopK {
+ public:
+  struct Counter {
+    KeyId id = kInvalidKeyId;
+    uint64_t count = 0;
+    uint64_t error = 0;  // overestimation bound inherited on eviction
+  };
+
+  explicit SpaceSavingTopK(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.reserve(capacity_);
+    index_.reserve(capacity_);
+  }
+
+  /// Observes one occurrence of `id` (weight defaults to 1).
+  void Offer(KeyId id, uint64_t weight = 1) {
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      slots_[it->second].count += weight;
+      return;
+    }
+    if (slots_.size() < capacity_) {
+      index_[id] = slots_.size();
+      slots_.push_back(Counter{id, weight, 0});
+      return;
+    }
+    // Evict the (min count, min id) counter; the newcomer inherits its
+    // count as the error bound.
+    size_t victim = 0;
+    for (size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i].count < slots_[victim].count ||
+          (slots_[i].count == slots_[victim].count &&
+           slots_[i].id < slots_[victim].id)) {
+        victim = i;
+      }
+    }
+    index_.erase(slots_[victim].id);
+    const uint64_t floor = slots_[victim].count;
+    slots_[victim] = Counter{id, floor + weight, floor};
+    index_[id] = victim;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return slots_.size(); }
+  uint64_t total_offered() const {
+    uint64_t t = 0;
+    for (const Counter& c : slots_) t += c.count - c.error;
+    return t;
+  }
+
+  /// Counters sorted by (count desc, id asc) — deterministic.
+  std::vector<Counter> Entries() const {
+    std::vector<Counter> out = slots_;
+    std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+  void Clear() {
+    slots_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<Counter> slots_;
+  std::unordered_map<KeyId, size_t> index_;
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_BLOCKOPT_STREAM_TOPK_H_

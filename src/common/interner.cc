@@ -41,4 +41,9 @@ Interner& GlobalKeyInterner() {
   return *interner;
 }
 
+Interner& GlobalNameInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
 }  // namespace blockoptr

@@ -60,6 +60,12 @@ class Interner {
 /// entry. A single table keeps IDs comparable across components.
 Interner& GlobalKeyInterner();
 
+/// The process-wide interner for non-key names — activities, invoker
+/// clients, and organizations. Kept separate from the key table so
+/// key-space resolution (top-K, key metrics) never sees name ids and
+/// vice versa.
+Interner& GlobalNameInterner();
+
 }  // namespace blockoptr
 
 #endif  // BLOCKOPTR_COMMON_INTERNER_H_

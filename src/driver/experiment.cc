@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "fabric/endorsement_policy.h"
 #include "fabric/network.h"
 #include "reorder/fabricpp.h"
 #include "reorder/fabricsharp.h"
@@ -49,6 +50,40 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
     output.telemetry =
         std::make_unique<Telemetry>(&sim, config.telemetry_options);
     network.set_telemetry(output.telemetry.get());
+  }
+
+  if (config.stream.enabled) {
+    output.stream = std::make_unique<StreamEngine>(config.stream);
+    StreamEngine* engine = output.stream.get();
+    network.set_on_block_commit(
+        [engine](const Block& block) { engine->OnBlockCommit(block); });
+    if (config.stream.apply) {
+      // The engine decides *when* (first evaluation whose active set has
+      // an applicable entry); this hook decides *how* — through the same
+      // config-update transactions a live operator would submit. Only the
+      // two system-level recommendations have an in-band application
+      // path; everything else reports false and stays advisory.
+      const int num_orgs = config.network.num_orgs;
+      FabricNetwork* net = &network;
+      engine->set_apply_hook([net, num_orgs](const Recommendation& rec) {
+        switch (rec.type) {
+          case RecommendationType::kBlockSizeAdaptation: {
+            if (rec.suggested_block_count == 0) return false;
+            BlockCuttingConfig cutting;
+            cutting.max_tx_count = rec.suggested_block_count;
+            net->SubmitBlockCuttingUpdate(cutting);
+            return true;
+          }
+          case RecommendationType::kEndorserRestructuring: {
+            net->SubmitPolicyUpdate(
+                EndorsementPolicy::Preset(4, num_orgs));
+            return true;
+          }
+          default:
+            return false;
+        }
+      });
+    }
   }
 
   // Client manager: apply reordering / rate control to the workload.
@@ -112,6 +147,11 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
   }
 
   output.report.Finish(last_commit);
+  if (output.stream) {
+    // Flush the last partial window and drop the apply hook — the
+    // network it captured dies with this function, the engine does not.
+    output.stream->Finalize(sim.Now());
+  }
   if (output.telemetry && output.telemetry->sampler()) {
     // Snapshot whole-run station totals and detach from the network —
     // the network and simulator die with this function, the telemetry

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "blockopt/stream/stream_engine.h"
 #include "common/result.h"
 #include "driver/client_manager.h"
 #include "driver/report.h"
@@ -58,6 +59,16 @@ struct ExperimentConfig {
   /// when `enable_telemetry` is false). `TelemetryOptions::SamplerOnly()`
   /// is the low-overhead continuous-monitoring profile.
   TelemetryOptions telemetry_options;
+
+  /// Streaming analysis (Observability v3): when `stream.enabled`, the
+  /// commit path feeds a StreamEngine that derives the blockchain log
+  /// incrementally, maintains windowed metrics / a sliding conflict
+  /// graph, and re-evaluates the nine recommendations online. With
+  /// `stream.apply`, the top applicable recommendation is submitted
+  /// mid-run as a config-update transaction (block-size adaptation →
+  /// SubmitBlockCuttingUpdate; endorser restructuring →
+  /// SubmitPolicyUpdate). Independent of `enable_telemetry`.
+  StreamOptions stream;
 };
 
 /// The result of a run: the performance report plus the artefacts
@@ -81,6 +92,11 @@ struct ExperimentOutput {
   /// stays readable/exportable after the run even though the simulator is
   /// gone.
   std::unique_ptr<Telemetry> telemetry;
+
+  /// Streaming analysis engine state; null unless
+  /// `ExperimentConfig::stream.enabled` was set. Finalized (windows
+  /// flushed, apply hook released) before RunExperiment returns.
+  std::unique_ptr<StreamEngine> stream;
 };
 
 /// Runs the experiment to completion (every scheduled request committed or

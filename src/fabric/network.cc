@@ -546,6 +546,7 @@ void FabricNetwork::DeliverBlock(Block block) {
               }
             }
           }
+          if (on_block_commit_) on_block_commit_(appended);
           if (on_commit_) {
             for (const auto& tx : appended.transactions) on_commit_(tx);
           }

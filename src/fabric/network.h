@@ -41,6 +41,7 @@ namespace blockoptr {
 class FabricNetwork {
  public:
   using CommitCallback = std::function<void(const Transaction&)>;
+  using BlockCommitCallback = std::function<void(const Block&)>;
   using EarlyAbortCallback =
       std::function<void(const ClientRequest&, const Status&)>;
 
@@ -109,6 +110,13 @@ class FabricNetwork {
 
   /// Fires for every transaction when its block is committed on all peers.
   void set_on_commit(CommitCallback cb) { on_commit_ = std::move(cb); }
+
+  /// Fires once per committed block (after ledger append, before the
+  /// per-transaction on_commit callbacks), with the appended block —
+  /// config blocks included. This is the streaming-analysis feed.
+  void set_on_block_commit(BlockCommitCallback cb) {
+    on_block_commit_ = std::move(cb);
+  }
 
   /// Fires when every endorser rejected the proposal (chaincode early
   /// abort) and the transaction never entered ordering.
@@ -202,6 +210,7 @@ class FabricNetwork {
   PipelineTotals totals_;
 
   CommitCallback on_commit_;
+  BlockCommitCallback on_block_commit_;
   EarlyAbortCallback on_early_abort_;
 };
 

@@ -8,9 +8,43 @@ namespace blockoptr {
 
 namespace {
 
-/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots, slashes and
-/// anything else collapse to '_'.
-std::string PromName(const std::string& name) {
+std::string PromDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// HELP text per family: the original (unsanitized) series name, escaped
+/// per the exposition format (backslash and newline).
+std::string PromHelpText(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void PromFamilyHeader(std::ostream& out, const std::string& prom_name,
+                      const std::string& original_name, const char* type) {
+  out << "# HELP " << prom_name << ' ' << PromHelpText(original_name)
+      << '\n';
+  out << "# TYPE " << prom_name << ' ' << type << '\n';
+}
+
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
   std::string out = "blockoptr_";
   for (char c : name) {
     bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -20,13 +54,21 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
-std::string PromDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g", v);
-  return buf;
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
 }
 
-std::string HtmlEscape(const std::string& s) {
+std::string HtmlEscapeText(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -41,18 +83,12 @@ std::string HtmlEscape(const std::string& s) {
   return out;
 }
 
-std::string Fmt(const char* format, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), format, v);
-  return buf;
-}
-
-/// One inline SVG line chart of a series (no-op figure when empty).
-void WriteSvgChart(std::ostream& out, const std::string& caption,
-                   const TimeSeries& series) {
+void WriteTimeSeriesChart(std::ostream& out, const std::string& caption,
+                          const TimeSeries& series) {
   constexpr double kW = 640, kH = 120, kPadL = 56, kPadR = 10, kPadT = 8,
                    kPadB = 20;
-  out << "<figure><figcaption>" << HtmlEscape(caption) << "</figcaption>";
+  out << "<figure><figcaption>" << HtmlEscapeText(caption)
+      << "</figcaption>";
   const auto& pts = series.points();
   if (pts.empty()) {
     out << "<p class=\"empty\">(no samples)</p></figure>\n";
@@ -96,27 +132,27 @@ void WriteSvgChart(std::ostream& out, const std::string& caption,
   out << "\"/></svg></figure>\n";
 }
 
-}  // namespace
-
 void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
   const MetricsRegistry& metrics = telemetry.metrics();
   for (const auto& [name, c] : metrics.counters()) {
-    std::string p = PromName(name);
-    out << "# TYPE " << p << " counter\n" << p << ' ' << c.value() << '\n';
+    std::string p = PrometheusMetricName(name);
+    PromFamilyHeader(out, p, name, "counter");
+    out << p << ' ' << c.value() << '\n';
   }
   for (const auto& [name, g] : metrics.gauges()) {
-    std::string p = PromName(name);
-    out << "# TYPE " << p << " gauge\n" << p << ' ' << PromDouble(g.value())
-        << '\n';
+    std::string p = PrometheusMetricName(name);
+    PromFamilyHeader(out, p, name, "gauge");
+    out << p << ' ' << PromDouble(g.value()) << '\n';
   }
   for (const auto& [name, h] : metrics.histograms()) {
-    std::string p = PromName(name);
-    out << "# TYPE " << p << " histogram\n";
+    std::string p = PrometheusMetricName(name);
+    PromFamilyHeader(out, p, name, "histogram");
     uint64_t cumulative = 0;
     const auto& counts = h.bucket_counts();
     for (size_t i = 0; i < h.bounds().size(); ++i) {
       cumulative += counts[i];
-      out << p << "_bucket{le=\"" << PromDouble(h.bounds()[i]) << "\"} "
+      out << p << "_bucket{le=\""
+          << PrometheusEscapeLabel(PromDouble(h.bounds()[i])) << "\"} "
           << cumulative << '\n';
     }
     out << p << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
@@ -128,18 +164,19 @@ void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
   // Last sampled value of every series, exposed as gauges so a scrape of
   // the finished run still carries the continuous-monitoring signals.
   for (const auto& s : sampler->series()) {
-    std::string p = PromName("ts." + s.name());
-    out << "# TYPE " << p << " gauge\n" << p << ' ' << PromDouble(s.Last())
-        << '\n';
+    const std::string name = "ts." + s.name();
+    std::string p = PrometheusMetricName(name);
+    PromFamilyHeader(out, p, name, "gauge");
+    out << p << ' ' << PromDouble(s.Last()) << '\n';
   }
   for (const auto& tr : sampler->stations()) {
     const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
                                   &tr.wait_mean_s, &tr.service_mean_s};
     for (const TimeSeries* series : tracks) {
-      std::string p =
-          PromName("station." + tr.name + "." + series->name());
-      out << "# TYPE " << p << " gauge\n" << p << ' '
-          << PromDouble(series->Last()) << '\n';
+      const std::string name = "station." + tr.name + "." + series->name();
+      std::string p = PrometheusMetricName(name);
+      PromFamilyHeader(out, p, name, "gauge");
+      out << p << ' ' << PromDouble(series->Last()) << '\n';
     }
   }
 }
@@ -160,10 +197,11 @@ JsonValue TelemetrySnapshotJson(const Telemetry& telemetry,
 void WriteHtmlReport(std::ostream& out, const std::string& title,
                      const HtmlSummaryRows& summary,
                      const Telemetry& telemetry,
-                     const BottleneckReport& bottleneck) {
+                     const BottleneckReport& bottleneck,
+                     const std::string& extra_sections_html) {
   out << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
          "<meta charset=\"utf-8\">\n<title>"
-      << HtmlEscape(title)
+      << HtmlEscapeText(title)
       << "</title>\n<style>\n"
          "body{font:14px/1.45 system-ui,sans-serif;margin:24px;"
          "color:#1f2937;max-width:760px}\n"
@@ -182,32 +220,32 @@ void WriteHtmlReport(std::ostream& out, const std::string& title,
          "padding:8px 12px;border-radius:4px}\n"
          ".empty{color:#9ca3af;font-size:12px}\n"
          "</style>\n</head>\n<body>\n<h1>"
-      << HtmlEscape(title) << "</h1>\n";
+      << HtmlEscapeText(title) << "</h1>\n";
 
   if (!summary.empty()) {
     out << "<h2>Run summary</h2>\n<table>\n";
     for (const auto& [key, value] : summary) {
-      out << "<tr><td>" << HtmlEscape(key) << "</td><td>"
-          << HtmlEscape(value) << "</td></tr>\n";
+      out << "<tr><td>" << HtmlEscapeText(key) << "</td><td>"
+          << HtmlEscapeText(value) << "</td></tr>\n";
     }
     out << "</table>\n";
   }
 
   out << "<h2>Bottleneck attribution</h2>\n<p class=\"verdict\">"
-      << HtmlEscape(bottleneck.summary) << "</p>\n";
+      << HtmlEscapeText(bottleneck.summary) << "</p>\n";
   if (!bottleneck.stations.empty()) {
     out << "<table>\n<tr><th>station</th><th>stage</th><th>util</th>"
            "<th>peak</th><th>wait mean (s)</th><th>service mean (s)</th>"
            "<th>queue peak (s)</th><th>evidence window</th></tr>\n";
     for (const auto& st : bottleneck.stations) {
-      out << "<tr><td>" << HtmlEscape(st.station) << "</td><td>"
-          << HtmlEscape(st.stage) << "</td><td>"
+      out << "<tr><td>" << HtmlEscapeText(st.station) << "</td><td>"
+          << HtmlEscapeText(st.stage) << "</td><td>"
           << Fmt("%.3f", st.utilization) << "</td><td>"
           << Fmt("%.3f", st.peak_utilization) << "</td><td>"
           << Fmt("%.6f", st.mean_wait_s) << "</td><td>"
           << Fmt("%.6f", st.mean_service_s) << "</td><td>"
           << Fmt("%.4f", st.queue_peak_s) << "</td><td>"
-          << HtmlEscape(
+          << HtmlEscapeText(
                  FormatEvidenceWindow(st.window_start, st.window_end))
           << "</td></tr>\n";
     }
@@ -218,7 +256,7 @@ void WriteHtmlReport(std::ostream& out, const std::string& title,
            "<table>\n<tr><th>stage</th><th>spans</th><th>mean (s)</th>"
            "<th>p50 (s)</th><th>p95 (s)</th><th>max (s)</th></tr>\n";
     for (const auto& st : bottleneck.stages) {
-      out << "<tr><td>" << HtmlEscape(st.stage) << "</td><td>" << st.count
+      out << "<tr><td>" << HtmlEscapeText(st.stage) << "</td><td>" << st.count
           << "</td><td>" << Fmt("%.6f", st.mean_s) << "</td><td>"
           << Fmt("%.6f", st.p50_s) << "</td><td>" << Fmt("%.6f", st.p95_s)
           << "</td><td>" << Fmt("%.6f", st.max_s) << "</td></tr>\n";
@@ -231,13 +269,13 @@ void WriteHtmlReport(std::ostream& out, const std::string& title,
       (!sampler->series().empty() || !sampler->stations().empty())) {
     out << "<h2>Time series</h2>\n";
     for (const auto& s : sampler->series()) {
-      WriteSvgChart(out, s.name(), s);
+      WriteTimeSeriesChart(out, s.name(), s);
     }
     for (const auto& tr : sampler->stations()) {
       const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
                                     &tr.wait_mean_s, &tr.service_mean_s};
       for (const TimeSeries* series : tracks) {
-        WriteSvgChart(out, tr.name + " \xc2\xb7 " + series->name(),
+        WriteTimeSeriesChart(out, tr.name + " \xc2\xb7 " + series->name(),
                       *series);
       }
     }
@@ -245,6 +283,7 @@ void WriteHtmlReport(std::ostream& out, const std::string& title,
     out << "<p class=\"empty\">sampler disabled: no time series "
            "recorded</p>\n";
   }
+  out << extra_sections_html;
   out << "</body>\n</html>\n";
 }
 

@@ -12,6 +12,22 @@
 
 namespace blockoptr {
 
+/// Sanitized Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) with the
+/// `blockoptr_` prefix. Dots, slashes and anything else collapse to '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, `\n`.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+/// One inline SVG line chart of a series (an empty figure when the series
+/// has no samples). Shared by the HTML report and extra report sections.
+void WriteTimeSeriesChart(std::ostream& out, const std::string& caption,
+                          const TimeSeries& series);
+
+/// HTML entity escaping (&, <, >, ") for report text.
+std::string HtmlEscapeText(const std::string& s);
+
 /// Prometheus text exposition of the run's metrics: counters, gauges, and
 /// histograms (cumulative `_bucket{le=...}` / `_sum` / `_count` form),
 /// plus the last sampled value of every sampler series as a gauge. Names
@@ -36,10 +52,13 @@ using HtmlSummaryRows = std::vector<std::pair<std::string, std::string>>;
 /// inline SVG chart per sampled series (pipeline series first, then every
 /// station's utilization / queue-depth / wait / service series). No
 /// external assets, no scripts; byte-deterministic for a given run.
+/// `extra_sections_html` (pre-escaped HTML, e.g. the streaming-analysis
+/// section) is appended verbatim before </body>.
 void WriteHtmlReport(std::ostream& out, const std::string& title,
                      const HtmlSummaryRows& summary,
                      const Telemetry& telemetry,
-                     const BottleneckReport& bottleneck);
+                     const BottleneckReport& bottleneck,
+                     const std::string& extra_sections_html = std::string());
 
 }  // namespace blockoptr
 

@@ -57,6 +57,10 @@ void Sampler::Start() {
 }
 
 void Sampler::Finalize() {
+  // Idempotent: the driver and defensive callers may both finalize; the
+  // second call must not touch the snapshotted whole-run totals.
+  if (finalized_) return;
+  finalized_ = true;
   for (StationTrack& tr : stations_) {
     if (tr.station == nullptr) continue;
     tr.total_busy_s = tr.station->busy_time();

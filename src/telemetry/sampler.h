@@ -77,7 +77,9 @@ class Sampler {
   /// are destroyed when RunExperiment returns while the telemetry stays
   /// readable/exportable — post-run consumers (bottleneck attribution,
   /// exports) must only read the recorded series and these snapshots.
+  /// Idempotent: repeated calls leave the first snapshot untouched.
   void Finalize();
+  bool finalized() const { return finalized_; }
 
   struct StationTrack {
     std::string name;
@@ -120,6 +122,7 @@ class Sampler {
   Simulator* sim_;
   SamplerConfig config_;
   bool started_ = false;
+  bool finalized_ = false;
   uint64_t ticks_ = 0;
   std::vector<Source> sources_;
   std::vector<TimeSeries> series_;  // parallel to sources_

@@ -17,21 +17,27 @@ void TimeSeries::Record(double t, double v) {
   pending_sum_ += v;
   if (++pending_count_ < merge_factor_) return;
 
+  if (points_.size() == capacity_) {
+    // A new point is ready but the buffer is full: halve the resolution
+    // by merging adjacent pairs, keeping the later timestamp so every
+    // point still marks the *end* of the interval it covers (capacity_
+    // is even, so no half-merged point is left over). The pending
+    // aggregate keeps accumulating toward the doubled factor, so every
+    // stored point always covers exactly merge_factor_ samples and
+    // Mean() stays exact.
+    size_t half = points_.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      points_[i] = {points_[2 * i + 1].t,
+                    (points_[2 * i].v + points_[2 * i + 1].v) / 2.0};
+    }
+    points_.resize(half);
+    merge_factor_ *= 2;
+    return;
+  }
+
   points_.push_back({t, pending_sum_ / static_cast<double>(pending_count_)});
   pending_sum_ = 0;
   pending_count_ = 0;
-
-  if (points_.size() < capacity_) return;
-  // Halve the resolution: merge adjacent pairs, keeping the later
-  // timestamp so every point still marks the *end* of the interval it
-  // covers. capacity_ is even, so no half-merged point is left over.
-  size_t half = points_.size() / 2;
-  for (size_t i = 0; i < half; ++i) {
-    points_[i] = {points_[2 * i + 1].t,
-                  (points_[2 * i].v + points_[2 * i + 1].v) / 2.0};
-  }
-  points_.resize(half);
-  merge_factor_ *= 2;
 }
 
 double TimeSeries::Max() const {

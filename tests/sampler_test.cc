@@ -186,6 +186,36 @@ TEST(SamplerTest, StationTrackMeasuresUtilizationWithinBounds) {
   }
 }
 
+TEST(SamplerTest, FinalizeIsIdempotent) {
+  // Regression: a second Finalize() (driver + defensive caller) must not
+  // clobber the snapshotted whole-run station totals — the first call
+  // nulls the station pointers, so re-running the snapshot loop would
+  // either crash or zero the totals.
+  Simulator sim;
+  ServiceStation station(&sim, "st", 1);
+  Sampler sampler(&sim, SamplerConfig{1.0, 64});
+  sampler.AddStation("st", trace_category::kEndorse, &station);
+  sim.ScheduleAt(0.0, [&] { station.Submit(0.4, [] {}); });
+  sampler.Start();
+  // The sampler's tick re-arms itself forever; run for a bounded span.
+  while (sim.Now() < 2.5 && sim.Step()) {
+  }
+
+  EXPECT_FALSE(sampler.finalized());
+  sampler.Finalize();
+  EXPECT_TRUE(sampler.finalized());
+  const auto& track = sampler.stations()[0];
+  const double busy = track.total_busy_s;
+  const uint64_t jobs = track.total_jobs;
+  EXPECT_GT(busy, 0.0);
+  EXPECT_EQ(jobs, 1u);
+
+  sampler.Finalize();  // second call: no-op
+  EXPECT_EQ(sampler.stations()[0].total_busy_s, busy);
+  EXPECT_EQ(sampler.stations()[0].total_jobs, jobs);
+  EXPECT_EQ(sampler.stations()[0].station, nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Sampled experiments + bottleneck attribution
 // ---------------------------------------------------------------------------

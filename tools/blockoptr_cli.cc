@@ -31,6 +31,7 @@
 #include "blockopt/recommend/evidence.h"
 #include "blockopt/recommend/recommender.h"
 #include "blockopt/recommend/report.h"
+#include "blockopt/stream/export.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "driver/experiment.h"
@@ -120,14 +121,27 @@ int Usage() {
       "  --sample-period=S  continuous-sampler period in sim seconds\n"
       "                     (default 0.5; 0 disables the sampler)\n"
       "\n"
+      "streaming analysis (online, fed at block-commit time):\n"
+      "  --stream-analysis  derive the blockchain log incrementally and\n"
+      "                     re-evaluate all nine recommendations over a\n"
+      "                     sliding window while the run is in flight;\n"
+      "                     adds a `stream` section to --metrics-out /\n"
+      "                     --prom-out / --report-out\n"
+      "  --stream-window=S  evaluation window in sim seconds (default 5;\n"
+      "                     implies --stream-analysis)\n"
+      "  --stream-apply     apply the first applicable system-level\n"
+      "                     recommendation mid-run via a config update\n"
+      "                     transaction (implies --stream-analysis)\n"
+      "\n"
       "sweep mode (runs a batch of experiments, optionally in parallel):\n"
       "  --set=table3       the paper's 15 Table 3 experiments (default)\n"
       "  --rates=A,B,...    sweep the send rate over the base config\n"
       "  --block-counts=A,B,...  sweep the orderer batch size\n"
-      "  all `run` workload/network flags set the sweep's base config;\n"
-      "  --jobs=N picks the worker threads (rows identical for every N);\n"
-      "  --trace-out/--metrics-out write one suffixed file per sweep\n"
-      "  point (metrics.json -> metrics-3.json for point 3)\n");
+      "  all `run` workload/network/stream flags set the sweep's base\n"
+      "  config; --jobs=N picks the worker threads (rows identical for\n"
+      "  every N); --trace-out/--metrics-out/--prom-out/--report-out write\n"
+      "  one suffixed file per sweep point (metrics.json -> metrics-3.json\n"
+      "  for point 3)\n");
   return 2;
 }
 
@@ -253,6 +267,37 @@ TelemetryOptions TelemetryOptionsFromArgs(const CliArgs& args) {
   return opts;
 }
 
+/// Any stream flag turns the engine on; --stream-window/--stream-apply
+/// imply --stream-analysis so users don't have to spell out all three.
+StreamOptions StreamOptionsFromArgs(const CliArgs& args) {
+  StreamOptions opts;
+  opts.enabled = args.Has("stream-analysis") || args.Has("stream-window") ||
+                 args.Has("stream-apply");
+  opts.window_s = args.GetDouble("stream-window", 5.0);
+  opts.apply = args.Has("stream-apply");
+  return opts;
+}
+
+void PrintStreamSummary(const StreamEngine& stream) {
+  std::printf(
+      "streaming analysis: %llu blocks / %llu txs seen, %llu window "
+      "evaluations (window %.1fs), %zu active recommendation(s), "
+      "%zu event(s)\n",
+      static_cast<unsigned long long>(stream.blocks_seen()),
+      static_cast<unsigned long long>(stream.entries_seen()),
+      static_cast<unsigned long long>(stream.evaluations()),
+      stream.options().window_s, stream.recommender().active().size(),
+      stream.recommender().events().size());
+  if (stream.applied()) {
+    std::printf("  applied mid-run at t=%.2fs: %s\n",
+                stream.apply_time(),
+                std::string(RecommendationTypeName(
+                                stream.applied_recommendation().type))
+                    .c_str());
+  }
+  std::printf("\n");
+}
+
 /// "metrics.json" + index 3 -> "metrics-3.json" (suffix appended when the
 /// basename has no extension). Used by sweep mode's per-point exports.
 std::string SuffixedPath(const std::string& path, size_t index) {
@@ -274,6 +319,7 @@ int RunCommand(const CliArgs& args) {
   }
   cfg->enable_telemetry = WantsTelemetry(args);
   cfg->telemetry_options = TelemetryOptionsFromArgs(args);
+  cfg->stream = StreamOptionsFromArgs(args);
 
   std::printf("running %zu transactions on %d orgs (policy %s)...\n",
               cfg->schedule.size(), cfg->network.num_orgs,
@@ -297,6 +343,7 @@ int RunCommand(const CliArgs& args) {
     }
     std::printf("=> %s\n\n", bottleneck->summary.c_str());
   }
+  if (out->stream) PrintStreamSummary(*out->stream);
 
   BlockchainLog log = ExtractBlockchainLog(out->ledger);
   LogMetrics metrics = ComputeMetrics(log, MetricsOptions{});
@@ -334,11 +381,13 @@ int RunCommand(const CliArgs& args) {
     std::printf("wrote span CSV: %s\n", args.Get("trace-csv", "").c_str());
   }
   if (args.Has("metrics-out")) {
-    Status st = WriteFileOrFail(
-        args.Get("metrics-out", ""),
-        TelemetrySnapshotJson(*out->telemetry,
-                              bottleneck ? &*bottleneck : nullptr)
-            .DumpPretty());
+    JsonValue snapshot = TelemetrySnapshotJson(
+        *out->telemetry, bottleneck ? &*bottleneck : nullptr);
+    if (out->stream) {
+      snapshot.as_object()["stream"] = StreamStateJson(*out->stream);
+    }
+    Status st =
+        WriteFileOrFail(args.Get("metrics-out", ""), snapshot.DumpPretty());
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
@@ -353,6 +402,7 @@ int RunCommand(const CliArgs& args) {
       return 1;
     }
     WritePrometheusText(*out->telemetry, f);
+    if (out->stream) AppendStreamPrometheus(*out->stream, f);
     std::printf("wrote Prometheus exposition: %s\n",
                 args.Get("prom-out", "").c_str());
   }
@@ -377,7 +427,9 @@ int RunCommand(const CliArgs& args) {
     std::snprintf(num, sizeof(num), "%.1f s", out->sim_end_time);
     rows.emplace_back("sim end time", num);
     WriteHtmlReport(f, "BlockOptR run report", rows, *out->telemetry,
-                    *bottleneck);
+                    *bottleneck,
+                    out->stream ? StreamHtmlSection(*out->stream)
+                                : std::string());
     std::printf("wrote HTML report: %s\n",
                 args.Get("report-out", "").c_str());
   }
@@ -536,6 +588,7 @@ int SweepCommand(const CliArgs& args) {
   }
   const int jobs = args.GetInt("jobs", 1);
   const bool telemetry = WantsTelemetry(args);
+  const StreamOptions stream_opts = StreamOptionsFromArgs(args);
 
   std::vector<ExperimentConfig> configs;
   configs.reserve(cases->size());
@@ -545,6 +598,7 @@ int SweepCommand(const CliArgs& args) {
       configs.back().enable_telemetry = true;
       configs.back().telemetry_options = TelemetryOptionsFromArgs(args);
     }
+    configs.back().stream = stream_opts;
   }
 
   // Progress goes to stderr: stdout carries only the result table, which
@@ -587,14 +641,61 @@ int SweepCommand(const CliArgs& args) {
         std::string path = SuffixedPath(args.Get("metrics-out", ""), i + 1);
         BottleneckReport bottleneck = ComputeBottleneckReport(
             *outputs[i]->telemetry, outputs[i]->sim_end_time);
-        Status st = WriteFileOrFail(
-            path, TelemetrySnapshotJson(*outputs[i]->telemetry, &bottleneck)
-                      .DumpPretty());
+        JsonValue snapshot =
+            TelemetrySnapshotJson(*outputs[i]->telemetry, &bottleneck);
+        if (outputs[i]->stream) {
+          snapshot.as_object()["stream"] =
+              StreamStateJson(*outputs[i]->stream);
+        }
+        Status st = WriteFileOrFail(path, snapshot.DumpPretty());
         if (!st.ok()) {
           std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
           return 1;
         }
         std::fprintf(stderr, "wrote metrics snapshot: %s\n", path.c_str());
+      }
+      if (args.Has("prom-out")) {
+        std::string path = SuffixedPath(args.Get("prom-out", ""), i + 1);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        WritePrometheusText(*outputs[i]->telemetry, f);
+        if (outputs[i]->stream) {
+          AppendStreamPrometheus(*outputs[i]->stream, f);
+        }
+        std::fprintf(stderr, "wrote Prometheus exposition: %s\n",
+                     path.c_str());
+      }
+      if (args.Has("report-out")) {
+        std::string path = SuffixedPath(args.Get("report-out", ""), i + 1);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        BottleneckReport bottleneck = ComputeBottleneckReport(
+            *outputs[i]->telemetry, outputs[i]->sim_end_time);
+        char num[64];
+        HtmlSummaryRows rows;
+        rows.emplace_back("experiment", (*cases)[i].label);
+        std::snprintf(num, sizeof(num), "%.1f tps", report.Throughput());
+        rows.emplace_back("throughput", num);
+        std::snprintf(num, sizeof(num), "%.1f%%",
+                      100 * report.SuccessRate());
+        rows.emplace_back("success rate", num);
+        std::snprintf(num, sizeof(num), "%.3f s", report.AvgLatency());
+        rows.emplace_back("avg latency", num);
+        std::snprintf(num, sizeof(num), "%.1f s",
+                      outputs[i]->sim_end_time);
+        rows.emplace_back("sim end time", num);
+        WriteHtmlReport(f, "BlockOptR sweep: " + (*cases)[i].label, rows,
+                        *outputs[i]->telemetry, bottleneck,
+                        outputs[i]->stream
+                            ? StreamHtmlSection(*outputs[i]->stream)
+                            : std::string());
+        std::fprintf(stderr, "wrote HTML report: %s\n", path.c_str());
       }
     }
   }

@@ -1,0 +1,150 @@
+// perf_compare — CI perf-regression gate over BENCH_*.json trajectories.
+//
+// Compares a current benchmark dump (schema blockoptr-bench-v1, written
+// by the bench binaries' --json-out flag) against a committed baseline:
+//
+//   perf_compare --baseline=bench/baselines/BENCH_e2e.json \
+//                --current=BENCH_e2e.json [--threshold=0.15]
+//
+// Exit 1 when any benchmark present in the baseline is missing from the
+// current dump, or is slower than baseline by more than the threshold
+// (default 15%, judged on ns_per_op). Benchmarks only present in the
+// current dump are reported but never fail the gate — adding a bench must
+// not require regenerating every baseline in the same commit.
+//
+// Improvements are printed too, so a stale baseline that masks a later
+// regression is visible in the CI log.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace blockoptr {
+namespace {
+
+struct Bench {
+  double ns_per_op = 0;
+};
+
+Result<std::map<std::string, Bench>> LoadDump(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  BLOCKOPTR_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(buf.str()));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(path + ": top level is not an object");
+  }
+  const auto& obj = doc.as_object();
+  auto schema = obj.find("schema");
+  if (schema == obj.end() || !schema->second.is_string() ||
+      schema->second.as_string() != "blockoptr-bench-v1") {
+    return Status::InvalidArgument(path +
+                                   ": not a blockoptr-bench-v1 dump");
+  }
+  auto benches = obj.find("benchmarks");
+  if (benches == obj.end() || !benches->second.is_array()) {
+    return Status::InvalidArgument(path + ": missing benchmarks array");
+  }
+  std::map<std::string, Bench> out;
+  for (const JsonValue& entry : benches->second.as_array()) {
+    if (!entry.is_object()) continue;
+    const auto& e = entry.as_object();
+    auto name = e.find("name");
+    auto ns = e.find("ns_per_op");
+    if (name == e.end() || !name->second.is_string() || ns == e.end() ||
+        !ns->second.is_number() || ns->second.as_number() <= 0) {
+      return Status::InvalidArgument(path + ": malformed benchmark entry");
+    }
+    out[name->second.as_string()] = Bench{ns->second.as_number()};
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument(path + ": no benchmark entries");
+  }
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: perf_compare --baseline=FILE --current=FILE "
+               "[--threshold=0.15]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double threshold = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--baseline=", 11) == 0) {
+      baseline_path = arg + 11;
+    } else if (std::strncmp(arg, "--current=", 10) == 0) {
+      current_path = arg + 10;
+    } else if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      threshold = std::strtod(arg + 12, nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || threshold <= 0) {
+    return Usage();
+  }
+
+  auto baseline = LoadDump(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "error: %s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  auto current = LoadDump(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "error: %s\n", current.status().ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  std::printf("%-44s %14s %14s %9s\n", "benchmark", "baseline(ns)",
+              "current(ns)", "delta");
+  for (const auto& [name, base] : *baseline) {
+    auto it = current->find(name);
+    if (it == current->end()) {
+      std::printf("%-44s %14.0f %14s %9s  MISSING\n", name.c_str(),
+                  base.ns_per_op, "-", "-");
+      ++failures;
+      continue;
+    }
+    const double ratio = it->second.ns_per_op / base.ns_per_op - 1.0;
+    const bool regressed = ratio > threshold;
+    std::printf("%-44s %14.0f %14.0f %+8.1f%%%s\n", name.c_str(),
+                base.ns_per_op, it->second.ns_per_op, 100 * ratio,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++failures;
+  }
+  for (const auto& [name, bench] : *current) {
+    if (baseline->count(name) == 0) {
+      std::printf("%-44s %14s %14.0f %9s  (new, no baseline)\n",
+                  name.c_str(), "-", bench.ns_per_op, "-");
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "perf_compare: %d benchmark(s) regressed beyond %.0f%% or "
+                 "went missing\n",
+                 failures, 100 * threshold);
+    return 1;
+  }
+  std::printf("perf_compare: all %zu benchmark(s) within %.0f%% of "
+              "baseline\n",
+              baseline->size(), 100 * threshold);
+  return 0;
+}
+
+}  // namespace
+}  // namespace blockoptr
+
+int main(int argc, char** argv) { return blockoptr::Main(argc, argv); }

@@ -1,0 +1,56 @@
+// Recommendation robustness under faults: runs Table 3 workloads healthy
+// and under the standard fault scenario library (driver/robustness.h) —
+// leader crash, endorser outage, straggler endorser, burst window — and
+// prints, per recommendation type, whether BlockOptR's advice holds,
+// appears, or withdraws under each fault.
+//
+// Pass --jobs=N to parallelize the runs (rows identical for every N, see
+// driver/sweep.h) and --txs=N to rescale (default 10000, the paper scale).
+#include "bench_experiments.h"
+
+#include "driver/robustness.h"
+
+using namespace blockoptr;
+using namespace blockoptr::bench;
+
+namespace {
+
+int ParseTxsFlag(int argc, char** argv) {
+  int txs = kPaperTxCount;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--txs=", 6) == 0) {
+      txs = std::atoi(argv[i] + 6);
+    }
+  }
+  return txs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = ParseJobsFlag(argc, argv);
+  const int txs = ParseTxsFlag(argc, argv);
+  std::printf("== Recommendation robustness under faults (jobs=%d, "
+              "txs=%d) ==\n\n",
+              jobs, txs);
+
+  // Two contrasting Table 3 workloads: update-heavy (conflict-bound, rich
+  // recommendation set) and send-rate 1000 (throughput-bound).
+  const auto defs = Table3Experiments(txs);
+  for (int number : {5, 14}) {
+    const auto& def = defs[static_cast<size_t>(number - 1)];
+    ExperimentConfig base =
+        MakeSyntheticExperiment(def.workload, def.network);
+    const double horizon =
+        static_cast<double>(def.workload.num_txs) / def.workload.send_rate;
+    auto results = EvaluateRobustness(base, StandardFaultScenarios(horizon),
+                                      RecommenderOptions{}, jobs);
+    if (!results.ok()) {
+      std::fprintf(stderr, "robustness evaluation failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", FormatRobustnessMatrix(def.label, *results).c_str());
+  }
+  return 0;
+}

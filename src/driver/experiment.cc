@@ -91,6 +91,12 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
       config.schedule, config.client_manager,
       output.telemetry ? &output.telemetry->metrics() : nullptr);
 
+  // Fault injection: arrival faults reshape the prepared schedule;
+  // runtime faults (crashes, endorser degradation) become simulator
+  // events when the injector arms below.
+  FaultInjector faults(&sim, &network, config.faults);
+  if (config.faults.enabled()) ApplyArrivalFaults(schedule, config.faults);
+
   size_t completed = 0;
   double last_commit = 0;
   network.set_on_commit([&](const Transaction& tx) {
@@ -127,6 +133,7 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
                    [&network, &req]() { (void)network.Submit(req); });
   }
 
+  if (config.faults.enabled()) faults.Arm();
   network.Start();
   if (output.telemetry && output.telemetry->sampler()) {
     // The continuous monitor: one self-re-arming tick per period. Started
@@ -180,6 +187,8 @@ Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
     output.telemetry->metrics().gauge("sim.queue_peak")
         .Set(static_cast<double>(sim.queue_peak()));
   }
+  faults.FinalizeWindows(sim.Now());
+  output.fault_windows = faults.windows();
   output.ledger = network.ledger();
   output.endorsement_counts = network.endorsement_counts();
   output.network = config.network;

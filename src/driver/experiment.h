@@ -9,6 +9,7 @@
 #include "blockopt/stream/stream_engine.h"
 #include "common/result.h"
 #include "driver/client_manager.h"
+#include "driver/faults.h"
 #include "driver/report.h"
 #include "fabric/config.h"
 #include "ledger/ledger.h"
@@ -43,6 +44,14 @@ struct ExperimentConfig {
   /// Ordering-service scheduler: "" (vanilla Fabric), "fabricpp", or
   /// "fabricsharp".
   std::string orderer_scheduler;
+
+  /// Deterministic fault injection (driver/faults.h): Raft node crashes,
+  /// endorser degradation/outage, and arrival-process modulation,
+  /// scheduled in sim time. Empty (the default) runs healthy. Arrival
+  /// events transform the prepared schedule before the run; runtime
+  /// events fire from the simulator; the resolved windows land in
+  /// `ExperimentOutput::fault_windows` for bottleneck attribution.
+  FaultPlan faults;
 
   /// Safety valve: abort the run if virtual time exceeds this.
   double max_sim_time = 36000;
@@ -86,6 +95,11 @@ struct ExperimentOutput {
   /// on). events/sec of a bench run is `events_processed` over wall time.
   uint64_t events_processed = 0;
   size_t queue_peak = 0;
+
+  /// Resolved fault windows (empty for healthy runs), named with the
+  /// fired target — e.g. "leader-crash(node1)" — and clamped to the run.
+  /// Pass to ComputeBottleneckReport so the verdict names the fault.
+  std::vector<FaultWindow> fault_windows;
 
   /// Trace + metrics of the run; null unless
   /// `ExperimentConfig::enable_telemetry` was set. The recorder's data

@@ -1,0 +1,220 @@
+#include "driver/robustness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "blockopt/log/preprocess.h"
+#include "common/string_util.h"
+#include "driver/sweep.h"
+
+namespace blockoptr {
+
+namespace {
+
+constexpr RecommendationType kAllTypes[] = {
+    RecommendationType::kActivityReordering,
+    RecommendationType::kProcessModelPruning,
+    RecommendationType::kTransactionRateControl,
+    RecommendationType::kDeltaWrites,
+    RecommendationType::kSmartContractPartitioning,
+    RecommendationType::kDataModelAlteration,
+    RecommendationType::kBlockSizeAdaptation,
+    RecommendationType::kEndorserRestructuring,
+    RecommendationType::kClientResourceBoost,
+};
+
+FaultScenario MakeScenario(std::string name, const FaultEvent& event) {
+  FaultScenario scenario;
+  scenario.name = std::move(name);
+  scenario.plan.events.push_back(event);
+  return scenario;
+}
+
+}  // namespace
+
+std::vector<FaultScenario> StandardFaultScenarios(double horizon_s) {
+  double h = std::max(horizon_s, 1.0);
+  std::vector<FaultScenario> scenarios;
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kLeaderCrash;
+    e.at = 0.25 * h;
+    e.duration = 0.25 * h;
+    scenarios.push_back(MakeScenario("leader-crash", e));
+  }
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kEndorserOutage;
+    e.org = 2;
+    e.at = 0.3 * h;
+    e.duration = 0;  // down for the rest of the run
+    scenarios.push_back(MakeScenario("endorser-outage", e));
+  }
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kEndorserSlow;
+    e.org = 2;
+    e.factor = 8;
+    e.at = 0.2 * h;
+    e.duration = 0.5 * h;
+    scenarios.push_back(MakeScenario("endorser-slow", e));
+  }
+  {
+    FaultEvent e;
+    e.kind = FaultKind::kBurst;
+    e.at = 0.2 * h;
+    e.duration = 0.2 * h;
+    e.factor = 4;
+    scenarios.push_back(MakeScenario("burst", e));
+  }
+  return scenarios;
+}
+
+std::string_view RobustnessVerdictName(RobustnessVerdict v) {
+  switch (v) {
+    case RobustnessVerdict::kAbsent:
+      return "-";
+    case RobustnessVerdict::kHold:
+      return "hold";
+    case RobustnessVerdict::kAppeared:
+      return "appeared";
+    case RobustnessVerdict::kWithdrawn:
+      return "withdrawn";
+  }
+  return "?";
+}
+
+Result<std::vector<RobustnessResult>> EvaluateRobustness(
+    const ExperimentConfig& base, const std::vector<FaultScenario>& scenarios,
+    const RecommenderOptions& options, int jobs) {
+  if (base.faults.enabled()) {
+    return Status::InvalidArgument(
+        "base config must be healthy (it is the reference run)");
+  }
+  if (scenarios.empty()) {
+    return Status::InvalidArgument("no fault scenarios given");
+  }
+
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(scenarios.size() + 1);
+  configs.push_back(base);
+  for (const auto& scenario : scenarios) {
+    ExperimentConfig faulted = base;
+    faulted.faults = scenario.plan;
+    configs.push_back(std::move(faulted));
+  }
+
+  SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  std::vector<Result<ExperimentOutput>> outputs =
+      SweepRunner(sweep_options).Run(configs);
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (!outputs[i].ok()) {
+      const std::string& run =
+          i == 0 ? std::string("healthy") : scenarios[i - 1].name;
+      return Status::Internal("robustness run '" + run +
+                              "' failed: " + outputs[i].status().message());
+    }
+  }
+
+  const ExperimentOutput& healthy = *outputs[0];
+  std::vector<Recommendation> healthy_recs =
+      RecommendFromLog(ExtractBlockchainLog(healthy.ledger), options);
+
+  std::vector<RobustnessResult> results;
+  results.reserve(scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const ExperimentOutput& faulted = *outputs[i + 1];
+    RobustnessResult result;
+    result.scenario = scenarios[i].name;
+    result.healthy = healthy.report;
+    result.faulted = faulted.report;
+    result.healthy_recs = healthy_recs;
+    result.faulted_recs =
+        RecommendFromLog(ExtractBlockchainLog(faulted.ledger), options);
+    result.fault_windows = faulted.fault_windows;
+    result.verdicts.reserve(std::size(kAllTypes));
+    for (RecommendationType type : kAllTypes) {
+      bool before = HasRecommendation(healthy_recs, type);
+      bool after = HasRecommendation(result.faulted_recs, type);
+      RobustnessVerdict verdict = RobustnessVerdict::kAbsent;
+      if (before && after) {
+        verdict = RobustnessVerdict::kHold;
+      } else if (!before && after) {
+        verdict = RobustnessVerdict::kAppeared;
+      } else if (before && !after) {
+        verdict = RobustnessVerdict::kWithdrawn;
+      }
+      result.verdicts.push_back(verdict);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string FormatRobustnessMatrix(
+    const std::string& workload,
+    const std::vector<RobustnessResult>& results) {
+  std::string out = "Robustness matrix — workload: " + workload + "\n";
+  out += "verdicts: hold (advice survives the fault), appeared (flips on), "
+         "withdrawn (flips off), - (in neither run)\n\n";
+  if (results.empty()) return out;
+
+  char line[512];
+  std::string header;
+  std::snprintf(line, sizeof(line), "%-28s %-8s", "recommendation", "healthy");
+  header += line;
+  for (const auto& r : results) {
+    std::snprintf(line, sizeof(line), " %-16s", r.scenario.c_str());
+    header += line;
+  }
+  out += header + "\n";
+
+  for (size_t t = 0; t < std::size(kAllTypes); ++t) {
+    RecommendationType type = kAllTypes[t];
+    bool healthy_has = HasRecommendation(results[0].healthy_recs, type);
+    std::snprintf(line, sizeof(line), "%-28s %-8s",
+                  std::string(RecommendationTypeName(type)).c_str(),
+                  healthy_has ? "yes" : "-");
+    out += line;
+    for (const auto& r : results) {
+      std::snprintf(
+          line, sizeof(line), " %-16s",
+          std::string(RobustnessVerdictName(r.verdicts[t])).c_str());
+      out += line;
+    }
+    out += "\n";
+  }
+
+  out += "\n";
+  std::snprintf(line, sizeof(line), "%-18s %9s %10s %10s %9s %9s %9s\n",
+                "run", "success", "tput(tps)", "committed", "endfail",
+                "mvccfail", "earlyab");
+  out += line;
+  auto report_row = [&](const std::string& name,
+                        const PerformanceReport& report) {
+    std::snprintf(line, sizeof(line),
+                  "%-18s %8.1f%% %10.1f %10llu %9llu %9llu %9llu\n",
+                  name.c_str(), 100.0 * report.SuccessRate(),
+                  report.Throughput(),
+                  static_cast<unsigned long long>(report.total_committed()),
+                  static_cast<unsigned long long>(
+                      report.endorsement_failures()),
+                  static_cast<unsigned long long>(report.mvcc_failures()),
+                  static_cast<unsigned long long>(report.early_aborts()));
+    out += line;
+  };
+  report_row("healthy", results[0].healthy);
+  for (const auto& r : results) {
+    report_row(r.scenario, r.faulted);
+    for (const auto& w : r.fault_windows) {
+      std::snprintf(line, sizeof(line), "  fault window: %s %s\n",
+                    w.name.c_str(),
+                    FormatEvidenceWindow(w.start, w.end).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace blockoptr

@@ -1,0 +1,74 @@
+#ifndef BLOCKOPTR_DRIVER_ROBUSTNESS_H_
+#define BLOCKOPTR_DRIVER_ROBUSTNESS_H_
+
+// Recommendation-robustness harness: runs one workload healthy and under a
+// set of fault scenarios, then reports — per recommendation type — whether
+// BlockOptR's advice holds, appears (flips on), or withdraws (flips off)
+// under each fault. Turns "does the advice survive faults?" into a
+// measured, regression-tested artifact (the fault_robustness golden).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blockopt/recommend/recommender.h"
+#include "common/result.h"
+#include "driver/experiment.h"
+#include "driver/faults.h"
+#include "driver/report.h"
+
+namespace blockoptr {
+
+/// One named fault scenario to evaluate advice under.
+struct FaultScenario {
+  std::string name;
+  FaultPlan plan;
+};
+
+/// The standard scenario library, scaled to a run of roughly `horizon_s`
+/// virtual seconds of scheduled arrivals: a mid-run Raft leader crash, a
+/// full endorser outage from mid-run on, a straggler endorser, and a 4x
+/// burst window. Every scenario keeps the run completable — faults
+/// degrade, they never wedge.
+std::vector<FaultScenario> StandardFaultScenarios(double horizon_s);
+
+/// Per-recommendation-type verdict of healthy-vs-faulted.
+enum class RobustnessVerdict {
+  kAbsent,     // recommended in neither run
+  kHold,       // recommended in both
+  kAppeared,   // only under the fault (advice flips on)
+  kWithdrawn,  // only when healthy (advice flips off)
+};
+
+std::string_view RobustnessVerdictName(RobustnessVerdict v);
+
+/// Healthy-vs-faulted comparison for one scenario.
+struct RobustnessResult {
+  std::string scenario;
+  PerformanceReport healthy;
+  PerformanceReport faulted;
+  std::vector<Recommendation> healthy_recs;
+  std::vector<Recommendation> faulted_recs;
+  std::vector<FaultWindow> fault_windows;
+  /// Indexed by RecommendationType (all nine, catalog order).
+  std::vector<RobustnessVerdict> verdicts;
+};
+
+/// Runs `base` healthy plus once per scenario (via the sweep engine, so
+/// `jobs` parallelizes the runs under the usual determinism contract) and
+/// diffs the recommendation sets. `base.faults` must be empty — it is the
+/// healthy reference.
+Result<std::vector<RobustnessResult>> EvaluateRobustness(
+    const ExperimentConfig& base, const std::vector<FaultScenario>& scenarios,
+    const RecommenderOptions& options, int jobs);
+
+/// The hold/appear/withdraw matrix as a fixed-width text table — one row
+/// per recommendation type, one column per scenario, plus a
+/// success-rate/throughput footer per run. Deterministic, suitable for
+/// golden snapshots.
+std::string FormatRobustnessMatrix(const std::string& workload,
+                                   const std::vector<RobustnessResult>& results);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_ROBUSTNESS_H_

@@ -54,6 +54,11 @@ struct LatencyModel {
   double network_delay_s = 0.004;
   double network_jitter_s = 0.002;
 
+  // Client-side endorsement RPC timeout: how long a client waits before
+  // writing off an unreachable (black-holed) endorser. Only exercised
+  // under fault injection (driver/faults.h).
+  double endorse_timeout_s = 0.25;
+
   // Ordering-service work: per-transaction enqueue cost plus a fixed
   // per-block cost (consensus bookkeeping, block assembly, signing).
   double order_per_tx_s = 0.0005;

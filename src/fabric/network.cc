@@ -44,6 +44,8 @@ FabricNetwork::FabricNetwork(Simulator* sim, NetworkConfig config)
   }
 
   org_delivery_horizon_.assign(static_cast<size_t>(config_.num_orgs), 0.0);
+  endorser_slowdown_.assign(static_cast<size_t>(config_.num_orgs), 1.0);
+  endorser_down_.assign(static_cast<size_t>(config_.num_orgs), 0);
   orderer_ = std::make_unique<OrderingService>(sim_, config_, rng_.Fork());
   orderer_->set_on_block_committed(
       [this](Block block) { DeliverBlock(std::move(block)); });
@@ -79,6 +81,26 @@ void FabricNetwork::SeedState(const std::string& chaincode,
   for (auto& peer : peers_) {
     peer->store().Apply(full_key, value, /*is_delete=*/false, version);
   }
+}
+
+void FabricNetwork::SetEndorserSlowdown(int org, double factor) {
+  if (org < 1 || org > config_.num_orgs || factor <= 0) return;
+  endorser_slowdown_[static_cast<size_t>(org - 1)] = factor;
+}
+
+void FabricNetwork::SetEndorserOutage(int org, bool down) {
+  if (org < 1 || org > config_.num_orgs) return;
+  endorser_down_[static_cast<size_t>(org - 1)] = down ? 1 : 0;
+}
+
+double FabricNetwork::endorser_slowdown(int org) const {
+  if (org < 1 || org > config_.num_orgs) return 1.0;
+  return endorser_slowdown_[static_cast<size_t>(org - 1)];
+}
+
+bool FabricNetwork::endorser_down(int org) const {
+  if (org < 1 || org > config_.num_orgs) return false;
+  return endorser_down_[static_cast<size_t>(org - 1)] != 0;
 }
 
 void FabricNetwork::SetReorderer(std::unique_ptr<BlockReorderer> reorderer) {
@@ -293,6 +315,32 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
       auto pit = pending_.find(pending_id);
       if (pit == pending_.end()) return;
       OrgPeer& peer = *peers_[static_cast<size_t>(org - 1)];
+      if (endorser_down_[static_cast<size_t>(org - 1)]) {
+        // Black-holed endorser (fault injection): the proposal is never
+        // executed; the client gives up after the RPC timeout and records
+        // the refusal, so the outage surfaces as an endorsement failure
+        // (or an early abort when no endorser answered) — never a hang.
+        if (event_metrics_) {
+          event_metrics_->counter("endorser.outage_drops_total").Increment();
+        }
+        std::string down_org = peer.org();
+        sim_->ScheduleAfter(
+            config_.latency.endorse_timeout_s,
+            [this, pending_id, down_org = std::move(down_org)]() mutable {
+              auto pit2 = pending_.find(pending_id);
+              if (pit2 == pending_.end()) return;
+              EndorseResult refusal;
+              refusal.status = Status::Unavailable("endorser " + down_org +
+                                                   " unreachable");
+              pit2->second.responses.emplace_back(std::move(down_org),
+                                                  std::move(refusal));
+              if (pit2->second.responses.size() >=
+                  pit2->second.expected_responses) {
+                OnEndorsementsComplete(pending_id);
+              }
+            });
+        return;
+      }
       Chaincode* cc = FindChaincode(pit->second.request.chaincode);
       assert(cc != nullptr);
       uint64_t endorse_span = 0;
@@ -320,7 +368,8 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
       double cost = (config_.latency.endorse_exec_s +
                      config_.latency.endorse_per_key_s *
                          static_cast<double>(accesses)) *
-                    peer_scale_;
+                    peer_scale_ *
+                    endorser_slowdown_[static_cast<size_t>(org - 1)];
       std::string org_name = peer.org();
       peer.endorser_station().Submit(
           cost, [this, pending_id, endorse_span,

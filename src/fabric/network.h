@@ -135,6 +135,19 @@ class FabricNetwork {
     return *peers_[static_cast<size_t>(org_index - 1)];
   }
 
+  /// Fault-injection hooks (driver/faults.h). A slowdown scales one
+  /// organization's endorsement execution cost (straggler endorser); an
+  /// outage black-holes the endorser: proposals sent to it time out
+  /// (latency.endorse_timeout_s) and come back as refusals, so the
+  /// transaction proceeds with fewer signatures — failing
+  /// endorsement-policy validation when too few — or early-aborts when no
+  /// endorser answered. Failures are always attributed, never silently
+  /// dropped. Out-of-range orgs are ignored.
+  void SetEndorserSlowdown(int org, double factor);
+  void SetEndorserOutage(int org, bool down);
+  double endorser_slowdown(int org) const;
+  bool endorser_down(int org) const;
+
   /// Transactions endorsed per organization so far (requested, i.e. the
   /// proposals each endorser executed).
   const std::map<std::string, uint64_t>& endorsement_counts() const {
@@ -208,6 +221,10 @@ class FabricNetwork {
   std::map<std::string, uint64_t> endorsement_counts_;
   uint64_t early_aborts_ = 0;
   PipelineTotals totals_;
+
+  // Per-org endorser fault state (1.0 / false when healthy).
+  std::vector<double> endorser_slowdown_;
+  std::vector<char> endorser_down_;
 
   CommitCallback on_commit_;
   BlockCommitCallback on_block_commit_;

@@ -41,6 +41,9 @@ void RaftCluster::FlushPending() {
       });
       return;
     }
+    // Appended, not committed: keep tracking until delivery so a leader
+    // crash cannot silently lose the payload.
+    outstanding_.insert(pending_.front());
     pending_.pop();
   }
 }
@@ -64,14 +67,42 @@ void RaftCluster::OnNodeCommit(const RaftNode& node) {
   while (applied_index_ < node.commit_index()) {
     ++applied_index_;
     uint64_t payload = node.log().At(applied_index_).payload;
+    // Skip leader no-ops, and dedupe re-proposals: when a crashed
+    // leader's entry survives on a quorum after all *and* was re-proposed
+    // to the new leader, the payload appears at two log indices — only
+    // the first delivers.
+    if (payload == kRaftNoOpPayload) continue;
+    if (outstanding_.erase(payload) == 0) continue;
     if (metrics_) metrics_->counter("raft.commits_total").Increment();
     if (on_commit_) on_commit_(payload);
   }
 }
 
 void RaftCluster::OnLeaderElected(int leader_id) {
-  (void)leader_id;
   if (metrics_) metrics_->counter("raft.elections_total").Increment();
+  // A crashed leader can take appended-but-unreplicated entries down with
+  // it. Re-propose every outstanding payload missing from the new
+  // leader's log, ahead of newer buffered proposals so delivery order
+  // matches proposal order; OnNodeCommit dedupes if the original entry
+  // resurfaces.
+  if (!outstanding_.empty()) {
+    const RaftLog& log = nodes_[static_cast<size_t>(leader_id)]->log();
+    std::set<uint64_t> in_log;
+    for (uint64_t i = 1; i <= log.LastIndex(); ++i) {
+      in_log.insert(log.At(i).payload);
+    }
+    std::queue<uint64_t> requeue;
+    for (uint64_t payload : outstanding_) {
+      if (in_log.count(payload) == 0) requeue.push(payload);
+    }
+    if (!requeue.empty()) {
+      while (!pending_.empty()) {
+        requeue.push(pending_.front());
+        pending_.pop();
+      }
+      pending_ = std::move(requeue);
+    }
+  }
   if (!pending_.empty()) FlushPending();
 }
 

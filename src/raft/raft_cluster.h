@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,7 +45,12 @@ class RaftCluster {
 
   /// Submits a payload for replication. If no leader is currently known
   /// the proposal is buffered and retried as leadership emerges, so the
-  /// caller can fire-and-forget.
+  /// caller can fire-and-forget. Appending to a leader's log is not
+  /// commitment: payloads stay tracked until delivered, and any payload a
+  /// crashed leader took down with it is re-proposed to the next leader —
+  /// so `on_commit` eventually fires for every proposal as long as a
+  /// majority keeps running. Payloads must be nonzero (kRaftNoOpPayload
+  /// is reserved) and unique.
   void Propose(uint64_t payload);
 
   /// Transport used by nodes; delivers with simulated delay. Messages to
@@ -82,8 +88,12 @@ class RaftCluster {
   Rng rng_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
   std::function<void(uint64_t)> on_commit_;
-  uint64_t applied_index_ = 0;  // cluster-wide highest payload delivered
+  uint64_t applied_index_ = 0;  // cluster-wide highest log index delivered
   std::queue<uint64_t> pending_;
+  /// Payloads appended to some leader's log but not yet delivered.
+  /// Iterates in proposal order (payload ids are monotonic), which keeps
+  /// re-proposals after a leader crash in their original order.
+  std::set<uint64_t> outstanding_;
   uint64_t messages_sent_ = 0;
   MetricsRegistry* metrics_ = nullptr;  // optional, not owned
 };

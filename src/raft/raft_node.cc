@@ -84,6 +84,13 @@ void RaftNode::BecomeLeader() {
   }
   match_index_[static_cast<size_t>(id_)] = log_.LastIndex();
   ++election_timer_gen_;  // leaders do not time out
+  if (log_.LastIndex() > commit_index_) {
+    // Uncommitted tail from an earlier term: append a current-term no-op
+    // so the tail can commit without waiting for new proposals
+    // (kRaftNoOpPayload — the commit-rule liveness gap after failover).
+    log_.Append(RaftEntry{current_term_, kRaftNoOpPayload});
+    match_index_[static_cast<size_t>(id_)] = log_.LastIndex();
+  }
   cluster_->OnLeaderElected(id_);
   SendHeartbeats();
 }

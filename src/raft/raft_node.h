@@ -43,6 +43,14 @@ struct AppendEntriesReply {
 using RaftMessage = std::variant<RequestVoteArgs, RequestVoteReply,
                                  AppendEntriesArgs, AppendEntriesReply>;
 
+/// Reserved payload for the no-op entry a new leader appends when its log
+/// has an uncommitted tail: the §5.4.2 commit rule only advances on
+/// current-term entries, and heartbeats append nothing, so without it a
+/// crashed leader's surviving entries would sit uncommitted until new
+/// traffic arrives. Callers must propose nonzero payloads (the ordering
+/// service numbers blocks from 1); the cluster never delivers no-ops.
+inline constexpr uint64_t kRaftNoOpPayload = 0;
+
 /// One Raft consensus participant (an ordering-service node). Driven
 /// entirely by the discrete-event simulator: election timeouts, heartbeats,
 /// and message deliveries are simulator events, so consensus behaviour —

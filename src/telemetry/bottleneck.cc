@@ -30,8 +30,9 @@ std::string FormatEvidenceWindow(double start_s, double end_s) {
   return buf;
 }
 
-BottleneckReport ComputeBottleneckReport(const Telemetry& telemetry,
-                                         double run_duration_s) {
+BottleneckReport ComputeBottleneckReport(
+    const Telemetry& telemetry, double run_duration_s,
+    const std::vector<FaultWindow>* fault_windows) {
   BottleneckReport report;
 
   // Critical-path evidence: total span time per stage.
@@ -154,6 +155,35 @@ BottleneckReport ComputeBottleneckReport(const Telemetry& telemetry,
   } else {
     report.summary = "no telemetry evidence recorded";
   }
+
+  // Fault attribution: when faults were injected, the verdict names the
+  // one whose active window best overlaps the bottleneck evidence window
+  // (falling back to the longest window when nothing overlaps — e.g. the
+  // evidence window is empty because the sampler was off).
+  if (fault_windows != nullptr && !fault_windows->empty()) {
+    report.faults = *fault_windows;
+    const FaultWindow* cause = nullptr;
+    double best_overlap = 0;
+    for (const auto& f : report.faults) {
+      double overlap = std::min(f.end, report.window_end) -
+                       std::max(f.start, report.window_start);
+      if (cause == nullptr || overlap > best_overlap) {
+        cause = &f;
+        best_overlap = overlap;
+      }
+    }
+    if (best_overlap <= 0) {
+      for (const auto& f : report.faults) {
+        if (cause == nullptr || f.end - f.start > cause->end - cause->start) {
+          cause = &f;
+        }
+      }
+    }
+    report.active_fault = cause->name;
+    report.summary = "fault '" + cause->name + "' active over " +
+                     FormatEvidenceWindow(cause->start, cause->end) + ": " +
+                     report.summary;
+  }
   return report;
 }
 
@@ -186,7 +216,18 @@ JsonValue BottleneckToJson(const BottleneckReport& report) {
   root["window_start"] = JsonValue(report.window_start);
   root["window_end"] = JsonValue(report.window_end);
   root["dominant_stage_share"] = JsonValue(report.dominant_stage_share);
+  root["active_fault"] = JsonValue(report.active_fault);
   root["summary"] = JsonValue(report.summary);
+
+  JsonValue::Array faults;
+  for (const auto& f : report.faults) {
+    JsonValue::Object entry;
+    entry["name"] = JsonValue(f.name);
+    entry["start"] = JsonValue(f.start);
+    entry["end"] = JsonValue(f.end);
+    faults.push_back(JsonValue(std::move(entry)));
+  }
+  root["faults"] = JsonValue(std::move(faults));
 
   JsonValue::Array stations;
   for (const auto& st : report.stations) {

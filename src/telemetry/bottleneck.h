@@ -9,6 +9,15 @@
 
 namespace blockoptr {
 
+/// One injected fault's active window (driver/faults.h resolves these at
+/// run time, e.g. "leader-crash(node1)" over [5.0, 15.0]). Plain data so
+/// the telemetry layer stays independent of the driver.
+struct FaultWindow {
+  std::string name;
+  double start = 0;
+  double end = 0;
+};
+
 /// How much one ServiceStation contributed to the run, with the evidence
 /// window where it was hottest.
 struct StationAttribution {
@@ -56,6 +65,12 @@ struct BottleneckReport {
   /// Share of total span time spent in the dominant stage (0 when tracing
   /// was off).
   double dominant_stage_share = 0;
+  /// Fault windows active during the run (empty for healthy runs).
+  std::vector<FaultWindow> faults;
+  /// The injected fault named as the verdict: the fault whose window best
+  /// overlaps the bottleneck evidence window ("" when no fault was
+  /// active). When set, `summary` leads with the fault.
+  std::string active_fault;
   /// One-sentence human-readable attribution.
   std::string summary;
 
@@ -72,9 +87,13 @@ inline constexpr double kSaturationThreshold = 0.8;
 /// Builds the attribution from a finished run's telemetry.
 /// `run_duration_s` is the run's virtual end time (used for whole-run
 /// utilization). Works with any subset of aspects enabled: span analysis
-/// needs tracing, station/series analysis needs the sampler.
-BottleneckReport ComputeBottleneckReport(const Telemetry& telemetry,
-                                         double run_duration_s);
+/// needs tracing, station/series analysis needs the sampler. When
+/// `fault_windows` is non-null and non-empty, the report names the active
+/// fault as the verdict (the cause behind the saturated station / dominant
+/// stage).
+BottleneckReport ComputeBottleneckReport(
+    const Telemetry& telemetry, double run_duration_s,
+    const std::vector<FaultWindow>* fault_windows = nullptr);
 
 /// Fixed-width station-attribution table (evidence windows included);
 /// "" when there is no station evidence.

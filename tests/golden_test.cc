@@ -23,6 +23,7 @@
 #include "blockopt/recommend/recommender.h"
 #include "blockopt/recommend/report.h"
 #include "driver/presets.h"
+#include "driver/robustness.h"
 #include "driver/sweep.h"
 
 namespace blockoptr {
@@ -32,9 +33,46 @@ namespace {
 // that every failure-driven rule can fire.
 constexpr int kTxsPerExperiment = 300;
 
-std::string GoldenPath() {
-  return std::string(BLOCKOPTR_TEST_DATA_DIR) +
-         "/golden/table3_recommendations.txt";
+std::string GoldenPath(const std::string& name) {
+  return std::string(BLOCKOPTR_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+/// Shared compare-or-regenerate step: under BLOCKOPTR_REGEN_GOLDEN=1 the
+/// rendering is written back to the source tree and the test skips;
+/// otherwise any divergence fails with a line-by-line diff.
+void CompareAgainstGolden(const std::string& actual,
+                          const std::string& path) {
+  if (std::getenv("BLOCKOPTR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with BLOCKOPTR_REGEN_GOLDEN=1 ./build/tests/golden_test";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  if (expected != actual) {
+    // Line-by-line diff keeps the failure actionable.
+    std::istringstream ea(expected), aa(actual);
+    std::string el, al;
+    int line = 0;
+    while (true) {
+      const bool have_e = static_cast<bool>(std::getline(ea, el));
+      const bool have_a = static_cast<bool>(std::getline(aa, al));
+      ++line;
+      if (!have_e && !have_a) break;
+      EXPECT_EQ(have_e ? el : "<eof>", have_a ? al : "<eof>")
+          << "golden mismatch at line " << line;
+    }
+    FAIL() << "output diverged from " << path
+           << " — if intentional, regenerate with BLOCKOPTR_REGEN_GOLDEN=1";
+  }
 }
 
 std::string FormatRecommendationLine(const Recommendation& rec) {
@@ -90,40 +128,33 @@ std::string RenderTable3Recommendations() {
 }
 
 TEST(GoldenTest, Table3RecommendationsMatchGoldenFile) {
-  const std::string actual = RenderTable3Recommendations();
-  const std::string path = GoldenPath();
+  CompareAgainstGolden(RenderTable3Recommendations(),
+                       GoldenPath("table3_recommendations.txt"));
+}
 
-  if (std::getenv("BLOCKOPTR_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(path, std::ios::trunc);
-    ASSERT_TRUE(out.good()) << "cannot write " << path;
-    out << actual;
-    GTEST_SKIP() << "regenerated " << path;
-  }
+TEST(GoldenTest, FaultRobustnessMatrixMatchesGoldenFile) {
+  // The hold/appeared/withdrawn matrix for one faulted Table 3 workload
+  // (update-heavy — the conflict-rich case) under the standard scenario
+  // library. Any simulator, fault-injection, or recommender change that
+  // flips a verdict shows up as a readable diff here.
+  const auto defs = Table3Experiments(kTxsPerExperiment);
+  const auto& def = defs[4];  // #5: Workload Update-heavy
+  ExperimentConfig base =
+      MakeSyntheticExperiment(def.workload, def.network);
+  const double horizon =
+      static_cast<double>(def.workload.num_txs) / def.workload.send_rate;
+  auto results =
+      EvaluateRobustness(base, StandardFaultScenarios(horizon),
+                         RecommenderOptions{}, /*jobs=*/1);
+  ASSERT_TRUE(results.ok()) << results.status();
 
-  std::ifstream in(path);
-  ASSERT_TRUE(in.good())
-      << "missing golden file " << path
-      << " — regenerate with BLOCKOPTR_REGEN_GOLDEN=1 ./build/tests/golden_test";
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string expected = buf.str();
-
-  if (expected != actual) {
-    // Line-by-line diff keeps the failure actionable.
-    std::istringstream ea(expected), aa(actual);
-    std::string el, al;
-    int line = 0;
-    while (true) {
-      const bool have_e = static_cast<bool>(std::getline(ea, el));
-      const bool have_a = static_cast<bool>(std::getline(aa, al));
-      ++line;
-      if (!have_e && !have_a) break;
-      EXPECT_EQ(have_e ? el : "<eof>", have_a ? al : "<eof>")
-          << "golden mismatch at line " << line;
-    }
-    FAIL() << "recommendations diverged from " << path
-           << " — if intentional, regenerate with BLOCKOPTR_REGEN_GOLDEN=1";
-  }
+  std::string actual =
+      "# Golden fault-robustness matrix (" +
+      std::to_string(kTxsPerExperiment) +
+      " txs, standard scenarios).\n"
+      "# Regenerate: BLOCKOPTR_REGEN_GOLDEN=1 ./build/tests/golden_test\n" +
+      FormatRobustnessMatrix(def.label, *results);
+  CompareAgainstGolden(actual, GoldenPath("fault_robustness.txt"));
 }
 
 }  // namespace

@@ -224,6 +224,81 @@ TEST(RaftClusterTest, TermsIncreaseAcrossElections) {
   EXPECT_GT(cluster.node(second_leader).current_term(), first_term);
 }
 
+// Regression: FlushPending used to drop payloads from the pending queue as
+// soon as they were *appended* to the leader's log (append != commit), so
+// a leader crash before replication lost them forever and the consumer
+// hung. The cluster now tracks appended-but-undelivered payloads and
+// re-proposes the ones missing from the new leader's log.
+TEST(RaftClusterTest, LeaderCrashBeforeReplicationDoesNotLosePayloads) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions(3));
+  std::vector<uint64_t> committed;
+  cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+  cluster.Start();
+
+  int leader = -1;
+  sim.ScheduleAt(1.0, [&] {
+    leader = cluster.LeaderId();
+    ASSERT_GE(leader, 0);
+    // Isolate the leader: proposals reach its log but never replicate.
+    for (int i = 0; i < 3; ++i) {
+      if (i != leader) cluster.StopNode(i);
+    }
+    cluster.Propose(1);
+    cluster.Propose(2);
+    cluster.Propose(3);
+  });
+  sim.ScheduleAt(2.0, [&] {
+    // Crash the only node that ever saw the payloads; revive the others.
+    cluster.StopNode(leader);
+    for (int i = 0; i < 3; ++i) {
+      if (i != leader) cluster.RestartNode(i);
+    }
+  });
+  sim.RunUntil(10.0);
+
+  // The new leader's log has none of the payloads, so all three must have
+  // been re-proposed — in order, exactly once.
+  EXPECT_EQ(committed, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+// Regression: a freshly elected leader whose log ends in old-term entries
+// now appends a no-op entry in its own term, because Raft's §5.4.2 commit
+// rule forbids counting replicas of old-term entries directly — without
+// the no-op (or new traffic), those entries would sit uncommitted forever.
+TEST(RaftClusterTest, ReelectedLeaderCommitsOldTermTailWithoutNewTraffic) {
+  Simulator sim;
+  RaftCluster cluster(&sim, TestOptions(3));
+  std::vector<uint64_t> committed;
+  cluster.set_on_commit([&](uint64_t p) { committed.push_back(p); });
+  cluster.Start();
+
+  int leader = -1;
+  sim.ScheduleAt(1.0, [&] {
+    leader = cluster.LeaderId();
+    ASSERT_GE(leader, 0);
+    for (int i = 0; i < 3; ++i) {
+      if (i != leader) cluster.StopNode(i);
+    }
+    cluster.Propose(7);
+    cluster.Propose(8);
+  });
+  sim.ScheduleAt(2.0, [&] {
+    // Bounce the whole cluster, reviving the old leader and exactly one
+    // follower. Only the old leader's log is long enough to win the
+    // election, so it comes back with an uncommitted old-term tail that
+    // only the no-op path can commit.
+    cluster.StopNode(leader);
+    cluster.RestartNode(leader);
+    cluster.RestartNode((leader + 1) % 3);
+  });
+  sim.RunUntil(10.0);
+
+  // Both payloads commit with no post-crash traffic, and the internal
+  // no-op entry is never surfaced through the commit callback.
+  EXPECT_EQ(committed, (std::vector<uint64_t>{7, 8}));
+}
+
 TEST(RaftClusterTest, DeterministicPerSeed) {
   auto run = [](uint64_t seed) {
     Simulator sim;

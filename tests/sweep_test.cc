@@ -219,6 +219,35 @@ TEST(SweepDeterminismTest, ResultsArriveInSubmissionOrder) {
   }
 }
 
+TEST(SweepDeterminismTest, FaultedSweepMatchesSerialFieldForField) {
+  // The determinism contract extends to fault injection: all fault state
+  // (crash timers, endorser degradation, schedule warps) is per-run and
+  // sim-time driven, so faulted experiments parallelize bit-exactly too.
+  // A few Table 3 configs crossed with contrasting fault presets.
+  std::vector<ExperimentConfig> configs;
+  const auto defs = Table3Experiments(kTxsPerExperiment);
+  const std::vector<std::string> specs = {
+      "leader-crash@t=0.3,dur=0.3",
+      "endorser-outage@t=0.3,org=2",
+      "endorser-slow@t=0.2,org=2,factor=8,dur=0.5;burst@t=0.4,dur=0.2",
+  };
+  for (int number : {5, 8, 14}) {
+    const auto& def = defs[static_cast<size_t>(number - 1)];
+    for (const auto& spec : specs) {
+      auto cfg = MakeSyntheticExperiment(def.workload, def.network);
+      auto plan = ParseFaultPlan(spec);
+      ASSERT_TRUE(plan.ok()) << spec;
+      cfg.faults = std::move(*plan);
+      configs.push_back(std::move(cfg));
+    }
+  }
+
+  const AnalyzedSweep serial = RunSerially(configs);
+  ExpectSweepsEqual(serial, RunWithJobs(configs, 8), "faulted jobs=8");
+  ExpectSweepsEqual(serial, RunWithJobs(configs, 8),
+                    "faulted jobs=8 repeat");
+}
+
 TEST(SweepDeterminismTest, TelemetryRunsAreSafeAndIdenticalAcrossJobs) {
   // Concurrent runs each own a private Telemetry (TraceRecorder +
   // MetricsRegistry). Span streams must match the serial run exactly.

@@ -96,6 +96,17 @@ int Usage() {
       "  --endorser-skew=W  endorser distribution skew (default 0)\n"
       "  --scheduler=fabricpp|fabricsharp   orderer reordering baseline\n"
       "\n"
+      "fault injection (deterministic, scheduled in sim time):\n"
+      "  --faults=SPEC    semicolon-separated fault events, each a preset\n"
+      "                   name plus optional @key=value,... overrides\n"
+      "                   (keys: t, dur, node, org, factor, period,\n"
+      "                   offset). presets: leader-crash, node-crash,\n"
+      "                   endorser-outage, endorser-slow, burst, diurnal,\n"
+      "                   hotkey-shift. examples:\n"
+      "                     --faults=leader-crash@t=10,dur=5\n"
+      "                     --faults=\"endorser-slow@org=2,factor=8;"
+      "burst@t=30,dur=5\"\n"
+      "\n"
       "analysis / actions:\n"
       "  --autotune       derive thresholds from the log (vs paper defaults)\n"
       "  --apply          apply the recommendations and re-run: one what-if\n"
@@ -176,6 +187,11 @@ Result<ExperimentConfig> BuildExperiment(const CliArgs& args) {
   if (!policy.ok()) return policy.status();
   cfg.network.endorsement_policy = *policy;
   cfg.orderer_scheduler = args.Get("scheduler", "");
+  if (args.Has("faults")) {
+    auto plan = ParseFaultPlan(args.Get("faults", ""));
+    if (!plan.ok()) return plan.status();
+    cfg.faults = std::move(*plan);
+  }
 
   const std::string workload = args.Get("workload", "synthetic");
   const int txs = args.GetInt("txs", 10000);
@@ -330,12 +346,20 @@ int RunCommand(const CliArgs& args) {
     return 1;
   }
   std::printf("%s\n\n", out->report.Summary().c_str());
+  if (!out->fault_windows.empty()) {
+    std::printf("injected faults:\n");
+    for (const auto& w : out->fault_windows) {
+      std::printf("  %-24s %s\n", w.name.c_str(),
+                  FormatEvidenceWindow(w.start, w.end).c_str());
+    }
+    std::printf("\n");
+  }
   std::optional<BottleneckReport> bottleneck;
   if (out->telemetry) {
     std::printf("per-stage latency breakdown (from lifecycle spans):\n%s\n",
                 out->report.StageBreakdownTable().c_str());
-    bottleneck =
-        ComputeBottleneckReport(*out->telemetry, out->sim_end_time);
+    bottleneck = ComputeBottleneckReport(*out->telemetry, out->sim_end_time,
+                                         &out->fault_windows);
     std::string table = FormatBottleneckTable(*bottleneck);
     if (!table.empty()) {
       std::printf("bottleneck attribution (sampled every %.2fs):\n%s",
@@ -640,7 +664,8 @@ int SweepCommand(const CliArgs& args) {
       if (args.Has("metrics-out")) {
         std::string path = SuffixedPath(args.Get("metrics-out", ""), i + 1);
         BottleneckReport bottleneck = ComputeBottleneckReport(
-            *outputs[i]->telemetry, outputs[i]->sim_end_time);
+            *outputs[i]->telemetry, outputs[i]->sim_end_time,
+            &outputs[i]->fault_windows);
         JsonValue snapshot =
             TelemetrySnapshotJson(*outputs[i]->telemetry, &bottleneck);
         if (outputs[i]->stream) {
@@ -676,7 +701,8 @@ int SweepCommand(const CliArgs& args) {
           return 1;
         }
         BottleneckReport bottleneck = ComputeBottleneckReport(
-            *outputs[i]->telemetry, outputs[i]->sim_end_time);
+            *outputs[i]->telemetry, outputs[i]->sim_end_time,
+            &outputs[i]->fault_windows);
         char num[64];
         HtmlSummaryRows rows;
         rows.emplace_back("experiment", (*cases)[i].label);

@@ -239,6 +239,17 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
       if (run.error_occurred || run.iterations == 0) continue;
       Entry e;
       e.name = run.benchmark_name();
+      // Normalize away the measurement-mode suffixes UseRealTime /
+      // MeasureProcessCPUTime append, so JSON names (and therefore the
+      // perf_compare baseline keys) stay stable across mode changes and
+      // the trailing path segment is again the numeric scale argument.
+      for (const char* suffix : {"/real_time", "/process_time"}) {
+        const size_t len = std::strlen(suffix);
+        if (e.name.size() > len &&
+            e.name.compare(e.name.size() - len, len, suffix) == 0) {
+          e.name.resize(e.name.size() - len);
+        }
+      }
       auto slash = e.name.rfind('/');
       if (slash != std::string::npos) {
         e.scale = std::strtoll(e.name.c_str() + slash + 1, nullptr, 10);

@@ -393,4 +393,93 @@ LogMetrics ComputeMetrics(const BlockchainLog& log,
   return acc.Snapshot();
 }
 
+LogMetrics AggregateMetrics(const std::vector<LogMetrics>& per_channel,
+                            const MetricsOptions& options) {
+  LogMetrics m;
+  if (per_channel.empty()) return m;
+
+  for (const LogMetrics& ch : per_channel) {
+    m.total_txs += ch.total_txs;
+    m.duration_s = std::max(m.duration_s, ch.duration_s);
+    if (ch.trd.size() > m.trd.size()) m.trd.resize(ch.trd.size(), 0.0);
+    for (size_t i = 0; i < ch.trd.size(); ++i) m.trd[i] += ch.trd[i];
+
+    m.failed_txs += ch.failed_txs;
+    m.mvcc_failures += ch.mvcc_failures;
+    m.phantom_failures += ch.phantom_failures;
+    m.endorsement_failures += ch.endorsement_failures;
+    if (ch.frd.size() > m.frd.size()) m.frd.resize(ch.frd.size(), 0.0);
+    for (size_t i = 0; i < ch.frd.size(); ++i) m.frd[i] += ch.frd[i];
+
+    m.num_blocks += ch.num_blocks;
+
+    for (const auto& [org, n] : ch.endorser_sig) m.endorser_sig[org] += n;
+    for (const auto& [cl, n] : ch.invoker_sig) m.invoker_sig[cl] += n;
+    for (const auto& [org, n] : ch.invoker_org_sig) {
+      m.invoker_org_sig[org] += n;
+    }
+
+    for (const auto& [key, freq] : ch.key_freq) m.key_freq[key] += freq;
+    for (const auto& [key, acts] : ch.key_activities) {
+      m.key_activities[key].insert(acts.begin(), acts.end());
+    }
+    for (const auto& [key, accessors] : ch.key_accessors) {
+      auto& merged = m.key_accessors[key];
+      for (const auto& [activity, stats] : accessors) {
+        auto& s = merged[activity];
+        s.accesses += stats.accesses;
+        s.failures += stats.failures;
+        s.writes = s.writes || stats.writes;
+      }
+    }
+
+    m.conflicts.insert(m.conflicts.end(), ch.conflicts.begin(),
+                       ch.conflicts.end());
+    for (const auto& [pair, n] : ch.activity_conflicts) {
+      m.activity_conflicts[pair] += n;
+    }
+    m.intra_block_conflicts += ch.intra_block_conflicts;
+    m.inter_block_conflicts += ch.inter_block_conflicts;
+    m.adjacent_same_activity_conflicts +=
+        ch.adjacent_same_activity_conflicts;
+    m.delta_candidates += ch.delta_candidates;
+    m.reorderable_conflicts += ch.reorderable_conflicts;
+
+    for (const auto& [activity, types] : ch.activity_tx_types) {
+      auto& merged = m.activity_tx_types[activity];
+      for (const auto& [type, n] : types) merged[type] += n;
+    }
+  }
+  m.frd.resize(m.trd.size(), 0.0);  // align interval vectors
+
+  // Derived rates over the merged state, with the batch formulas.
+  m.tr = m.duration_s > 0 ? static_cast<double>(m.total_txs) / m.duration_s
+                          : static_cast<double>(m.total_txs);
+  m.tfr = m.duration_s > 0
+              ? static_cast<double>(m.failed_txs) / m.duration_s
+              : static_cast<double>(m.failed_txs);
+  m.b_sizeavg = m.num_blocks > 0 ? static_cast<double>(m.total_txs) /
+                                       static_cast<double>(m.num_blocks)
+                                 : 0;
+  m.num_activities = m.activity_tx_types.size();
+
+  // Re-apply the hot-key rule to merged per-key failure frequencies: a
+  // key hot on no individual channel can still be hot experiment-wide.
+  const uint64_t hot_threshold = std::max<uint64_t>(
+      options.hotkey_min_failures,
+      static_cast<uint64_t>(options.hotkey_failure_fraction *
+                            static_cast<double>(m.failed_txs)));
+  for (const auto& [key, freq] : m.key_freq) {
+    if (freq >= hot_threshold) m.hot_keys.push_back(key);
+  }
+  std::sort(m.hot_keys.begin(), m.hot_keys.end(),
+            [&](const std::string& a, const std::string& b) {
+              uint64_t fa = m.key_freq.at(a);
+              uint64_t fb = m.key_freq.at(b);
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+  return m;
+}
+
 }  // namespace blockoptr

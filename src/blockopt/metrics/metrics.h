@@ -115,6 +115,18 @@ struct LogMetrics {
 LogMetrics ComputeMetrics(const BlockchainLog& log,
                           const MetricsOptions& options = MetricsOptions());
 
+/// Merges per-channel metric sets into the whole-experiment view of a
+/// multi-channel run: counts, significance maps, key statistics, and
+/// interval distributions sum; durations take the span maximum (channels
+/// run concurrently); the derived rates (tr, tfr, b_sizeavg) and the hot
+/// set are recomputed from the merged state with the same thresholds as
+/// the per-log derivation. Conflict pairs concatenate in channel order —
+/// their commit orders stay channel-local (channels have independent
+/// ledgers), which the pairwise counters already account for. Returns an
+/// empty LogMetrics for an empty input.
+LogMetrics AggregateMetrics(const std::vector<LogMetrics>& per_channel,
+                            const MetricsOptions& options = MetricsOptions());
+
 /// Id-interned projection of one log row: exactly the attributes metric
 /// derivation reads, with every repeated string — activity, invoker,
 /// endorser orgs, state keys — replaced by an interner id (keys in

@@ -51,6 +51,14 @@ class PercentileTracker {
 
   double Median() { return Percentile(50.0); }
 
+  /// Merges another tracker's samples into this one (exact percentiles
+  /// over the union — sample order does not affect nearest-rank queries).
+  void Merge(const PercentileTracker& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
  private:
   std::vector<double> samples_;
   bool sorted_ = false;

@@ -1,0 +1,76 @@
+#ifndef BLOCKOPTR_DRIVER_CHANNEL_RUN_H_
+#define BLOCKOPTR_DRIVER_CHANNEL_RUN_H_
+
+// One channel's live experiment: the setup / step / finish internals of
+// RunExperiment, factored so the single-channel path and the multi-channel
+// sharded driver share one code path. A ChannelRun owns the simulator, the
+// Fabric network, the prepared schedule, and the output under construction;
+// it is also a sim::Shard, so the shard runner can advance it in epoch
+// lockstep next to its sibling channels.
+
+#include <memory>
+
+#include "common/result.h"
+#include "driver/experiment.h"
+#include "driver/faults.h"
+#include "fabric/network.h"
+#include "sim/shard_runner.h"
+#include "sim/simulator.h"
+
+namespace blockoptr {
+
+class ChannelRun : public Shard {
+ public:
+  /// Builds the fully-armed channel: network constructed, chaincodes
+  /// installed, state seeded, scheduler/telemetry/stream attached, the
+  /// prepared schedule sitting in the event queue, faults armed, network
+  /// started, sampler ticking. After Create the channel only needs to be
+  /// stepped (RunToCompletion or AdvanceUntil) and Finished.
+  static Result<std::unique_ptr<ChannelRun>> Create(
+      const ExperimentConfig& config);
+
+  ChannelRun(const ChannelRun&) = delete;
+  ChannelRun& operator=(const ChannelRun&) = delete;
+
+  /// The classic single-channel run loop: unbounded Step() until every
+  /// scheduled request committed or early-aborted. Bit-identical to the
+  /// pre-sharding RunExperiment loop (no epoch machinery touches it).
+  Status RunToCompletion();
+
+  // Shard interface (the multi-channel epoch-lockstep path).
+  Status AdvanceUntil(SimTime epoch_end) override;
+  bool done() const override { return completed_ >= total_; }
+  SimTime NextTime() const override;
+
+  /// Post-run finalization: report finish, stream/sampler finalize, stage
+  /// breakdown, engine gauges, fault windows — then surrenders the output.
+  /// Call exactly once, after the run loop completed without error.
+  ExperimentOutput Finish();
+
+  FabricNetwork& network() { return *network_; }
+  const FabricNetwork& network() const { return *network_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  ChannelRun() = default;
+
+  /// The fallible construction steps, in exactly the order the monolithic
+  /// RunExperiment performed them.
+  Status Setup(const ExperimentConfig& config);
+
+  Simulator sim_;
+  std::unique_ptr<FabricNetwork> network_;
+  std::unique_ptr<FaultInjector> faults_;
+  Schedule schedule_;  // arrival events reference entries in place
+  ExperimentOutput output_;
+  size_t completed_ = 0;
+  size_t total_ = 0;
+  double last_commit_ = 0;
+  double max_sim_time_ = 36000;
+  bool faults_enabled_ = false;
+  NetworkConfig base_network_config_;  // echoed into output_.network
+};
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_CHANNEL_RUN_H_

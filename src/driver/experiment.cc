@@ -1,201 +1,18 @@
 #include "driver/experiment.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "fabric/endorsement_policy.h"
-#include "fabric/network.h"
-#include "reorder/fabricpp.h"
-#include "reorder/fabricsharp.h"
-#include "sim/simulator.h"
+#include "driver/channel_run.h"
+#include "driver/sharded.h"
 
 namespace blockoptr {
 
-namespace {
-
-Result<std::unique_ptr<BlockReorderer>> MakeScheduler(
-    const std::string& name) {
-  if (name.empty()) return std::unique_ptr<BlockReorderer>();
-  if (name == "fabricpp") {
-    return std::unique_ptr<BlockReorderer>(new FabricPPReorderer());
-  }
-  if (name == "fabricsharp") {
-    return std::unique_ptr<BlockReorderer>(new FabricSharpReorderer());
-  }
-  return Status::InvalidArgument("unknown orderer scheduler '" + name + "'");
-}
-
-}  // namespace
-
 Result<ExperimentOutput> RunExperiment(const ExperimentConfig& config) {
-  Simulator sim;
-  FabricNetwork network(&sim, config.network);
-
-  for (const auto& name : config.chaincodes) {
-    auto contract = ChaincodeRegistry::Global().Create(name);
-    if (!contract.ok()) return contract.status();
-    BLOCKOPTR_RETURN_NOT_OK(
-        network.InstallChaincode(std::move(*contract)));
-  }
-  for (const auto& seed : config.seeds) {
-    network.SeedState(seed.chaincode, seed.key, seed.value);
-  }
-
-  auto scheduler = MakeScheduler(config.orderer_scheduler);
-  if (!scheduler.ok()) return scheduler.status();
-  if (*scheduler != nullptr) network.SetReorderer(std::move(*scheduler));
-
-  ExperimentOutput output;
-  if (config.enable_telemetry) {
-    output.telemetry =
-        std::make_unique<Telemetry>(&sim, config.telemetry_options);
-    network.set_telemetry(output.telemetry.get());
-  }
-
-  if (config.stream.enabled) {
-    output.stream = std::make_unique<StreamEngine>(config.stream);
-    StreamEngine* engine = output.stream.get();
-    network.set_on_block_commit(
-        [engine](const Block& block) { engine->OnBlockCommit(block); });
-    if (config.stream.apply) {
-      // The engine decides *when* (first evaluation whose active set has
-      // an applicable entry); this hook decides *how* — through the same
-      // config-update transactions a live operator would submit. Only the
-      // two system-level recommendations have an in-band application
-      // path; everything else reports false and stays advisory.
-      const int num_orgs = config.network.num_orgs;
-      FabricNetwork* net = &network;
-      engine->set_apply_hook([net, num_orgs](const Recommendation& rec) {
-        switch (rec.type) {
-          case RecommendationType::kBlockSizeAdaptation: {
-            if (rec.suggested_block_count == 0) return false;
-            BlockCuttingConfig cutting;
-            cutting.max_tx_count = rec.suggested_block_count;
-            net->SubmitBlockCuttingUpdate(cutting);
-            return true;
-          }
-          case RecommendationType::kEndorserRestructuring: {
-            net->SubmitPolicyUpdate(
-                EndorsementPolicy::Preset(4, num_orgs));
-            return true;
-          }
-          default:
-            return false;
-        }
-      });
-    }
-  }
-
-  // Client manager: apply reordering / rate control to the workload.
-  Schedule schedule = ClientManager::Prepare(
-      config.schedule, config.client_manager,
-      output.telemetry ? &output.telemetry->metrics() : nullptr);
-
-  // Fault injection: arrival faults reshape the prepared schedule;
-  // runtime faults (crashes, endorser degradation) become simulator
-  // events when the injector arms below.
-  FaultInjector faults(&sim, &network, config.faults);
-  if (config.faults.enabled()) ApplyArrivalFaults(schedule, config.faults);
-
-  size_t completed = 0;
-  double last_commit = 0;
-  network.set_on_commit([&](const Transaction& tx) {
-    output.report.RecordCommit(tx);
-    if (!tx.is_config) {
-      ++completed;
-      last_commit = std::max(last_commit, tx.commit_timestamp);
-    }
-  });
-  network.set_on_early_abort([&](const ClientRequest&, const Status&) {
-    output.report.RecordEarlyAbort();
-    ++completed;
-  });
-
-  // Fail fast if the schedule references a missing contract (checked
-  // before anything is scheduled, so Submit below cannot fail).
-  for (const auto& req : schedule) {
-    bool found =
-        std::find(config.chaincodes.begin(), config.chaincodes.end(),
-                  req.chaincode) != config.chaincodes.end();
-    if (!found) {
-      return Status::InvalidArgument("schedule references chaincode '" +
-                                     req.chaincode +
-                                     "' which is not installed");
-    }
-  }
-
-  // The whole schedule sits in the event queue up front; pre-size the
-  // engine for it. Requests are captured by reference — `schedule`
-  // outlives the run loop — so arrival events carry no per-request copy.
-  sim.Reserve(schedule.size() + 64);
-  for (const auto& req : schedule) {
-    sim.ScheduleAt(req.send_time,
-                   [&network, &req]() { (void)network.Submit(req); });
-  }
-
-  if (config.faults.enabled()) faults.Arm();
-  network.Start();
-  if (output.telemetry && output.telemetry->sampler()) {
-    // The continuous monitor: one self-re-arming tick per period. Started
-    // after network setup so the first window covers real run time.
-    output.telemetry->sampler()->Start();
-  }
-
-  const size_t total = schedule.size();
-  while (completed < total) {
-    if (!sim.Step()) {
-      return Status::Internal(
-          "simulation drained before all transactions completed (" +
-          std::to_string(completed) + "/" + std::to_string(total) + ")");
-    }
-    if (sim.Now() > config.max_sim_time) {
-      return Status::Internal("simulation exceeded max_sim_time");
-    }
-  }
-
-  output.report.Finish(last_commit);
-  if (output.stream) {
-    // Flush the last partial window and drop the apply hook — the
-    // network it captured dies with this function, the engine does not.
-    output.stream->Finalize(sim.Now());
-  }
-  if (output.telemetry && output.telemetry->sampler()) {
-    // Snapshot whole-run station totals and detach from the network —
-    // the network and simulator die with this function, the telemetry
-    // does not.
-    output.telemetry->sampler()->Finalize();
-  }
-  if (output.telemetry) {
-    if (output.telemetry->options().tracing) {
-      output.report.set_stage_breakdown(
-          ComputeStageBreakdown(output.telemetry->tracer()));
-      // Feed every finished span into a per-stage latency histogram, so
-      // quantiles are also available through the histogram path
-      // (Histogram::Quantile) — e.g. in the Prometheus exposition, where
-      // raw spans do not travel.
-      for (const auto& span : output.telemetry->tracer().spans()) {
-        output.telemetry->metrics()
-            .histogram("stage." + span.category + ".seconds")
-            .Observe(span.duration());
-      }
-    }
-    // Engine-level gauges: how many events the run cost and how deep the
-    // queue got. Both are deterministic per config, so they are safe to
-    // snapshot (the sweep determinism harness compares full snapshots).
-    output.telemetry->metrics().gauge("sim.events_processed")
-        .Set(static_cast<double>(sim.num_processed()));
-    output.telemetry->metrics().gauge("sim.queue_peak")
-        .Set(static_cast<double>(sim.queue_peak()));
-  }
-  faults.FinalizeWindows(sim.Now());
-  output.fault_windows = faults.windows();
-  output.ledger = network.ledger();
-  output.endorsement_counts = network.endorsement_counts();
-  output.network = config.network;
-  output.sim_end_time = sim.Now();
-  output.events_processed = sim.num_processed();
-  output.queue_peak = sim.queue_peak();
-  return output;
+  if (config.channels > 1) return RunShardedExperiment(config);
+  // Single channel: the classic path — one ChannelRun, the unbounded
+  // Step() loop, bit-identical to the pre-sharding monolithic driver.
+  auto run = ChannelRun::Create(config);
+  if (!run.ok()) return run.status();
+  BLOCKOPTR_RETURN_NOT_OK((*run)->RunToCompletion());
+  return (*run)->Finish();
 }
 
 }  // namespace blockoptr

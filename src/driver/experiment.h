@@ -56,6 +56,29 @@ struct ExperimentConfig {
   /// Safety valve: abort the run if virtual time exceeds this.
   double max_sim_time = 36000;
 
+  /// Multi-channel sharding (driver/sharded.h): > 1 splits the experiment
+  /// into this many channels — each an independent Fabric network with its
+  /// own event core and derived RNG seed — run in epoch lockstep and
+  /// coupled through the shared client population. The schedule is
+  /// partitioned across channels deterministically (weighted round-robin
+  /// per `channel_weights`). 1 (the default) is the classic single-channel
+  /// run, bit-identical to the pre-sharding path.
+  int channels = 1;
+
+  /// Worker threads advancing channels in parallel; results are
+  /// field-for-field identical for every value (1 = serial reference,
+  /// <= 0 = all hardware threads). Ignored when `channels` <= 1.
+  int sim_threads = 1;
+
+  /// Lockstep epoch length in sim seconds; <= 0 (the default) derives it
+  /// from the latency model's minimum cross-channel coupling latency
+  /// (MinCouplingLatency). Ignored when `channels` <= 1.
+  double epoch_s = 0;
+
+  /// Relative workload weight per channel (empty = uniform). Entry i
+  /// weights channel i; missing/non-positive entries default to 1.
+  std::vector<double> channel_weights;
+
   /// When true, the run records observability data into
   /// `ExperimentOutput::telemetry` (per `telemetry_options`: lifecycle
   /// spans, component metrics, continuous sampler time series) and
@@ -111,6 +134,15 @@ struct ExperimentOutput {
   /// `ExperimentConfig::stream.enabled` was set. Finalized (windows
   /// flushed, apply hook released) before RunExperiment returns.
   std::unique_ptr<StreamEngine> stream;
+
+  /// Per-channel outputs of a multi-channel run (`channels > 1`), indexed
+  /// by channel. Each entry is a complete single-channel output — ledger,
+  /// telemetry, stream, fault windows, engine stats. The top level then
+  /// carries the whole-experiment view: the merged report, summed engine
+  /// counters, merged endorsement counts — but an empty ledger and null
+  /// telemetry/stream (those stay per-channel; consumers iterate
+  /// `channels`). Empty for single-channel runs.
+  std::vector<ExperimentOutput> channels;
 };
 
 /// Runs the experiment to completion (every scheduled request committed or

@@ -16,6 +16,50 @@ ExperimentConfig MakeSyntheticExperiment(const SyntheticConfig& workload,
   return cfg;
 }
 
+ExperimentConfig MakeChannelExperiment(const ChannelExperimentDef& def) {
+  ExperimentConfig cfg = MakeSyntheticExperiment(def.workload, def.network);
+  cfg.channels = def.channels;
+  cfg.channel_weights = def.channel_weights;
+  return cfg;
+}
+
+std::vector<ChannelExperimentDef> ChannelExperiments(int num_txs) {
+  SyntheticConfig wl;
+  wl.num_txs = num_txs;
+  NetworkConfig net = NetworkConfig::Defaults();
+
+  std::vector<ChannelExperimentDef> defs;
+
+  {  // 1: balanced 4-channel sharding of the Table 2 default workload.
+    ChannelExperimentDef d{1, "4 channels balanced", wl, net, 4, {}};
+    defs.push_back(std::move(d));
+  }
+  {  // 2: cross-channel hot-key contention — every channel's partition
+     // hits the same Zipf-hot keys, so conflicts climb on all channels at
+     // once while the shared client population saturates.
+    SyntheticConfig w = wl;
+    w.key_skew = 2;
+    w.type = SyntheticWorkloadType::kUpdateHeavy;
+    ChannelExperimentDef d{2, "4 channels hot-key contention", w, net, 4,
+                           {}};
+    defs.push_back(std::move(d));
+  }
+  {  // 3: skewed channel load — channel 0 carries 4x the traffic of each
+     // other channel, so one channel saturates first and the coupling
+     // drags its siblings.
+    SyntheticConfig w = wl;
+    w.send_rate = 600;
+    ChannelExperimentDef d{3, "4 channels skewed load 4:1:1:1", w, net, 4,
+                           {4, 1, 1, 1}};
+    defs.push_back(std::move(d));
+  }
+  {  // 4: 8-channel scale point.
+    ChannelExperimentDef d{4, "8 channels balanced", wl, net, 8, {}};
+    defs.push_back(std::move(d));
+  }
+  return defs;
+}
+
 std::vector<SyntheticExperimentDef> Table3Experiments(int num_txs) {
   SyntheticConfig wl;
   wl.num_txs = num_txs;

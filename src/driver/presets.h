@@ -35,6 +35,28 @@ std::vector<SyntheticExperimentDef> Table3Experiments(int num_txs);
 ExperimentConfig MakeSyntheticExperiment(const SyntheticConfig& workload,
                                          const NetworkConfig& network);
 
+/// One multi-channel experiment: a synthetic workload partitioned over
+/// `channels` Fabric channels (optionally with skewed per-channel load).
+struct ChannelExperimentDef {
+  int number;
+  std::string label;
+  SyntheticConfig workload;
+  NetworkConfig network;
+  int channels = 4;
+  std::vector<double> channel_weights;  // empty = balanced
+};
+
+/// The multi-channel preset set (`sweep --set=channels`), scaled to
+/// `num_txs` transactions total: balanced sharding, cross-channel hot-key
+/// contention (every channel's share hammers the same Zipf-hot keys, so
+/// conflict rates rise on all channels while the shared clients saturate),
+/// skewed channel load (one channel carries 4x the traffic of each other),
+/// and an 8-channel scale point.
+std::vector<ChannelExperimentDef> ChannelExperiments(int num_txs);
+
+/// Builds the runnable multi-channel experiment for a preset definition.
+ExperimentConfig MakeChannelExperiment(const ChannelExperimentDef& def);
+
 }  // namespace blockoptr
 
 #endif  // BLOCKOPTR_DRIVER_PRESETS_H_

@@ -35,6 +35,23 @@ void PerformanceReport::RecordCommit(const Transaction& tx) {
 
 void PerformanceReport::RecordEarlyAbort() { ++early_aborts_; }
 
+void PerformanceReport::Merge(const PerformanceReport& other) {
+  total_committed_ += other.total_committed_;
+  successful_ += other.successful_;
+  mvcc_failures_ += other.mvcc_failures_;
+  phantom_failures_ += other.phantom_failures_;
+  endorsement_failures_ += other.endorsement_failures_;
+  early_aborts_ += other.early_aborts_;
+  latency_.Merge(other.latency_);
+  latency_pct_.Merge(other.latency_pct_);
+  if (other.saw_first_ &&
+      (!saw_first_ || other.first_send_ < first_send_)) {
+    first_send_ = other.first_send_;
+  }
+  saw_first_ = saw_first_ || other.saw_first_;
+  if (other.end_time_ > end_time_) end_time_ = other.end_time_;
+}
+
 double PerformanceReport::SuccessRate() const {
   if (total_committed_ == 0) return 0;
   return static_cast<double>(successful_) /

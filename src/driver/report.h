@@ -27,6 +27,14 @@ class PerformanceReport {
   /// Marks the end of the run for throughput computation.
   void Finish(double end_time) { end_time_ = end_time; }
 
+  /// Folds another (already Finished) report into this one — used to build
+  /// the whole-experiment report from per-channel reports. Counters add,
+  /// latency accumulators merge, and the wall span becomes the union
+  /// (earliest first send -> latest end time), so Throughput() reflects
+  /// the combined run. Stage breakdowns are per-channel artifacts and are
+  /// not merged.
+  void Merge(const PerformanceReport& other);
+
   uint64_t total_committed() const { return total_committed_; }
   uint64_t successful() const { return successful_; }
   uint64_t mvcc_failures() const { return mvcc_failures_; }

@@ -1,0 +1,55 @@
+#ifndef BLOCKOPTR_DRIVER_SHARDED_H_
+#define BLOCKOPTR_DRIVER_SHARDED_H_
+
+// The multi-channel sharded experiment driver (ROADMAP: million-tx scale).
+// An experiment with `channels = N` becomes N independent ChannelRuns —
+// each with its own event core, Fabric network, and derived RNG stream —
+// advanced in conservative epoch lockstep by the shard runner and coupled
+// through the shared client population: at every epoch boundary each
+// channel's client-side service costs are scaled by how much of the shared
+// client capacity the *other* channels consumed in the closing window.
+// Everything at and between boundaries is deterministic, so a run is
+// field-for-field identical for any `sim_threads`.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "driver/experiment.h"
+#include "workload/spec.h"
+
+namespace blockoptr {
+
+/// Derived RNG seed of channel `channel` (splitmix64-style mix), so
+/// channels draw from disjoint deterministic streams. Extends the sweep
+/// determinism contract: the whole multi-channel run is a pure function of
+/// (config, base seed).
+uint64_t ChannelSeed(uint64_t base_seed, int channel);
+
+/// Deterministically partitions a schedule across `channels` by smooth
+/// weighted round-robin: request order and send times are preserved,
+/// channel i receives a share proportional to `weights[i]` (empty weights
+/// or non-positive entries mean 1). The concatenation of the parts in
+/// round-robin pick order is exactly the input schedule.
+std::vector<Schedule> PartitionSchedule(const Schedule& schedule,
+                                        int channels,
+                                        const std::vector<double>& weights);
+
+/// The smallest sim-time distance at which one channel's load can affect
+/// another through the shared clients: a proposal must at least be created
+/// and travel to an endorser and start executing before any cross-channel
+/// effect is observable. Used as the default lockstep epoch — conservative
+/// synchronization at this granularity loses no coupling fidelity.
+double MinCouplingLatency(const LatencyModel& latency);
+
+/// Runs a `channels > 1` experiment: partitions the workload, builds the
+/// per-channel runs, advances them in epoch lockstep on `sim_threads`
+/// workers with client-population coupling at every boundary, and returns
+/// the aggregate output (merged report, summed engine counters, per-channel
+/// outputs in `ExperimentOutput::channels`). RunExperiment dispatches here;
+/// call that instead.
+Result<ExperimentOutput> RunShardedExperiment(const ExperimentConfig& config);
+
+}  // namespace blockoptr
+
+#endif  // BLOCKOPTR_DRIVER_SHARDED_H_

@@ -107,6 +107,14 @@ struct NetworkConfig {
   /// endorser choice).
   uint64_t seed = 42;
 
+  /// Identity of this network inside a multi-channel experiment: channel
+  /// `channel_index` of `channel_count` (0 of 1 for a plain single-channel
+  /// run). Channels are independent Fabric networks coupled only through
+  /// the shared client population (driver/sharded.h); per-channel exports
+  /// and sampler gauges are labeled with the index.
+  int channel_index = 0;
+  int channel_count = 1;
+
   /// Returns the config with the paper's defaults (2 orgs, P3, block count
   /// 300, timeout 1s).
   static NetworkConfig Defaults();

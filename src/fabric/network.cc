@@ -103,6 +103,17 @@ bool FabricNetwork::endorser_down(int org) const {
   return endorser_down_[static_cast<size_t>(org - 1)] != 0;
 }
 
+void FabricNetwork::SetClientLoadScale(double scale) {
+  if (scale <= 0) return;
+  client_load_scale_ = scale;
+}
+
+double FabricNetwork::client_busy_time() const {
+  double busy = 0;
+  for (const auto& client : clients_) busy += client->station().busy_time();
+  return busy;
+}
+
 void FabricNetwork::SetReorderer(std::unique_ptr<BlockReorderer> reorderer) {
   orderer_->set_reorderer(std::move(reorderer));
 }
@@ -133,6 +144,12 @@ void FabricNetwork::set_telemetry(Telemetry* telemetry) {
       [this]() { return totals_.blocks_committed; });
   sampler->AddRate("raft.messages_per_s",
                    [this]() { return orderer_->raft().messages_sent(); });
+  if (config_.channel_count > 1) {
+    // Only registered on multi-channel runs, so single-channel sampler
+    // exports stay byte-identical to the pre-sharding format.
+    sampler->AddGauge("channel.client_load_scale",
+                      [this]() { return client_load_scale_; });
+  }
   // Every ServiceStation in the network becomes a bottleneck candidate:
   // per-org endorsers and validators, the orderer, and the clients.
   for (auto& peer : peers_) {
@@ -296,7 +313,7 @@ Status FabricNetwork::Submit(const ClientRequest& request) {
     event_metrics_->gauge("client.queue_depth")
         .Set(cp.station().CurrentDelay());
   }
-  cp.station().Submit(config_.latency.client_proposal_s,
+  cp.station().Submit(config_.latency.client_proposal_s * client_load_scale_,
                       [this, id]() { StartEndorsement(id); });
   return Status::OK();
 }
@@ -482,7 +499,7 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   // Envelope assembly occupies the client, then the envelope travels to
   // the ordering service.
   cp.station().Submit(
-      config_.latency.client_assemble_s,
+      config_.latency.client_assemble_s * client_load_scale_,
       [this, assemble_span, tx = std::move(tx), bytes]() mutable {
         if (tracer_) tracer_->End(assemble_span);
         sim_->ScheduleAfter(NetworkDelay(),

@@ -148,6 +148,22 @@ class FabricNetwork {
   double endorser_slowdown(int org) const;
   bool endorser_down(int org) const;
 
+  /// Cross-channel load coupling (driver/sharded.h): in a multi-channel
+  /// experiment the channels share one client population, so client-side
+  /// work on other channels slows this channel's clients down. The sharded
+  /// driver measures per-epoch client busy time on every channel and sets
+  /// each channel's scale to 1 / (1 - other_channels_busy_share); both
+  /// client service costs (proposal creation, envelope assembly) are
+  /// multiplied by it. The default 1.0 multiplies exactly (IEEE), so a
+  /// single-channel run is bit-identical to a network without the hook.
+  /// Factors <= 0 are ignored.
+  void SetClientLoadScale(double scale);
+  double client_load_scale() const { return client_load_scale_; }
+
+  /// Cumulative busy time across all of this network's client stations —
+  /// the coupling signal the sharded driver differentiates per epoch.
+  double client_busy_time() const;
+
   /// Transactions endorsed per organization so far (requested, i.e. the
   /// proposals each endorser executed).
   const std::map<std::string, uint64_t>& endorsement_counts() const {
@@ -188,6 +204,7 @@ class FabricNetwork {
   NetworkConfig config_;
   Rng rng_;
   double peer_scale_ = 1.0;  // cluster resource contention (see config.h)
+  double client_load_scale_ = 1.0;  // cross-channel coupling (see above)
   Telemetry* telemetry_ = nullptr;  // optional, not owned
   // Cached per-aspect handles (null when the aspect is disabled), so
   // recording sites pay one pointer check and sampler-only runs skip the

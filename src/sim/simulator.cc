@@ -71,6 +71,18 @@ void Simulator::Run() {
   }
 }
 
+bool Simulator::StepIfBefore(SimTime until) {
+  if (queue_.empty() ||
+      std::bit_cast<double>(queue_.Min().time) > until) {
+    return false;
+  }
+  return Step();
+}
+
+SimTime Simulator::NextEventTime() const {
+  return std::bit_cast<double>(queue_.Min().time);
+}
+
 void Simulator::RunUntil(SimTime until) {
   while (!queue_.empty() &&
          std::bit_cast<double>(queue_.Min().time) <= until) {

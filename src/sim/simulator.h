@@ -88,6 +88,18 @@ class Simulator {
   /// Executes at most one event. Returns false if the queue is empty.
   bool Step();
 
+  /// Executes the next event only if its fire time is <= `until`; returns
+  /// false (without advancing `Now()`) when the queue is empty or the next
+  /// event lies beyond `until`. This is the sharded runner's primitive: it
+  /// lets an external driver advance the simulator in bounded time windows
+  /// while a separate completion predicate decides when to stop, without
+  /// the drain-to-`until` semantics of RunUntil().
+  bool StepIfBefore(SimTime until);
+
+  /// Fire time of the next pending event; meaningless when the queue is
+  /// empty (check num_pending() first).
+  SimTime NextEventTime() const;
+
   size_t num_pending() const { return queue_.size(); }
   uint64_t num_processed() const { return processed_; }
 

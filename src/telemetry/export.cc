@@ -132,17 +132,28 @@ void WriteTimeSeriesChart(std::ostream& out, const std::string& caption,
   out << "\"/></svg></figure>\n";
 }
 
-void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
+void WritePrometheusText(const Telemetry& telemetry, std::ostream& out,
+                         const std::string& channel) {
+  // With a channel set, every sample line carries {channel="..."}; the
+  // empty default emits exactly the historical unlabeled format.
+  const std::string label =
+      channel.empty()
+          ? std::string()
+          : "{channel=\"" + PrometheusEscapeLabel(channel) + "\"}";
+  const std::string bucket_prefix =
+      channel.empty()
+          ? std::string("{")
+          : "{channel=\"" + PrometheusEscapeLabel(channel) + "\",";
   const MetricsRegistry& metrics = telemetry.metrics();
   for (const auto& [name, c] : metrics.counters()) {
     std::string p = PrometheusMetricName(name);
     PromFamilyHeader(out, p, name, "counter");
-    out << p << ' ' << c.value() << '\n';
+    out << p << label << ' ' << c.value() << '\n';
   }
   for (const auto& [name, g] : metrics.gauges()) {
     std::string p = PrometheusMetricName(name);
     PromFamilyHeader(out, p, name, "gauge");
-    out << p << ' ' << PromDouble(g.value()) << '\n';
+    out << p << label << ' ' << PromDouble(g.value()) << '\n';
   }
   for (const auto& [name, h] : metrics.histograms()) {
     std::string p = PrometheusMetricName(name);
@@ -151,13 +162,14 @@ void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
     const auto& counts = h.bucket_counts();
     for (size_t i = 0; i < h.bounds().size(); ++i) {
       cumulative += counts[i];
-      out << p << "_bucket{le=\""
+      out << p << "_bucket" << bucket_prefix << "le=\""
           << PrometheusEscapeLabel(PromDouble(h.bounds()[i])) << "\"} "
           << cumulative << '\n';
     }
-    out << p << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
-    out << p << "_sum " << PromDouble(h.sum()) << '\n';
-    out << p << "_count " << h.count() << '\n';
+    out << p << "_bucket" << bucket_prefix << "le=\"+Inf\"} " << h.count()
+        << '\n';
+    out << p << "_sum" << label << ' ' << PromDouble(h.sum()) << '\n';
+    out << p << "_count" << label << ' ' << h.count() << '\n';
   }
   const Sampler* sampler = telemetry.sampler();
   if (sampler == nullptr) return;
@@ -167,7 +179,7 @@ void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
     const std::string name = "ts." + s.name();
     std::string p = PrometheusMetricName(name);
     PromFamilyHeader(out, p, name, "gauge");
-    out << p << ' ' << PromDouble(s.Last()) << '\n';
+    out << p << label << ' ' << PromDouble(s.Last()) << '\n';
   }
   for (const auto& tr : sampler->stations()) {
     const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
@@ -176,7 +188,7 @@ void WritePrometheusText(const Telemetry& telemetry, std::ostream& out) {
       const std::string name = "station." + tr.name + "." + series->name();
       std::string p = PrometheusMetricName(name);
       PromFamilyHeader(out, p, name, "gauge");
-      out << p << ' ' << PromDouble(series->Last()) << '\n';
+      out << p << label << ' ' << PromDouble(series->Last()) << '\n';
     }
   }
 }

@@ -33,8 +33,12 @@ std::string HtmlEscapeText(const std::string& s);
 /// plus the last sampled value of every sampler series as a gauge. Names
 /// are prefixed `blockoptr_` and sanitized to the Prometheus charset.
 /// Byte-deterministic: registry maps are ordered and sampler order is
-/// registration order.
-void WritePrometheusText(const Telemetry& telemetry, std::ostream& out);
+/// registration order. A non-empty `channel` stamps every sample line with
+/// a `channel="..."` label (multi-channel runs concatenate one exposition
+/// per channel); the default empty channel emits no label at all, keeping
+/// single-channel output byte-identical to the unlabeled format.
+void WritePrometheusText(const Telemetry& telemetry, std::ostream& out,
+                         const std::string& channel = std::string());
 
 /// The run's full machine-readable snapshot: the MetricsRegistry snapshot
 /// (counters/gauges/histograms) extended with a "timeseries" section

@@ -96,6 +96,21 @@ int Usage() {
       "  --endorser-skew=W  endorser distribution skew (default 0)\n"
       "  --scheduler=fabricpp|fabricsharp   orderer reordering baseline\n"
       "\n"
+      "multi-channel sharding (parallel per-channel event cores):\n"
+      "  --channels=N     shard the experiment into N Fabric channels\n"
+      "                   (default 1 = classic single-channel run); the\n"
+      "                   workload is partitioned deterministically and\n"
+      "                   channels couple through the shared clients\n"
+      "  --sim-threads=K  worker threads advancing channels in lockstep\n"
+      "                   (default 1, 0 = all cores; exports are\n"
+      "                   field-for-field identical for every K)\n"
+      "  --sim-epoch=S    lockstep epoch in sim seconds (default: derived\n"
+      "                   from the latency model's coupling latency)\n"
+      "  --channel-weights=A,B,...  relative per-channel load (skewed\n"
+      "                   channel traffic; default balanced)\n"
+      "  multi-channel observability exports write one suffixed file per\n"
+      "  channel (prom.txt -> prom-0.txt, each labeled channel=\"N\")\n"
+      "\n"
       "fault injection (deterministic, scheduled in sim time):\n"
       "  --faults=SPEC    semicolon-separated fault events, each a preset\n"
       "                   name plus optional @key=value,... overrides\n"
@@ -146,6 +161,8 @@ int Usage() {
       "\n"
       "sweep mode (runs a batch of experiments, optionally in parallel):\n"
       "  --set=table3       the paper's 15 Table 3 experiments (default)\n"
+      "  --set=channels     the multi-channel presets (balanced, hot-key\n"
+      "                     contention, skewed channel load, 8-channel)\n"
       "  --rates=A,B,...    sweep the send rate over the base config\n"
       "  --block-counts=A,B,...  sweep the orderer batch size\n"
       "  all `run` workload/network/stream flags set the sweep's base\n"
@@ -191,6 +208,17 @@ Result<ExperimentConfig> BuildExperiment(const CliArgs& args) {
     auto plan = ParseFaultPlan(args.Get("faults", ""));
     if (!plan.ok()) return plan.status();
     cfg.faults = std::move(*plan);
+  }
+
+  cfg.channels = args.GetInt("channels", 1);
+  if (cfg.channels < 1) {
+    return Status::InvalidArgument("--channels must be >= 1");
+  }
+  cfg.sim_threads = args.GetInt("sim-threads", 1);
+  cfg.epoch_s = args.GetDouble("sim-epoch", 0);
+  for (const auto& field : Split(args.Get("channel-weights", ""), ',')) {
+    if (field.empty()) continue;
+    cfg.channel_weights.push_back(std::strtod(field.c_str(), nullptr));
   }
 
   const std::string workload = args.Get("workload", "synthetic");
@@ -327,6 +355,278 @@ std::string SuffixedPath(const std::string& path, size_t index) {
   return path.substr(0, dot) + suffix + path.substr(dot);
 }
 
+/// The `--apply` what-if pass shared by the single- and multi-channel run
+/// paths: each recommendation alone, then all combined, deltas vs `base`.
+int ApplyWhatIf(const CliArgs& args, const ExperimentConfig& cfg,
+                const PerformanceReport& base,
+                const std::vector<Recommendation>& recs) {
+  if (recs.empty()) {
+    std::printf("nothing to apply\n");
+    return 0;
+  }
+  WhatIfOptions options;
+  options.jobs = args.GetInt("jobs", 1);
+  auto whatif = EvaluateWhatIf(cfg, recs, options);
+  if (!whatif.ok()) {
+    std::fprintf(stderr, "apply error: %s\n",
+                 whatif.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwhat-if: each recommendation applied alone "
+              "(jobs=%d):\n",
+              ThreadPool::ResolveThreads(options.jobs));
+  for (const auto& entry : whatif->individual) {
+    std::printf("  %-28s success %+0.1f%%, latency %+0.1f%%, "
+                "throughput %+0.1f%%\n",
+                std::string(RecommendationTypeName(
+                                entry.recommendation.type))
+                    .c_str(),
+                100 * RelativeImprovement(base.SuccessRate(),
+                                          entry.report.SuccessRate()),
+                100 * RelativeImprovement(base.AvgLatency(),
+                                          entry.report.AvgLatency(), true),
+                100 * RelativeImprovement(base.Throughput(),
+                                          entry.report.Throughput()));
+  }
+  const PerformanceReport& combined = whatif->combined;
+  std::printf("\nafter applying all recommendations:\n%s\n",
+              combined.Summary().c_str());
+  std::printf("success %+0.1f%%, latency %+0.1f%%, throughput %+0.1f%%\n",
+              100 * RelativeImprovement(base.SuccessRate(),
+                                        combined.SuccessRate()),
+              100 * RelativeImprovement(base.AvgLatency(),
+                                        combined.AvgLatency(), true),
+              100 * RelativeImprovement(base.Throughput(),
+                                        combined.Throughput()));
+  return 0;
+}
+
+/// Run-mode output for sharded experiments (`--channels > 1`): per-channel
+/// summaries and bottleneck attribution naming the saturated channel,
+/// whole-experiment recommendations over the aggregated per-channel
+/// metrics, and per-channel suffixed exports ("prom.txt" -> "prom-0.txt"
+/// for channel 0, each Prometheus line labeled channel="N").
+int MultiChannelRunCommand(const CliArgs& args, const ExperimentConfig& cfg,
+                           const ExperimentOutput& out) {
+  std::printf("%s\n", out.report.Summary().c_str());
+  std::printf("per-channel breakdown (%zu channels, sim-threads=%d):\n",
+              out.channels.size(), cfg.sim_threads);
+  for (size_t c = 0; c < out.channels.size(); ++c) {
+    std::printf("  channel %zu: %s\n", c,
+                out.channels[c].report.Summary().c_str());
+  }
+  std::printf("\n");
+  if (!out.fault_windows.empty()) {
+    std::printf("injected faults (per channel):\n");
+    for (const auto& w : out.fault_windows) {
+      std::printf("  %-24s %s\n", w.name.c_str(),
+                  FormatEvidenceWindow(w.start, w.end).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Per-channel bottleneck attribution. The saturated channel is the one
+  // whose hottest station shows the highest utilization.
+  std::vector<BottleneckReport> bottlenecks(out.channels.size());
+  int hottest = -1;
+  double hottest_util = -1;
+  for (size_t c = 0; c < out.channels.size(); ++c) {
+    const auto& ch = out.channels[c];
+    if (!ch.telemetry) continue;
+    bottlenecks[c] = ComputeBottleneckReport(*ch.telemetry, ch.sim_end_time,
+                                             &ch.fault_windows);
+    const auto* top = bottlenecks[c].Top();
+    if (top != nullptr && top->utilization > hottest_util) {
+      hottest_util = top->utilization;
+      hottest = static_cast<int>(c);
+    }
+  }
+  if (hottest >= 0) {
+    std::printf("bottleneck attribution by channel:\n");
+    for (size_t c = 0; c < out.channels.size(); ++c) {
+      if (!out.channels[c].telemetry) continue;
+      std::printf("  channel %zu: %s\n", c, bottlenecks[c].summary.c_str());
+    }
+    std::printf("=> hottest channel: channel %d (%s at %.0f%% "
+                "utilization)\n\n",
+                hottest, bottlenecks[hottest].bottleneck_station.c_str(),
+                100 * hottest_util);
+  }
+  for (size_t c = 0; c < out.channels.size(); ++c) {
+    if (out.channels[c].stream) {
+      std::printf("channel %zu ", c);
+      PrintStreamSummary(*out.channels[c].stream);
+    }
+  }
+
+  // Whole-experiment recommendations: per-channel logs are analyzed
+  // independently, then merged into one experiment-level LogMetrics.
+  std::vector<BlockchainLog> logs;
+  std::vector<LogMetrics> per_channel;
+  logs.reserve(out.channels.size());
+  per_channel.reserve(out.channels.size());
+  for (const auto& ch : out.channels) {
+    logs.push_back(ExtractBlockchainLog(ch.ledger));
+    per_channel.push_back(ComputeMetrics(logs.back(), MetricsOptions{}));
+  }
+  LogMetrics metrics = AggregateMetrics(per_channel);
+  RecommenderOptions options;
+  if (args.Has("autotune")) {
+    options = AutoTuneThresholds(metrics, options);
+    std::printf("auto-tuned thresholds: Rt1=%.0f Et=%.2f It=%.2f\n\n",
+                options.rt1, options.et, options.it);
+  }
+  auto recs = Recommend(metrics, options);
+  if (hottest >= 0) {
+    // Evidence windows come from the saturated channel's telemetry.
+    AttachTelemetryEvidence(recs, bottlenecks[hottest]);
+  }
+  std::printf("%s\n", FormatRecommendationReport(metrics, recs).c_str());
+
+  // ---- per-channel exports (path -> path-<channel>) --------------------
+  for (size_t c = 0; c < out.channels.size(); ++c) {
+    const auto& ch = out.channels[c];
+    const std::string tag = std::to_string(c);
+    if (ch.telemetry) {
+      if (args.Has("trace-out")) {
+        std::string path = SuffixedPath(args.Get("trace-out", ""), c);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        ch.telemetry->tracer().WriteChromeTrace(f);
+        std::printf("wrote Chrome trace (open in Perfetto): %s\n",
+                    path.c_str());
+      }
+      if (args.Has("trace-csv")) {
+        std::string path = SuffixedPath(args.Get("trace-csv", ""), c);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        ch.telemetry->tracer().WriteCsv(f);
+        std::printf("wrote span CSV: %s\n", path.c_str());
+      }
+      if (args.Has("metrics-out")) {
+        std::string path = SuffixedPath(args.Get("metrics-out", ""), c);
+        JsonValue snapshot =
+            TelemetrySnapshotJson(*ch.telemetry, &bottlenecks[c]);
+        snapshot.as_object()["channel"] =
+            JsonValue(static_cast<int64_t>(c));
+        if (ch.stream) {
+          snapshot.as_object()["stream"] = StreamStateJson(*ch.stream);
+        }
+        Status st = WriteFileOrFail(path, snapshot.DumpPretty());
+        if (!st.ok()) {
+          std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+          return 1;
+        }
+        std::printf("wrote metrics snapshot: %s\n", path.c_str());
+      }
+      if (args.Has("prom-out")) {
+        std::string path = SuffixedPath(args.Get("prom-out", ""), c);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        WritePrometheusText(*ch.telemetry, f, tag);
+        if (ch.stream) AppendStreamPrometheus(*ch.stream, f);
+        std::printf("wrote Prometheus exposition: %s\n", path.c_str());
+      }
+      if (args.Has("report-out")) {
+        std::string path = SuffixedPath(args.Get("report-out", ""), c);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        char num[64];
+        HtmlSummaryRows rows;
+        rows.emplace_back("channel",
+                          tag + " of " + std::to_string(out.channels.size()));
+        std::snprintf(num, sizeof(num), "%.1f tps",
+                      ch.report.Throughput());
+        rows.emplace_back("throughput", num);
+        std::snprintf(num, sizeof(num), "%.1f%%",
+                      100 * ch.report.SuccessRate());
+        rows.emplace_back("success rate", num);
+        std::snprintf(num, sizeof(num), "%.3f s", ch.report.AvgLatency());
+        rows.emplace_back("avg latency", num);
+        std::snprintf(num, sizeof(num), "%.1f s", ch.sim_end_time);
+        rows.emplace_back("sim end time", num);
+        WriteHtmlReport(f, "BlockOptR run report: channel " + tag, rows,
+                        *ch.telemetry, bottlenecks[c],
+                        ch.stream ? StreamHtmlSection(*ch.stream)
+                                  : std::string());
+        std::printf("wrote HTML report: %s\n", path.c_str());
+      }
+    }
+    if (args.Has("out-log")) {
+      std::string path = SuffixedPath(args.Get("out-log", ""), c);
+      std::ofstream f(path);
+      if (!f) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+        return 1;
+      }
+      WriteLogCsv(logs[c], f);
+      std::printf("wrote blockchain log CSV: %s\n", path.c_str());
+    }
+    if (args.Has("out-json")) {
+      std::string path = SuffixedPath(args.Get("out-json", ""), c);
+      Status st = WriteFileOrFail(path, LogToJson(logs[c]).DumpPretty());
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote blockchain log JSON: %s\n", path.c_str());
+    }
+    if (args.Has("out-xes") || args.Has("mine") || args.Has("out-dot")) {
+      auto ev = EventLog::FromBlockchainLog(logs[c], EventLogOptions{});
+      if (!ev.ok()) {
+        std::fprintf(stderr, "event-log error (channel %zu): %s\n", c,
+                     ev.status().ToString().c_str());
+        return 1;
+      }
+      if (args.Has("out-xes")) {
+        std::string path = SuffixedPath(args.Get("out-xes", ""), c);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        WriteXes(*ev, f);
+        std::printf("wrote XES event log: %s\n", path.c_str());
+      }
+      if (args.Has("mine") || args.Has("out-dot")) {
+        PetriNet net = AlphaMiner::Mine(ev->Traces());
+        if (args.Has("mine")) {
+          auto fit = ReplayTraces(net, ev->Traces());
+          std::printf("channel %zu mined Petri net: %zu transitions, "
+                      "%zu places; fitness %.3f over %llu traces\n",
+                      c, net.num_transitions(), net.num_places(),
+                      fit.Fitness(),
+                      static_cast<unsigned long long>(fit.traces_replayed));
+        }
+        if (args.Has("out-dot")) {
+          std::string path = SuffixedPath(args.Get("out-dot", ""), c);
+          Status st = WriteFileOrFail(path, PetriNetToDot(net));
+          if (!st.ok()) {
+            std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+            return 1;
+          }
+          std::printf("wrote DOT model: %s\n", path.c_str());
+        }
+      }
+    }
+  }
+
+  if (args.Has("apply")) return ApplyWhatIf(args, cfg, out.report, recs);
+  return 0;
+}
+
 int RunCommand(const CliArgs& args) {
   auto cfg = BuildExperiment(args);
   if (!cfg.ok()) {
@@ -344,6 +644,9 @@ int RunCommand(const CliArgs& args) {
   if (!out.ok()) {
     std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
     return 1;
+  }
+  if (!out->channels.empty()) {
+    return MultiChannelRunCommand(args, *cfg, *out);
   }
   std::printf("%s\n\n", out->report.Summary().c_str());
   if (!out->fault_windows.empty()) {
@@ -517,46 +820,7 @@ int RunCommand(const CliArgs& args) {
   }
 
   // ---- apply: per-recommendation what-if + combined rerun --------------
-  if (args.Has("apply")) {
-    if (recs.empty()) {
-      std::printf("nothing to apply\n");
-      return 0;
-    }
-    WhatIfOptions options;
-    options.jobs = args.GetInt("jobs", 1);
-    auto whatif = EvaluateWhatIf(*cfg, recs, options);
-    if (!whatif.ok()) {
-      std::fprintf(stderr, "apply error: %s\n",
-                   whatif.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("\nwhat-if: each recommendation applied alone "
-                "(jobs=%d):\n",
-                ThreadPool::ResolveThreads(options.jobs));
-    for (const auto& entry : whatif->individual) {
-      std::printf("  %-28s success %+0.1f%%, latency %+0.1f%%, "
-                  "throughput %+0.1f%%\n",
-                  std::string(RecommendationTypeName(
-                                  entry.recommendation.type))
-                      .c_str(),
-                  100 * RelativeImprovement(out->report.SuccessRate(),
-                                            entry.report.SuccessRate()),
-                  100 * RelativeImprovement(out->report.AvgLatency(),
-                                            entry.report.AvgLatency(), true),
-                  100 * RelativeImprovement(out->report.Throughput(),
-                                            entry.report.Throughput()));
-    }
-    const PerformanceReport& combined = whatif->combined;
-    std::printf("\nafter applying all recommendations:\n%s\n",
-                combined.Summary().c_str());
-    std::printf("success %+0.1f%%, latency %+0.1f%%, throughput %+0.1f%%\n",
-                100 * RelativeImprovement(out->report.SuccessRate(),
-                                          combined.SuccessRate()),
-                100 * RelativeImprovement(out->report.AvgLatency(),
-                                          combined.AvgLatency(), true),
-                100 * RelativeImprovement(out->report.Throughput(),
-                                          combined.Throughput()));
-  }
+  if (args.Has("apply")) return ApplyWhatIf(args, *cfg, out->report, recs);
   return 0;
 }
 
@@ -593,9 +857,18 @@ Result<std::vector<SweepCase>> BuildSweepCases(const CliArgs& args) {
     return cases;
   }
   const std::string set = args.Get("set", "table3");
+  if (set == "channels") {
+    for (const auto& def : ChannelExperiments(args.GetInt("txs", 10000))) {
+      auto cfg = MakeChannelExperiment(def);
+      cfg.sim_threads = args.GetInt("sim-threads", 1);
+      cfg.epoch_s = args.GetDouble("sim-epoch", 0);
+      cases.push_back(SweepCase{def.label, std::move(cfg)});
+    }
+    return cases;
+  }
   if (set != "table3") {
     return Status::InvalidArgument("unknown sweep set '" + set +
-                                   "' (supported: table3)");
+                                   "' (supported: table3, channels)");
   }
   for (const auto& def : Table3Experiments(args.GetInt("txs", 10000))) {
     cases.push_back(SweepCase{
@@ -642,8 +915,21 @@ int SweepCommand(const CliArgs& args) {
       return 1;
     }
     const auto& report = outputs[i]->report;
-    auto recs = RecommendFromLog(ExtractBlockchainLog(outputs[i]->ledger),
-                                 RecommenderOptions{});
+    std::vector<Recommendation> recs;
+    if (!outputs[i]->channels.empty()) {
+      // Sharded case: aggregate the per-channel logs into one
+      // experiment-level LogMetrics before recommending.
+      std::vector<LogMetrics> per_channel;
+      per_channel.reserve(outputs[i]->channels.size());
+      for (const auto& ch : outputs[i]->channels) {
+        per_channel.push_back(
+            ComputeMetrics(ExtractBlockchainLog(ch.ledger), MetricsOptions{}));
+      }
+      recs = Recommend(AggregateMetrics(per_channel), RecommenderOptions{});
+    } else {
+      recs = RecommendFromLog(ExtractBlockchainLog(outputs[i]->ledger),
+                              RecommenderOptions{});
+    }
     std::printf("%-28s %10.1f %8.1f%% %11.3f  %s\n",
                 (*cases)[i].label.c_str(), report.Throughput(),
                 100 * report.SuccessRate(), report.AvgLatency(),

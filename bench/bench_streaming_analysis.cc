@@ -19,11 +19,13 @@
 // analysis the engine already performed online.
 //
 // Measured on a Release build at 10k txs, the commit-time feed that
-// replaces the post-mortem pass is a wash (~29ms either way); the
-// observe-only end-to-end overhead is ~25-35% and is entirely the
-// live-only work the batch pipeline never does — the per-window rule
-// evaluations (one extra metrics pass over the run, since the
-// accumulator is not mergeable) and the incremental conflict window.
+// replaces the post-mortem pass is a wash; the observe-only end-to-end
+// overhead is ~15-23% (median ~20% across repeated A/B runs; the
+// pre-pane ring engine measured ~24-33% on the same machine) and is
+// entirely the live-only work the batch pipeline never does — the
+// per-window rule evaluations (now pane merges plus one straddling
+// pane's row suffix, with the window Snapshot() the dominant term) and
+// the incremental conflict window and hot-key sketch.
 // main() prints an explicit interleaved A/B so the ratio is robust
 // against frequency-scaling drift, and `--json-out=PATH` dumps the
 // suite as BENCH_streaming.json (schema blockoptr-bench-v1) for CI.
@@ -45,13 +47,15 @@ namespace {
 
 enum class Profile { kOff, kObserve, kApply };
 
-ExperimentConfig MakeConfig(int num_txs, Profile profile) {
+ExperimentConfig MakeConfig(int num_txs, Profile profile,
+                            size_t pane_rows = 0) {
   SyntheticConfig wl;
   wl.num_txs = num_txs;
   ExperimentConfig cfg =
       MakeSyntheticExperiment(wl, NetworkConfig::Defaults());
   cfg.stream.enabled = profile != Profile::kOff;
   cfg.stream.apply = profile == Profile::kApply;
+  if (pane_rows > 0) cfg.stream.pane_rows = pane_rows;
   return cfg;
 }
 
@@ -100,6 +104,98 @@ BENCHMARK(BM_Stream_Apply)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Pane-size ablation: observe-only at 10k txs, pane_rows swept
+// ---------------------------------------------------------------------------
+
+// Smaller panes mean more (cheaper-to-seal) panes per window and more
+// merges per evaluation; larger panes amortize merge cost but coarsen
+// the window boundary. The arg is pane_rows.
+void BM_Stream_PaneRows(benchmark::State& state) {
+  const ExperimentConfig cfg = MakeConfig(
+      10000, Profile::kObserve, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = RunExperiment(cfg);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    LogMetrics metrics = out->stream->CumulativeSnapshot();
+    auto recs = Recommend(metrics, RecommenderOptions{});
+    benchmark::DoNotOptimize(recs);
+    benchmark::DoNotOptimize(out->report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+
+BENCHMARK(BM_Stream_PaneRows)
+    ->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Window-evaluation microbench: pane merge vs row re-feed
+// ---------------------------------------------------------------------------
+
+// Isolates the core tentpole claim from the end-to-end pipeline: one
+// window evaluation over the same 10k-row evidence, done the new way
+// (merge the sealed 1024-row panes) and the old way (re-feed every row
+// into a fresh accumulator). Both end in Snapshot(); items_processed is
+// window evaluations, so the ratio of the two rates is the per-window
+// speedup of the pane-merge engine.
+struct WindowEvalFixture {
+  BlockchainLog log;                      // owns the strings the rows view
+  std::vector<MetricsAccumulator> panes;  // sealed 1024-row panes
+};
+
+const WindowEvalFixture& GetWindowFixture() {
+  static const WindowEvalFixture* fixture = [] {
+    auto* fx = new WindowEvalFixture;
+    auto out = RunExperiment(MakeConfig(10000, Profile::kOff));
+    if (!out.ok()) {
+      std::fprintf(stderr, "fixture run failed: %s\n",
+                   out.status().ToString().c_str());
+      std::exit(1);
+    }
+    fx->log = ExtractBlockchainLog(out->ledger);
+    const size_t kPaneRows = 1024;
+    const size_t n = fx->log.size();
+    fx->panes.reserve((n + kPaneRows - 1) / kPaneRows);
+    for (size_t i = 0; i < n; ++i) {
+      if (i % kPaneRows == 0) fx->panes.emplace_back(MetricsOptions{});
+      fx->panes.back().OnEntry(fx->log[i]);
+    }
+    return fx;
+  }();
+  return *fixture;
+}
+
+void BM_WindowEval_PaneMerge(benchmark::State& state) {
+  const WindowEvalFixture& fx = GetWindowFixture();
+  for (auto _ : state) {
+    MetricsAccumulator window{MetricsOptions{}};
+    for (const MetricsAccumulator& pane : fx.panes) window.Merge(pane);
+    LogMetrics wm = window.Snapshot();
+    benchmark::DoNotOptimize(wm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_WindowEval_RowFeed(benchmark::State& state) {
+  const WindowEvalFixture& fx = GetWindowFixture();
+  for (auto _ : state) {
+    MetricsAccumulator window{MetricsOptions{}};
+    for (const BlockchainLogEntry& entry : fx.log.entries()) {
+      window.OnEntry(entry);
+    }
+    LogMetrics wm = window.Snapshot();
+    benchmark::DoNotOptimize(wm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_WindowEval_PaneMerge)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WindowEval_RowFeed)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // Explicit interleaved A/B: observe-only vs stream-off
 // ---------------------------------------------------------------------------
 
@@ -132,8 +228,8 @@ double Median(std::vector<double> v) {
 
 /// Alternates off/observe runs so drift (frequency scaling, cache state)
 /// hits both sides equally, then compares medians. The printed overhead
-/// is the canonical cost-of-observing number (~25-35% on a Release
-/// build at 10k; see the file header for the attribution).
+/// is the canonical cost-of-observing number (~15-23%, median ~20%, on a
+/// Release build at 10k; see the file header for the attribution).
 void PrintInterleavedAB(int num_txs, int rounds) {
   const ExperimentConfig off = MakeConfig(num_txs, Profile::kOff);
   const ExperimentConfig observe = MakeConfig(num_txs, Profile::kObserve);

@@ -1,49 +1,12 @@
-#include "blockopt/metrics/metrics.h"
-
+// Row conversion and the batch entry points. The per-row fold itself —
+// MetricsAccumulator — lives in accumulator.cc alongside its pane-merge
+// machinery.
 #include <algorithm>
-#include <cstdlib>
 
+#include "blockopt/metrics/metrics.h"
 #include "common/interner.h"
 
 namespace blockoptr {
-
-namespace {
-
-/// True when both values are counter-like — an integer prefix followed by
-/// identical payloads — and the counters differ by at most one. Catches
-/// both plain counters ("41" vs "42") and embedded ones
-/// ("41|meta|artist" vs "42|meta|artist", the DRM play count).
-bool IsIntegerDelta(const std::string& a, const std::string& b) {
-  char* end_a = nullptr;
-  char* end_b = nullptr;
-  long va = std::strtol(a.c_str(), &end_a, 10);
-  long vb = std::strtol(b.c_str(), &end_b, 10);
-  if (end_a == a.c_str() || end_b == b.c_str()) return false;
-  // The non-numeric remainder must match (same record, different count).
-  if (std::string_view(end_a) != std::string_view(end_b)) return false;
-  long d = va - vb;
-  return d >= -1 && d <= 1;
-}
-
-/// Merge walk over two sorted ID views: no allocation, and the first
-/// common element exits early.
-bool SortedIdsDisjoint(const std::vector<KeyId>& wx,
-                       const std::vector<KeyId>& wy) {
-  auto i = wx.begin();
-  auto j = wy.begin();
-  while (i != wx.end() && j != wy.end()) {
-    if (*i < *j) {
-      ++i;
-    } else if (*j < *i) {
-      ++j;
-    } else {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 MetricsRow RowFromEntry(const BlockchainLogEntry& e) {
   Interner& keys = GlobalKeyInterner();
@@ -133,257 +96,6 @@ void RowFromTransactionInto(const Block& block, const Transaction& tx,
   for (const auto& rq : tx.rwset.range_queries) {
     r.range_bounds.emplace_back(rq.start_key, rq.end_key);
   }
-}
-
-MetricsAccumulator::MetricsAccumulator(const MetricsOptions& options)
-    : options_(options),
-      tx_intervals_(options.interval_s),
-      fail_intervals_(options.interval_s) {}
-
-void MetricsAccumulator::OnEntry(const BlockchainLogEntry& e) {
-  OnRow(RowFromEntry(e));
-}
-
-void MetricsAccumulator::OnRow(const MetricsRow& e) {
-  // ---- Rate and failure metrics --------------------------------------
-  if (total_txs_ == 0) {
-    min_ts_ = e.client_timestamp;
-    max_ts_ = e.client_timestamp;
-  } else {
-    min_ts_ = std::min(min_ts_, e.client_timestamp);
-    max_ts_ = std::max(max_ts_, e.client_timestamp);
-  }
-  ++total_txs_;
-  tx_intervals_.Add(e.client_timestamp);
-  blocks_.insert(e.block_num);
-  activities_.insert(e.activity);
-  ++activity_tx_types_[e.activity][e.tx_type];
-
-  switch (e.status) {
-    case TxStatus::kMvccReadConflict:
-      ++mvcc_failures_;
-      break;
-    case TxStatus::kPhantomReadConflict:
-      ++phantom_failures_;
-      break;
-    case TxStatus::kEndorsementPolicyFailure:
-      ++endorsement_failures_;
-      break;
-    default:
-      break;
-  }
-  if (e.failed()) {
-    ++failed_txs_;
-    fail_intervals_.Add(e.client_timestamp);
-  }
-
-  for (const auto& org : e.endorsers) ++endorser_sig_[org];
-  ++invoker_sig_[e.invoker_client];
-  ++invoker_org_sig_[e.invoker_org];
-
-  // ---- Key metrics (Kfreq over failures, Ksig over activities) --------
-  // Accumulate per KeyId in a hash map (one O(1) probe per access, no
-  // per-entry re-sort or key-vector allocation); strings materialize in
-  // Snapshot(). The results are order-insensitive.
-  const std::vector<KeyId>& write_ids = e.write_ids;
-  for (KeyId id : e.accessed_ids) {
-    KeyAgg& agg = key_agg_[id];
-    if (e.failed()) ++agg.fail_freq;
-    auto& stats = agg.accessors[e.activity];
-    ++stats.accesses;
-    if (e.failed()) ++stats.failures;
-    if (std::binary_search(write_ids.begin(), write_ids.end(), id)) {
-      stats.writes = true;
-    }
-  }
-
-  // ---- Correlation metrics: replay in commit order --------------------
-  // For every failed transaction x, the cause y is the most recent valid
-  // transaction (by arrival order) whose write invalidated one of x's
-  // reads — including a write into one of x's queried ranges (phantom).
-  const uint64_t seq = next_seq_++;
-  if (e.failed() && (e.status == TxStatus::kMvccReadConflict ||
-                     e.status == TxStatus::kPhantomReadConflict)) {
-    // Candidate causes over x's read keys, visited in lexicographic key
-    // order (ties between keys last written by the same transaction must
-    // resolve to the lexicographically first key, as a string-keyed walk
-    // would).
-    const Interner& interner = GlobalKeyInterner();
-    std::vector<std::pair<std::string_view, KeyId>> reads_by_name;
-    reads_by_name.reserve(e.read_ids.size());
-    for (KeyId id : e.read_ids) {
-      reads_by_name.emplace_back(interner.KeyForId(id), id);
-    }
-    std::sort(reads_by_name.begin(), reads_by_name.end());
-    const CauseRecord* cause = nullptr;
-    std::string_view contended_key;
-    for (const auto& [key, id] : reads_by_name) {
-      auto it = last_writer_.find(key);
-      if (it == last_writer_.end()) continue;
-      if (cause == nullptr || it->second->seq > cause->seq) {
-        cause = it->second.get();
-        contended_key = key;
-      }
-    }
-    // …and over writes that landed inside x's queried ranges (the map is
-    // ordered by key string, so bound strings locate directly).
-    for (const auto& [start, end] : e.range_bounds) {
-      auto it = last_writer_.lower_bound(std::string_view(start));
-      auto stop = end.empty()
-                      ? last_writer_.end()
-                      : last_writer_.lower_bound(std::string_view(end));
-      for (; it != stop; ++it) {
-        if (cause == nullptr || it->second->seq > cause->seq) {
-          cause = it->second.get();
-          contended_key = it->first;
-        }
-      }
-    }
-    if (cause != nullptr) {
-      const Interner& names = GlobalNameInterner();
-      ConflictPair pair;
-      pair.failed_commit_order = e.commit_order;
-      pair.cause_commit_order = cause->commit_order;
-      pair.failed_activity = std::string(names.KeyForId(e.activity));
-      pair.cause_activity = std::string(names.KeyForId(cause->activity));
-      pair.key = std::string(contended_key);
-      pair.distance = e.commit_order - cause->commit_order;
-      pair.same_block = e.block_num == cause->block_num;
-      pair.reorderable = SortedIdsDisjoint(e.write_ids, cause->write_ids);
-      pair.same_activity = e.activity == cause->activity;
-
-      // Delta-write candidate (Table 1): adjacent same-activity
-      // conflict, MVCC status, both single-key counter writes with a
-      // ±1 value difference.
-      if (pair.same_activity && e.status == TxStatus::kMvccReadConflict &&
-          e.num_value_writes == 1 && !e.has_deletes &&
-          cause->num_writes == 1 && !cause->has_deletes &&
-          e.value_write_ids[0] == cause->single_write_key &&
-          IsIntegerDelta(e.single_write_value, cause->single_write_value)) {
-        pair.delta_candidate = true;
-        ++delta_candidates_;
-      }
-      if (pair.same_activity && pair.distance == 1) {
-        ++adjacent_same_activity_conflicts_;
-      }
-      if (pair.same_block) {
-        ++intra_block_conflicts_;
-      } else {
-        ++inter_block_conflicts_;
-      }
-      if (pair.reorderable) ++reorderable_conflicts_;
-      ++activity_conflicts_[{pair.failed_activity, pair.cause_activity}];
-      conflicts_.push_back(std::move(pair));
-    }
-  }
-  if (e.status == TxStatus::kValid && e.num_value_writes > 0) {
-    // One shared cause record per committing transaction, referenced by
-    // every key it wrote — O(live keys) memory, no log retention.
-    auto record = std::make_shared<CauseRecord>();
-    record->seq = seq;
-    record->commit_order = e.commit_order;
-    record->block_num = e.block_num;
-    record->activity = e.activity;
-    record->write_ids = e.write_ids;
-    record->num_writes = e.num_value_writes;
-    record->has_deletes = e.has_deletes;
-    if (e.num_value_writes == 1) {
-      record->single_write_key = e.value_write_ids[0];
-      record->single_write_value = e.single_write_value;
-    }
-    const Interner& keys = GlobalKeyInterner();
-    for (KeyId id : e.value_write_ids) {
-      last_writer_[keys.KeyForId(id)] = record;
-    }
-  }
-  if (e.status == TxStatus::kValid && !e.delete_ids.empty()) {
-    const Interner& keys = GlobalKeyInterner();
-    for (KeyId id : e.delete_ids) last_writer_.erase(keys.KeyForId(id));
-  }
-}
-
-LogMetrics MetricsAccumulator::Snapshot() const {
-  LogMetrics m;
-  if (total_txs_ == 0) return m;
-
-  m.total_txs = total_txs_;
-  m.failed_txs = failed_txs_;
-  m.mvcc_failures = mvcc_failures_;
-  m.phantom_failures = phantom_failures_;
-  m.endorsement_failures = endorsement_failures_;
-  // Name ids resolve to strings here, once per snapshot — never per row.
-  const Interner& names = GlobalNameInterner();
-  for (const auto& [sym, per_type] : activity_tx_types_) {
-    m.activity_tx_types[std::string(names.KeyForId(sym))] = per_type;
-  }
-  for (const auto& [sym, n] : endorser_sig_) {
-    m.endorser_sig[std::string(names.KeyForId(sym))] = n;
-  }
-  for (const auto& [sym, n] : invoker_sig_) {
-    m.invoker_sig[std::string(names.KeyForId(sym))] = n;
-  }
-  for (const auto& [sym, n] : invoker_org_sig_) {
-    m.invoker_org_sig[std::string(names.KeyForId(sym))] = n;
-  }
-
-  m.duration_s = max_ts_ - min_ts_;
-  m.tr = m.duration_s > 0 ? static_cast<double>(m.total_txs) / m.duration_s
-                          : static_cast<double>(m.total_txs);
-  m.tfr = m.duration_s > 0 ? static_cast<double>(m.failed_txs) / m.duration_s
-                           : static_cast<double>(m.failed_txs);
-  for (size_t i = 0; i < tx_intervals_.num_intervals(); ++i) {
-    m.trd.push_back(tx_intervals_.RateAt(i));
-  }
-  for (size_t i = 0; i < fail_intervals_.num_intervals(); ++i) {
-    m.frd.push_back(fail_intervals_.RateAt(i));
-  }
-  m.frd.resize(m.trd.size(), 0.0);  // align interval vectors
-
-  m.num_blocks = blocks_.size();
-  m.b_sizeavg = m.num_blocks > 0 ? static_cast<double>(m.total_txs) /
-                                       static_cast<double>(m.num_blocks)
-                                 : 0;
-  m.num_activities = activities_.size();
-
-  const Interner& interner = GlobalKeyInterner();
-  for (const auto& [id, agg] : key_agg_) {
-    std::string key(interner.KeyForId(id));
-    auto& activities_of_key = m.key_activities[key];
-    auto& accessors_of_key = m.key_accessors[key];
-    for (const auto& [activity_sym, stats] : agg.accessors) {
-      std::string activity(names.KeyForId(activity_sym));
-      activities_of_key.insert(activity);
-      accessors_of_key[std::move(activity)] = stats;
-    }
-    if (agg.fail_freq > 0) m.key_freq[key] = agg.fail_freq;
-  }
-  // A key is hot when its failure frequency clears both the absolute
-  // floor and the fraction-of-all-failures threshold (user-configurable,
-  // paper §4.3 metric 6).
-  const uint64_t hot_threshold = std::max<uint64_t>(
-      options_.hotkey_min_failures,
-      static_cast<uint64_t>(options_.hotkey_failure_fraction *
-                            static_cast<double>(m.failed_txs)));
-  for (const auto& [key, freq] : m.key_freq) {
-    if (freq >= hot_threshold) m.hot_keys.push_back(key);
-  }
-  std::sort(m.hot_keys.begin(), m.hot_keys.end(),
-            [&](const std::string& a, const std::string& b) {
-              uint64_t fa = m.key_freq.at(a);
-              uint64_t fb = m.key_freq.at(b);
-              if (fa != fb) return fa > fb;
-              return a < b;
-            });
-
-  m.conflicts = conflicts_;
-  m.activity_conflicts = activity_conflicts_;
-  m.intra_block_conflicts = intra_block_conflicts_;
-  m.inter_block_conflicts = inter_block_conflicts_;
-  m.adjacent_same_activity_conflicts = adjacent_same_activity_conflicts_;
-  m.delta_candidates = delta_candidates_;
-  m.reorderable_conflicts = reorderable_conflicts_;
-
-  return m;
 }
 
 LogMetrics ComputeMetrics(const BlockchainLog& log,

@@ -196,6 +196,13 @@ void RowFromTransactionInto(const Block& block, const Transaction& tx,
 /// working state; it does not retain the log rows themselves. Key
 /// aggregation runs on interned KeyIds (no per-entry string
 /// materialization); strings are materialized once, in `Snapshot()`.
+///
+/// Accumulators are *mergeable*: splitting a row stream at arbitrary
+/// points into panes, feeding each pane its own accumulator, and folding
+/// the panes left-to-right with `Merge` yields state identical to one
+/// accumulator fed every row (see Merge for the causality mechanics).
+/// The streaming engine exploits this to evaluate sliding windows from
+/// O(1) sealed-pane merges instead of re-feeding O(window) rows.
 class MetricsAccumulator {
  public:
   explicit MetricsAccumulator(const MetricsOptions& options = MetricsOptions());
@@ -211,9 +218,35 @@ class MetricsAccumulator {
   /// calls it directly with rows built from committed transactions.
   void OnRow(const MetricsRow& row);
 
+  /// Folds a whole right-hand pane into this accumulator. Precondition:
+  /// every row `right` saw comes after (in commit order) every row this
+  /// accumulator saw, and both were built with the same MetricsOptions.
+  /// Postcondition: `*this` is field-for-field identical — Snapshot(),
+  /// counters, and future OnRow/Merge behavior — to an accumulator that
+  /// consumed this's rows followed by right's rows one at a time.
+  ///
+  /// Counters and per-key/per-activity maps merge by addition. Failure
+  /// causality spans the seam: each accumulator carries (a) its final
+  /// per-key writer frontier, (b) tombstones for keys whose net effect is
+  /// a delete, and (c) its *unresolved prefix* — failures whose cause, if
+  /// any, precedes its first row. Merging rebases right's frontier onto
+  /// this one, masks this frontier with right's tombstones, and resolves
+  /// right's unresolved prefix against this frontier exactly as OnRow
+  /// would have (lexicographic candidate order, most-recent-writer wins,
+  /// range scans honoring deletes), splicing resolved conflict pairs into
+  /// their original stream positions.
+  void Merge(const MetricsAccumulator& right);
+
   /// Materializes the full metric set over everything seen so far.
   /// Field-for-field identical to `ComputeMetrics` over the same rows.
   LogMetrics Snapshot() const;
+
+  /// Returns the accumulator to its just-constructed state (same
+  /// MetricsOptions) while keeping container capacities and hash-table
+  /// buckets, so a caller that repeatedly builds short-lived
+  /// accumulators — the streaming engine's per-evaluation window fold
+  /// and pane recycling — stays off the allocator in steady state.
+  void Reset();
 
   // Cheap cumulative counters for continuous monitoring (no snapshot
   // needed): the streaming engine's windowed series read these per tick.
@@ -227,13 +260,16 @@ class MetricsAccumulator {
   uint64_t inter_block_conflicts() const { return inter_block_conflicts_; }
   uint64_t reorderable_conflicts() const { return reorderable_conflicts_; }
   uint64_t delta_candidates() const { return delta_candidates_; }
+  /// Failures whose cause (if any) precedes this accumulator's first row
+  /// — resolvable only by merging onto a left pane.
+  size_t unresolved_prefix_size() const { return pending_.size(); }
 
  private:
   /// Compact record of the latest committed writer of a key: everything
   /// the correlation metrics need from the cause transaction y without
-  /// retaining the log row itself. Shared between all keys y wrote.
+  /// retaining the log row itself. Shared between all keys y wrote, and
+  /// immutable once built so merged accumulators can alias it.
   struct CauseRecord {
-    uint64_t seq = 0;  // arrival index; orders "most recent" comparisons
     uint64_t commit_order = 0;
     uint64_t block_num = 0;
     KeyId activity = kInvalidKeyId;  // name id
@@ -243,6 +279,81 @@ class MetricsAccumulator {
     KeyId single_write_key = kInvalidKeyId;  // set when num_writes == 1
     std::string single_write_value;
   };
+
+  /// One per-key frontier slot. `seq` (this accumulator's arrival index
+  /// of the writer) lives here rather than in the shared CauseRecord so
+  /// Merge can rebase right-pane entries onto this pane's sequence space
+  /// without cloning the records they point at.
+  struct FrontierEntry {
+    uint64_t seq = 0;  // arrival index; orders "most recent" comparisons
+    std::shared_ptr<const CauseRecord> record;
+  };
+
+  /// A failed read (MVCC/phantom) whose candidate search found no writer
+  /// in this accumulator: everything needed to re-run the search against
+  /// a left pane's frontier at merge time and, on a hit, emit the exact
+  /// ConflictPair OnRow would have.
+  struct PendingConflict {
+    uint64_t commit_order = 0;
+    uint64_t block_num = 0;
+    KeyId activity = kInvalidKeyId;  // name id
+    TxStatus status = TxStatus::kValid;
+    std::vector<KeyId> write_ids;  // sorted-unique WS(x) view
+    uint32_t num_value_writes = 0;
+    bool has_deletes = false;
+    KeyId single_write_key = kInvalidKeyId;  // set when num_value_writes == 1
+    std::string single_write_value;
+    /// Read keys still eligible for a left-pane cause, in lexicographic
+    /// order: keys this pane wrote before x resolved x locally, and keys
+    /// it deleted before x mask any left-pane writer. Views point into
+    /// the process-lifetime interner storage.
+    std::vector<std::string_view> eligible_reads;
+    /// Range queries with the keys this pane had deleted (net) before x —
+    /// a left-pane writer of a masked key is not a candidate.
+    struct RangeProbe {
+      std::string start, end;
+      std::vector<std::string_view> masked;
+    };
+    std::vector<RangeProbe> ranges;
+    /// Splice position: number of resolved conflicts this accumulator
+    /// held when x arrived, so merge-time resolution lands the pair in
+    /// stream order.
+    size_t slot = 0;
+  };
+
+  /// Id-based internal form of ConflictPair: activity names stay interned
+  /// and the contended key is a view into the interner's process-lifetime
+  /// storage, so recording a conflict and copying it across a pane merge
+  /// are allocation-free. Snapshot() materializes the strings once.
+  struct ConflictRec {
+    uint64_t failed_commit_order = 0;
+    uint64_t cause_commit_order = 0;
+    KeyId failed_activity = kInvalidKeyId;  // name id
+    KeyId cause_activity = kInvalidKeyId;   // name id
+    std::string_view key;
+    uint64_t distance = 0;
+    bool same_block = false;
+    bool reorderable = false;
+    bool same_activity = false;
+    bool delta_candidate = false;
+  };
+
+  /// Re-runs the candidate search for `pending` against this frontier
+  /// and, on a hit, appends the conflict record (updating every
+  /// correlation counter). Returns true when resolved.
+  bool ResolvePending(const PendingConflict& pending);
+
+  /// Appends the conflict record for failed reader x (the scalar arguments)
+  /// against `cause`, updating every correlation counter — the one
+  /// emission path shared by OnRow and merge-time resolution.
+  void RecordConflict(uint64_t x_commit_order, uint64_t x_block_num,
+                      KeyId x_activity, TxStatus x_status,
+                      const std::vector<KeyId>& x_write_ids,
+                      uint32_t x_num_value_writes, bool x_has_deletes,
+                      KeyId x_single_write_key,
+                      const std::string& x_single_write_value,
+                      const CauseRecord& cause,
+                      std::string_view contended_key);
 
   MetricsOptions options_;
 
@@ -269,8 +380,23 @@ class MetricsAccumulator {
   // Key aggregation by interned id (loop-2 of the batch pass).
   struct KeyAgg {
     uint64_t fail_freq = 0;
-    std::unordered_map<KeyId, LogMetrics::KeyAccessorStats>
-        accessors;  // by activity name id
+    /// Per-activity stats as a tiny flat array — a key is touched by a
+    /// handful of activities, so a linear scan beats a nested hash map's
+    /// per-key bucket allocation in the per-row hot path and in pane
+    /// merges. Order is insertion order; Snapshot() re-sorts by name.
+    struct Accessor {
+      KeyId activity = kInvalidKeyId;  // name id
+      LogMetrics::KeyAccessorStats stats;
+    };
+    std::vector<Accessor> accessors;
+
+    LogMetrics::KeyAccessorStats& StatsFor(KeyId activity) {
+      for (Accessor& a : accessors) {
+        if (a.activity == activity) return a.stats;
+      }
+      accessors.push_back(Accessor{activity, {}});
+      return accessors.back().stats;
+    }
   };
   std::unordered_map<KeyId, KeyAgg> key_agg_;
 
@@ -280,10 +406,17 @@ class MetricsAccumulator {
   // *string* (id order is not lexicographic: phantom range scans must
   // see the same candidates in the same order as a string-keyed map)
   // while each map operation resolves the id exactly once.
-  std::map<std::string_view, std::shared_ptr<CauseRecord>> last_writer_;
+  std::map<std::string_view, FrontierEntry> last_writer_;
+  // Keys whose net effect in this accumulator is a delete: they erase a
+  // left pane's frontier entry at merge time. Ordered for range masking.
+  std::set<std::string_view> tombstones_;
+  // Unresolved prefix, ascending by slot (capture order).
+  std::vector<PendingConflict> pending_;
   uint64_t next_seq_ = 0;
-  std::vector<ConflictPair> conflicts_;
-  std::map<std::pair<std::string, std::string>, uint64_t> activity_conflicts_;
+  std::vector<ConflictRec> conflicts_;
+  // (failed activity, cause activity) name-id pairs; resolved to the
+  // string-pair-keyed output map in Snapshot().
+  std::map<std::pair<KeyId, KeyId>, uint64_t> activity_conflicts_;
   uint64_t intra_block_conflicts_ = 0;
   uint64_t inter_block_conflicts_ = 0;
   uint64_t adjacent_same_activity_conflicts_ = 0;

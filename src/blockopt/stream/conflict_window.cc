@@ -1,5 +1,7 @@
 #include "blockopt/stream/conflict_window.h"
 
+#include <algorithm>
+
 namespace blockoptr {
 
 WindowedConflictGraph::WindowedConflictGraph(size_t max_nodes)
@@ -11,38 +13,68 @@ uint64_t WindowedConflictGraph::AddNode(const std::vector<KeyId>& read_ids,
 
   const uint64_t seq = next_seq_++;
   Node node;
+  if (!pool_.empty()) {
+    node = std::move(pool_.back());
+    pool_.pop_back();
+  }
   node.seq = seq;
   node.read_ids = read_ids;
   node.write_ids = write_ids;
+  node.in.clear();
+  node.out.clear();
 
-  // Existing writers of keys this node reads invalidate it: w -> seq.
+  // Existing writers of keys this node reads invalidate it: w -> seq. A
+  // writer reached through several keys must count once, so the posting
+  // union is deduped first; `seq` is then appended to each writer's out
+  // list (it is the largest live seq, so the list stays sorted).
+  scratch_.clear();
   for (KeyId id : read_ids) {
-    auto it = writers_.find(id);
-    if (it == writers_.end()) continue;
-    for (uint64_t w : it->second) {
-      if (NodeForSeq(w).out.insert(seq).second) {
-        node.in.insert(w);
-        ++edge_count_;
-      }
-    }
+    if (id >= writers_.size()) continue;
+    const Posting& p = writers_[id];
+    scratch_.insert(scratch_.end(), p.seqs.begin() + static_cast<long>(p.head),
+                    p.seqs.end());
   }
+  if (!scratch_.empty()) {
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    for (uint64_t w : scratch_) NodeForSeq(w).out.push_back(seq);
+    node.in = scratch_;
+    edge_count_ += scratch_.size();
+  }
+
   // This node's writes invalidate existing readers: seq -> r. The node is
   // not yet registered in any posting, so no self-edge can form.
+  scratch_.clear();
   for (KeyId id : write_ids) {
-    auto it = readers_.find(id);
-    if (it == readers_.end()) continue;
-    for (uint64_t r : it->second) {
-      if (node.out.insert(r).second) {
-        NodeForSeq(r).in.insert(seq);
-        ++edge_count_;
-      }
-    }
+    if (id >= readers_.size()) continue;
+    const Posting& p = readers_[id];
+    scratch_.insert(scratch_.end(), p.seqs.begin() + static_cast<long>(p.head),
+                    p.seqs.end());
+  }
+  if (!scratch_.empty()) {
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    for (uint64_t r : scratch_) NodeForSeq(r).in.push_back(seq);
+    node.out = scratch_;
+    edge_count_ += scratch_.size();
   }
 
-  for (KeyId id : node.read_ids) readers_[id].push_back(seq);
-  for (KeyId id : node.write_ids) writers_[id].push_back(seq);
+  for (KeyId id : node.read_ids) PostingFor(readers_, id).push_back(seq);
+  for (KeyId id : node.write_ids) PostingFor(writers_, id).push_back(seq);
   nodes_.push_back(std::move(node));
   return seq;
+}
+
+void WindowedConflictGraph::EraseSeq(std::vector<uint64_t>& sorted,
+                                     uint64_t seq) {
+  if (!sorted.empty() && sorted.front() == seq) {
+    sorted.erase(sorted.begin());
+    return;
+  }
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), seq);
+  if (it != sorted.end() && *it == seq) sorted.erase(it);
 }
 
 void WindowedConflictGraph::EvictOldest() {
@@ -53,25 +85,20 @@ void WindowedConflictGraph::EvictOldest() {
   // The oldest live node has the globally smallest seq, so its posting
   // entries sit at the front of each ascending list.
   for (KeyId id : victim.read_ids) {
-    auto it = readers_.find(id);
-    if (it != readers_.end() && !it->second.empty() &&
-        it->second.front() == seq) {
-      it->second.pop_front();
-      if (it->second.empty()) readers_.erase(it);
-    }
+    if (id >= readers_.size()) continue;
+    Posting& p = readers_[id];
+    if (!p.empty() && p.front() == seq) p.pop_front();
   }
   for (KeyId id : victim.write_ids) {
-    auto it = writers_.find(id);
-    if (it != writers_.end() && !it->second.empty() &&
-        it->second.front() == seq) {
-      it->second.pop_front();
-      if (it->second.empty()) writers_.erase(it);
-    }
+    if (id >= writers_.size()) continue;
+    Posting& p = writers_[id];
+    if (!p.empty() && p.front() == seq) p.pop_front();
   }
 
   edge_count_ -= victim.out.size() + victim.in.size();
-  for (uint64_t t : victim.out) NodeForSeq(t).in.erase(seq);
-  for (uint64_t s : victim.in) NodeForSeq(s).out.erase(seq);
+  for (uint64_t t : victim.out) EraseSeq(NodeForSeq(t).in, seq);
+  for (uint64_t s : victim.in) EraseSeq(NodeForSeq(s).out, seq);
+  pool_.push_back(std::move(victim));
   nodes_.pop_front();
 }
 

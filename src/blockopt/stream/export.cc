@@ -55,6 +55,7 @@ JsonValue StreamStateJson(const StreamEngine& engine) {
   config["window_s"] = opts.window_s;
   config["apply"] = opts.apply;
   config["ring_capacity"] = static_cast<uint64_t>(opts.ring_capacity);
+  config["pane_rows"] = static_cast<uint64_t>(opts.pane_rows);
   config["topk_capacity"] = static_cast<uint64_t>(opts.topk_capacity);
   config["conflict_window"] = static_cast<uint64_t>(opts.conflict_window);
   config["series_capacity"] = static_cast<uint64_t>(opts.series_capacity);
@@ -79,6 +80,14 @@ JsonValue StreamStateJson(const StreamEngine& engine) {
   root["entries_seen"] = engine.entries_seen();
   root["ring_overflow"] = engine.ring_overflow();
   root["evaluations"] = engine.evaluations();
+
+  JsonValue::Object panes;
+  panes["sealed"] = engine.panes_sealed();
+  panes["merges"] = engine.pane_merges();
+  panes["retained"] = static_cast<uint64_t>(engine.sealed_pane_count());
+  panes["retained_rows"] = engine.sealed_rows();
+  panes["open_rows"] = engine.open_pane_rows();
+  root["panes"] = std::move(panes);
 
   root["applied"] = engine.applied();
   if (engine.applied()) {
@@ -156,6 +165,8 @@ void AppendStreamPrometheus(const StreamEngine& engine, std::ostream& out) {
   counter("stream.blocks_seen", engine.blocks_seen());
   counter("stream.evaluations", engine.evaluations());
   counter("stream.ring_overflow", engine.ring_overflow());
+  counter("stream.panes_sealed", engine.panes_sealed());
+  counter("stream.pane_merges", engine.pane_merges());
   counter("stream.events_dropped", engine.recommender().events_dropped());
   gauge("stream.applied", engine.applied() ? 1 : 0);
   gauge("stream.conflict_window_nodes",
@@ -211,6 +222,9 @@ std::string StreamHtmlSection(const StreamEngine& engine) {
   row("blocks seen", std::to_string(engine.blocks_seen()));
   row("transactions seen", std::to_string(engine.entries_seen()));
   row("window evaluations", std::to_string(engine.evaluations()));
+  row("panes sealed / merges",
+      std::to_string(engine.panes_sealed()) + " / " +
+          std::to_string(engine.pane_merges()));
   row("failed transactions", std::to_string(acc.failed_txs()));
   row("conflicts detected", std::to_string(acc.conflicts_detected()));
   row("conflict window (nodes/edges)",

@@ -17,8 +17,8 @@
 namespace blockoptr {
 
 /// Configuration for the streaming analysis engine. Every buffer is
-/// capacity-bounded, so engine memory is O(ring + window + top-K +
-/// series + events) regardless of run length.
+/// capacity-bounded, so engine memory is O(panes + top-K + series +
+/// events) regardless of run length.
 struct StreamOptions {
   bool enabled = false;
   /// Sliding evidence window (simulated seconds) for the online
@@ -27,8 +27,18 @@ struct StreamOptions {
   /// Apply the top active recommendation mid-run via the driver's
   /// live-reconfig hook (at most once per run).
   bool apply = false;
-  /// Max log rows retained for window re-analysis.
+  /// Max rows covered by retained sealed panes — the window-evidence
+  /// budget (rows beyond it are folded into the cumulative view early,
+  /// truncating the window, counted by ring_overflow()).
   size_t ring_capacity = 8192;
+  /// Target rows per metrics pane. Each window evaluation merges the
+  /// sealed sub-accumulators fully inside the window and re-feeds only
+  /// the straddling pane's in-window rows; smaller panes shrink that
+  /// re-fed suffix, larger panes amortize merge and seal cost (see the
+  /// pane-size ablation in bench_streaming_analysis). Panes also seal at
+  /// every evaluation boundary, so this only caps intra-window
+  /// granularity. Clamped to ring_capacity.
+  size_t pane_rows = 1024;
   /// Space-saving counters for the hot-key sketch.
   size_t topk_capacity = 32;
   /// Max transactions in the incremental conflict graph window. Per-key
@@ -47,12 +57,26 @@ struct StreamOptions {
 /// commit path feeds every committed block in; the engine incrementally
 /// derives log rows (same semantics as ExtractBlockchainLog: config
 /// transactions occupy a block position but never a commit order),
-/// folds them into a cumulative MetricsAccumulator, a hot-key
-/// space-saving sketch, and a windowed conflict graph, and periodically
-/// re-runs the nine recommendation rules over the sliding window —
-/// emitting events when advice appears, changes, or withdraws, and
-/// optionally applying the top recommendation through a driver-supplied
-/// hook.
+/// folds them into the open MetricsPane, a hot-key space-saving sketch,
+/// and a windowed conflict graph, and periodically re-runs the nine
+/// recommendation rules over the sliding window — emitting events when
+/// advice appears, changes, or withdraws, and optionally applying the
+/// top recommendation through a driver-supplied hook.
+///
+/// Each row is folded into exactly one accumulator: the open pane. Panes
+/// seal at block boundaries once they reach their row target; a window
+/// evaluation merges the sealed panes lying fully inside the window
+/// (O(distinct keys) per pane, independent of row count) and re-feeds
+/// only the in-window row suffix of the one pane straddling the window
+/// start — so window metrics are row-exact while the steady-state
+/// evaluation cost is O(panes + one pane's rows), not O(window) rows.
+/// The same sealed panes fold into the cumulative whole-run accumulator,
+/// whose state is then field-for-field identical to one accumulator fed
+/// every row (MetricsAccumulator::Merge). Sealed panes are retained
+/// until they age out of every reachable window, so a short-gap final
+/// evaluation still sees full evidence. Pane boundaries fall only
+/// between blocks, and all transactions of a block share one commit
+/// timestamp, so panes are pure in window time.
 ///
 /// The engine is passive and allocation-bounded: it schedules no
 /// simulator events and its state depends only on the committed block
@@ -73,28 +97,40 @@ class StreamEngine {
   /// Feeds one committed block (called from the peer commit path).
   void OnBlockCommit(const Block& block);
 
-  /// Runs a final window evaluation at `end_time` and drops the apply
+  /// Runs a final window evaluation at `end_time`, folds every
+  /// outstanding pane into the cumulative view, and drops the apply
   /// hook. Idempotent.
   void Finalize(double end_time);
 
   // ---- Inspection ----------------------------------------------------
   const StreamOptions& options() const { return options_; }
   /// Cumulative whole-run metrics (field-for-field equal to the batch
-  /// pipeline over the same ledger).
+  /// pipeline over the same ledger). Complete as of the last evaluation;
+  /// Finalize() folds in any open remainder.
   const MetricsAccumulator& cumulative() const { return cumulative_; }
   LogMetrics CumulativeSnapshot() const { return cumulative_.Snapshot(); }
   const OnlineRecommender& recommender() const { return recommender_; }
   const WindowedConflictGraph& conflict_graph() const { return graph_; }
   const SpaceSavingTopK& hot_keys() const { return topk_; }
-  /// Id-interned rows currently retained for window re-analysis.
-  const std::deque<MetricsRow>& window_entries() const { return ring_; }
 
   uint64_t blocks_seen() const { return blocks_seen_; }
   uint64_t entries_seen() const { return entries_seen_; }
-  /// Rows evicted because the ring hit capacity while still inside the
-  /// evidence window (the window was truncated).
+  /// Rows folded into the cumulative view while still inside the
+  /// evidence window, because retained panes hit ring_capacity (the
+  /// window was truncated).
   uint64_t ring_overflow() const { return ring_overflow_; }
   uint64_t evaluations() const { return recommender_.evaluations(); }
+
+  // Pane bookkeeping (exported with the stream state).
+  /// Rows in the open (not yet sealed) pane.
+  uint64_t open_pane_rows() const { return open_.rows; }
+  /// Retained sealed panes / the rows they cover.
+  size_t sealed_pane_count() const { return sealed_.size(); }
+  uint64_t sealed_rows() const { return sealed_rows_; }
+  /// Lifetime counts: panes sealed, and accumulator merges performed
+  /// (window assembly + cumulative folds).
+  uint64_t panes_sealed() const { return panes_sealed_; }
+  uint64_t pane_merges() const { return pane_merges_; }
 
   bool applied() const { return applied_; }
   double apply_time() const { return apply_time_; }
@@ -111,21 +147,71 @@ class StreamEngine {
   const TimeSeries& conflict_edges() const { return conflict_edges_; }
 
  private:
+  /// One pane: a sub-accumulator over a contiguous row range, plus the
+  /// commit-timestamp span it covers. The pane keeps its rows
+  /// (id-interned, built in place, capacity recycled across pane reuse)
+  /// so a window boundary falling inside the pane can be honored exactly
+  /// by re-feeding just the in-window suffix. `flushed` panes have
+  /// already been folded into cumulative_ but stay retained while a
+  /// future window can still reach them.
+  struct Pane {
+    MetricsAccumulator acc;
+    /// Row storage; only the first `rows` elements are live (the rest
+    /// are retained husks whose vector capacity the next fill reuses).
+    std::vector<MetricsRow> row_store;
+    double start_ts = 0;
+    double end_ts = 0;
+    uint64_t rows = 0;
+    bool flushed = false;
+  };
+
   void Evaluate(double t);
+  /// Moves the open pane (if nonempty) onto the sealed deque.
+  void SealOpen();
+  /// Parks a retired pane in the reuse pool (if there is room) so the
+  /// next SealOpen inherits its accumulator and row-storage capacities
+  /// instead of allocating fresh ones.
+  void RecyclePane(Pane& retired);
+  /// Folds every unflushed sealed pane into cumulative_, in order.
+  void FlushSealed();
+  /// Drops retained panes from the front until the covered rows fit
+  /// ring_capacity, folding unflushed victims into cumulative_ first and
+  /// counting still-in-window rows as overflow.
+  void EvictOverCapacity(double now);
 
   StreamOptions options_;
+  size_t effective_pane_rows_;
   std::function<bool(const Recommendation&)> apply_hook_;
 
   MetricsAccumulator cumulative_;
   OnlineRecommender recommender_;
   WindowedConflictGraph graph_;
   SpaceSavingTopK topk_;
-  std::deque<MetricsRow> ring_;
+  Pane open_;
+  std::deque<Pane> sealed_;
+  /// Reused per-evaluation window fold (Reset between evaluations), so
+  /// each evaluation starts with warm container capacities instead of a
+  /// fresh accumulator's cold allocations.
+  MetricsAccumulator window_scratch_;
+  /// Retired panes parked for reuse as future open panes — a
+  /// steady-state pane cycle allocates nothing. Bounded (kPanePoolMax).
+  std::vector<Pane> pane_pool_;
+  static constexpr size_t kPanePoolMax = 8;
+
+  /// Blocks committed since the last evaluation; the first
+  /// kPostEvalMicroPanes of them seal as single-block panes so the next
+  /// window start (which lands just past the last evaluation) falls on
+  /// or near a pane boundary, minimizing the re-fed straddle suffix.
+  uint32_t blocks_since_eval_ = 0;
+  static constexpr uint32_t kPostEvalMicroPanes = 2;
 
   uint64_t next_commit_order_ = 0;
   uint64_t blocks_seen_ = 0;
   uint64_t entries_seen_ = 0;
   uint64_t ring_overflow_ = 0;
+  uint64_t sealed_rows_ = 0;
+  uint64_t panes_sealed_ = 0;
+  uint64_t pane_merges_ = 0;
 
   bool have_anchor_ = false;
   double last_eval_t_ = 0;

@@ -3,7 +3,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/interner.h"
@@ -11,11 +10,17 @@
 namespace blockoptr {
 
 /// Space-saving heavy-hitter sketch (Metwally et al.) over interned key
-/// ids: at most `capacity` counters, O(1) expected update, deterministic
-/// eviction (smallest count, then smallest id — no hashing order leaks
-/// into results, so the sweep-determinism contract holds). Each counter
-/// carries the classic overestimation bound `error`: the true frequency
-/// of `id` lies in [count - error, count].
+/// ids: at most `capacity` counters, deterministic eviction (smallest
+/// count, then smallest id — no hashing order leaks into results, so the
+/// sweep-determinism contract holds). Each counter carries the classic
+/// overestimation bound `error`: the true frequency of `id` lies in
+/// [count - error, count].
+///
+/// Counters live in parallel flat arrays (ids / counts / errors) scanned
+/// linearly — a sketch is small by design (default capacity 32), and the
+/// hot-path id scan then touches two cache lines instead of a dozen
+/// interleaved structs, which matters because the always-on failure path
+/// re-warms the sketch from cache on every offer.
 class SpaceSavingTopK {
  public:
   struct Counter {
@@ -26,49 +31,66 @@ class SpaceSavingTopK {
 
   explicit SpaceSavingTopK(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {
-    slots_.reserve(capacity_);
-    index_.reserve(capacity_);
+    ids_.reserve(capacity_);
+    counts_.reserve(capacity_);
+    errors_.reserve(capacity_);
   }
 
-  /// Observes one occurrence of `id` (weight defaults to 1).
+  /// Observes one occurrence of `id` (weight defaults to 1). One fused
+  /// pass serves both outcomes: it looks for a tracked `id` (a hit
+  /// transposes the counter one slot forward so frequent ids cluster
+  /// near the front and exit early) while simultaneously tracking the
+  /// eviction victim, so a miss — the common case when the key stream
+  /// has no heavy hitters and every offer evicts — costs one scan, not a
+  /// failed hit scan followed by a victim scan. Slot order is internal
+  /// only — every read path (Entries, Merge, eviction) is
+  /// order-insensitive, so the sweep-determinism contract holds.
   void Offer(KeyId id, uint64_t weight = 1) {
-    auto it = index_.find(id);
-    if (it != index_.end()) {
-      slots_[it->second].count += weight;
-      return;
+    size_t victim = 0;
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (ids_[i] == id) {
+        counts_[i] += weight;
+        if (i > 0) {
+          std::swap(ids_[i - 1], ids_[i]);
+          std::swap(counts_[i - 1], counts_[i]);
+          std::swap(errors_[i - 1], errors_[i]);
+        }
+        return;
+      }
+      if (counts_[i] < counts_[victim] ||
+          (counts_[i] == counts_[victim] && ids_[i] < ids_[victim])) {
+        victim = i;
+      }
     }
-    if (slots_.size() < capacity_) {
-      index_[id] = slots_.size();
-      slots_.push_back(Counter{id, weight, 0});
+    if (ids_.size() < capacity_) {
+      ids_.push_back(id);
+      counts_.push_back(weight);
+      errors_.push_back(0);
       return;
     }
     // Evict the (min count, min id) counter; the newcomer inherits its
     // count as the error bound.
-    size_t victim = 0;
-    for (size_t i = 1; i < slots_.size(); ++i) {
-      if (slots_[i].count < slots_[victim].count ||
-          (slots_[i].count == slots_[victim].count &&
-           slots_[i].id < slots_[victim].id)) {
-        victim = i;
-      }
-    }
-    index_.erase(slots_[victim].id);
-    const uint64_t floor = slots_[victim].count;
-    slots_[victim] = Counter{id, floor + weight, floor};
-    index_[id] = victim;
+    const uint64_t floor = counts_[victim];
+    ids_[victim] = id;
+    counts_[victim] = floor + weight;
+    errors_[victim] = floor;
   }
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return slots_.size(); }
+  size_t size() const { return ids_.size(); }
   uint64_t total_offered() const {
     uint64_t t = 0;
-    for (const Counter& c : slots_) t += c.count - c.error;
+    for (size_t i = 0; i < ids_.size(); ++i) t += counts_[i] - errors_[i];
     return t;
   }
 
   /// Counters sorted by (count desc, id asc) — deterministic.
   std::vector<Counter> Entries() const {
-    std::vector<Counter> out = slots_;
+    std::vector<Counter> out;
+    out.reserve(ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      out.push_back(Counter{ids_[i], counts_[i], errors_[i]});
+    }
     std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
       if (a.count != b.count) return a.count > b.count;
       return a.id < b.id;
@@ -76,15 +98,82 @@ class SpaceSavingTopK {
     return out;
   }
 
+  /// Merges another sketch into this one (mergeable-summaries union):
+  /// per-id counts and error bounds sum, and an id tracked by only one
+  /// sketch inherits the other sketch's eviction floor (its minimum
+  /// counter when at capacity — an upper bound on anything it absorbed)
+  /// as both count and error contribution, preserving the overestimate
+  /// invariant: the true combined frequency stays in [count - error,
+  /// count]. The union then keeps the top `capacity` counters, ordered
+  /// by (count desc, id asc) over the full union before truncation, so
+  /// the result is deterministic regardless of merge order.
+  void Merge(const SpaceSavingTopK& other) {
+    if (other.ids_.empty()) return;
+    const uint64_t floor_this = FloorBound();
+    const uint64_t floor_other = other.FloorBound();
+    std::vector<Counter> merged;
+    merged.reserve(ids_.size() + other.ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      const size_t oi = other.Find(ids_[i]);
+      if (oi != kNotFound) {
+        merged.push_back(Counter{ids_[i], counts_[i] + other.counts_[oi],
+                                 errors_[i] + other.errors_[oi]});
+      } else {
+        merged.push_back(Counter{ids_[i], counts_[i] + floor_other,
+                                 errors_[i] + floor_other});
+      }
+    }
+    for (size_t oi = 0; oi < other.ids_.size(); ++oi) {
+      if (Find(other.ids_[oi]) != kNotFound) continue;  // already paired
+      merged.push_back(Counter{other.ids_[oi], other.counts_[oi] + floor_this,
+                               other.errors_[oi] + floor_this});
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Counter& a, const Counter& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.id < b.id;
+              });
+    if (merged.size() > capacity_) merged.resize(capacity_);
+    ids_.clear();
+    counts_.clear();
+    errors_.clear();
+    for (const Counter& c : merged) {
+      ids_.push_back(c.id);
+      counts_.push_back(c.count);
+      errors_.push_back(c.error);
+    }
+  }
+
   void Clear() {
-    slots_.clear();
-    index_.clear();
+    ids_.clear();
+    counts_.clear();
+    errors_.clear();
   }
 
  private:
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  size_t Find(KeyId id) const {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (ids_[i] == id) return i;
+    }
+    return kNotFound;
+  }
+
+  /// Upper bound on the count any evicted (untracked) id may have
+  /// absorbed: the minimum counter once the sketch is at capacity, 0
+  /// before (nothing has ever been evicted).
+  uint64_t FloorBound() const {
+    if (ids_.size() < capacity_) return 0;
+    uint64_t floor = counts_.front();
+    for (const uint64_t c : counts_) floor = std::min(floor, c);
+    return floor;
+  }
+
   size_t capacity_;
-  std::vector<Counter> slots_;
-  std::unordered_map<KeyId, size_t> index_;
+  std::vector<KeyId> ids_;
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> errors_;
 };
 
 }  // namespace blockoptr

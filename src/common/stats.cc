@@ -62,6 +62,15 @@ void IntervalCounter::Add(double t) {
   ++counts_[idx];
 }
 
+void IntervalCounter::Merge(const IntervalCounter& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
 uint64_t IntervalCounter::CountAt(size_t i) const {
   return i < counts_.size() ? counts_[i] : 0;
 }

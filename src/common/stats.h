@@ -86,6 +86,15 @@ class IntervalCounter {
 
   const std::vector<uint64_t>& counts() const { return counts_; }
 
+  /// Merges another counter bucketed at the same interval width: buckets
+  /// are absolute (indexed by t / interval), so the merge is an
+  /// elementwise sum and is order-insensitive.
+  void Merge(const IntervalCounter& other);
+
+  /// Drops every bucket (capacity retained) — back to the
+  /// just-constructed state.
+  void Clear() { counts_.clear(); }
+
  private:
   double interval_;
   std::vector<uint64_t> counts_;

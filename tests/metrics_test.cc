@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "blockopt/metrics/metrics.h"
 
 namespace blockoptr {
@@ -41,6 +45,15 @@ struct EntryBuilder {
   }
   EntryBuilder& Endorsers(std::vector<std::string> orgs) {
     e.endorsers = std::move(orgs);
+    return *this;
+  }
+  EntryBuilder& Deletes(std::vector<std::string> keys) {
+    e.delete_keys = std::move(keys);
+    return *this;
+  }
+  EntryBuilder& Ranges(
+      std::vector<std::pair<std::string, std::string>> bounds) {
+    e.range_bounds = std::move(bounds);
     return *this;
   }
   EntryBuilder& Time(double t) {
@@ -385,6 +398,303 @@ TEST(MetricsTest, EmptyLogYieldsZeroMetrics) {
   EXPECT_EQ(m.tr, 0);
   EXPECT_TRUE(m.conflicts.empty());
   EXPECT_TRUE(m.hot_keys.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pane merge: Merge(right) must equal a single pass over both row ranges
+// ---------------------------------------------------------------------------
+
+void ExpectConflictsEqual(const std::vector<ConflictPair>& a,
+                          const std::vector<ConflictPair>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("conflict " + std::to_string(i));
+    EXPECT_EQ(a[i].failed_commit_order, b[i].failed_commit_order);
+    EXPECT_EQ(a[i].cause_commit_order, b[i].cause_commit_order);
+    EXPECT_EQ(a[i].failed_activity, b[i].failed_activity);
+    EXPECT_EQ(a[i].cause_activity, b[i].cause_activity);
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+    EXPECT_EQ(a[i].same_block, b[i].same_block);
+    EXPECT_EQ(a[i].reorderable, b[i].reorderable);
+    EXPECT_EQ(a[i].same_activity, b[i].same_activity);
+    EXPECT_EQ(a[i].delta_candidate, b[i].delta_candidate);
+  }
+}
+
+/// Field-for-field, doubles compared exactly: the merged accumulator must
+/// run the same arithmetic over the same values as the single pass.
+void ExpectMetricsEqual(const LogMetrics& a, const LogMetrics& b) {
+  EXPECT_EQ(a.total_txs, b.total_txs);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.tr, b.tr);
+  EXPECT_EQ(a.trd, b.trd);
+  EXPECT_EQ(a.failed_txs, b.failed_txs);
+  EXPECT_EQ(a.mvcc_failures, b.mvcc_failures);
+  EXPECT_EQ(a.phantom_failures, b.phantom_failures);
+  EXPECT_EQ(a.endorsement_failures, b.endorsement_failures);
+  EXPECT_EQ(a.tfr, b.tfr);
+  EXPECT_EQ(a.frd, b.frd);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+  EXPECT_EQ(a.b_sizeavg, b.b_sizeavg);
+  EXPECT_EQ(a.endorser_sig, b.endorser_sig);
+  EXPECT_EQ(a.invoker_sig, b.invoker_sig);
+  EXPECT_EQ(a.invoker_org_sig, b.invoker_org_sig);
+  EXPECT_EQ(a.key_freq, b.key_freq);
+  EXPECT_EQ(a.key_activities, b.key_activities);
+  EXPECT_EQ(a.hot_keys, b.hot_keys);
+  ASSERT_EQ(a.key_accessors.size(), b.key_accessors.size());
+  for (const auto& [key, accessors] : a.key_accessors) {
+    auto it = b.key_accessors.find(key);
+    ASSERT_NE(it, b.key_accessors.end()) << key;
+    ASSERT_EQ(accessors.size(), it->second.size()) << key;
+    for (const auto& [activity, stats] : accessors) {
+      auto jt = it->second.find(activity);
+      ASSERT_NE(jt, it->second.end()) << key << "/" << activity;
+      EXPECT_EQ(stats.accesses, jt->second.accesses);
+      EXPECT_EQ(stats.failures, jt->second.failures);
+      EXPECT_EQ(stats.writes, jt->second.writes);
+    }
+  }
+  ExpectConflictsEqual(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.activity_conflicts, b.activity_conflicts);
+  EXPECT_EQ(a.intra_block_conflicts, b.intra_block_conflicts);
+  EXPECT_EQ(a.inter_block_conflicts, b.inter_block_conflicts);
+  EXPECT_EQ(a.adjacent_same_activity_conflicts,
+            b.adjacent_same_activity_conflicts);
+  EXPECT_EQ(a.delta_candidates, b.delta_candidates);
+  EXPECT_EQ(a.reorderable_conflicts, b.reorderable_conflicts);
+  EXPECT_EQ(a.activity_tx_types, b.activity_tx_types);
+  EXPECT_EQ(a.num_activities, b.num_activities);
+}
+
+TEST(MetricsMergeTest, CrossPaneCauseResolvesAtMergeTime) {
+  // Writer in the left pane, failed reader in the right pane: the pair
+  // must appear after Merge, identical to the single pass.
+  std::vector<BlockchainLogEntry> rows;
+  rows.push_back(EntryBuilder(0, "Writer").Writes({{"pk", "v1"}}).Build());
+  rows.push_back(EntryBuilder(1, "Reader")
+                     .Reads({"pk"})
+                     .Status(TxStatus::kMvccReadConflict)
+                     .Build());
+
+  MetricsAccumulator single;
+  for (const auto& e : rows) single.OnEntry(e);
+
+  MetricsAccumulator left, right;
+  left.OnEntry(rows[0]);
+  right.OnEntry(rows[1]);
+  EXPECT_EQ(right.unresolved_prefix_size(), 1u);
+  EXPECT_EQ(right.conflicts_detected(), 0u);
+  left.Merge(right);
+  EXPECT_EQ(left.unresolved_prefix_size(), 0u);
+  EXPECT_EQ(left.conflicts_detected(), 1u);
+  ExpectMetricsEqual(left.Snapshot(), single.Snapshot());
+}
+
+TEST(MetricsMergeTest, TombstoneMasksLeftWriterAcrossThreePanes) {
+  // Pane 1 writes the key, pane 2 deletes it, a pane-3 reader fails: no
+  // committed writer is live, so — exactly like the single pass — no
+  // conflict pair may surface when the panes fold together.
+  std::vector<BlockchainLogEntry> rows;
+  rows.push_back(EntryBuilder(0, "Writer").Writes({{"mk", "v"}}).Build());
+  rows.push_back(EntryBuilder(1, "Deleter").Deletes({"mk"}).Build());
+  rows.push_back(EntryBuilder(2, "Reader")
+                     .Reads({"mk"})
+                     .Status(TxStatus::kMvccReadConflict)
+                     .Build());
+
+  MetricsAccumulator single;
+  for (const auto& e : rows) single.OnEntry(e);
+  ASSERT_EQ(single.conflicts_detected(), 0u);
+
+  MetricsAccumulator p1, p2, p3;
+  p1.OnEntry(rows[0]);
+  p2.OnEntry(rows[1]);
+  p3.OnEntry(rows[2]);
+  MetricsAccumulator folded;
+  folded.Merge(p1);
+  folded.Merge(p2);
+  folded.Merge(p3);
+  EXPECT_EQ(folded.conflicts_detected(), 0u);
+  ExpectMetricsEqual(folded.Snapshot(), single.Snapshot());
+}
+
+TEST(MetricsMergeTest, PhantomRangeHonorsCrossPaneDeletes) {
+  // The left pane writes two keys in a queried range; the middle pane
+  // deletes the later one. The right pane's phantom reader must resolve
+  // to the surviving writer — ordering and masking both cross the seams.
+  std::vector<BlockchainLogEntry> rows;
+  rows.push_back(EntryBuilder(0, "InsertA").Writes({{"r3", "a"}}).Build());
+  rows.push_back(EntryBuilder(1, "InsertB").Writes({{"r7", "b"}}).Build());
+  rows.push_back(EntryBuilder(2, "Deleter").Deletes({"r7"}).Build());
+  BlockchainLogEntry scan = EntryBuilder(3, "Scan")
+                                .Status(TxStatus::kPhantomReadConflict)
+                                .Ranges({{"r0", "r9"}})
+                                .Build();
+  rows.push_back(scan);
+
+  MetricsAccumulator single;
+  for (const auto& e : rows) single.OnEntry(e);
+  ASSERT_EQ(single.conflicts_detected(), 1u);
+
+  MetricsAccumulator left, mid, right;
+  left.OnEntry(rows[0]);
+  left.OnEntry(rows[1]);
+  mid.OnEntry(rows[2]);
+  right.OnEntry(rows[3]);
+  MetricsAccumulator folded;
+  folded.Merge(left);
+  folded.Merge(mid);
+  folded.Merge(right);
+  ASSERT_EQ(folded.conflicts_detected(), 1u);
+  LogMetrics fm = folded.Snapshot();
+  EXPECT_EQ(fm.conflicts[0].cause_activity, "InsertA");
+  EXPECT_EQ(fm.conflicts[0].key, "r3");
+  ExpectMetricsEqual(fm, single.Snapshot());
+}
+
+TEST(MetricsMergeTest, EmptyPanesAreIdentityElements) {
+  std::vector<BlockchainLogEntry> rows;
+  rows.push_back(EntryBuilder(0, "W").Writes({{"ek", "1"}}).Build());
+  rows.push_back(EntryBuilder(1, "R")
+                     .Reads({"ek"})
+                     .Status(TxStatus::kMvccReadConflict)
+                     .Build());
+  MetricsAccumulator single;
+  for (const auto& e : rows) single.OnEntry(e);
+
+  MetricsAccumulator pane;
+  for (const auto& e : rows) pane.OnEntry(e);
+  MetricsAccumulator folded, empty;
+  folded.Merge(empty);  // empty right
+  folded.Merge(pane);   // empty left
+  folded.Merge(empty);
+  ExpectMetricsEqual(folded.Snapshot(), single.Snapshot());
+}
+
+TEST(MetricsMergeTest, MergedAccumulatorKeepsFoldingRows) {
+  // Postcondition check: after a merge the accumulator must behave like
+  // the single pass for *future* rows too (frontier rebasing, tie-break
+  // order, pending bookkeeping).
+  std::vector<BlockchainLogEntry> rows;
+  rows.push_back(EntryBuilder(0, "W1").Writes({{"fk", "1"}}).Build());
+  rows.push_back(EntryBuilder(1, "W2").Writes({{"fk", "2"}}).Build());
+  rows.push_back(EntryBuilder(2, "R1")
+                     .Reads({"fk"})
+                     .Status(TxStatus::kMvccReadConflict)
+                     .Build());
+  rows.push_back(EntryBuilder(3, "W3").Writes({{"gk", "x"}}).Build());
+  rows.push_back(EntryBuilder(4, "R2")
+                     .Reads({"fk", "gk"})
+                     .Status(TxStatus::kMvccReadConflict)
+                     .Build());
+
+  MetricsAccumulator single;
+  for (const auto& e : rows) single.OnEntry(e);
+
+  MetricsAccumulator left, right;
+  left.OnEntry(rows[0]);
+  right.OnEntry(rows[1]);
+  right.OnEntry(rows[2]);
+  left.Merge(right);
+  left.OnEntry(rows[3]);  // keep feeding after the merge
+  left.OnEntry(rows[4]);
+  ExpectMetricsEqual(left.Snapshot(), single.Snapshot());
+}
+
+/// Deterministic row-stream generator: valid writers (counter-like and
+/// opaque values), deleters, MVCC/phantom/endorsement failures, range
+/// scans, several activities/invokers/endorser sets over a small key
+/// universe — enough collision pressure that causes regularly land in
+/// earlier panes and deletes regularly mask them.
+std::vector<BlockchainLogEntry> RandomRowStream(uint64_t seed, int n) {
+  uint64_t lcg = seed;
+  auto next = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(lcg >> 33);
+  };
+  // Zero-padded so lexicographic key order == numeric order (range
+  // bounds must satisfy start <= end, like real rwset range queries).
+  auto key = [&](uint32_t i) {
+    const uint32_t v = i % 12;
+    return std::string("pk") + (v < 10 ? "0" : "") + std::to_string(v);
+  };
+  std::vector<BlockchainLogEntry> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto order = static_cast<uint64_t>(i);
+    const uint32_t kind = next() % 10;
+    const std::string activity = "Act" + std::to_string(next() % 4);
+    EntryBuilder b(order, activity);
+    b.Invoker("Org" + std::to_string(next() % 3) + "-client0",
+              "Org" + std::to_string(next() % 3));
+    b.Endorsers({"Org" + std::to_string(next() % 3)});
+    if (kind < 4) {
+      // Valid writer; half the time a counter-like value (delta-write
+      // candidates must survive pane seams too).
+      const uint32_t k = next();
+      const std::string value = (next() % 2) ? std::to_string(next() % 3)
+                                             : "opaque" + key(next());
+      b.Reads({key(k)}).Writes({{key(k), value}});
+      if (next() % 4 == 0) b.Writes({{key(k), value}, {key(k + 1), "w"}});
+    } else if (kind < 5) {
+      // Valid deleter (sometimes write+delete in one transaction).
+      b.Deletes({key(next())});
+      if (next() % 3 == 0) b.Writes({{key(next()), "v"}});
+    } else if (kind < 8) {
+      // MVCC-failed reader over 1-3 keys, sometimes writing too.
+      std::vector<std::string> reads;
+      const uint32_t nr = 1 + next() % 3;
+      for (uint32_t r = 0; r < nr; ++r) reads.push_back(key(next()));
+      b.Reads(std::move(reads)).Status(TxStatus::kMvccReadConflict);
+      if (next() % 2) b.Writes({{key(next()), std::to_string(next() % 3)}});
+    } else if (kind < 9) {
+      // Phantom-failed range scan (bounds never wrap the key universe).
+      const uint32_t lo = next() % 8;
+      b.Ranges({{key(lo), key(lo + 3)}})
+          .Status(TxStatus::kPhantomReadConflict);
+    } else {
+      b.Status(TxStatus::kEndorsementPolicyFailure);
+    }
+    rows.push_back(b.Build());
+  }
+  return rows;
+}
+
+TEST(MetricsMergeTest, RandomPanePartitionsEqualSinglePass) {
+  // Property: for random row streams and random partitions into panes
+  // (empty panes included), folding the panes left-to-right with Merge
+  // is field-for-field identical to one accumulator fed every row.
+  for (uint64_t seed : {11ull, 23ull, 47ull, 91ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::vector<BlockchainLogEntry> rows = RandomRowStream(seed, 300);
+
+    MetricsAccumulator single;
+    for (const auto& e : rows) single.OnEntry(e);
+    const LogMetrics expected = single.Snapshot();
+
+    uint64_t lcg = seed * 977;
+    auto next = [&lcg]() {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<uint32_t>(lcg >> 33);
+    };
+    for (int trial = 0; trial < 4; ++trial) {
+      SCOPED_TRACE("trial " + std::to_string(trial));
+      MetricsAccumulator folded;
+      size_t pos = 0;
+      while (pos < rows.size()) {
+        // Pane sizes 0..24: zero-row panes must be identity elements.
+        const size_t len =
+            std::min<size_t>(next() % 25, rows.size() - pos);
+        MetricsAccumulator pane;
+        for (size_t i = pos; i < pos + len; ++i) pane.OnEntry(rows[i]);
+        folded.Merge(pane);
+        pos += len;
+      }
+      ExpectMetricsEqual(folded.Snapshot(), expected);
+    }
+  }
 }
 
 }  // namespace

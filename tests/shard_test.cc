@@ -17,6 +17,7 @@
 #include "blockopt/log/export.h"
 #include "blockopt/log/preprocess.h"
 #include "blockopt/metrics/metrics.h"
+#include "blockopt/stream/topk.h"
 #include "driver/channel_run.h"
 #include "driver/experiment.h"
 #include "driver/faults.h"
@@ -403,6 +404,52 @@ TEST(ShardedExperimentTest, FaultsAndStreamingAnalysisWorkPerChannel) {
   auto threaded = RunExperiment(cfg);
   ASSERT_TRUE(threaded.ok()) << threaded.status();
   EXPECT_EQ(ReportKey(out->report), ReportKey(threaded->report));
+}
+
+TEST(ShardedExperimentTest, CrossChannelHotKeySketchesMergeToExactSums) {
+  // Contended workload small enough that every per-channel sketch stays
+  // under capacity (accessed keys < topk_capacity): the sketches are
+  // exact,
+  // so the cross-channel merge must be the exact per-id sum with zero
+  // error — the invariant the CLI's aggregated hot-key view relies on.
+  SyntheticConfig wl;
+  wl.num_txs = 1500;
+  wl.send_rate = 400;
+  wl.key_skew = 2.0;  // Zipf contention: MVCC failures feed the sketch
+  wl.keyspace = 24;
+  ExperimentConfig cfg =
+      MakeSyntheticExperiment(wl, NetworkConfig::Defaults());
+  cfg.channels = 2;
+  cfg.sim_threads = 2;
+  cfg.enable_telemetry = true;
+  cfg.stream.enabled = true;
+  cfg.stream.window_s = 2.0;
+  cfg.stream.topk_capacity = 128;  // > distinct accessed keys
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->channels.size(), 2u);
+
+  std::map<KeyId, uint64_t> expected;
+  for (const auto& ch : out->channels) {
+    ASSERT_NE(ch.stream, nullptr);
+    for (const auto& c : ch.stream->hot_keys().Entries()) {
+      EXPECT_EQ(c.error, 0u);  // under capacity: exact counts
+      expected[c.id] += c.count;
+    }
+  }
+  ASSERT_FALSE(expected.empty())
+      << "workload produced no failure-involved keys";
+
+  SpaceSavingTopK merged(out->channels[0].stream->hot_keys().capacity());
+  for (const auto& ch : out->channels) merged.Merge(ch.stream->hot_keys());
+  const auto entries = merged.Entries();
+  ASSERT_EQ(entries.size(), expected.size());
+  for (const auto& c : entries) {
+    auto it = expected.find(c.id);
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(c.count, it->second);
+    EXPECT_EQ(c.error, 0u);
+  }
 }
 
 TEST(ShardedExperimentTest, ChannelWeightsSkewPerChannelLoad) {

@@ -269,6 +269,78 @@ TEST(SpaceSavingTopKTest, BoundedAndKeepsHeavyHitters) {
   EXPECT_LE(entries[0].count - entries[0].error, 50u);
 }
 
+TEST(SpaceSavingTopKTest, MergeIsExactUnderCapacity) {
+  // Two under-capacity sketches: the merge is an exact summed union with
+  // zero error, regardless of merge direction.
+  SpaceSavingTopK a(16), b(16);
+  for (int i = 0; i < 5; ++i) a.Offer(1);
+  for (int i = 0; i < 3; ++i) a.Offer(2);
+  for (int i = 0; i < 4; ++i) b.Offer(2);
+  for (int i = 0; i < 2; ++i) b.Offer(3);
+  a.Merge(b);
+  auto entries = a.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].id, 2u);
+  EXPECT_EQ(entries[0].count, 7u);
+  EXPECT_EQ(entries[1].id, 1u);
+  EXPECT_EQ(entries[1].count, 5u);
+  EXPECT_EQ(entries[2].id, 3u);
+  EXPECT_EQ(entries[2].count, 2u);
+  for (const auto& e : entries) EXPECT_EQ(e.error, 0u);
+  EXPECT_EQ(a.total_offered(), 14u);
+}
+
+TEST(SpaceSavingTopKTest, MergeKeepsHeavyHittersWithinErrorBound) {
+  // Shard a heavy-hitter stream across two sketches; the merged sketch
+  // must keep the heavy ids and its error bounds must still bracket the
+  // true counts.
+  SpaceSavingTopK a(4), b(4);
+  for (int round = 0; round < 40; ++round) {
+    a.Offer(1);
+    a.Offer(static_cast<KeyId>(1000 + round));
+    b.Offer(1);
+    b.Offer(2);
+    b.Offer(static_cast<KeyId>(2000 + round));
+  }
+  a.Merge(b);
+  EXPECT_LE(a.size(), 4u);
+  auto entries = a.Entries();
+  ASSERT_GE(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 1u);  // true count 80, the heaviest
+  // Overestimate invariant: true count within [count - error, count].
+  EXPECT_GE(entries[0].count, 80u);
+  EXPECT_LE(entries[0].count - entries[0].error, 80u);
+  bool found2 = false;
+  for (const auto& e : entries) {
+    if (e.id == 2u) {
+      found2 = true;
+      EXPECT_GE(e.count, 40u);
+      EXPECT_LE(e.count - e.error, 40u);
+    }
+  }
+  EXPECT_TRUE(found2);
+}
+
+TEST(SpaceSavingTopKTest, MergeWithEmptyIsIdentity) {
+  SpaceSavingTopK a(4), empty(4);
+  for (KeyId id : {7u, 7u, 9u}) a.Offer(id);
+  auto before = a.Entries();
+  a.Merge(empty);
+  auto after_right = a.Entries();
+  ASSERT_EQ(before.size(), after_right.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].id, after_right[i].id);
+    EXPECT_EQ(before[i].count, after_right[i].count);
+  }
+  empty.Merge(a);
+  auto after_left = empty.Entries();
+  ASSERT_EQ(before.size(), after_left.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].id, after_left[i].id);
+    EXPECT_EQ(before[i].count, after_left[i].count);
+  }
+}
+
 TEST(SpaceSavingTopKTest, DeterministicEviction) {
   auto run = [] {
     SpaceSavingTopK sketch(3);
@@ -427,6 +499,7 @@ TEST(StreamEngineTest, AllBuffersStayWithinConfiguredBounds) {
       StreamingExperiment(SyntheticWorkloadType::kUpdateHeavy, 2000, 400,
                           0.5);
   cfg.stream.ring_capacity = 64;
+  cfg.stream.pane_rows = 16;
   cfg.stream.topk_capacity = 8;
   cfg.stream.conflict_window = 32;
   cfg.stream.max_events = 4;
@@ -436,8 +509,11 @@ TEST(StreamEngineTest, AllBuffersStayWithinConfiguredBounds) {
   const StreamEngine& stream = *out->stream;
 
   EXPECT_EQ(stream.entries_seen(), 2000u);
-  EXPECT_LE(stream.window_entries().size(), 64u);
-  // 2000 txs through a 64-row ring must have overflowed at least once.
+  // Retained sealed panes never cover more rows than the ring budget.
+  EXPECT_LE(stream.sealed_rows(), 64u);
+  EXPECT_GT(stream.panes_sealed(), 0u);
+  // 2000 txs through a 64-row evidence budget at this rate must have
+  // folded still-in-window panes into the cumulative view early.
   EXPECT_GT(stream.ring_overflow(), 0u);
   EXPECT_LE(stream.hot_keys().size(), 8u);
   EXPECT_LE(stream.conflict_graph().size(), 32u);

@@ -459,6 +459,41 @@ int MultiChannelRunCommand(const CliArgs& args, const ExperimentConfig& cfg,
     }
   }
 
+  // Cross-channel hot-key aggregation: the per-channel space-saving
+  // sketches merge into one experiment-level view (summed counts, union
+  // error bounds), so a key hammered from several channels at once
+  // surfaces even when no single channel ranks it first.
+  {
+    const StreamEngine* first = nullptr;
+    for (const auto& ch : out.channels) {
+      if (ch.stream) {
+        first = ch.stream.get();
+        break;
+      }
+    }
+    if (first != nullptr) {
+      SpaceSavingTopK merged(first->hot_keys().capacity());
+      for (const auto& ch : out.channels) {
+        if (ch.stream) merged.Merge(ch.stream->hot_keys());
+      }
+      const auto entries = merged.Entries();
+      if (!entries.empty()) {
+        std::printf("cross-channel hot keys (failure-involved, merged "
+                    "sketch):\n");
+        const Interner& interner = GlobalKeyInterner();
+        size_t shown = 0;
+        for (const SpaceSavingTopK::Counter& c : entries) {
+          std::printf("  %-24s count<=%llu (error bound %llu)\n",
+                      std::string(interner.KeyForId(c.id)).c_str(),
+                      static_cast<unsigned long long>(c.count),
+                      static_cast<unsigned long long>(c.error));
+          if (++shown == 8) break;
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
   // Whole-experiment recommendations: per-channel logs are analyzed
   // independently, then merged into one experiment-level LogMetrics.
   std::vector<BlockchainLog> logs;

@@ -3,14 +3,31 @@
 // Compares a current benchmark dump (schema blockoptr-bench-v1, written
 // by the bench binaries' --json-out flag) against a committed baseline:
 //
-//   perf_compare --baseline=bench/baselines/BENCH_e2e.json \
+//   perf_compare --baseline=bench/baselines/BENCH_e2e.json
 //                --current=BENCH_e2e.json [--threshold=0.15]
+//                [--threshold-for=NAME=0.30 ...]
+//                [--max-ratio=NUM:DEN<=LIMIT ...]
 //
 // Exit 1 when any benchmark present in the baseline is missing from the
 // current dump, or is slower than baseline by more than the threshold
-// (default 15%, judged on ns_per_op). Benchmarks only present in the
-// current dump are reported but never fail the gate — adding a bench must
-// not require regenerating every baseline in the same commit.
+// (default 15%, judged on ns_per_op). `--threshold-for=NAME=VALUE`
+// (repeatable) overrides the threshold for a single benchmark — noisy or
+// deliberately loose benches get their own bound without widening the
+// gate for everything else. Benchmarks only present in the current dump
+// are reported but never fail the gate — adding a bench must not require
+// regenerating every baseline in the same commit.
+//
+// `--max-ratio=NUM:DEN<=LIMIT` (repeatable) gates a ratio *within the
+// current dump*: ns_per_op(NUM) / ns_per_op(DEN) must be <= LIMIT.
+// Benchmark names may contain '/', so the two names are separated by
+// ':'. This expresses relative-overhead bounds that survive machine
+// speed differences — e.g. streaming observe-only vs streaming-off:
+//
+//   perf_compare --current=BENCH_streaming.json
+//                '--max-ratio=BM_Stream_Observe/10000:BM_Stream_Off/10000<=1.12'
+//
+// With --max-ratio, --baseline is optional (ratio-only invocations gate
+// a single dump).
 //
 // Improvements are printed too, so a stale baseline that masks a later
 // regression is visible in the CI log.
@@ -20,6 +37,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 
@@ -28,6 +46,12 @@ namespace {
 
 struct Bench {
   double ns_per_op = 0;
+};
+
+struct RatioGate {
+  std::string numerator;
+  std::string denominator;
+  double limit = 0;
 };
 
 Result<std::map<std::string, Bench>> LoadDump(const std::string& path) {
@@ -69,15 +93,48 @@ Result<std::map<std::string, Bench>> LoadDump(const std::string& path) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: perf_compare --baseline=FILE --current=FILE "
-               "[--threshold=0.15]\n");
+  std::fprintf(
+      stderr,
+      "usage: perf_compare [--baseline=FILE] --current=FILE "
+      "[--threshold=0.15]\n"
+      "                    [--threshold-for=NAME=VALUE ...] "
+      "[--max-ratio=NUM:DEN<=LIMIT ...]\n"
+      "--baseline may be omitted only when at least one --max-ratio "
+      "gate is given.\n");
   return 2;
+}
+
+/// Parses "NAME=VALUE" (VALUE a positive double) into `overrides`.
+bool ParseThresholdFor(const char* spec,
+                       std::map<std::string, double>& overrides) {
+  const char* eq = std::strrchr(spec, '=');
+  if (eq == nullptr || eq == spec) return false;
+  char* end = nullptr;
+  const double value = std::strtod(eq + 1, &end);
+  if (end == eq + 1 || *end != '\0' || value <= 0) return false;
+  overrides[std::string(spec, eq)] = value;
+  return true;
+}
+
+/// Parses "NUM:DEN<=LIMIT" (names may contain '/', not ':').
+bool ParseRatioGate(const char* spec, std::vector<RatioGate>& gates) {
+  const char* colon = std::strchr(spec, ':');
+  if (colon == nullptr || colon == spec) return false;
+  const char* le = std::strstr(colon + 1, "<=");
+  if (le == nullptr || le == colon + 1) return false;
+  char* end = nullptr;
+  const double limit = std::strtod(le + 2, &end);
+  if (end == le + 2 || *end != '\0' || limit <= 0) return false;
+  gates.push_back(RatioGate{std::string(spec, colon),
+                            std::string(colon + 1, le), limit});
+  return true;
 }
 
 int Main(int argc, char** argv) {
   std::string baseline_path, current_path;
   double threshold = 0.15;
+  std::map<std::string, double> threshold_for;
+  std::vector<RatioGate> ratio_gates;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--baseline=", 11) == 0) {
@@ -86,20 +143,24 @@ int Main(int argc, char** argv) {
       current_path = arg + 10;
     } else if (std::strncmp(arg, "--threshold=", 12) == 0) {
       threshold = std::strtod(arg + 12, nullptr);
+    } else if (std::strncmp(arg, "--threshold-for=", 16) == 0) {
+      if (!ParseThresholdFor(arg + 16, threshold_for)) {
+        std::fprintf(stderr, "malformed --threshold-for '%s'\n", arg + 16);
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--max-ratio=", 12) == 0) {
+      if (!ParseRatioGate(arg + 12, ratio_gates)) {
+        std::fprintf(stderr, "malformed --max-ratio '%s'\n", arg + 12);
+        return Usage();
+      }
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg);
       return Usage();
     }
   }
-  if (baseline_path.empty() || current_path.empty() || threshold <= 0) {
-    return Usage();
-  }
+  if (current_path.empty() || threshold <= 0) return Usage();
+  if (baseline_path.empty() && ratio_gates.empty()) return Usage();
 
-  auto baseline = LoadDump(baseline_path);
-  if (!baseline.ok()) {
-    std::fprintf(stderr, "error: %s\n", baseline.status().ToString().c_str());
-    return 1;
-  }
   auto current = LoadDump(current_path);
   if (!current.ok()) {
     std::fprintf(stderr, "error: %s\n", current.status().ToString().c_str());
@@ -107,40 +168,72 @@ int Main(int argc, char** argv) {
   }
 
   int failures = 0;
-  std::printf("%-44s %14s %14s %9s\n", "benchmark", "baseline(ns)",
-              "current(ns)", "delta");
-  for (const auto& [name, base] : *baseline) {
-    auto it = current->find(name);
-    if (it == current->end()) {
-      std::printf("%-44s %14.0f %14s %9s  MISSING\n", name.c_str(),
-                  base.ns_per_op, "-", "-");
+  if (!baseline_path.empty()) {
+    auto baseline = LoadDump(baseline_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("%-44s %14s %14s %9s\n", "benchmark", "baseline(ns)",
+                "current(ns)", "delta");
+    for (const auto& [name, base] : *baseline) {
+      auto it = current->find(name);
+      if (it == current->end()) {
+        std::printf("%-44s %14.0f %14s %9s  MISSING\n", name.c_str(),
+                    base.ns_per_op, "-", "-");
+        ++failures;
+        continue;
+      }
+      auto ov = threshold_for.find(name);
+      const double bound = ov != threshold_for.end() ? ov->second
+                                                     : threshold;
+      const double ratio = it->second.ns_per_op / base.ns_per_op - 1.0;
+      const bool regressed = ratio > bound;
+      std::printf("%-44s %14.0f %14.0f %+8.1f%%%s\n", name.c_str(),
+                  base.ns_per_op, it->second.ns_per_op, 100 * ratio,
+                  regressed ? "  REGRESSION" : "");
+      if (regressed) ++failures;
+    }
+    for (const auto& [name, bench] : *current) {
+      if (baseline->count(name) == 0) {
+        std::printf("%-44s %14s %14.0f %9s  (new, no baseline)\n",
+                    name.c_str(), "-", bench.ns_per_op, "-");
+      }
+    }
+  }
+
+  for (const RatioGate& gate : ratio_gates) {
+    auto num = current->find(gate.numerator);
+    auto den = current->find(gate.denominator);
+    if (num == current->end() || den == current->end()) {
+      std::fprintf(stderr,
+                   "perf_compare: ratio gate '%s:%s' references a "
+                   "benchmark missing from %s\n",
+                   gate.numerator.c_str(), gate.denominator.c_str(),
+                   current_path.c_str());
       ++failures;
       continue;
     }
-    const double ratio = it->second.ns_per_op / base.ns_per_op - 1.0;
-    const bool regressed = ratio > threshold;
-    std::printf("%-44s %14.0f %14.0f %+8.1f%%%s\n", name.c_str(),
-                base.ns_per_op, it->second.ns_per_op, 100 * ratio,
-                regressed ? "  REGRESSION" : "");
-    if (regressed) ++failures;
-  }
-  for (const auto& [name, bench] : *current) {
-    if (baseline->count(name) == 0) {
-      std::printf("%-44s %14s %14.0f %9s  (new, no baseline)\n",
-                  name.c_str(), "-", bench.ns_per_op, "-");
-    }
+    const double ratio = num->second.ns_per_op / den->second.ns_per_op;
+    const bool over = ratio > gate.limit;
+    std::printf("ratio %s : %s = %.3f (limit %.3f)%s\n",
+                gate.numerator.c_str(), gate.denominator.c_str(), ratio,
+                gate.limit, over ? "  OVER LIMIT" : "");
+    if (over) ++failures;
   }
 
   if (failures > 0) {
     std::fprintf(stderr,
-                 "perf_compare: %d benchmark(s) regressed beyond %.0f%% or "
-                 "went missing\n",
-                 failures, 100 * threshold);
+                 "perf_compare: %d gate(s) failed (regression, missing "
+                 "benchmark, or ratio over limit)\n",
+                 failures);
     return 1;
   }
-  std::printf("perf_compare: all %zu benchmark(s) within %.0f%% of "
-              "baseline\n",
-              baseline->size(), 100 * threshold);
+  std::printf("perf_compare: all gates passed (%zu benchmark(s), %zu "
+              "ratio gate(s))\n",
+              current->size(), ratio_gates.size());
   return 0;
 }
 

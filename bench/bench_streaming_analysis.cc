@@ -196,6 +196,50 @@ BENCHMARK(BM_WindowEval_PaneMerge)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_WindowEval_RowFeed)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Snapshot-detail microbench: full vs hot-keys-only materialization
+// ---------------------------------------------------------------------------
+
+// Isolates the per-evaluation Snapshot() term the engine actually pays:
+// the same 10k-row window state materialized with full per-key detail
+// (every distinct key lands in three string-ordered maps) and with the
+// hot-keys-only detail the engine's Evaluate() uses (cold keys are
+// skipped before their strings exist). The gap is pure cold-key string
+// and ordered-map work — the recommender output is identical either way.
+const MetricsAccumulator& GetWindowAccumulator() {
+  static const MetricsAccumulator* acc = [] {
+    auto* window = new MetricsAccumulator{MetricsOptions{}};
+    for (const MetricsAccumulator& pane : GetWindowFixture().panes) {
+      window->Merge(pane);
+    }
+    return window;
+  }();
+  return *acc;
+}
+
+void BM_WindowSnapshot_Full(benchmark::State& state) {
+  const MetricsAccumulator& window = GetWindowAccumulator();
+  for (auto _ : state) {
+    LogMetrics wm =
+        window.Snapshot(MetricsAccumulator::SnapshotDetail::kFull);
+    benchmark::DoNotOptimize(wm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_WindowSnapshot_HotKeysOnly(benchmark::State& state) {
+  const MetricsAccumulator& window = GetWindowAccumulator();
+  for (auto _ : state) {
+    LogMetrics wm =
+        window.Snapshot(MetricsAccumulator::SnapshotDetail::kHotKeysOnly);
+    benchmark::DoNotOptimize(wm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_WindowSnapshot_Full)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WindowSnapshot_HotKeysOnly)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
 // Explicit interleaved A/B: observe-only vs stream-off
 // ---------------------------------------------------------------------------
 

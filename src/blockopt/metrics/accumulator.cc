@@ -457,7 +457,7 @@ void MetricsAccumulator::Reset() {
   reorderable_conflicts_ = 0;
 }
 
-LogMetrics MetricsAccumulator::Snapshot() const {
+LogMetrics MetricsAccumulator::Snapshot(SnapshotDetail detail) const {
   LogMetrics m;
   if (total_txs_ == 0) return m;
 
@@ -500,6 +500,15 @@ LogMetrics MetricsAccumulator::Snapshot() const {
                                  : 0;
   m.num_activities = activities_.size();
 
+  // A key is hot when its failure frequency clears both the absolute
+  // floor and the fraction-of-all-failures threshold (user-configurable,
+  // paper §4.3 metric 6). Computed before the key maps so kHotKeysOnly
+  // can drop cold keys without materializing their strings at all.
+  const uint64_t hot_threshold = std::max<uint64_t>(
+      options_.hotkey_min_failures,
+      static_cast<uint64_t>(options_.hotkey_failure_fraction *
+                            static_cast<double>(m.failed_txs)));
+
   // Sort the key aggregates by key string once, then build the three
   // string-ordered output maps with end-position hints: every insert is
   // amortized O(1) instead of a fresh O(log n) descent with string
@@ -508,6 +517,10 @@ LogMetrics MetricsAccumulator::Snapshot() const {
   std::vector<std::pair<std::string_view, const KeyAgg*>> sorted_keys;
   sorted_keys.reserve(key_agg_.size());
   for (const auto& [id, agg] : key_agg_) {
+    if (detail == SnapshotDetail::kHotKeysOnly &&
+        agg.fail_freq < hot_threshold) {
+      continue;  // cold key: no window-snapshot consumer ever reads it
+    }
     sorted_keys.emplace_back(interner.KeyForId(id), &agg);
   }
   std::sort(sorted_keys.begin(), sorted_keys.end(),
@@ -515,31 +528,30 @@ LogMetrics MetricsAccumulator::Snapshot() const {
   for (const auto& [key_view, aggp] : sorted_keys) {
     const KeyAgg& agg = *aggp;
     std::string key(key_view);
-    auto& activities_of_key =
-        m.key_activities.emplace_hint(m.key_activities.end(), key,
-                                      std::set<std::string>{})
-            ->second;
     auto& accessors_of_key =
         m.key_accessors
             .emplace_hint(m.key_accessors.end(), key,
                           std::map<std::string, LogMetrics::KeyAccessorStats>{})
             ->second;
-    for (const auto& a : agg.accessors) {
-      std::string activity(names.KeyForId(a.activity));
-      activities_of_key.insert(activity);
-      accessors_of_key[std::move(activity)] = a.stats;
+    if (detail == SnapshotDetail::kFull) {
+      auto& activities_of_key =
+          m.key_activities.emplace_hint(m.key_activities.end(), key,
+                                        std::set<std::string>{})
+              ->second;
+      for (const auto& a : agg.accessors) {
+        std::string activity(names.KeyForId(a.activity));
+        activities_of_key.insert(activity);
+        accessors_of_key[std::move(activity)] = a.stats;
+      }
+    } else {
+      for (const auto& a : agg.accessors) {
+        accessors_of_key[std::string(names.KeyForId(a.activity))] = a.stats;
+      }
     }
     if (agg.fail_freq > 0) {
       m.key_freq.emplace_hint(m.key_freq.end(), std::move(key), agg.fail_freq);
     }
   }
-  // A key is hot when its failure frequency clears both the absolute
-  // floor and the fraction-of-all-failures threshold (user-configurable,
-  // paper §4.3 metric 6).
-  const uint64_t hot_threshold = std::max<uint64_t>(
-      options_.hotkey_min_failures,
-      static_cast<uint64_t>(options_.hotkey_failure_fraction *
-                            static_cast<double>(m.failed_txs)));
   for (const auto& [key, freq] : m.key_freq) {
     if (freq >= hot_threshold) m.hot_keys.push_back(key);
   }

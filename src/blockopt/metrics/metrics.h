@@ -237,9 +237,21 @@ class MetricsAccumulator {
   /// their original stream positions.
   void Merge(const MetricsAccumulator& right);
 
+  /// How much of the per-key detail Snapshot() materializes. The per-key
+  /// string maps (key_activities / key_accessors / key_freq) dominate
+  /// snapshot cost — one string materialization and ordered-map insert
+  /// per distinct key — yet every consumer of a *window* snapshot (the
+  /// streaming engine's per-evaluation recommender pass) reads them only
+  /// by `.find()` on members of the hot set. kHotKeysOnly skips
+  /// key_activities entirely and restricts key_accessors / key_freq to
+  /// the hot keys, leaving every scalar, conflict, and hot-set field
+  /// byte-identical to kFull.
+  enum class SnapshotDetail { kFull, kHotKeysOnly };
+
   /// Materializes the full metric set over everything seen so far.
-  /// Field-for-field identical to `ComputeMetrics` over the same rows.
-  LogMetrics Snapshot() const;
+  /// Field-for-field identical to `ComputeMetrics` over the same rows
+  /// (with kHotKeysOnly, identical outside the cold-key map entries).
+  LogMetrics Snapshot(SnapshotDetail detail = SnapshotDetail::kFull) const;
 
   /// Returns the accumulator to its just-constructed state (same
   /// MetricsOptions) while keeping container capacities and hash-table

@@ -16,6 +16,22 @@ std::string StationEvidence(const StationAttribution& st) {
   return buf;
 }
 
+/// Flight-recorder citation for `stage`: how much of committed end-to-end
+/// latency the stage occupies on the causal chain, and how much of that
+/// was queueing. "" when txtrace was off or the stage never appeared.
+std::string CriticalPathEvidence(const BottleneckReport& report,
+                                 const std::string& stage) {
+  for (const auto& cps : report.critical_path) {
+    if (cps.stage != stage || cps.share <= 0) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "; critical-path share %.0f%% (wait %.0f%%)",
+                  100.0 * cps.share, 100.0 * cps.wait_share);
+    return buf;
+  }
+  return "";
+}
+
 const SeriesSummary* FindSeries(const BottleneckReport& report,
                                 const std::string& name) {
   for (const auto& s : report.series) {
@@ -60,13 +76,19 @@ std::string TelemetryEvidenceFor(const Recommendation& rec,
     case RecommendationType::kSmartContractPartitioning: {
       const StationAttribution* st =
           StationForOrgs(report, trace_category::kEndorse, rec.orgs);
-      if (st != nullptr) return StationEvidence(*st);
+      if (st != nullptr) {
+        return StationEvidence(*st) +
+               CriticalPathEvidence(report, st->stage);
+      }
       break;
     }
     case RecommendationType::kClientResourceBoost: {
       const StationAttribution* st =
           StationForOrgs(report, trace_category::kSubmit, rec.orgs);
-      if (st != nullptr) return StationEvidence(*st);
+      if (st != nullptr) {
+        return StationEvidence(*st) +
+               CriticalPathEvidence(report, st->stage);
+      }
       break;
     }
     case RecommendationType::kBlockSizeAdaptation: {
@@ -77,9 +99,12 @@ std::string TelemetryEvidenceFor(const Recommendation& rec,
         std::snprintf(buf, sizeof(buf),
                       "block fill mean %.2f; %s", fill->mean,
                       StationEvidence(*orderer).c_str());
-        return buf;
+        return buf + CriticalPathEvidence(report, orderer->stage);
       }
-      if (orderer != nullptr) return StationEvidence(*orderer);
+      if (orderer != nullptr) {
+        return StationEvidence(*orderer) +
+               CriticalPathEvidence(report, orderer->stage);
+      }
       break;
     }
     case RecommendationType::kTransactionRateControl: {

@@ -197,7 +197,12 @@ void StreamEngine::Evaluate(double t) {
       window_scratch_.OnRow(*it);
     }
   }
-  const LogMetrics wm = window_scratch_.Snapshot();
+  // Hot-keys-only detail: the recommender pass below reads the per-key
+  // maps exclusively by hot-key lookup, so the snapshot skips cold-key
+  // string materialization (the dominant snapshot cost at high key
+  // cardinality) without changing a single recommendation.
+  const LogMetrics wm = window_scratch_.Snapshot(
+      MetricsAccumulator::SnapshotDetail::kHotKeysOnly);
 
   // Bring the cumulative view up to `t` before reading its counters.
   FlushSealed();

@@ -206,6 +206,10 @@ ExperimentOutput ChannelRun::Finish() {
     // does not.
     output_.telemetry->sampler()->Finalize();
   }
+  if (output_.telemetry && output_.telemetry->txtrace()) {
+    // Seal the flight recorder's trailing exemplar window.
+    output_.telemetry->txtrace()->Finalize(sim_.Now());
+  }
   if (output_.telemetry) {
     if (output_.telemetry->options().tracing) {
       output_.report.set_stage_breakdown(

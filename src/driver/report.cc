@@ -36,6 +36,23 @@ void PerformanceReport::RecordCommit(const Transaction& tx) {
 void PerformanceReport::RecordEarlyAbort() { ++early_aborts_; }
 
 void PerformanceReport::Merge(const PerformanceReport& other) {
+  // Capture other's tail before its samples dissolve into the pooled
+  // tracker. A leaf report contributes one entry; an already-merged
+  // report contributes the entries it recorded (never both — that would
+  // double-count its channels as one pooled pseudo-channel).
+  if (other.channel_tails_.empty()) {
+    ChannelTail tail;
+    PercentileTracker pct = other.latency_pct_;  // Percentile() sorts lazily
+    tail.p50_s = pct.Percentile(50);
+    tail.p95_s = pct.Percentile(95);
+    tail.p99_s = pct.Percentile(99);
+    tail.max_s = other.latency_.max();
+    tail.successful = other.successful_;
+    channel_tails_.push_back(tail);
+  } else {
+    channel_tails_.insert(channel_tails_.end(), other.channel_tails_.begin(),
+                          other.channel_tails_.end());
+  }
   total_committed_ += other.total_committed_;
   successful_ += other.successful_;
   mvcc_failures_ += other.mvcc_failures_;

@@ -27,13 +27,34 @@ class PerformanceReport {
   /// Marks the end of the run for throughput computation.
   void Finish(double end_time) { end_time_ = end_time; }
 
+  /// Tail-latency quantiles of one merged-in channel, captured at Merge
+  /// time: the merged PercentileTracker pools every channel's samples, so
+  /// a channel's own tail is unrecoverable afterwards — and a channel
+  /// whose p99 is 3x the others' disappears into the pooled quantile.
+  struct ChannelTail {
+    double p50_s = 0;
+    double p95_s = 0;
+    double p99_s = 0;
+    double max_s = 0;
+    uint64_t successful = 0;
+  };
+
   /// Folds another (already Finished) report into this one — used to build
   /// the whole-experiment report from per-channel reports. Counters add,
   /// latency accumulators merge, and the wall span becomes the union
   /// (earliest first send -> latest end time), so Throughput() reflects
   /// the combined run. Stage breakdowns are per-channel artifacts and are
-  /// not merged.
+  /// not merged. `other`'s tail quantiles are appended to channel_tails()
+  /// (its own when it is a leaf report, its recorded tails when it is
+  /// itself a merged report), so per-channel p99 survives the merge.
   void Merge(const PerformanceReport& other);
+
+  /// One entry per merged-in leaf report, in merge order — for the
+  /// sharded driver that is channel order, so `channel_tails()[c]` is
+  /// channel c's tail. Empty for a leaf (never-merged) report.
+  const std::vector<ChannelTail>& channel_tails() const {
+    return channel_tails_;
+  }
 
   uint64_t total_committed() const { return total_committed_; }
   uint64_t successful() const { return successful_; }
@@ -92,6 +113,7 @@ class PerformanceReport {
   bool saw_first_ = false;
   double end_time_ = 0;
   std::vector<StageLatency> stage_breakdown_;
+  std::vector<ChannelTail> channel_tails_;
 };
 
 /// Relative change helper for paper-style "% improvement" rows:

@@ -122,6 +122,7 @@ void FabricNetwork::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;
   tracer_ = telemetry ? telemetry->tracing() : nullptr;
   event_metrics_ = telemetry ? telemetry->event_metrics() : nullptr;
+  txtrace_ = telemetry ? telemetry->txtrace() : nullptr;
   orderer_->set_telemetry(telemetry);
   for (auto& peer : peers_) peer->set_metrics(event_metrics_);
 
@@ -313,6 +314,10 @@ Status FabricNetwork::Submit(const ClientRequest& request) {
     event_metrics_->gauge("client.queue_depth")
         .Set(cp.station().CurrentDelay());
   }
+  if (txtrace_) {
+    txtrace_->TxEvent(id, TxStage::kSubmit,
+                      static_cast<uint16_t>(entry.client_index));
+  }
   cp.station().Submit(config_.latency.client_proposal_s * client_load_scale_,
                       [this, id]() { StartEndorsement(id); });
   return Status::OK();
@@ -323,6 +328,13 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
   if (it == pending_.end()) return;
   PendingTx& pending = it->second;
   if (tracer_) tracer_->End(pending.submit_span);
+  if (txtrace_) {
+    txtrace_->TxEvent(
+        pending_id, TxStage::kProposalDone,
+        static_cast<uint16_t>(pending.client_index),
+        static_cast<float>(config_.latency.client_proposal_s *
+                           client_load_scale_));
+  }
 
   std::vector<int> orgs = SelectEndorsingOrgs();
   pending.expected_responses = orgs.size();
@@ -343,9 +355,14 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
         std::string down_org = peer.org();
         sim_->ScheduleAfter(
             config_.latency.endorse_timeout_s,
-            [this, pending_id, down_org = std::move(down_org)]() mutable {
+            [this, pending_id, org,
+             down_org = std::move(down_org)]() mutable {
               auto pit2 = pending_.find(pending_id);
               if (pit2 == pending_.end()) return;
+              if (txtrace_) {
+                txtrace_->TxEvent(pending_id, TxStage::kEndorseRefused,
+                                  static_cast<uint16_t>(org));
+              }
               EndorseResult refusal;
               refusal.status = Status::Unavailable("endorser " + down_org +
                                                    " unreachable");
@@ -372,6 +389,10 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
         event_metrics_->gauge("endorser.queue_depth")
             .Set(peer.endorser_station().CurrentDelay());
       }
+      if (txtrace_) {
+        txtrace_->TxEvent(pending_id, TxStage::kEndorseStart,
+                          static_cast<uint16_t>(org));
+      }
       // Execute against the peer's current (possibly stale) store. The
       // simulation cost scales with the number of state accesses.
       EndorseResult result =
@@ -389,10 +410,15 @@ void FabricNetwork::StartEndorsement(uint64_t pending_id) {
                     endorser_slowdown_[static_cast<size_t>(org - 1)];
       std::string org_name = peer.org();
       peer.endorser_station().Submit(
-          cost, [this, pending_id, endorse_span,
+          cost, [this, pending_id, endorse_span, org, cost,
                  org_name = std::move(org_name),
                  result = std::move(result)]() mutable {
             if (tracer_) tracer_->End(endorse_span);
+            if (txtrace_) {
+              txtrace_->TxEvent(pending_id, TxStage::kEndorseDone,
+                                static_cast<uint16_t>(org),
+                                static_cast<float>(cost));
+            }
             if (event_metrics_ && !result.status.ok()) {
               event_metrics_->counter("endorser.rejections_total")
                   .Increment();
@@ -419,6 +445,10 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   auto it = pending_.find(pending_id);
   if (it == pending_.end()) return;
   PendingTx& pending = it->second;
+  if (txtrace_) {
+    txtrace_->TxEvent(pending_id, TxStage::kCollect,
+                      static_cast<uint16_t>(pending.client_index));
+  }
 
   // Pick the modal read-write set among successful responses; endorsers
   // that produced a different payload (stale store) or rejected the
@@ -439,6 +469,7 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
     if (event_metrics_) {
       event_metrics_->counter("client.early_aborts_total").Increment();
     }
+    if (txtrace_) txtrace_->AbortTx(pending_id);
     if (on_early_abort_) {
       on_early_abort_(pending.request,
                       pending.responses.empty()
@@ -485,6 +516,7 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
   // canonical read-write set instead of copying them (the entry is erased
   // next; the bytes estimate above consumed both while still intact).
   uint64_t bytes = EstimateTxBytes(pending.request, canonical);
+  uint16_t client_actor = static_cast<uint16_t>(pending.client_index);
   tx.args = std::move(pending.request.args);
   tx.rwset = std::move(pending.responses[best].second.rwset);
   pending_.erase(it);
@@ -498,10 +530,16 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
 
   // Envelope assembly occupies the client, then the envelope travels to
   // the ordering service.
+  double assemble_cost = config_.latency.client_assemble_s * client_load_scale_;
   cp.station().Submit(
-      config_.latency.client_assemble_s * client_load_scale_,
-      [this, assemble_span, tx = std::move(tx), bytes]() mutable {
+      assemble_cost,
+      [this, assemble_span, assemble_cost, client_actor, tx = std::move(tx),
+       bytes]() mutable {
         if (tracer_) tracer_->End(assemble_span);
+        if (txtrace_) {
+          txtrace_->TxEvent(tx.tx_id, TxStage::kAssembleDone, client_actor,
+                            static_cast<float>(assemble_cost));
+        }
         sim_->ScheduleAfter(NetworkDelay(),
                             [this, tx = std::move(tx), bytes]() mutable {
                               orderer_->Submit(std::move(tx), bytes);
@@ -511,6 +549,11 @@ void FabricNetwork::OnEndorsementsComplete(uint64_t pending_id) {
 
 void FabricNetwork::DeliverBlock(Block block) {
   block.block_num = next_block_num_++;
+  // Runs synchronously inside the Raft commit callback chain, so the
+  // recorder's "most recently committed payload" is this block's.
+  if (txtrace_) {
+    txtrace_->OnBlockDelivered(static_cast<uint32_t>(block.block_num));
+  }
 
   // Channel-config updates take effect when their block is delivered.
   for (const auto& tx : block.transactions) {
@@ -559,16 +602,27 @@ void FabricNetwork::DeliverBlock(Block block) {
         tracer_->Annotate(validate_span, "txs",
                           std::to_string(blk.transactions.size()));
       }
+      if (txtrace_) {
+        txtrace_->ValidateEvent(static_cast<uint32_t>(blk.block_num),
+                                TxStage::kValidateStart,
+                                static_cast<uint16_t>(org));
+      }
       double cost =
           (config_.latency.validate_block_overhead_s +
            config_.latency.validate_per_tx_s *
                static_cast<double>(blk.transactions.size()) +
            config_.latency.commit_per_block_s) *
           peer_scale_;
-      peer.validator_station().Submit(cost, [this, org, validate_span,
+      peer.validator_station().Submit(cost, [this, org, validate_span, cost,
                                              shared]() {
         OrgPeer& p = *peers_[static_cast<size_t>(org - 1)];
         if (tracer_) tracer_->End(validate_span);
+        if (txtrace_) {
+          txtrace_->ValidateEvent(
+              static_cast<uint32_t>(shared->block.block_num),
+              TxStage::kValidateDone, static_cast<uint16_t>(org),
+              static_cast<float>(cost));
+        }
         // Apply the (already stamped) block to this peer's store.
         const Block& blk = shared->block;
         uint32_t pos = 0;
@@ -595,7 +649,7 @@ void FabricNetwork::DeliverBlock(Block block) {
           if (event_metrics_) {
             event_metrics_->counter("ledger.blocks_total").Increment();
           }
-          if (tracer_ || event_metrics_) {
+          if (tracer_ || event_metrics_ || txtrace_) {
             for (const auto& tx : appended.transactions) {
               if (tx.is_config) continue;
               // The commit span closes the transaction lifecycle: it ends
@@ -609,6 +663,11 @@ void FabricNetwork::DeliverBlock(Block block) {
               if (event_metrics_) {
                 event_metrics_->counter("ledger.txs_committed_total")
                     .Increment();
+              }
+              if (txtrace_) {
+                txtrace_->CommitTx(tx.tx_id, tx.client_timestamp,
+                                   static_cast<uint32_t>(appended.block_num),
+                                   tx.status != TxStatus::kValid);
               }
             }
           }

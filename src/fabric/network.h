@@ -211,6 +211,7 @@ class FabricNetwork {
   // per-transaction span/metric work entirely.
   TraceRecorder* tracer_ = nullptr;         // not owned
   MetricsRegistry* event_metrics_ = nullptr;  // not owned
+  TxTraceRecorder* txtrace_ = nullptr;        // not owned
 
   std::vector<std::unique_ptr<ClientProcess>> clients_;
   std::vector<std::vector<int>> org_client_indices_;  // per org (0-based)

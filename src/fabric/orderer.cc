@@ -47,7 +47,9 @@ OrderingService::OrderingService(Simulator* sim, const NetworkConfig& config,
 void OrderingService::set_telemetry(Telemetry* telemetry) {
   tracer_ = telemetry ? telemetry->tracing() : nullptr;
   metrics_ = telemetry ? telemetry->event_metrics() : nullptr;
+  txtrace_ = telemetry ? telemetry->txtrace() : nullptr;
   raft_.set_metrics(metrics_);
+  raft_.set_txtrace(txtrace_);
 }
 
 void OrderingService::Start() { raft_.Start(); }
@@ -67,6 +69,11 @@ void OrderingService::Submit(Transaction tx, uint64_t tx_bytes) {
   // happens when that work completes.
   station_.Submit(latency_.order_per_tx_s,
                   [this, tx = std::move(tx), tx_bytes]() mutable {
+                    if (txtrace_) {
+                      txtrace_->TxEvent(
+                          tx.tx_id, TxStage::kOrdererEnqueue, 0,
+                          static_cast<float>(latency_.order_per_tx_s));
+                    }
                     AddToBatch(std::move(tx), tx_bytes);
                   });
 }
@@ -153,6 +160,18 @@ void OrderingService::CutBlock() {
   // through Raft consensus.
   station_.Submit(latency_.block_overhead_s + extra,
                   [this, payload, block_txs]() {
+                    if (txtrace_) {
+                      // kBlockCut carries the orderer payload id, joining
+                      // each transaction chain to its block's Raft chain.
+                      // Recorded when signing completes — so the queueing
+                      // behind a saturated orderer lands in the 'order'
+                      // stage, and 'raft' starts at the actual handoff.
+                      const Block& b = inflight_.at(payload);
+                      for (const auto& tx : b.transactions) {
+                        txtrace_->TxEvent(tx.tx_id, TxStage::kBlockCut, 0, 0,
+                                          static_cast<uint32_t>(payload));
+                      }
+                    }
                     if (tracer_) {
                       // One raft span per block, from proposal to quorum
                       // commit.

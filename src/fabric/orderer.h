@@ -109,6 +109,7 @@ class OrderingService {
   // when disabled — see FabricNetwork's pointer-guard discipline).
   TraceRecorder* tracer_ = nullptr;    // optional, not owned
   MetricsRegistry* metrics_ = nullptr;  // optional, not owned
+  TxTraceRecorder* txtrace_ = nullptr;  // optional, not owned
   std::map<uint64_t, uint64_t> order_spans_;  // tx_id -> open span
   std::map<uint64_t, uint64_t> raft_spans_;   // payload -> open span
 

@@ -20,6 +20,10 @@ void RaftCluster::Start() {
 
 void RaftCluster::Propose(uint64_t payload) {
   if (metrics_) metrics_->counter("raft.proposals_total").Increment();
+  if (txtrace_) {
+    txtrace_->BlockEvent(static_cast<uint32_t>(payload),
+                         TxStage::kRaftPropose);
+  }
   pending_.push(payload);
   FlushPending();
 }
@@ -43,6 +47,11 @@ void RaftCluster::FlushPending() {
     }
     // Appended, not committed: keep tracking until delivery so a leader
     // crash cannot silently lose the payload.
+    if (txtrace_) {
+      txtrace_->BlockEvent(static_cast<uint32_t>(pending_.front()),
+                           TxStage::kRaftReplicate,
+                           static_cast<uint16_t>(leader));
+    }
     outstanding_.insert(pending_.front());
     pending_.pop();
   }
@@ -74,6 +83,13 @@ void RaftCluster::OnNodeCommit(const RaftNode& node) {
     if (payload == kRaftNoOpPayload) continue;
     if (outstanding_.erase(payload) == 0) continue;
     if (metrics_) metrics_->counter("raft.commits_total").Increment();
+    // Before on_commit_: block delivery runs synchronously inside the
+    // commit callback and reads the recorder's last-committed payload.
+    if (txtrace_) {
+      txtrace_->BlockEvent(static_cast<uint32_t>(payload),
+                           TxStage::kRaftCommit,
+                           static_cast<uint16_t>(node.id()));
+    }
     if (on_commit_) on_commit_(payload);
   }
 }

@@ -12,6 +12,7 @@
 #include "raft/raft_node.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
+#include "telemetry/txtrace.h"
 
 namespace blockoptr {
 
@@ -80,6 +81,10 @@ class RaftCluster {
   /// Attaches consensus metrics (`raft.*`); nullptr disables.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches the flight recorder (block-scoped kRaft* events, chained on
+  /// the payload id); nullptr disables.
+  void set_txtrace(TxTraceRecorder* txtrace) { txtrace_ = txtrace; }
+
  private:
   void FlushPending();
 
@@ -96,6 +101,7 @@ class RaftCluster {
   std::set<uint64_t> outstanding_;
   uint64_t messages_sent_ = 0;
   MetricsRegistry* metrics_ = nullptr;  // optional, not owned
+  TxTraceRecorder* txtrace_ = nullptr;  // optional, not owned
 };
 
 }  // namespace blockoptr

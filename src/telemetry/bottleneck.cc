@@ -156,6 +156,34 @@ BottleneckReport ComputeBottleneckReport(
     report.summary = "no telemetry evidence recorded";
   }
 
+  // Causal-chain evidence: the flight recorder's critical-path shares
+  // partition committed latency exactly, so they are cited alongside the
+  // utilization verdict (a saturated station should also dominate the
+  // critical path; when it does not, the verdict is queueing elsewhere).
+  const TxTraceRecorder* txrec = telemetry.txtrace();
+  if (txrec != nullptr && txrec->summary().committed > 0) {
+    const TxTraceSummary& ts = txrec->summary();
+    for (int i = 0; i < kNumCriticalStages; ++i) {
+      BottleneckReport::CriticalPathShare cps;
+      cps.stage = CriticalStageName(i);
+      cps.share = ts.StageShare(i);
+      cps.wait_share = ts.stages[i].wait_share();
+      report.critical_path.push_back(std::move(cps));
+    }
+    int dom = ts.DominantStage();
+    if (dom >= 0) {
+      report.critical_path_stage = CriticalStageName(dom);
+      report.critical_path_share = ts.StageShare(dom);
+      std::snprintf(buf, sizeof(buf),
+                    "; critical path: %.0f%% of committed latency in '%s' "
+                    "(wait share %.0f%%)",
+                    100.0 * report.critical_path_share,
+                    report.critical_path_stage.c_str(),
+                    100.0 * ts.stages[dom].wait_share());
+      report.summary += buf;
+    }
+  }
+
   // Fault attribution: when faults were injected, the verdict names the
   // one whose active window best overlaps the bottleneck evidence window
   // (falling back to the longest window when nothing overlaps — e.g. the
@@ -216,8 +244,20 @@ JsonValue BottleneckToJson(const BottleneckReport& report) {
   root["window_start"] = JsonValue(report.window_start);
   root["window_end"] = JsonValue(report.window_end);
   root["dominant_stage_share"] = JsonValue(report.dominant_stage_share);
+  root["critical_path_stage"] = JsonValue(report.critical_path_stage);
+  root["critical_path_share"] = JsonValue(report.critical_path_share);
   root["active_fault"] = JsonValue(report.active_fault);
   root["summary"] = JsonValue(report.summary);
+
+  JsonValue::Array critical_path;
+  for (const auto& cps : report.critical_path) {
+    JsonValue::Object entry;
+    entry["stage"] = JsonValue(cps.stage);
+    entry["share"] = JsonValue(cps.share);
+    entry["wait_share"] = JsonValue(cps.wait_share);
+    critical_path.push_back(JsonValue(std::move(entry)));
+  }
+  root["critical_path"] = JsonValue(std::move(critical_path));
 
   JsonValue::Array faults;
   for (const auto& f : report.faults) {

@@ -65,6 +65,20 @@ struct BottleneckReport {
   /// Share of total span time spent in the dominant stage (0 when tracing
   /// was off).
   double dominant_stage_share = 0;
+  /// Causal-chain evidence from the flight recorder (txtrace aspect): one
+  /// entry per critical stage with its share of total committed latency
+  /// and how much of that stage's time was queueing rather than service.
+  /// Unlike `stages` (span totals, which overlap), these shares partition
+  /// end-to-end latency exactly and sum to ~1.0. Empty when txtrace off.
+  struct CriticalPathShare {
+    std::string stage;       // CriticalStageName order
+    double share = 0;        // stage span / total committed latency
+    double wait_share = 0;   // queueing share within the stage
+  };
+  std::vector<CriticalPathShare> critical_path;
+  /// Dominant critical-path stage and its share ("" / 0 when txtrace off).
+  std::string critical_path_stage;
+  double critical_path_share = 0;
   /// Fault windows active during the run (empty for healthy runs).
   std::vector<FaultWindow> faults;
   /// The injected fault named as the verdict: the fault whose window best

@@ -172,25 +172,223 @@ void WritePrometheusText(const Telemetry& telemetry, std::ostream& out,
     out << p << "_count" << label << ' ' << h.count() << '\n';
   }
   const Sampler* sampler = telemetry.sampler();
-  if (sampler == nullptr) return;
-  // Last sampled value of every series, exposed as gauges so a scrape of
-  // the finished run still carries the continuous-monitoring signals.
-  for (const auto& s : sampler->series()) {
-    const std::string name = "ts." + s.name();
-    std::string p = PrometheusMetricName(name);
-    PromFamilyHeader(out, p, name, "gauge");
-    out << p << label << ' ' << PromDouble(s.Last()) << '\n';
-  }
-  for (const auto& tr : sampler->stations()) {
-    const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
-                                  &tr.wait_mean_s, &tr.service_mean_s};
-    for (const TimeSeries* series : tracks) {
-      const std::string name = "station." + tr.name + "." + series->name();
+  if (sampler != nullptr) {
+    // Last sampled value of every series, exposed as gauges so a scrape of
+    // the finished run still carries the continuous-monitoring signals.
+    for (const auto& s : sampler->series()) {
+      const std::string name = "ts." + s.name();
       std::string p = PrometheusMetricName(name);
       PromFamilyHeader(out, p, name, "gauge");
-      out << p << label << ' ' << PromDouble(series->Last()) << '\n';
+      out << p << label << ' ' << PromDouble(s.Last()) << '\n';
+    }
+    for (const auto& tr : sampler->stations()) {
+      const TimeSeries* tracks[] = {&tr.utilization, &tr.queue_depth_s,
+                                    &tr.wait_mean_s, &tr.service_mean_s};
+      for (const TimeSeries* series : tracks) {
+        const std::string name = "station." + tr.name + "." + series->name();
+        std::string p = PrometheusMetricName(name);
+        PromFamilyHeader(out, p, name, "gauge");
+        out << p << label << ' ' << PromDouble(series->Last()) << '\n';
+      }
     }
   }
+  const TxTraceRecorder* txtrace = telemetry.txtrace();
+  if (txtrace == nullptr) return;
+  const TxTraceSummary& ts = txtrace->summary();
+  const struct { const char* name; uint64_t value; } counters_out[] = {
+      {"txtrace.committed", ts.committed},
+      {"txtrace.aborted", ts.aborted},
+      {"txtrace.events_appended", ts.events_appended},
+      {"txtrace.events_evicted", ts.events_evicted},
+      {"txtrace.truncated_chains", ts.truncated_chains},
+  };
+  for (const auto& c : counters_out) {
+    std::string p = PrometheusMetricName(std::string(c.name) + "_total");
+    PromFamilyHeader(out, p, c.name, "counter");
+    out << p << label << ' ' << c.value << '\n';
+  }
+  // Per-stage critical-path shares: the causal-chain partition of total
+  // committed latency (shares sum to ~1), plus each stage's queueing share.
+  const std::string share_name = PrometheusMetricName("txtrace.stage_share");
+  PromFamilyHeader(out, share_name, "txtrace.stage_share", "gauge");
+  for (int i = 0; i < kNumCriticalStages; ++i) {
+    out << share_name << bucket_prefix << "stage=\""
+        << CriticalStageName(i) << "\"} " << PromDouble(ts.StageShare(i))
+        << '\n';
+  }
+  const std::string wait_name =
+      PrometheusMetricName("txtrace.stage_wait_share");
+  PromFamilyHeader(out, wait_name, "txtrace.stage_wait_share", "gauge");
+  for (int i = 0; i < kNumCriticalStages; ++i) {
+    out << wait_name << bucket_prefix << "stage=\"" << CriticalStageName(i)
+        << "\"} " << PromDouble(ts.stages[i].wait_share()) << '\n';
+  }
+}
+
+namespace {
+
+JsonValue StagePathAggJson(const StagePathAgg* stages, double latency_total) {
+  JsonValue::Array arr;
+  for (int i = 0; i < kNumCriticalStages; ++i) {
+    JsonValue::Object entry;
+    entry["stage"] = JsonValue(CriticalStageName(i));
+    entry["span_s"] = JsonValue(stages[i].span_s);
+    entry["service_s"] = JsonValue(stages[i].service_s);
+    entry["wait_s"] = JsonValue(stages[i].wait_s);
+    entry["wait_share"] = JsonValue(stages[i].wait_share());
+    entry["share"] = JsonValue(
+        latency_total > 0 ? stages[i].span_s / latency_total : 0.0);
+    entry["count"] = JsonValue(stages[i].count);
+    arr.push_back(JsonValue(std::move(entry)));
+  }
+  return JsonValue(std::move(arr));
+}
+
+JsonValue ExemplarJson(const TxTraceExemplar& ex) {
+  JsonValue::Object entry;
+  entry["tx_id"] = JsonValue(ex.tx_id);
+  entry["label"] = JsonValue(ex.label);
+  entry["latency_s"] = JsonValue(ex.latency_s);
+  entry["truncated"] = JsonValue(ex.truncated);
+  entry["nearest"] = JsonValue(ex.nearest);
+  entry["events"] = JsonValue(static_cast<uint64_t>(ex.events.size()));
+  JsonValue::Array stages;
+  for (int i = 0; i < kNumCriticalStages; ++i) {
+    JsonValue::Object s;
+    s["stage"] = JsonValue(CriticalStageName(i));
+    s["span_s"] = JsonValue(ex.stage_span_s[i]);
+    s["service_s"] = JsonValue(ex.stage_service_s[i]);
+    s["wait_s"] = JsonValue(ex.stage_wait_s[i]);
+    s["share"] = JsonValue(ex.StageShare(i));
+    stages.push_back(JsonValue(std::move(s)));
+  }
+  entry["stages"] = JsonValue(std::move(stages));
+  return JsonValue(std::move(entry));
+}
+
+}  // namespace
+
+JsonValue TxTraceSummaryJson(const TxTraceSummary& summary) {
+  JsonValue::Object root;
+  root["committed"] = JsonValue(summary.committed);
+  root["aborted"] = JsonValue(summary.aborted);
+  root["events_appended"] = JsonValue(summary.events_appended);
+  root["events_evicted"] = JsonValue(summary.events_evicted);
+  root["truncated_chains"] = JsonValue(summary.truncated_chains);
+  root["latency_total_s"] = JsonValue(summary.latency_total_s);
+  int dom = summary.DominantStage();
+  root["dominant_stage"] =
+      JsonValue(dom >= 0 ? CriticalStageName(dom) : "");
+  root["dominant_stage_share"] =
+      JsonValue(dom >= 0 ? summary.StageShare(dom) : 0.0);
+  root["stages"] = StagePathAggJson(summary.stages, summary.latency_total_s);
+
+  JsonValue::Array windows;
+  for (const auto& w : summary.windows) {
+    JsonValue::Object entry;
+    entry["start_s"] = JsonValue(w.start_s);
+    entry["end_s"] = JsonValue(w.end_s);
+    entry["committed"] = JsonValue(w.committed);
+    entry["aborted"] = JsonValue(w.aborted);
+    entry["dropped_chains"] = JsonValue(w.dropped_chains);
+    entry["p50_s"] = JsonValue(w.p50_s);
+    entry["p95_s"] = JsonValue(w.p95_s);
+    entry["p99_s"] = JsonValue(w.p99_s);
+    entry["max_s"] = JsonValue(w.max_s);
+    double window_latency = 0;
+    for (int i = 0; i < kNumCriticalStages; ++i) {
+      window_latency += w.stages[i].span_s;
+    }
+    entry["stages"] = StagePathAggJson(w.stages, window_latency);
+    JsonValue::Array exemplars;
+    for (const auto& ex : w.exemplars) exemplars.push_back(ExemplarJson(ex));
+    for (const auto& ex : w.abort_exemplars) {
+      exemplars.push_back(ExemplarJson(ex));
+    }
+    entry["exemplars"] = JsonValue(std::move(exemplars));
+    windows.push_back(JsonValue(std::move(entry)));
+  }
+  root["windows"] = JsonValue(std::move(windows));
+  return JsonValue(std::move(root));
+}
+
+void WriteTxTraceChromeTrace(const TxTraceSummary& summary,
+                             std::ostream& out) {
+  constexpr double kMicros = 1e6;
+  JsonValue::Array events;
+  int pid = 0;
+  char buf[160];
+  for (size_t wi = 0; wi < summary.windows.size(); ++wi) {
+    const TxTraceWindow& w = summary.windows[wi];
+    const std::vector<TxTraceExemplar>* groups[] = {&w.exemplars,
+                                                    &w.abort_exemplars};
+    for (const auto* group : groups) {
+      for (const auto& ex : *group) {
+        ++pid;
+        std::snprintf(buf, sizeof(buf),
+                      "w%zu [%.1fs,%.1fs) %s tx=%llu lat=%.4fs%s%s", wi,
+                      w.start_s, w.end_s, ex.label.c_str(),
+                      static_cast<unsigned long long>(ex.tx_id),
+                      ex.latency_s, ex.truncated ? " truncated" : "",
+                      ex.nearest ? " nearest" : "");
+        JsonValue::Object meta;
+        meta["ph"] = JsonValue("M");
+        meta["name"] = JsonValue("process_name");
+        meta["pid"] = JsonValue(pid);
+        JsonValue::Object margs;
+        margs["name"] = JsonValue(std::string(buf));
+        meta["args"] = JsonValue(std::move(margs));
+        events.push_back(JsonValue(std::move(meta)));
+
+        for (size_t i = 0; i < ex.events.size(); ++i) {
+          const TxTraceEvent& ev = ex.events[i];
+          double dur = static_cast<double>(ev.dur);
+          JsonValue::Object slice;
+          // Service time renders as the slice body ending at the
+          // transition instant; zero-cost transitions become instants.
+          slice["ph"] = JsonValue(dur > 0 ? "X" : "i");
+          slice["name"] = JsonValue(TxStageName(ev.stage));
+          slice["cat"] = JsonValue("txtrace");
+          slice["pid"] = JsonValue(pid);
+          slice["tid"] = JsonValue(ev.tx_id);
+          slice["ts"] = JsonValue((ev.t - dur) * kMicros);
+          if (dur > 0) slice["dur"] = JsonValue(dur * kMicros);
+          if (dur <= 0) slice["s"] = JsonValue("t");  // instant scope
+          JsonValue::Object args;
+          args["tx_id"] = JsonValue(ev.tx_id);
+          args["actor"] = JsonValue(static_cast<uint64_t>(ev.actor));
+          args["block_seq"] = JsonValue(static_cast<uint64_t>(ev.block_seq));
+          if (ev.flags & TxTraceEvent::kTruncated) {
+            args["truncated"] = JsonValue(true);
+          }
+          if (ev.flags & TxTraceEvent::kFailed) {
+            args["failed"] = JsonValue(true);
+          }
+          slice["args"] = JsonValue(std::move(args));
+          events.push_back(JsonValue(std::move(slice)));
+
+          // Flow arrows thread the causal chain through the exemplar:
+          // "s" starts at the first event, "t" steps through the rest,
+          // "f" closes at the terminal commit/abort.
+          JsonValue::Object flow;
+          flow["ph"] = JsonValue(i == 0 ? "s"
+                                 : i + 1 == ex.events.size() ? "f" : "t");
+          if (i + 1 == ex.events.size()) flow["bp"] = JsonValue("e");
+          flow["id"] = JsonValue(pid);
+          flow["name"] = JsonValue("txchain");
+          flow["cat"] = JsonValue("txtrace");
+          flow["pid"] = JsonValue(pid);
+          flow["tid"] = JsonValue(ev.tx_id);
+          flow["ts"] = JsonValue(ev.t * kMicros);
+          events.push_back(JsonValue(std::move(flow)));
+        }
+      }
+    }
+  }
+  JsonValue::Object root;
+  root["traceEvents"] = JsonValue(std::move(events));
+  root["displayTimeUnit"] = JsonValue("ms");
+  out << JsonValue(std::move(root)).Dump();
 }
 
 JsonValue TelemetrySnapshotJson(const Telemetry& telemetry,
@@ -200,11 +398,72 @@ JsonValue TelemetrySnapshotJson(const Telemetry& telemetry,
   if (const Sampler* sampler = telemetry.sampler()) {
     obj["timeseries"] = sampler->ToJson();
   }
+  if (const TxTraceRecorder* txtrace = telemetry.txtrace()) {
+    obj["txtrace"] = TxTraceSummaryJson(txtrace->summary());
+  }
   if (bottleneck != nullptr) {
     obj["bottleneck"] = BottleneckToJson(*bottleneck);
   }
   return root;
 }
+
+namespace {
+
+/// One exemplar's critical-path waterfall: one row per stage at its
+/// cumulative offset within the transaction's latency. The light bar is
+/// the stage's span on the causal chain; the dark overlay is its modelled
+/// service time (the remainder is queueing + network wait).
+void WriteExemplarWaterfall(std::ostream& out, const TxTraceExemplar& ex) {
+  constexpr double kW = 640, kRowH = 16, kPadL = 76, kPadR = 10, kPadT = 4,
+                   kPadB = 16;
+  const double kHeight = kPadT + kPadB + kRowH * kNumCriticalStages;
+  char cap[160];
+  std::snprintf(cap, sizeof(cap),
+                "%s \xc2\xb7 tx %llu \xc2\xb7 %.4fs%s%s", ex.label.c_str(),
+                static_cast<unsigned long long>(ex.tx_id), ex.latency_s,
+                ex.truncated ? " \xc2\xb7 truncated" : "",
+                ex.nearest ? " \xc2\xb7 nearest" : "");
+  out << "<figure class=\"waterfall\"><figcaption>" << HtmlEscapeText(cap)
+      << "</figcaption>";
+  const double total = ex.latency_s;
+  if (total <= 0) {
+    out << "<p class=\"empty\">(zero-latency exemplar)</p></figure>\n";
+    return;
+  }
+  out << "<svg viewBox=\"0 0 " << kW << " " << kHeight << "\" width=\""
+      << kW << "\" height=\"" << kHeight << "\" role=\"img\">";
+  const double plot_w = kW - kPadL - kPadR;
+  double cum = 0;
+  for (int i = 0; i < kNumCriticalStages; ++i) {
+    double y = kPadT + kRowH * i;
+    double x = kPadL + cum / total * plot_w;
+    double span_w = ex.stage_span_s[i] / total * plot_w;
+    double svc = std::min(ex.stage_service_s[i], ex.stage_span_s[i]);
+    double svc_w = svc / total * plot_w;
+    out << "<text x=\"" << (kPadL - 4) << "\" y=\"" << Fmt("%.1f", y + 12)
+        << "\" class=\"wlab\">" << CriticalStageName(i) << "</text>";
+    out << "<rect x=\"" << Fmt("%.2f", x) << "\" y=\"" << Fmt("%.1f", y + 2)
+        << "\" width=\"" << Fmt("%.2f", span_w)
+        << "\" height=\"12\" class=\"wait\"/>";
+    if (svc_w > 0) {
+      out << "<rect x=\"" << Fmt("%.2f", x) << "\" y=\""
+          << Fmt("%.1f", y + 2) << "\" width=\"" << Fmt("%.2f", svc_w)
+          << "\" height=\"12\" class=\"svc\"/>";
+    }
+    out << "<text x=\"" << Fmt("%.2f", x + span_w + 4) << "\" y=\""
+        << Fmt("%.1f", y + 12) << "\" class=\"wshare\">"
+        << Fmt("%.0f%%", 100.0 * ex.StageShare(i)) << "</text>";
+    cum += ex.stage_span_s[i];
+  }
+  out << "<text x=\"" << kPadL << "\" y=\"" << Fmt("%.1f", kHeight - 4)
+      << "\" class=\"xlab\">0s</text>";
+  out << "<text x=\"" << (kW - kPadR) << "\" y=\""
+      << Fmt("%.1f", kHeight - 4) << "\" class=\"xlab xend\">"
+      << Fmt("%.4fs", total) << "</text>";
+  out << "</svg></figure>\n";
+}
+
+}  // namespace
 
 void WriteHtmlReport(std::ostream& out, const std::string& title,
                      const HtmlSummaryRows& summary,
@@ -231,6 +490,10 @@ void WriteHtmlReport(std::ostream& out, const std::string& title,
          ".verdict{background:#eff6ff;border:1px solid #bfdbfe;"
          "padding:8px 12px;border-radius:4px}\n"
          ".empty{color:#9ca3af;font-size:12px}\n"
+         ".wait{fill:#bfdbfe}\n"
+         ".svc{fill:#2563eb}\n"
+         ".wlab{font-size:10px;fill:#374151;text-anchor:end}\n"
+         ".wshare{font-size:10px;fill:#6b7280}\n"
          "</style>\n</head>\n<body>\n<h1>"
       << HtmlEscapeText(title) << "</h1>\n";
 
@@ -274,6 +537,46 @@ void WriteHtmlReport(std::ostream& out, const std::string& title,
           << "</td><td>" << Fmt("%.6f", st.max_s) << "</td></tr>\n";
     }
     out << "</table>\n";
+  }
+
+  const TxTraceRecorder* txtrace = telemetry.txtrace();
+  if (txtrace != nullptr) {
+    const TxTraceSummary& ts = txtrace->summary();
+    out << "<h2>Critical path (flight recorder)</h2>\n";
+    if (ts.committed > 0) {
+      out << "<table>\n<tr><th>stage</th><th>share</th><th>wait share</th>"
+             "<th>span (s)</th><th>service (s)</th><th>wait (s)</th></tr>\n";
+      for (int i = 0; i < kNumCriticalStages; ++i) {
+        out << "<tr><td>" << CriticalStageName(i) << "</td><td>"
+            << Fmt("%.1f%%", 100.0 * ts.StageShare(i)) << "</td><td>"
+            << Fmt("%.1f%%", 100.0 * ts.stages[i].wait_share())
+            << "</td><td>" << Fmt("%.4f", ts.stages[i].span_s)
+            << "</td><td>" << Fmt("%.4f", ts.stages[i].service_s)
+            << "</td><td>" << Fmt("%.4f", ts.stages[i].wait_s)
+            << "</td></tr>\n";
+      }
+      out << "</table>\n";
+      out << "<h2>Tail-latency exemplars</h2>\n";
+      for (const auto& w : ts.windows) {
+        char head[200];
+        std::snprintf(head, sizeof(head),
+                      "window [%.1fs,%.1fs): %llu committed, %llu aborted "
+                      "— p50 %.4fs, p95 %.4fs, p99 %.4fs, max %.4fs",
+                      w.start_s, w.end_s,
+                      static_cast<unsigned long long>(w.committed),
+                      static_cast<unsigned long long>(w.aborted), w.p50_s,
+                      w.p95_s, w.p99_s, w.max_s);
+        out << "<h3>" << HtmlEscapeText(head) << "</h3>\n";
+        const std::vector<TxTraceExemplar>* groups[] = {&w.exemplars,
+                                                        &w.abort_exemplars};
+        for (const auto* group : groups) {
+          for (const auto& ex : *group) WriteExemplarWaterfall(out, ex);
+        }
+      }
+    } else {
+      out << "<p class=\"empty\">no transactions committed while the "
+             "flight recorder was on</p>\n";
+    }
   }
 
   const Sampler* sampler = telemetry.sampler();

@@ -42,10 +42,24 @@ void WritePrometheusText(const Telemetry& telemetry, std::ostream& out,
 
 /// The run's full machine-readable snapshot: the MetricsRegistry snapshot
 /// (counters/gauges/histograms) extended with a "timeseries" section
-/// (sampler series + station tracks) and, when given, a "bottleneck"
-/// section. This is what `--metrics-out` writes.
+/// (sampler series + station tracks), a "txtrace" section when the flight
+/// recorder ran, and, when given, a "bottleneck" section. This is what
+/// `--metrics-out` writes.
 JsonValue TelemetrySnapshotJson(const Telemetry& telemetry,
                                 const BottleneckReport* bottleneck = nullptr);
+
+/// Machine-readable flight-recorder summary: run-level critical-path
+/// aggregates plus per-window quantiles, per-stage shares, and exemplar
+/// descriptors (full event chains travel in the Chrome trace, not here).
+JsonValue TxTraceSummaryJson(const TxTraceSummary& summary);
+
+/// Chrome-trace (chrome://tracing / Perfetto) export of every retained
+/// tail-latency exemplar: one process per exemplar, one slice per
+/// lifecycle event (service time as the slice duration), with flow arrows
+/// threading each causal chain submit -> ... -> commit. This is what
+/// `--txtrace-out` writes. Byte-deterministic for a given run.
+void WriteTxTraceChromeTrace(const TxTraceSummary& summary,
+                             std::ostream& out);
 
 /// Key/value rows rendered at the top of the HTML report (throughput,
 /// success rate, ...).

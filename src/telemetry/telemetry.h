@@ -9,6 +9,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/sampler.h"
 #include "telemetry/trace.h"
+#include "telemetry/txtrace.h"
 
 namespace blockoptr {
 
@@ -22,6 +23,9 @@ namespace blockoptr {
 ///   - sampling:      the continuous Sampler — one tick per period
 ///                    regardless of load, so its cost is O(sim-time), not
 ///                    O(transactions).
+///   - txtrace:       the per-transaction flight recorder (Observability
+///                    v3): packed lifecycle events in a fixed ring, with
+///                    critical-path extraction and tail-latency exemplars.
 struct TelemetryOptions {
   bool tracing = true;
   bool event_metrics = true;
@@ -29,6 +33,9 @@ struct TelemetryOptions {
   double sample_period_s = 0.5;
   /// Point capacity of each sampled TimeSeries.
   size_t series_capacity = 512;
+  /// Flight-recorder knobs; `txtrace.enabled` is off by default (the
+  /// disabled path is one null check per hook and allocates nothing).
+  TxTraceOptions txtrace;
 
   /// Continuous monitoring only: spans and per-event metrics off, sampler
   /// on. The always-on low-overhead profile.
@@ -36,6 +43,16 @@ struct TelemetryOptions {
     TelemetryOptions opts;
     opts.tracing = false;
     opts.event_metrics = false;
+    return opts;
+  }
+
+  /// Flight recorder only: the causal-tracing profile behind --txtrace.
+  static TelemetryOptions TxTraceOnly() {
+    TelemetryOptions opts;
+    opts.tracing = false;
+    opts.event_metrics = false;
+    opts.sample_period_s = 0;
+    opts.txtrace.enabled = true;
     return opts;
   }
 };
@@ -59,6 +76,9 @@ class Telemetry {
           sim, SamplerConfig{options_.sample_period_s,
                              options_.series_capacity});
     }
+    if (options_.txtrace.enabled) {
+      txtrace_ = std::make_unique<TxTraceRecorder>(sim, options_.txtrace);
+    }
   }
 
   Telemetry(const Telemetry&) = delete;
@@ -81,12 +101,16 @@ class Telemetry {
   /// Null when `sample_period_s <= 0`.
   Sampler* sampler() { return sampler_.get(); }
   const Sampler* sampler() const { return sampler_.get(); }
+  /// Null unless `txtrace.enabled`.
+  TxTraceRecorder* txtrace() { return txtrace_.get(); }
+  const TxTraceRecorder* txtrace() const { return txtrace_.get(); }
 
  private:
   TelemetryOptions options_;
   TraceRecorder tracer_;
   MetricsRegistry metrics_;
   std::unique_ptr<Sampler> sampler_;
+  std::unique_ptr<TxTraceRecorder> txtrace_;
 };
 
 /// Latency summary of one pipeline stage (one span category).

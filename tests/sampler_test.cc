@@ -306,6 +306,41 @@ TEST(BottleneckTest, NamesTheOrdererInAnOrdererBoundScenario) {
   EXPECT_EQ(report.bottleneck_station, "orderer");
 }
 
+TEST(BottleneckTest, CriticalPathConfirmsTheEndorserBoundVerdict) {
+  ExperimentConfig cfg = SampledExperiment(400, 200);
+  cfg.network.latency.endorse_exec_s = 0.05;
+  cfg.telemetry_options.txtrace.enabled = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  BottleneckReport report =
+      ComputeBottleneckReport(*out->telemetry, out->sim_end_time);
+  // With the flight recorder on, the verdict carries causal-chain
+  // evidence: the endorse stage dominates the committed-latency partition,
+  // agreeing with the utilization-based attribution.
+  EXPECT_EQ(report.critical_path_stage, "endorse");
+  EXPECT_GT(report.critical_path_share, 0.5);
+  ASSERT_EQ(report.critical_path.size(),
+            static_cast<size_t>(kNumCriticalStages));
+  double sum = 0;
+  for (const auto& s : report.critical_path) sum += s.share;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NE(report.summary.find("critical path"), std::string::npos);
+  EXPECT_NE(report.summary.find("'endorse'"), std::string::npos);
+}
+
+TEST(BottleneckTest, CriticalPathConfirmsTheOrdererBoundVerdict) {
+  ExperimentConfig cfg = SampledExperiment(400, 200);
+  cfg.network.latency.order_per_tx_s = 0.02;
+  cfg.telemetry_options.txtrace.enabled = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  BottleneckReport report =
+      ComputeBottleneckReport(*out->telemetry, out->sim_end_time);
+  EXPECT_EQ(report.critical_path_stage, "order");
+  EXPECT_GT(report.critical_path_share, 0.5);
+  EXPECT_NE(report.summary.find("critical path"), std::string::npos);
+}
+
 TEST(BottleneckTest, EvidenceWindowFormattingIsStable) {
   EXPECT_EQ(FormatEvidenceWindow(40.0, 80.0), "[40.0s,80.0s]");
 }
@@ -333,6 +368,30 @@ TEST(EvidenceTest, RecommendationsCiteTheObservedWindow) {
 
   std::string evidence = TelemetryEvidenceFor(rec, report);
   EXPECT_NE(evidence.find("Org1"), std::string::npos);
+}
+
+TEST(EvidenceTest, RecommendationsCiteTheCriticalPathShare) {
+  ExperimentConfig cfg = SampledExperiment(400, 200);
+  cfg.network.latency.endorse_exec_s = 0.05;
+  cfg.telemetry_options.txtrace.enabled = true;
+  auto out = RunExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  BottleneckReport report =
+      ComputeBottleneckReport(*out->telemetry, out->sim_end_time);
+
+  Recommendation rec;
+  rec.type = RecommendationType::kEndorserRestructuring;
+  rec.detail = "restructure the endorsement policy";
+  rec.orgs = {"Org1"};
+  // The flight recorder's causal-chain partition backs the rationale: the
+  // evidence now quantifies how much committed latency the cited stage
+  // owns, not just how busy its station looked.
+  std::string evidence = TelemetryEvidenceFor(rec, report);
+  EXPECT_NE(evidence.find("critical-path share"), std::string::npos);
+
+  std::vector<Recommendation> recs = {rec};
+  AttachTelemetryEvidence(recs, report);
+  EXPECT_NE(recs[0].detail.find("critical-path share"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

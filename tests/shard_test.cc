@@ -525,5 +525,32 @@ TEST(PerformanceReportMergeTest, CountersAndSpanCombineAcrossRealRuns) {
               1e-9);
 }
 
+TEST(PerformanceReportMergeTest, PerChannelTailsSurviveTheMerge) {
+  auto out = RunExperiment(ShardedExperiment(1200, 300, 4, 2));
+  ASSERT_TRUE(out.ok()) << out.status();
+  const auto& tails = out->report.channel_tails();
+  ASSERT_EQ(tails.size(), out->channels.size());
+  for (size_t c = 0; c < out->channels.size(); ++c) {
+    // Channel c's recorded tail must equal the quantiles its own leaf
+    // report computes — the merged tracker pools every channel's samples,
+    // so these are unrecoverable from the merged report itself.
+    PerformanceReport leaf = out->channels[c].report;  // Percentile() sorts
+    EXPECT_DOUBLE_EQ(tails[c].p50_s, leaf.LatencyPercentile(50)) << c;
+    EXPECT_DOUBLE_EQ(tails[c].p95_s, leaf.LatencyPercentile(95)) << c;
+    EXPECT_DOUBLE_EQ(tails[c].p99_s, leaf.LatencyPercentile(99)) << c;
+    EXPECT_DOUBLE_EQ(tails[c].max_s, leaf.MaxLatency()) << c;
+    EXPECT_EQ(tails[c].successful, leaf.successful()) << c;
+    EXPECT_LE(tails[c].p50_s, tails[c].p95_s) << c;
+    EXPECT_LE(tails[c].p95_s, tails[c].p99_s) << c;
+    EXPECT_LE(tails[c].p99_s, tails[c].max_s) << c;
+  }
+  // A leaf (never-merged) report records no tails, and merging two
+  // already-merged reports concatenates theirs instead of re-pooling.
+  EXPECT_TRUE(out->channels[0].report.channel_tails().empty());
+  PerformanceReport doubled = out->report;
+  doubled.Merge(out->report);
+  EXPECT_EQ(doubled.channel_tails().size(), 2 * tails.size());
+}
+
 }  // namespace
 }  // namespace blockoptr

@@ -19,6 +19,8 @@
 #include "sim/service_station.h"
 #include "sim/simulator.h"
 #include "telemetry/sampler.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/txtrace.h"
 
 namespace {
 
@@ -142,6 +144,80 @@ TEST(SimAllocTest, DisabledSamplerSchedulesNothingAndAllocatesNothing) {
   EXPECT_TRUE(sampler.stations().empty());
   // The telemetry-off path does zero telemetry work and zero allocation.
   EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+/// One full committed lifecycle driven straight into the flight recorder,
+/// with the clock advanced via RunUntil (empty queue: RunUntil just moves
+/// Now(), so no event-slot churn mixes into the measurement). One block
+/// per transaction keeps the chain shape constant across batches.
+void RecordLifecycle(Simulator& sim, TxTraceRecorder& rec, std::uint64_t id,
+                     double base) {
+  const auto payload = static_cast<std::uint32_t>(id);
+  sim.RunUntil(base);
+  rec.TxEvent(id, TxStage::kSubmit, 0);
+  sim.RunUntil(base + 0.01);
+  rec.TxEvent(id, TxStage::kProposalDone, 0, 0.01f);
+  sim.RunUntil(base + 0.02);
+  rec.TxEvent(id, TxStage::kEndorseDone, 1, 0.01f);
+  sim.RunUntil(base + 0.03);
+  rec.TxEvent(id, TxStage::kCollect, 0);
+  sim.RunUntil(base + 0.04);
+  rec.TxEvent(id, TxStage::kAssembleDone, 0, 0.01f);
+  sim.RunUntil(base + 0.05);
+  rec.TxEvent(id, TxStage::kOrdererEnqueue, 0, 0.01f);
+  sim.RunUntil(base + 0.06);
+  rec.TxEvent(id, TxStage::kBlockCut, 0, 0, payload);
+  rec.BlockEvent(payload, TxStage::kRaftPropose, 0);
+  sim.RunUntil(base + 0.07);
+  rec.BlockEvent(payload, TxStage::kRaftCommit, 0);
+  rec.OnBlockDelivered(payload + 1000);
+  sim.RunUntil(base + 0.08);
+  rec.ValidateEvent(payload + 1000, TxStage::kValidateDone, 0, 0.01f);
+  sim.RunUntil(base + 0.09);
+  rec.CommitTx(id, base, payload + 1000, false);
+}
+
+TEST(TxTraceAllocTest, DisabledRecorderIsAbsentAndTheGuardAllocatesNothing) {
+  Simulator sim;
+  // Default options: txtrace off. No recorder is ever constructed, and
+  // every hook site reduces to the cached-null check exercised here.
+  Telemetry telemetry(&sim, TelemetryOptions{});
+  TxTraceRecorder* rec = telemetry.txtrace();
+  EXPECT_EQ(rec, nullptr);
+  const std::uint64_t before = AllocationCount();
+  for (std::uint64_t id = 1; id <= 512; ++id) {
+    if (rec != nullptr) RecordLifecycle(sim, *rec, id, id * 0.1);
+  }
+  EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+TEST(TxTraceAllocTest, EnabledSteadyStateRecordingIsAllocationFree) {
+  Simulator sim;
+  TxTraceOptions opt;
+  opt.enabled = true;
+  opt.ring_capacity = 1024;
+  opt.window_s = 100.0;
+  TxTraceRecorder rec(&sim, opt);
+  // Warm-up: a full window's worth of chains grows the ring-adjacent
+  // scratch/arena/candidate vectors to their per-window high-water mark...
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    RecordLifecycle(sim, rec, id, id * 0.5);
+  }
+  // ...and one chain past the boundary seals window 1 (sealing copies
+  // exemplars — that allocation budget is per window, not per event) and
+  // rolls into window 2 with every capacity retained.
+  RecordLifecycle(sim, rec, 65, 100.0);
+  const std::uint64_t before = AllocationCount();
+  // An identical batch strictly inside window 2: appends, chain
+  // extraction, and per-commit critical-path accounting on the warm
+  // recorder must not touch the heap.
+  for (std::uint64_t id = 66; id <= 128; ++id) {
+    RecordLifecycle(sim, rec, id, 101.0 + (id - 66) * 0.5);
+  }
+  EXPECT_EQ(AllocationCount() - before, 0u);
+  rec.Finalize(200.0);
+  EXPECT_EQ(rec.summary().committed, 128u);
+  EXPECT_EQ(rec.summary().truncated_chains, 0u);
 }
 
 TEST(ThreadPoolAllocTest, SubmitCostsAtMostThreeAllocationsPerTask) {

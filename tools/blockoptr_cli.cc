@@ -146,6 +146,18 @@ int Usage() {
       "                     SVG charts + bottleneck attribution)\n"
       "  --sample-period=S  continuous-sampler period in sim seconds\n"
       "                     (default 0.5; 0 disables the sampler)\n"
+      "  --txtrace          per-transaction flight recorder: packed\n"
+      "                     lifecycle events, critical-path extraction,\n"
+      "                     tail-latency exemplars (p50/p95/p99/max per\n"
+      "                     window) in the JSON/Prometheus/HTML exports\n"
+      "  --txtrace-out=F    export the exemplar causal chains as Chrome\n"
+      "                     trace-event JSON with flow arrows (implies\n"
+      "                     --txtrace; open in Perfetto)\n"
+      "  --txtrace-ring=N   flight-recorder ring capacity in events\n"
+      "                     (default 65536, rounded to a power of two;\n"
+      "                     implies --txtrace)\n"
+      "  --txtrace-window=S exemplar window in sim seconds (default 5;\n"
+      "                     implies --txtrace)\n"
       "\n"
       "streaming analysis (online, fed at block-commit time):\n"
       "  --stream-analysis  derive the blockchain log incrementally and\n"
@@ -299,15 +311,27 @@ Status WriteFileOrFail(const std::string& path, const std::string& content) {
 }
 
 /// Whether the run needs telemetry, and with which aspects.
+/// Any txtrace flag turns the flight recorder on; --txtrace-out /
+/// --txtrace-ring / --txtrace-window imply --txtrace.
+bool WantsTxTrace(const CliArgs& args) {
+  return args.Has("txtrace") || args.Has("txtrace-out") ||
+         args.Has("txtrace-ring") || args.Has("txtrace-window");
+}
+
 bool WantsTelemetry(const CliArgs& args) {
   return args.Has("trace-out") || args.Has("trace-csv") ||
          args.Has("metrics-out") || args.Has("prom-out") ||
-         args.Has("report-out") || args.Has("sample-period");
+         args.Has("report-out") || args.Has("sample-period") ||
+         WantsTxTrace(args);
 }
 
 TelemetryOptions TelemetryOptionsFromArgs(const CliArgs& args) {
   TelemetryOptions opts;
   opts.sample_period_s = args.GetDouble("sample-period", 0.5);
+  opts.txtrace.enabled = WantsTxTrace(args);
+  opts.txtrace.ring_capacity =
+      static_cast<uint32_t>(args.GetInt("txtrace-ring", 1 << 16));
+  opts.txtrace.window_s = args.GetDouble("txtrace-window", 5.0);
   return opts;
 }
 
@@ -414,6 +438,20 @@ int MultiChannelRunCommand(const CliArgs& args, const ExperimentConfig& cfg,
   for (size_t c = 0; c < out.channels.size(); ++c) {
     std::printf("  channel %zu: %s\n", c,
                 out.channels[c].report.Summary().c_str());
+  }
+  // Per-channel tails survive the merge (channel_tails is captured as
+  // each channel folds in), so a channel whose p99 is far above the
+  // pooled quantile is visible here.
+  if (!out.report.channel_tails().empty()) {
+    std::printf("per-channel tail latency:\n");
+    const auto& tails = out.report.channel_tails();
+    for (size_t c = 0; c < tails.size(); ++c) {
+      std::printf("  channel %zu: p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs "
+                  "(%llu successful)\n",
+                  c, tails[c].p50_s, tails[c].p95_s, tails[c].p99_s,
+                  tails[c].max_s,
+                  static_cast<unsigned long long>(tails[c].successful));
+    }
   }
   std::printf("\n");
   if (!out.fault_windows.empty()) {
@@ -544,6 +582,16 @@ int MultiChannelRunCommand(const CliArgs& args, const ExperimentConfig& cfg,
         ch.telemetry->tracer().WriteCsv(f);
         std::printf("wrote span CSV: %s\n", path.c_str());
       }
+      if (args.Has("txtrace-out") && ch.telemetry->txtrace() != nullptr) {
+        std::string path = SuffixedPath(args.Get("txtrace-out", ""), c);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        WriteTxTraceChromeTrace(ch.telemetry->txtrace()->summary(), f);
+        std::printf("wrote txtrace exemplar chains: %s\n", path.c_str());
+      }
       if (args.Has("metrics-out")) {
         std::string path = SuffixedPath(args.Get("metrics-out", ""), c);
         JsonValue snapshot =
@@ -590,6 +638,11 @@ int MultiChannelRunCommand(const CliArgs& args, const ExperimentConfig& cfg,
         rows.emplace_back("success rate", num);
         std::snprintf(num, sizeof(num), "%.3f s", ch.report.AvgLatency());
         rows.emplace_back("avg latency", num);
+        if (c < out.report.channel_tails().size()) {
+          std::snprintf(num, sizeof(num), "%.3f s",
+                        out.report.channel_tails()[c].p99_s);
+          rows.emplace_back("p99 latency", num);
+        }
         std::snprintf(num, sizeof(num), "%.1f s", ch.sim_end_time);
         rows.emplace_back("sim end time", num);
         WriteHtmlReport(f, "BlockOptR run report: channel " + tag, rows,
@@ -655,6 +708,34 @@ int MultiChannelRunCommand(const CliArgs& args, const ExperimentConfig& cfg,
           std::printf("wrote DOT model: %s\n", path.c_str());
         }
       }
+    }
+  }
+
+  // Experiment-level flight-recorder view: the per-channel summaries merge
+  // into one (count-weighted quantiles, union exemplars), written at the
+  // unsuffixed path alongside the per-channel dumps.
+  if (args.Has("txtrace-out")) {
+    TxTraceSummary merged;
+    bool any = false;
+    for (const auto& ch : out.channels) {
+      if (!ch.telemetry || ch.telemetry->txtrace() == nullptr) continue;
+      if (!any) {
+        merged = ch.telemetry->txtrace()->summary();
+        any = true;
+      } else {
+        merged.Merge(ch.telemetry->txtrace()->summary());
+      }
+    }
+    if (any) {
+      const std::string path = args.Get("txtrace-out", "");
+      std::ofstream f(path);
+      if (!f) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+        return 1;
+      }
+      WriteTxTraceChromeTrace(merged, f);
+      std::printf("wrote merged txtrace exemplar chains: %s\n",
+                  path.c_str());
     }
   }
 
@@ -742,6 +823,16 @@ int RunCommand(const CliArgs& args) {
     out->telemetry->tracer().WriteCsv(f);
     std::printf("wrote span CSV: %s\n", args.Get("trace-csv", "").c_str());
   }
+  if (args.Has("txtrace-out") && out->telemetry->txtrace() != nullptr) {
+    std::ofstream f(args.Get("txtrace-out", ""));
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write --txtrace-out\n");
+      return 1;
+    }
+    WriteTxTraceChromeTrace(out->telemetry->txtrace()->summary(), f);
+    std::printf("wrote txtrace exemplar chains (open in Perfetto): %s\n",
+                args.Get("txtrace-out", "").c_str());
+  }
   if (args.Has("metrics-out")) {
     JsonValue snapshot = TelemetrySnapshotJson(
         *out->telemetry, bottleneck ? &*bottleneck : nullptr);
@@ -786,6 +877,9 @@ int RunCommand(const CliArgs& args) {
     rows.emplace_back("success rate", num);
     std::snprintf(num, sizeof(num), "%.3f s", out->report.AvgLatency());
     rows.emplace_back("avg latency", num);
+    std::snprintf(num, sizeof(num), "%.3f s",
+                  out->report.LatencyPercentile(99));
+    rows.emplace_back("p99 latency", num);
     std::snprintf(num, sizeof(num), "%.1f s", out->sim_end_time);
     rows.emplace_back("sim end time", num);
     WriteHtmlReport(f, "BlockOptR run report", rows, *out->telemetry,
@@ -981,6 +1075,19 @@ int SweepCommand(const CliArgs& args) {
         }
         outputs[i]->telemetry->tracer().WriteChromeTrace(f);
         std::fprintf(stderr, "wrote Chrome trace: %s\n", path.c_str());
+      }
+      if (args.Has("txtrace-out") &&
+          outputs[i]->telemetry->txtrace() != nullptr) {
+        std::string path = SuffixedPath(args.Get("txtrace-out", ""), i + 1);
+        std::ofstream f(path);
+        if (!f) {
+          std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+          return 1;
+        }
+        WriteTxTraceChromeTrace(outputs[i]->telemetry->txtrace()->summary(),
+                                f);
+        std::fprintf(stderr, "wrote txtrace exemplar chains: %s\n",
+                     path.c_str());
       }
       if (args.Has("metrics-out")) {
         std::string path = SuffixedPath(args.Get("metrics-out", ""), i + 1);
